@@ -1,0 +1,70 @@
+//===- bench/BenchUtil.h - Shared helpers for the experiment benches ------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small table-printing and timing helpers shared by the per-experiment
+/// bench binaries.  Each bench regenerates one table or figure from the
+/// paper (see DESIGN.md's per-experiment index) and prints PASS/FAIL
+/// checks for the paper's qualitative claims.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_BENCH_BENCHUTIL_H
+#define GPROF_BENCH_BENCHUTIL_H
+
+#include "support/Format.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gprof {
+namespace bench {
+
+/// Prints a banner naming the experiment.
+inline void banner(const std::string &Id, const std::string &Title) {
+  std::printf("\n==============================================================="
+              "=\n");
+  std::printf("%s: %s\n", Id.c_str(), Title.c_str());
+  std::printf("================================================================"
+              "\n");
+}
+
+/// Prints one row of a fixed-width table.
+inline void row(const std::vector<std::string> &Cells, unsigned Width = 14) {
+  std::string Line;
+  for (const std::string &C : Cells)
+    Line += padLeft(C, Width) + "  ";
+  std::printf("%s\n", Line.c_str());
+}
+
+/// Prints a PASS/FAIL line for a claim check.
+inline bool check(bool Ok, const std::string &Claim) {
+  std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", Claim.c_str());
+  return Ok;
+}
+
+/// Wall-clock time of \p Fn in milliseconds, best of \p Reps repetitions.
+inline double timeMs(const std::function<void()> &Fn, int Reps = 3) {
+  double Best = 1e300;
+  for (int R = 0; R != Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    Fn();
+    auto End = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    if (Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
+
+} // namespace bench
+} // namespace gprof
+
+#endif // GPROF_BENCH_BENCHUTIL_H

@@ -1,0 +1,157 @@
+//===- bench/bench_tab_inline_tradeoff.cpp - E12: §6's inline trade-off ---===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §6, in both directions: "If this format routine is expanded
+/// inline in the output routine, the overhead of a function call and
+/// return can be saved for each datum that needs to be formatted", but
+/// "the profiling will also become less useful since the loss of routines
+/// will make its output more granular.  For example, if the symbol table
+/// functions 'lookup', 'insert', and 'delete' are all merged ... it will
+/// be impossible to determine the costs of any one of these individual
+/// functions from the profile."
+///
+/// This bench builds a symbol-table-flavoured workload, progressively
+/// inline-expands its helper routines, and reports for each step: cycles
+/// saved (the optimization working) and profile resolution lost (distinct
+/// routines with attributable time).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/Analyzer.h"
+#include "runtime/Monitor.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace gprof;
+using namespace gprof::bench;
+
+namespace {
+
+/// A hash-table-ish workload built on small helper abstractions, all of
+/// them inlinable (single return expressions).
+const char *WorkloadSource = R"(
+  fn hash1(k) { return (k * 2654435761) % 65536; }
+  fn hash2(k) { return (k * 40503 + 17) % 65536; }
+  fn slot_of(k) { return (hash1(k) + hash2(k)) % 4096; }
+  fn probe_cost(k) { return slot_of(k) % 7 + 1; }
+
+  fn lookup(k) {
+    var cost = probe_cost(k);
+    var acc = 0;
+    var i = 0;
+    while (i < cost) { acc = acc + peek(slot_of(k + i)); i = i + 1; }
+    return acc;
+  }
+  fn insert(k) {
+    poke(slot_of(k), k);
+    return 0;
+  }
+  fn main() {
+    var acc = 0;
+    var k = 0;
+    while (k < 3000) {
+      insert(k * 7);
+      acc = acc + lookup(k * 3);
+      k = k + 1;
+    }
+    return acc;
+  }
+)";
+
+struct Step {
+  const char *Label;
+  std::vector<std::string> Inlined;
+};
+
+struct Measured {
+  int64_t Exit;
+  uint64_t Cycles;
+  size_t RoutinesWithTime;
+  size_t RoutinesWithCalls;
+};
+
+Measured measure(const std::vector<std::string> &Inlined) {
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  CG.InlineFunctions = Inlined;
+  Image Img = compileTLOrDie(WorkloadSource, CG);
+  Monitor Mon(Img.lowPc(), Img.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = 200;
+  VM Machine(Img, VO);
+  Machine.setHooks(&Mon);
+  RunResult R = cantFail(Machine.run());
+  ProfileReport Report = cantFail(analyzeImageProfile(Img, Mon.finish()));
+
+  Measured M;
+  M.Exit = R.ExitValue;
+  M.Cycles = R.Cycles;
+  M.RoutinesWithTime = 0;
+  M.RoutinesWithCalls = 0;
+  for (const FunctionEntry &F : Report.Functions) {
+    if (F.SelfTime > 0.0)
+      ++M.RoutinesWithTime;
+    if (F.totalCalls() > 0)
+      ++M.RoutinesWithCalls;
+  }
+  return M;
+}
+
+} // namespace
+
+int main() {
+  banner("E12 (section 6)",
+         "inline expansion: call overhead saved vs profile resolution "
+         "lost");
+
+  const Step Steps[] = {
+      {"none inlined", {}},
+      {"+ hash1, hash2", {"hash1", "hash2"}},
+      {"+ slot_of", {"hash1", "hash2", "slot_of"}},
+      {"+ probe_cost (all)", {"hash1", "hash2", "slot_of", "probe_cost"}},
+  };
+
+  std::printf("\n");
+  row({"inlining step", "cycles", "saved", "timed routines",
+       "called routines"},
+      17);
+
+  Measured Base = measure({});
+  int64_t ExpectedExit = Base.Exit;
+  Measured Last = Base;
+  bool Ok = true;
+
+  for (const Step &S : Steps) {
+    Measured M = measure(S.Inlined);
+    Ok &= M.Exit == ExpectedExit;
+    row({S.Label, format("%llu", (unsigned long long)M.Cycles),
+         formatPercent(static_cast<double>(Base.Cycles) - M.Cycles,
+                       static_cast<double>(Base.Cycles)) +
+             "%",
+         format("%zu", M.RoutinesWithTime),
+         format("%zu", M.RoutinesWithCalls)},
+        17);
+    Last = M;
+  }
+
+  std::printf("\nchecks against the paper:\n");
+  Ok &= check(Ok, "inlining never changes program results");
+  Ok &= check(Last.Cycles < Base.Cycles,
+              "\"the overhead of a function call and return can be "
+              "saved for each datum\"");
+  Ok &= check(Last.RoutinesWithTime < Base.RoutinesWithTime,
+              "\"the loss of routines will make its output more "
+              "granular\"");
+  Ok &= check(Last.RoutinesWithCalls < Base.RoutinesWithCalls,
+              "merged helpers can no longer be told apart in the "
+              "profile (the lookup/insert/delete example)");
+  return Ok ? 0 : 1;
+}

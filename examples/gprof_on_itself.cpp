@@ -1,0 +1,140 @@
+//===- examples/gprof_on_itself.cpp - "we have used gprof on itself" ------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §6: "Of course, among the programs on which we used the new
+/// profiler was the profiler itself. ... we have used gprof on itself;
+/// eliminating, rewriting, and inline expanding routines, until reading
+/// data files ... represents the dominating factor in its execution
+/// time."
+///
+/// This example repeats the exercise: the analyzer's own sources (core +
+/// graph + gmon) are recompiled into this binary with
+/// -finstrument-functions, the hostprof runtime collects arcs and PC
+/// samples while the analyzer chews through a large synthetic profile,
+/// and the result is fed back through the same analyzer and printers —
+/// gprof profiling gprof.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "graph/Generators.h"
+#include "hostprof/HostProfiler.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <cstdio>
+
+using namespace gprof;
+
+namespace {
+
+/// A big workload for the analyzer: a 4000-routine graph with cycles.
+void buildWorkload(SymbolTable &Syms, ProfileData &Data) {
+  constexpr Address Base = 0x10000;
+  constexpr uint64_t FuncSize = 64;
+  CallGraph G = makeRandomGraph(4000, 16000, 50, 0.02, /*Seed=*/2026);
+  SplitMix64 Rng(7);
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    Syms.addSymbol(G.nodeName(N), Base + N * FuncSize, FuncSize);
+  cantFail(Syms.finalize());
+  Data.TicksPerSecond = 60;
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    const Arc &E = G.arc(A);
+    Data.Arcs.push_back({Base + E.From * FuncSize + 10,
+                         Base + E.To * FuncSize, E.Count});
+  }
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    if (G.inArcs(N).empty())
+      Data.Arcs.push_back({0, Base + N * FuncSize, 1});
+  Histogram H(Base, Base + G.numNodes() * FuncSize, FuncSize);
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    for (uint64_t S = Rng.nextBelow(10); S != 0; --S)
+      H.recordPc(Base + N * FuncSize + 1);
+  Data.Hist = std::move(H);
+}
+
+} // namespace
+
+int main() {
+  std::printf("gprof on itself (paper section 6)\n"
+              "=================================\n\n");
+
+  SymbolTable WorkSyms;
+  ProfileData WorkData;
+  buildWorkload(WorkSyms, WorkData);
+  std::printf("workload: analyzing a %zu-routine, %zu-arc profile, "
+              "30 times\n\n",
+              WorkSyms.size(), WorkData.Arcs.size());
+
+  // Profile the analyzer analyzing.
+  host::HostProfilerOptions Opts;
+  Opts.SampleMicros = 500;
+  if (Error E = host::start(Opts)) {
+    std::printf("note: %s; continuing with arcs only\n",
+                E.message().c_str());
+    host::HostProfilerOptions ArcsOnly;
+    ArcsOnly.SampleHistogram = false;
+    cantFail(host::start(ArcsOnly));
+  }
+
+  double Checksum = 0;
+  for (int Round = 0; Round != 30; ++Round) {
+    SymbolTable Syms;
+    ProfileData Data;
+    buildWorkload(Syms, Data);
+    Analyzer An(std::move(Syms));
+    ProfileReport R = cantFail(An.analyze(Data));
+    Checksum += R.TotalTime;
+  }
+  host::stop();
+  std::printf("analyzer checksum: %.2f\n\n", Checksum);
+
+  // Feed the self-profile back through the very same pipeline.
+  ProfileData SelfData = host::extract();
+  SymbolTable SelfSyms = host::symbolize(SelfData);
+  Analyzer SelfAnalyzer(std::move(SelfSyms));
+  auto SelfReport = SelfAnalyzer.analyze(SelfData);
+  if (!SelfReport) {
+    std::fprintf(stderr, "self-analysis failed: %s\n",
+                 SelfReport.message().c_str());
+    return 1;
+  }
+
+  std::printf("collected %zu arcs and %llu samples from the analyzer "
+              "itself\n\n",
+              SelfData.Arcs.size(),
+              static_cast<unsigned long long>(
+                  SelfData.Hist.totalSamples()));
+
+  // The hottest analyzer internals, by the analyzer's own reckoning.
+  std::printf("top of the analyzer's own flat profile:\n");
+  std::printf("  %%time     self    calls  routine\n");
+  int Shown = 0;
+  for (uint32_t I : SelfReport->FlatOrder) {
+    const FunctionEntry &F = SelfReport->Functions[I];
+    if (F.isUnused() || Shown == 12)
+      break;
+    std::printf("  %5s %8.3f %8llu  %.60s\n",
+                formatPercent(F.SelfTime, SelfReport->TotalTime).c_str(),
+                F.SelfTime,
+                static_cast<unsigned long long>(F.totalCalls()),
+                F.Name.c_str());
+    ++Shown;
+  }
+
+  // And the call-graph entry for the pipeline's entry point.
+  for (const FunctionEntry &F : SelfReport->Functions) {
+    if (F.Name.find("Analyzer::analyze") == std::string::npos)
+      continue;
+    std::printf("\ncall graph entry for the analysis pipeline:\n\n%s",
+                printCallGraphEntry(*SelfReport, F.Name).c_str());
+    break;
+  }
+  return 0;
+}

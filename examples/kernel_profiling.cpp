@@ -1,0 +1,179 @@
+//===- examples/kernel_profiling.cpp - Profiling a long-running kernel ----===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retrospective's kernel story: "Unlike user programs that could be
+/// run to completion ... we had to be able to profile events of interest
+/// in the kernel without taking the kernel down ... The programmer's
+/// interface allowed us to turn the profiler on and off, extract the
+/// profiling data, and reset the data."  And: "Because of the interactions
+/// of the kernel's major subsystems, there were several large cycles in
+/// the profiles ... We added an option to specify a set of arcs to be
+/// removed from the analysis [and] a heuristic to help choose arcs."
+///
+/// This example drives a long-lived TL "kernel" (network / filesystem /
+/// buffer-cache subsystems that call into each other, closing a large
+/// cycle through a rare retry path) syscall by syscall while exercising
+/// the Monitor control interface, then shows the cycle swallowing the
+/// subsystems — and the cycle-breaking heuristic separating them again.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "runtime/Monitor.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace gprof;
+
+namespace {
+
+const char *KernelSource = R"(
+  var packets = 0;
+  var blocks = 0;
+
+  // --- buffer cache subsystem ---
+  fn buf_hash(k) { return (k * 2654435 + 7) % 1024; }
+  fn buf_get(k) {
+    var h = buf_hash(k);
+    var spin = 0;
+    while (spin < 8) { h = (h * 31 + k) % 4096; spin = spin + 1; }
+    return h;
+  }
+
+  // --- filesystem subsystem ---
+  fn fs_read(blk) {
+    blocks = blocks + 1;
+    return buf_get(blk) + blk;
+  }
+  fn fs_write(blk) {
+    blocks = blocks + 1;
+    var v = buf_get(blk);
+    // Rare: a write under memory pressure pushes a packet to the
+    // network-backed swap device — the arc that closes the big cycle.
+    if (blk % 97 == 0) { net_output(blk); }
+    return v;
+  }
+
+  // --- network subsystem ---
+  fn net_checksum(p) {
+    var sum = 0;
+    var i = 0;
+    while (i < 24) { sum = sum + (p + i) * 3; i = i + 1; }
+    return sum % 65536;
+  }
+  fn net_input(p) {
+    packets = packets + 1;
+    var c = net_checksum(p);
+    // Received blocks are written through the filesystem.
+    return fs_write(p % 512) + c;
+  }
+  fn net_output(p) {
+    packets = packets + 1;
+    var c = net_checksum(p);
+    // Rare: transmit records are journaled through the filesystem —
+    // the arc back into fs_write that completes the large cycle.
+    if (p % 89 == 0) { fs_write(p % 512 + 1); }
+    return c;
+  }
+
+  // --- syscall layer ---
+  fn sys_read(arg) { return fs_read(arg % 512); }
+  fn sys_recv(arg) { return net_input(arg); }
+
+  fn main() { return sys_read(1) + sys_recv(2); }
+)";
+
+} // namespace
+
+int main() {
+  std::printf("Profiling a running kernel through the monitor control "
+              "interface\n=================================================="
+              "==============\n\n");
+
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(KernelSource, CG);
+
+  Monitor Mon(Img.lowPc(), Img.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = 300;
+  VM Kernel(Img, VO);
+  Kernel.setHooks(&Mon);
+
+  // Boot traffic arrives before anyone asked to profile: keep the
+  // profiler off (moncontrol(0)); the kernel keeps running.
+  Mon.control(false);
+  for (int64_t I = 0; I != 500; ++I)
+    cantFail(Kernel.call(I % 2 ? "sys_recv" : "sys_read", {I}));
+  std::printf("boot traffic processed with profiling off: %zu arcs "
+              "recorded (expected 0)\n",
+              Mon.extract().Arcs.size());
+
+  // An operator turns profiling on for a measurement window.
+  Mon.control(true);
+  for (int64_t I = 0; I != 3000; ++I)
+    cantFail(Kernel.call(I % 2 ? "sys_recv" : "sys_read", {I}));
+  ProfileData Window1 = Mon.extract(); // kgmon-style extract, no stop.
+  std::printf("measurement window 1: %zu arcs, %llu samples (extracted "
+              "without stopping)\n",
+              Window1.Arcs.size(),
+              static_cast<unsigned long long>(Window1.Hist.totalSamples()));
+
+  // Reset and measure a second, different window.
+  Mon.reset();
+  for (int64_t I = 0; I != 3000; ++I)
+    cantFail(Kernel.call("sys_recv", {I}));
+  ProfileData Window2 = Mon.extract();
+  std::printf("measurement window 2 (receive-only): %zu arcs, %llu "
+              "samples\n\n",
+              Window2.Arcs.size(),
+              static_cast<unsigned long long>(Window2.Hist.totalSamples()));
+
+  // Analysis without cycle breaking: fs_write -> net_output -> ... the
+  // rare swap-out path fuses the subsystems into one cycle.
+  ProfileReport Fused = cantFail(analyzeImageProfile(Img, Window2));
+  std::printf("analysis of window 2 WITHOUT cycle breaking:\n");
+  if (!Fused.Cycles.empty()) {
+    std::printf("  cycle 1 has %zu members:",
+                Fused.Cycles[0].Members.size());
+    for (uint32_t M : Fused.Cycles[0].Members)
+      std::printf(" %s", Fused.Functions[M].Name.c_str());
+    std::printf("\n  -> \"it was impossible to get useful timing results "
+                "for modules like the\n     networking stack\"\n\n");
+  }
+
+  // With the bounded heuristic: the low-count swap-out arc is deleted.
+  AnalyzerOptions Opts;
+  Opts.AutoBreakCycleBound = 4;
+  ProfileReport Broken =
+      cantFail(analyzeImageProfile(Img, Window2, Opts));
+  std::printf("analysis WITH --break-cycles 4:\n");
+  std::printf("  arcs deleted by the heuristic:");
+  for (auto [From, To] : Broken.RemovedArcs)
+    std::printf(" %s->%s", Broken.Functions[From].Name.c_str(),
+                Broken.Functions[To].Name.c_str());
+  std::printf("\n  cycles remaining: %zu\n\n", Broken.Cycles.size());
+
+  std::printf("subsystem costs, now separable (self+descendants):\n");
+  for (const char *Sub : {"net_input", "fs_write", "buf_get"}) {
+    uint32_t Fn = Broken.findFunction(Sub);
+    std::printf("  %-10s %6.2fs of %6.2fs (%5.1f%%)\n", Sub,
+                Broken.Functions[Fn].totalTime(), Broken.TotalTime,
+                100.0 * Broken.Functions[Fn].totalTime() /
+                    Broken.TotalTime);
+  }
+
+  bool Ok = !Fused.Cycles.empty() && Broken.Cycles.empty() &&
+            !Broken.RemovedArcs.empty();
+  std::printf("\n%s\n", Ok ? "kernel profiling scenario reproduced."
+                           : "UNEXPECTED: cycle structure not as described");
+  return Ok ? 0 : 1;
+}

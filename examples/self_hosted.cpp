@@ -1,0 +1,135 @@
+//===- examples/self_hosted.cpp - Native profiling with real compiler hooks ===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's mechanism on the host machine: this executable is compiled
+/// with GCC's -finstrument-functions, so every function prologue calls
+/// __cyg_profile_func_enter(callee, call_site) — handing the hostprof
+/// runtime exactly the call-graph arc the paper's mcount derives from
+/// return addresses — while an ITIMER_PROF timer samples the PC into a
+/// histogram.  The collected data flows through the very same gmon format
+/// and analyzer as the VM profiles.
+///
+/// Sample counts depend on scheduler behaviour and may be small in
+/// constrained environments; arc counts are exact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "gmon/GmonFile.h"
+#include "hostprof/HostProfiler.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+using namespace gprof;
+
+//===----------------------------------------------------------------------===//
+// The profiled workload.  Plain C++ functions; GCC instruments each
+// prologue.  They must not be inlined or the arcs disappear, exactly as
+// inline expansion makes real gprof output "more granular" (paper §6).
+//===----------------------------------------------------------------------===//
+
+#define NOINLINE __attribute__((noinline))
+
+// External linkage (not an anonymous namespace): -rdynamic then exports
+// these symbols so dladdr can name them at dump time.
+NOINLINE uint64_t spinMix(uint64_t X, int Rounds) {
+  for (int I = 0; I != Rounds; ++I) {
+    X ^= X >> 13;
+    X *= 0x9e3779b97f4a7c15ULL;
+    X ^= X >> 31;
+  }
+  return X;
+}
+
+NOINLINE uint64_t hashBlock(uint64_t Seed) { return spinMix(Seed, 2500); }
+
+NOINLINE uint64_t checksumRegion(uint64_t Base) {
+  uint64_t Acc = 0;
+  for (int I = 0; I != 60; ++I)
+    Acc += hashBlock(Base + I);
+  return Acc;
+}
+
+NOINLINE uint64_t lightTouch(uint64_t X) { return spinMix(X, 40); }
+
+NOINLINE uint64_t runWorkload() {
+  uint64_t Acc = 0;
+  for (int Round = 0; Round != 220; ++Round) {
+    Acc += checksumRegion(Acc + Round);
+    Acc += lightTouch(Acc);
+  }
+  return Acc;
+}
+
+int main() {
+  std::printf("Native self-profiling via -finstrument-functions + "
+              "SIGPROF\n====================================================="
+              "=======\n\n");
+
+  host::HostProfilerOptions Opts;
+  Opts.SampleMicros = 1000;
+  if (Error E = host::start(Opts)) {
+    // No histogram (e.g. /proc unavailable): fall back to arcs only.
+    std::printf("note: %s; continuing with arcs only\n",
+                E.message().c_str());
+    host::HostProfilerOptions ArcsOnly;
+    ArcsOnly.SampleHistogram = false;
+    cantFail(host::start(ArcsOnly));
+  }
+
+  uint64_t Result = runWorkload();
+  host::stop();
+
+  std::printf("workload result: %llu\n",
+              static_cast<unsigned long long>(Result));
+
+  ProfileData Data = host::extract();
+  std::printf("collected %zu distinct arcs, %llu PC samples\n\n",
+              Data.Arcs.size(),
+              static_cast<unsigned long long>(Data.Hist.totalSamples()));
+
+  // Round-trip through the gmon container, as a real run would via
+  // gmon.out on disk.
+  Data = cantFail(readGmon(writeGmon(Data)));
+
+  SymbolTable Syms = host::symbolize(Data);
+  Analyzer An(std::move(Syms));
+  auto Report = An.analyze(Data);
+  if (!Report) {
+    std::fprintf(stderr, "analysis failed: %s\n", Report.message().c_str());
+    return 1;
+  }
+
+  FlatPrintOptions FP;
+  FP.Brief = true;
+  std::printf("%s\n", printFlatProfile(*Report, FP).c_str());
+
+  GraphPrintOptions GP;
+  GP.Brief = true;
+  GP.PrintIndex = false;
+  std::printf("%s", printCallGraph(*Report, GP).c_str());
+
+  // Sanity: the hot arc checksumRegion -> hashBlock must be present with
+  // the exact count 220 * 60.
+  bool FoundHotArc = false;
+  for (const FunctionEntry &F : Report->Functions) {
+    if (F.Name.find("hashBlock") == std::string::npos)
+      continue;
+    FoundHotArc = F.Calls == 220 * 60;
+    std::printf("\nhashBlock observed calls: %llu (expected %d)\n",
+                static_cast<unsigned long long>(F.Calls), 220 * 60);
+  }
+  std::printf("%s\n", FoundHotArc
+                          ? "native arc collection is exact."
+                          : "note: symbol names unresolved or arc counts "
+                            "unexpected (see above)");
+  return 0;
+}

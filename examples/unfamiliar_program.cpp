@@ -1,0 +1,176 @@
+//===- examples/unfamiliar_program.cpp - Exploring control flow (§6) ------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the worked example of paper §6: "A completely different use
+/// of the profiler is to analyze the control flow of an unfamiliar
+/// program."  The paper's scenario: you must change the output format of a
+/// program you didn't write whose output portion has the shape
+///
+///     CALC1   CALC2   CALC3
+///        \    /   \    /
+///       FORMAT1   FORMAT2
+///            \     /
+///             WRITE
+///
+/// "Initially you look through the gprof output for the system call
+/// WRITE.  The format routine you will need to change is probably among
+/// the parents of the WRITE procedure..."  This example builds exactly
+/// that program, profiles a run, walks the report the way the paper
+/// narrates, and finally performs the paper's suggested fix: splitting
+/// FORMAT2 so CALC2's output can be retargeted without touching CALC3.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/GraphPrinter.h"
+#include "runtime/Monitor.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+using namespace gprof;
+
+namespace {
+
+const char *OriginalProgram = R"(
+  var written = 0;
+
+  fn WRITE(x) { written = written + 1; return x; }
+
+  fn FORMAT1(x) { return WRITE(x * 10 + 1); }
+  fn FORMAT2(x) { return WRITE(x * 100 + 2); }
+
+  fn CALC1(n) {
+    var i = 0;
+    while (i < n) { FORMAT1(i); i = i + 1; }
+    return 0;
+  }
+  fn CALC2(n) {
+    var i = 0;
+    while (i < n * 2) { FORMAT2(i); i = i + 1; }
+    return 0;
+  }
+  fn CALC3(n) {
+    var i = 0;
+    while (i < n) { FORMAT1(i); FORMAT2(i); i = i + 1; }
+    return 0;
+  }
+
+  fn main() {
+    CALC1(40);
+    CALC2(40);
+    CALC3(40);
+    return written;
+  }
+)";
+
+/// The paper's fix: FORMAT2 split in two, CALC2 retargeted to the new
+/// format while CALC3's output is untouched.
+const char *SplitProgram = R"(
+  var written = 0;
+
+  fn WRITE(x) { written = written + 1; return x; }
+
+  fn FORMAT1(x) { return WRITE(x * 10 + 1); }
+  fn FORMAT2A(x) { return WRITE(x * 1000 + 9); } // the NEW format
+  fn FORMAT2B(x) { return WRITE(x * 100 + 2); }  // the old format
+
+  fn CALC1(n) {
+    var i = 0;
+    while (i < n) { FORMAT1(i); i = i + 1; }
+    return 0;
+  }
+  fn CALC2(n) {
+    var i = 0;
+    while (i < n * 2) { FORMAT2A(i); i = i + 1; }
+    return 0;
+  }
+  fn CALC3(n) {
+    var i = 0;
+    while (i < n) { FORMAT1(i); FORMAT2B(i); i = i + 1; }
+    return 0;
+  }
+
+  fn main() {
+    CALC1(40);
+    CALC2(40);
+    CALC3(40);
+    return written;
+  }
+)";
+
+ProfileReport profileSource(const char *Source) {
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(Source, CG);
+  Monitor Mon(Img.lowPc(), Img.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = 200;
+  VM Machine(Img, VO);
+  Machine.setHooks(&Mon);
+  cantFail(Machine.run());
+  // "the static call information is particularly useful here since the
+  // test case you run probably will not exercise the entire program."
+  AnalyzerOptions Opts;
+  Opts.UseStaticArcs = true;
+  return cantFail(analyzeImageProfile(Img, Mon.finish(), Opts));
+}
+
+/// Names of the parents of \p Name, with their arc counts.
+std::set<std::string> parentsOf(const ProfileReport &R,
+                                const std::string &Name) {
+  std::set<std::string> Parents;
+  uint32_t Fn = R.findFunction(Name);
+  for (const ReportArc &A : R.Arcs)
+    if (A.Child == Fn && !A.SelfArc)
+      Parents.insert(R.Functions[A.Parent].Name);
+  return Parents;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Exploring an unfamiliar program with gprof (paper section 6)"
+              "\n============================================================"
+              "\n\n");
+  ProfileReport R = profileSource(OriginalProgram);
+
+  // Step 1 of the paper's narrative: find WRITE and look at its parents.
+  std::printf("step 1: \"look through the gprof output for the system "
+              "call WRITE\"\n\n%s\n",
+              printCallGraphEntry(R, "WRITE").c_str());
+
+  std::printf("step 2: \"the format routine ... is probably among the "
+              "parents of WRITE\":\n");
+  for (const std::string &P : parentsOf(R, "WRITE"))
+    std::printf("    %s\n", P.c_str());
+
+  std::printf("\nstep 3: \"look at the profile entry for each of the "
+              "parents\" — FORMAT2's callers:\n");
+  for (const std::string &P : parentsOf(R, "FORMAT2"))
+    std::printf("    %s\n", P.c_str());
+  std::printf("\n%s\n", printCallGraphEntry(R, "FORMAT2").c_str());
+
+  std::printf("step 4: FORMAT2 serves both CALC2 and CALC3.  \"If you "
+              "desire to change the\noutput of CALC2, but not CALC3, then "
+              "formatting routine FORMAT2 needs to be\nsplit into two "
+              "separate routines.\"  After the split and retargeting:\n\n");
+
+  ProfileReport R2 = profileSource(SplitProgram);
+  std::printf("%s\n", printCallGraphEntry(R2, "FORMAT2A").c_str());
+  std::printf("%s\n", printCallGraphEntry(R2, "FORMAT2B").c_str());
+
+  bool Ok = parentsOf(R2, "FORMAT2A") == std::set<std::string>{"CALC2"} &&
+            parentsOf(R2, "FORMAT2B") == std::set<std::string>{"CALC3"};
+  std::printf("verification: FORMAT2A is reached only from CALC2 and "
+              "FORMAT2B only from CALC3: %s\n",
+              Ok ? "yes" : "NO");
+  return Ok ? 0 : 1;
+}

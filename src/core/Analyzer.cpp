@@ -1,0 +1,404 @@
+//===- core/Analyzer.cpp ---------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+
+#include "graph/CallGraph.h"
+#include "graph/CycleCollapse.h"
+#include "graph/FeedbackArcs.h"
+#include "graph/Tarjan.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gprof;
+
+Analyzer::Analyzer(SymbolTable Syms, AnalyzerOptions Opts)
+    : Syms(std::move(Syms)), Opts(std::move(Opts)) {}
+
+namespace {
+
+/// A symbolized function-level arc accumulated from raw records.
+struct FnArcInfo {
+  uint64_t Count = 0;
+  bool Static = false;
+};
+
+/// Distributes histogram samples over symbols as self time, prorating
+/// buckets that straddle symbol boundaries (the gprof rule).  Returns the
+/// seconds that fell outside every symbol.
+double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
+                       const SymbolTable &Syms,
+                       std::vector<FunctionEntry> &Entries) {
+  if (Hist.empty() || TicksPerSecond == 0)
+    return 0.0;
+  const double SecPerSample = 1.0 / static_cast<double>(TicksPerSecond);
+  double Unattributed = 0.0;
+
+  for (size_t B = 0; B != Hist.numBuckets(); ++B) {
+    uint64_t Samples = Hist.bucketCount(B);
+    if (Samples == 0)
+      continue;
+    const Address Start = Hist.bucketStart(B);
+    const Address End = Hist.bucketEnd(B);
+    const double BucketSeconds = static_cast<double>(Samples) * SecPerSample;
+    const double BucketLen = static_cast<double>(End - Start);
+
+    double Attributed = 0.0;
+    // Walk the symbols overlapping [Start, End).
+    uint32_t S = Syms.findContaining(Start);
+    if (S == NoSymbol) {
+      // Find the first symbol starting within the bucket, if any.
+      for (uint32_t I = 0; I != Syms.size(); ++I) {
+        if (Syms.symbol(I).Addr >= Start && Syms.symbol(I).Addr < End) {
+          S = I;
+          break;
+        }
+        if (Syms.symbol(I).Addr >= End)
+          break;
+      }
+    }
+    for (uint32_t I = S; I != NoSymbol && I < Syms.size(); ++I) {
+      const Symbol &Sym = Syms.symbol(I);
+      if (Sym.Addr >= End)
+        break;
+      Address OverlapLo = std::max(Sym.Addr, Start);
+      Address OverlapHi = std::min(Sym.Addr + Sym.Size, End);
+      if (OverlapHi <= OverlapLo)
+        continue;
+      double Share = BucketSeconds *
+                     static_cast<double>(OverlapHi - OverlapLo) / BucketLen;
+      Entries[I].SelfTime += Share;
+      Attributed += Share;
+    }
+    Unattributed += BucketSeconds - Attributed;
+  }
+  return Unattributed;
+}
+
+} // namespace
+
+Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
+  ProfileReport Report;
+  Report.RunCount = Data.RunCount;
+  Report.TicksPerSecond = Data.TicksPerSecond;
+  Report.ArcTableOverflowed = Data.ArcTableOverflowed;
+
+  const uint32_t NumFns = static_cast<uint32_t>(Syms.size());
+  Report.Functions.resize(NumFns);
+  for (uint32_t I = 0; I != NumFns; ++I) {
+    Report.Functions[I].Name = Syms.symbol(I).Name;
+    Report.Functions[I].SymbolIndex = I;
+  }
+
+  //--- Step 1: symbolize raw arcs into function-level arcs. --------------
+  std::map<std::pair<uint32_t, uint32_t>, FnArcInfo> FnArcs;
+  std::vector<uint64_t> SelfCalls(NumFns, 0);
+  std::vector<uint64_t> Spontaneous(NumFns, 0);
+
+  for (const ArcRecord &R : Data.Arcs) {
+    uint32_t Callee = Syms.findContaining(R.SelfPc);
+    if (Callee == NoSymbol)
+      continue; // Arc into unknown code; nothing to attach it to.
+    uint32_t Caller = Syms.findContaining(R.FromPc);
+    if (Caller == NoSymbol) {
+      // "the apparent source of the arc is not a call site at all.  Such
+      // anomalous invocations are declared 'spontaneous'" (§3.1).
+      Spontaneous[Callee] += R.Count;
+      continue;
+    }
+    if (Caller == Callee) {
+      SelfCalls[Callee] += R.Count;
+      continue;
+    }
+    FnArcs[{Caller, Callee}].Count += R.Count;
+  }
+
+  //--- Step 2a: delete the arcs named by -k options. ----------------------
+  for (const auto &[FromName, ToName] : Opts.DeleteArcs) {
+    uint32_t From = Syms.findByName(FromName);
+    uint32_t To = Syms.findByName(ToName);
+    if (From == NoSymbol || To == NoSymbol)
+      return Error::failure(
+          format("cannot delete arc %s -> %s: unknown routine",
+                 FromName.c_str(), ToName.c_str()));
+    if (From == To) {
+      SelfCalls[From] = 0;
+      continue;
+    }
+    auto It = FnArcs.find({From, To});
+    if (It != FnArcs.end())
+      FnArcs.erase(It);
+    Report.RemovedArcs.push_back({From, To});
+  }
+
+  //--- Step 3: add static arcs with count zero (-c). ----------------------
+  if (Opts.UseStaticArcs) {
+    for (const StaticArc &SA : StaticArcs) {
+      uint32_t Caller = Syms.findContaining(SA.CallSitePc);
+      uint32_t Callee = Syms.findContaining(SA.TargetPc);
+      if (Caller == NoSymbol || Callee == NoSymbol || Caller == Callee)
+        continue;
+      auto [It, Inserted] = FnArcs.try_emplace({Caller, Callee});
+      if (Inserted)
+        It->second.Static = true;
+    }
+  }
+
+  //--- Build the function-level graph. ------------------------------------
+  CallGraph G;
+  for (uint32_t I = 0; I != NumFns; ++I)
+    G.addNode(Syms.symbol(I).Name);
+  for (const auto &[Key, Info] : FnArcs)
+    G.addArc(Key.first, Key.second, Info.Count, Info.Static);
+
+  //--- Step 2b: the cycle-breaking heuristic (bounded). -------------------
+  if (Opts.AutoBreakCycleBound != 0) {
+    FeedbackArcResult FAS =
+        selectFeedbackArcsGreedy(G, Opts.AutoBreakCycleBound);
+    if (!FAS.RemovedArcs.empty()) {
+      for (ArcId A : FAS.RemovedArcs) {
+        const Arc &Edge = G.arc(A);
+        Report.RemovedArcs.push_back({Edge.From, Edge.To});
+        FnArcs.erase({Edge.From, Edge.To});
+      }
+      G = removeArcs(G, FAS.RemovedArcs);
+    }
+  }
+
+  //--- Call counts (C_e): incoming dynamic arcs + spontaneous. ------------
+  for (uint32_t I = 0; I != NumFns; ++I) {
+    FunctionEntry &E = Report.Functions[I];
+    E.Calls = G.incomingCallCount(I) + Spontaneous[I];
+    E.SelfCalls = SelfCalls[I];
+    E.SpontaneousCalls = Spontaneous[I];
+  }
+
+  //--- Step 4: self times from the histogram. -----------------------------
+  Report.UnattributedTime = assignSelfTimes(
+      Data.Hist, Data.TicksPerSecond, Syms, Report.Functions);
+  // -E exclusions: drop the named routines' time before totals and
+  // propagation so it appears nowhere.
+  for (const std::string &Name : Opts.ExcludeTimeOf) {
+    uint32_t Fn = Syms.findByName(Name);
+    if (Fn == NoSymbol)
+      return Error::failure(
+          format("cannot exclude time of unknown routine '%s'",
+                 Name.c_str()));
+    Report.ExcludedTime += Report.Functions[Fn].SelfTime;
+    Report.Functions[Fn].SelfTime = 0.0;
+  }
+  for (const FunctionEntry &E : Report.Functions)
+    Report.TotalTime += E.SelfTime;
+
+  //--- Step 5: cycles and topological numbering. --------------------------
+  SCCResult SCCs = findSCCs(G);
+  std::vector<uint32_t> TopoNums = topologicalNumbers(G, SCCs);
+  CondensedGraph Cond = collapseCycles(G, SCCs);
+
+  // Number the nontrivial components as cycles, in condensed-id order.
+  std::vector<uint32_t> CycleOf(NumFns, 0); // 1-based; 0 = none
+  for (NodeId C = 0; C != Cond.Dag.numNodes(); ++C) {
+    if (!Cond.isCycle(C))
+      continue;
+    CycleEntry Cycle;
+    Cycle.Number = static_cast<uint32_t>(Report.Cycles.size() + 1);
+    for (NodeId M : Cond.Members[C]) {
+      Cycle.Members.push_back(M);
+      CycleOf[M] = Cycle.Number;
+    }
+    std::sort(Cycle.Members.begin(), Cycle.Members.end(),
+              [&](uint32_t A, uint32_t B) {
+                return Report.Functions[A].Name < Report.Functions[B].Name;
+              });
+    Report.Cycles.push_back(std::move(Cycle));
+  }
+  for (uint32_t I = 0; I != NumFns; ++I) {
+    Report.Functions[I].TopoNumber = TopoNums[I];
+    Report.Functions[I].CycleNumber = CycleOf[I];
+  }
+
+  // Per-cycle aggregates: self time, external/internal calls.
+  std::vector<uint32_t> CycleIndexOfCond(Cond.Dag.numNodes(), ~0u);
+  {
+    uint32_t Next = 0;
+    for (NodeId C = 0; C != Cond.Dag.numNodes(); ++C)
+      if (Cond.isCycle(C))
+        CycleIndexOfCond[C] = Next++;
+  }
+  for (CycleEntry &Cycle : Report.Cycles) {
+    for (uint32_t M : Cycle.Members) {
+      Cycle.SelfTime += Report.Functions[M].SelfTime;
+      Cycle.ExternalCalls += Spontaneous[M];
+      Cycle.InternalCalls += SelfCalls[M];
+    }
+  }
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    const Arc &Edge = G.arc(A);
+    uint32_t FromCycle = CycleOf[Edge.From];
+    uint32_t ToCycle = CycleOf[Edge.To];
+    if (ToCycle == 0)
+      continue;
+    if (FromCycle == ToCycle)
+      Report.Cycles[ToCycle - 1].InternalCalls += Edge.Count;
+    else
+      Report.Cycles[ToCycle - 1].ExternalCalls += Edge.Count;
+  }
+
+  //--- Step 6: time propagation over the condensed DAG. -------------------
+  // Calls into each condensed node from outside it (the C_e denominator).
+  std::vector<uint64_t> CallsOfCond(Cond.Dag.numNodes(), 0);
+  for (NodeId C = 0; C != Cond.Dag.numNodes(); ++C) {
+    uint64_t Calls = Cond.Dag.incomingCallCount(C);
+    for (NodeId M : Cond.Members[C])
+      Calls += Spontaneous[M];
+    CallsOfCond[C] = Calls;
+  }
+
+  std::vector<double> PropSelfOf(G.numArcs(), 0.0);
+  std::vector<double> PropChildOf(G.numArcs(), 0.0);
+  std::vector<double> CycleChild(Report.Cycles.size(), 0.0);
+
+  // Condensed ids are in reverse topological order, so a forward sweep
+  // sees every callee before its callers: "execution time can be
+  // propagated from descendants to ancestors after a single traversal of
+  // each arc in the call graph" (§4).
+  for (NodeId C = 0; C != Cond.Dag.numNodes(); ++C) {
+    for (NodeId M : Cond.Members[C]) {
+      for (ArcId A : G.outArcs(M)) {
+        const Arc &Edge = G.arc(A);
+        NodeId D = Cond.CondensedOf[Edge.To];
+        if (D == C)
+          continue; // Intra-cycle arcs do not propagate.
+        if (Edge.Count == 0 || CallsOfCond[D] == 0)
+          continue; // Static arcs "are never responsible for any time
+                    // propagation" (§4).
+        double Fraction = static_cast<double>(Edge.Count) /
+                          static_cast<double>(CallsOfCond[D]);
+        double ChildSelf, ChildDesc;
+        if (Cond.isCycle(D)) {
+          // "When a child is a member of a cycle, the time shown is the
+          // appropriate fraction of the time for the whole cycle" (§5.2).
+          uint32_t CycIdx = CycleIndexOfCond[D];
+          ChildSelf = Report.Cycles[CycIdx].SelfTime;
+          ChildDesc = CycleChild[CycIdx];
+        } else {
+          const FunctionEntry &ChildFn = Report.Functions[Edge.To];
+          ChildSelf = ChildFn.SelfTime;
+          ChildDesc = ChildFn.ChildTime;
+        }
+        PropSelfOf[A] = Fraction * ChildSelf;
+        PropChildOf[A] = Fraction * ChildDesc;
+        double Inherited = PropSelfOf[A] + PropChildOf[A];
+        Report.Functions[M].ChildTime += Inherited;
+        if (Cond.isCycle(C))
+          CycleChild[CycleIndexOfCond[C]] += Inherited;
+      }
+    }
+  }
+  for (size_t I = 0; I != Report.Cycles.size(); ++I)
+    Report.Cycles[I].ChildTime = CycleChild[I];
+
+  //--- Step 7: report arcs and listing orders. -----------------------------
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    const Arc &Edge = G.arc(A);
+    ReportArc RA;
+    RA.Parent = Edge.From;
+    RA.Child = Edge.To;
+    RA.Count = Edge.Count;
+    RA.PropSelf = PropSelfOf[A];
+    RA.PropChild = PropChildOf[A];
+    RA.Static = Edge.Static;
+    RA.WithinCycle = CycleOf[Edge.From] != 0 &&
+                     CycleOf[Edge.From] == CycleOf[Edge.To];
+    Report.Arcs.push_back(RA);
+  }
+  for (uint32_t I = 0; I != NumFns; ++I) {
+    if (SelfCalls[I] == 0)
+      continue;
+    ReportArc RA;
+    RA.Parent = I;
+    RA.Child = I;
+    RA.Count = SelfCalls[I];
+    RA.SelfArc = true;
+    Report.Arcs.push_back(RA);
+  }
+
+  // Flat order: decreasing self time, then decreasing calls, then name.
+  Report.FlatOrder.resize(NumFns);
+  for (uint32_t I = 0; I != NumFns; ++I)
+    Report.FlatOrder[I] = I;
+  std::sort(Report.FlatOrder.begin(), Report.FlatOrder.end(),
+            [&](uint32_t A, uint32_t B) {
+              const FunctionEntry &FA = Report.Functions[A];
+              const FunctionEntry &FB = Report.Functions[B];
+              if (FA.SelfTime != FB.SelfTime)
+                return FA.SelfTime > FB.SelfTime;
+              if (FA.totalCalls() != FB.totalCalls())
+                return FA.totalCalls() > FB.totalCalls();
+              return FA.Name < FB.Name;
+            });
+
+  for (uint32_t I : Report.FlatOrder)
+    if (Report.Functions[I].isUnused())
+      Report.UnusedFunctions.push_back(I);
+  std::sort(Report.UnusedFunctions.begin(), Report.UnusedFunctions.end(),
+            [&](uint32_t A, uint32_t B) {
+              return Report.Functions[A].Name < Report.Functions[B].Name;
+            });
+
+  // Graph listing order: decreasing self+descendant time; cycles are
+  // entries of their own.  Unused routines are left out of the graph
+  // listing (they appear in the unused list instead) unless a static arc
+  // mentions them — static structure is worth showing (§4).
+  std::vector<bool> InAnyArc(NumFns, false);
+  for (const ReportArc &RA : Report.Arcs) {
+    InAnyArc[RA.Parent] = true;
+    InAnyArc[RA.Child] = true;
+  }
+  std::vector<ListingEntry> Order;
+  for (uint32_t I = 0; I != NumFns; ++I)
+    if (!Report.Functions[I].isUnused() || InAnyArc[I])
+      Order.push_back({/*IsCycle=*/false, I});
+  for (uint32_t I = 0; I != Report.Cycles.size(); ++I)
+    Order.push_back({/*IsCycle=*/true, I});
+
+  auto TotalOf = [&](const ListingEntry &E) {
+    return E.IsCycle ? Report.Cycles[E.Index].totalTime()
+                     : Report.Functions[E.Index].totalTime();
+  };
+  auto NameOf = [&](const ListingEntry &E) -> std::string {
+    return E.IsCycle ? format("<cycle %u>", Report.Cycles[E.Index].Number)
+                     : Report.Functions[E.Index].Name;
+  };
+  std::sort(Order.begin(), Order.end(),
+            [&](const ListingEntry &A, const ListingEntry &B) {
+              double TA = TotalOf(A), TB = TotalOf(B);
+              if (TA != TB)
+                return TA > TB;
+              return NameOf(A) < NameOf(B);
+            });
+  for (uint32_t Pos = 0; Pos != Order.size(); ++Pos) {
+    const ListingEntry &E = Order[Pos];
+    if (E.IsCycle)
+      Report.Cycles[E.Index].ListingIndex = Pos + 1;
+    else
+      Report.Functions[E.Index].ListingIndex = Pos + 1;
+  }
+  Report.GraphOrder = std::move(Order);
+
+  return Report;
+}
+
+Expected<ProfileReport> gprof::analyzeImageProfile(const Image &Img,
+                                                   const ProfileData &Data,
+                                                   AnalyzerOptions Opts) {
+  Analyzer A(SymbolTable::fromImage(Img), std::move(Opts));
+  StaticScanResult Scan = scanStaticCalls(Img);
+  A.setStaticArcs(std::move(Scan.DirectCalls));
+  return A.analyze(Data);
+}

@@ -1,0 +1,70 @@
+//===- core/Annotate.cpp ----------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Annotate.h"
+
+#include "support/Format.h"
+
+using namespace gprof;
+
+std::vector<AnnotatedLine>
+gprof::annotateSource(const Image &Img, const std::string &SourceText,
+                      const ProfileData &Data) {
+  std::vector<AnnotatedLine> Lines;
+  {
+    std::vector<std::string> Raw = splitString(SourceText, '\n');
+    // A trailing newline produces one empty trailing field; drop it.
+    if (!Raw.empty() && Raw.back().empty())
+      Raw.pop_back();
+    Lines.reserve(Raw.size());
+    for (uint32_t I = 0; I != Raw.size(); ++I)
+      Lines.push_back({I + 1, std::move(Raw[I]), 0.0, 0});
+  }
+
+  auto LineSlot = [&Lines](uint32_t Line) -> AnnotatedLine * {
+    if (Line == 0 || Line > Lines.size())
+      return nullptr;
+    return &Lines[Line - 1];
+  };
+
+  // Samples -> per-line self time.
+  if (!Data.Hist.empty() && Data.TicksPerSecond != 0) {
+    const double SecPerSample =
+        1.0 / static_cast<double>(Data.TicksPerSecond);
+    for (size_t B = 0; B != Data.Hist.numBuckets(); ++B) {
+      uint64_t Samples = Data.Hist.bucketCount(B);
+      if (Samples == 0)
+        continue;
+      // Attribute the bucket to the line of its first address; fine-grain
+      // histograms (bucket size 1) make this exact.
+      if (AnnotatedLine *L = LineSlot(Img.lineForPc(Data.Hist.bucketStart(B))))
+        L->SelfTime += static_cast<double>(Samples) * SecPerSample;
+    }
+  }
+
+  // Arcs -> per-call-site line counts.
+  for (const ArcRecord &R : Data.Arcs)
+    if (AnnotatedLine *L = LineSlot(Img.lineForPc(R.FromPc)))
+      L->Calls += R.Count;
+
+  return Lines;
+}
+
+std::string
+gprof::printAnnotatedSource(const std::vector<AnnotatedLine> &Lines) {
+  std::string Out = "   seconds      calls  line  source\n";
+  for (const AnnotatedLine &L : Lines) {
+    std::string Time =
+        L.SelfTime > 0.0 ? format("%.2f", L.SelfTime) : std::string();
+    std::string Calls =
+        L.Calls > 0
+            ? format("%llu", static_cast<unsigned long long>(L.Calls))
+            : std::string();
+    Out += format("%10s %10s  %4u  %s\n", Time.c_str(), Calls.c_str(),
+                  L.Line, L.Text.c_str());
+  }
+  return Out;
+}

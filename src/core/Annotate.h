@@ -1,0 +1,50 @@
+//===- core/Annotate.h - Profile data beside the source listing ----------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §2: "Counts are typically presented in tabular form, often in
+/// parallel with a listing of the source code.  Timing information could
+/// be similarly presented."  Using the image's line table, this module
+/// presents both: per-source-line sampled self time (from the PC
+/// histogram) and per-source-line call counts (arcs whose call site maps
+/// to that line).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_CORE_ANNOTATE_H
+#define GPROF_CORE_ANNOTATE_H
+
+#include "gmon/ProfileData.h"
+#include "vm/Image.h"
+
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// One source line with its profile annotations.
+struct AnnotatedLine {
+  uint32_t Line = 0; ///< 1-based source line number.
+  std::string Text;
+  /// Seconds of samples whose PC maps to this line.
+  double SelfTime = 0.0;
+  /// Traversals of arcs whose call site maps to this line.
+  uint64_t Calls = 0;
+};
+
+/// Joins \p SourceText (the .tl file contents) with \p Data through
+/// \p Img's line table.
+std::vector<AnnotatedLine> annotateSource(const Image &Img,
+                                          const std::string &SourceText,
+                                          const ProfileData &Data);
+
+/// Renders the annotated listing: time and call columns beside each line
+/// (blank when zero).
+std::string printAnnotatedSource(const std::vector<AnnotatedLine> &Lines);
+
+} // namespace gprof
+
+#endif // GPROF_CORE_ANNOTATE_H

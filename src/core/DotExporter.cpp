@@ -1,0 +1,114 @@
+//===- core/DotExporter.cpp ------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DotExporter.h"
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+using namespace gprof;
+
+namespace {
+
+/// Escapes a string for a DOT double-quoted id.
+std::string dotEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string gprof::exportDot(const ProfileReport &Report,
+                             const DotOptions &Opts) {
+  std::string Out = "digraph callgraph {\n"
+                    "  rankdir=TB;\n"
+                    "  node [shape=box, fontname=\"Helvetica\"];\n";
+
+  // Decide which routines appear.
+  std::vector<bool> Included(Report.Functions.size(), false);
+  for (uint32_t I = 0; I != Report.Functions.size(); ++I) {
+    const FunctionEntry &F = Report.Functions[I];
+    if (F.ListingIndex == 0)
+      continue; // Unused and unreferenced.
+    bool StaticOnly = F.totalCalls() == 0 && F.SelfTime == 0.0;
+    if (StaticOnly) {
+      Included[I] = Opts.IncludeStatic;
+      continue;
+    }
+    // The hot-functions filter.
+    if (Report.TotalTime > 0.0 && Opts.MinTotalFraction > 0.0 &&
+        F.totalTime() < Opts.MinTotalFraction * Report.TotalTime)
+      continue;
+    Included[I] = true;
+  }
+
+  auto NodeLine = [&](uint32_t I) {
+    const FunctionEntry &F = Report.Functions[I];
+    double Pct = Report.TotalTime > 0.0
+                     ? 100.0 * F.totalTime() / Report.TotalTime
+                     : 0.0;
+    // Hotter routines get a deeper fill.
+    int Shade = 100 - static_cast<int>(Pct * 0.6); // 100 (cold) .. 40 (hot)
+    return format("    \"%s\" [label=\"%s\\nself %.2fs  total %.2fs "
+                  "(%.1f%%)\\ncalled %llu\", style=filled, "
+                  "fillcolor=\"gray%d\"];\n",
+                  dotEscape(F.Name).c_str(), dotEscape(F.Name).c_str(),
+                  F.SelfTime, F.totalTime(), Pct,
+                  static_cast<unsigned long long>(F.totalCalls()), Shade);
+  };
+
+  // Cycle members live in clusters ("cycles ... treated as a single
+  // entity", rendered as one visual box).
+  std::map<uint32_t, std::vector<uint32_t>> CycleMembers;
+  for (uint32_t I = 0; I != Report.Functions.size(); ++I)
+    if (Included[I] && Report.Functions[I].CycleNumber != 0)
+      CycleMembers[Report.Functions[I].CycleNumber].push_back(I);
+
+  for (const auto &[Number, Members] : CycleMembers) {
+    Out += format("  subgraph cluster_cycle%u {\n"
+                  "    label=\"cycle %u\";\n    color=red;\n",
+                  Number, Number);
+    for (uint32_t I : Members)
+      Out += NodeLine(I);
+    Out += "  }\n";
+  }
+  for (uint32_t I = 0; I != Report.Functions.size(); ++I)
+    if (Included[I] && Report.Functions[I].CycleNumber == 0)
+      Out += NodeLine(I);
+
+  // Arcs.  Pen width grows with the log of the traversal count; static
+  // arcs are dashed with no weight.
+  for (const ReportArc &A : Report.Arcs) {
+    if (!Included[A.Parent] || !Included[A.Child])
+      continue;
+    const std::string From = dotEscape(Report.Functions[A.Parent].Name);
+    const std::string To = dotEscape(Report.Functions[A.Child].Name);
+    if (A.Static) {
+      Out += format("  \"%s\" -> \"%s\" [style=dashed, label=\"0\"];\n",
+                    From.c_str(), To.c_str());
+      continue;
+    }
+    double Width =
+        1.0 + std::log10(static_cast<double>(A.Count) + 1.0);
+    std::string Attrs = format("penwidth=%.1f, label=\"%llu\"", Width,
+                               static_cast<unsigned long long>(A.Count));
+    if (A.SelfArc || A.WithinCycle)
+      Attrs += ", color=red";
+    Out += format("  \"%s\" -> \"%s\" [%s];\n", From.c_str(), To.c_str(),
+                  Attrs.c_str());
+  }
+
+  Out += "}\n";
+  return Out;
+}

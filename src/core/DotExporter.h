@@ -1,0 +1,44 @@
+//===- core/DotExporter.h - Graphviz export of the profiled call graph ----===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §5.2: "Ideally, we would like to print the call graph of the
+/// program, but we are limited by the two-dimensional nature of our
+/// output devices."  Output devices improved; this module renders the
+/// analyzed call graph as Graphviz DOT: one node per routine annotated
+/// with self/total time and call counts, cycles grouped into clusters,
+/// dynamic arcs weighted by traversal count, static arcs dashed, and
+/// self-recursion drawn as loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_CORE_DOTEXPORTER_H
+#define GPROF_CORE_DOTEXPORTER_H
+
+#include "core/Report.h"
+
+#include <string>
+
+namespace gprof {
+
+/// DOT rendering controls.
+struct DotOptions {
+  /// Routines whose total time is below this fraction of the program
+  /// total are omitted (with their arcs) to keep large graphs readable —
+  /// the retrospective's "show only hot functions" filter.  0 keeps
+  /// everything.
+  double MinTotalFraction = 0.0;
+  /// Include never-executed routines reachable only through static arcs.
+  bool IncludeStatic = true;
+};
+
+/// Renders \p Report as a DOT digraph.
+std::string exportDot(const ProfileReport &Report,
+                      const DotOptions &Opts = DotOptions());
+
+} // namespace gprof
+
+#endif // GPROF_CORE_DOTEXPORTER_H

@@ -1,0 +1,69 @@
+//===- core/FlatPrinter.cpp ------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FlatPrinter.h"
+
+#include "support/Format.h"
+
+using namespace gprof;
+
+std::string gprof::printFlatProfile(const ProfileReport &Report,
+                                    const FlatPrintOptions &Opts) {
+  std::string Out;
+  if (!Opts.Brief) {
+    Out += "flat profile:\n\n";
+    Out += format("Each sample counts for %g seconds; total %.2f seconds "
+                  "attributed (%u run%s).\n\n",
+                  1.0 / static_cast<double>(Report.TicksPerSecond),
+                  Report.TotalTime, Report.RunCount,
+                  Report.RunCount == 1 ? "" : "s");
+  }
+  if (Report.ArcTableOverflowed)
+    Out += "warning: the arc table overflowed during collection; call "
+           "counts are lower bounds\n\n";
+
+  Out += "  %   cumulative   self              self     total\n";
+  Out += " time   seconds   seconds    calls  ms/call  ms/call  name\n";
+
+  double Cumulative = 0.0;
+  for (uint32_t I : Report.FlatOrder) {
+    const FunctionEntry &F = Report.Functions[I];
+    if (F.isUnused() && !Opts.ShowZeroUsage)
+      continue;
+    Cumulative += F.SelfTime;
+
+    std::string Calls = "";
+    std::string SelfPerCall = "";
+    std::string TotalPerCall = "";
+    if (F.totalCalls() != 0) {
+      Calls = format("%llu",
+                     static_cast<unsigned long long>(F.totalCalls()));
+      double N = static_cast<double>(F.totalCalls());
+      SelfPerCall = format("%.2f", F.SelfTime * 1000.0 / N);
+      TotalPerCall = format("%.2f", F.totalTime() * 1000.0 / N);
+    }
+
+    Out += format("%5s %10.2f %9.2f %8s %8s %8s  %s\n",
+                  formatPercent(F.SelfTime, Report.TotalTime).c_str(),
+                  Cumulative, F.SelfTime, Calls.c_str(),
+                  SelfPerCall.c_str(), TotalPerCall.c_str(),
+                  F.Name.c_str());
+  }
+
+  if (Report.UnattributedTime > 0.0)
+    Out += format("\n%.2f seconds sampled outside every known routine\n",
+                  Report.UnattributedTime);
+  if (Report.ExcludedTime > 0.0)
+    Out += format("\n%.2f seconds excluded from the analysis (-E)\n",
+                  Report.ExcludedTime);
+
+  if (!Report.UnusedFunctions.empty() && !Opts.ShowZeroUsage) {
+    Out += "\nroutines never called in this execution:\n";
+    for (uint32_t I : Report.UnusedFunctions)
+      Out += format("    %s\n", Report.Functions[I].Name.c_str());
+  }
+  return Out;
+}

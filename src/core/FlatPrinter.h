@@ -1,0 +1,35 @@
+//===- core/FlatPrinter.h - The flat profile listing (paper §5.1) ---------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_CORE_FLATPRINTER_H
+#define GPROF_CORE_FLATPRINTER_H
+
+#include "core/Report.h"
+
+#include <string>
+
+namespace gprof {
+
+/// Flat profile rendering controls.
+struct FlatPrintOptions {
+  /// Also list zero-time zero-call routines as rows (gprof -z); otherwise
+  /// they are summarized in the never-called list.
+  bool ShowZeroUsage = false;
+  /// Suppress the explanatory blurb (gprof -b).
+  bool Brief = false;
+};
+
+/// Renders the flat profile: "a list of all the routines ... with the
+/// count of the number of times they are called and the number of seconds
+/// of execution time for which they are themselves accountable ... in
+/// decreasing order of execution time", followed by the routines never
+/// called (paper §5.1).
+std::string printFlatProfile(const ProfileReport &Report,
+                             const FlatPrintOptions &Opts = {});
+
+} // namespace gprof
+
+#endif // GPROF_CORE_FLATPRINTER_H

@@ -1,0 +1,25 @@
+//===- core/Report.cpp -----------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+using namespace gprof;
+
+std::vector<const ReportArc *> ProfileReport::arcsInto(uint32_t Fn) const {
+  std::vector<const ReportArc *> Result;
+  for (const ReportArc &A : Arcs)
+    if (A.Child == Fn)
+      Result.push_back(&A);
+  return Result;
+}
+
+std::vector<const ReportArc *> ProfileReport::arcsOutOf(uint32_t Fn) const {
+  std::vector<const ReportArc *> Result;
+  for (const ReportArc &A : Arcs)
+    if (A.Parent == Fn)
+      Result.push_back(&A);
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- core/SymbolTable.cpp ------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SymbolTable.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace gprof;
+
+void SymbolTable::addSymbol(std::string Name, Address Addr, uint64_t Size) {
+  assert(!Finalized && "adding symbols after finalize()");
+  Symbols.push_back({std::move(Name), Addr, Size});
+}
+
+Error SymbolTable::finalize() {
+  std::sort(Symbols.begin(), Symbols.end(),
+            [](const Symbol &A, const Symbol &B) { return A.Addr < B.Addr; });
+  for (size_t I = 1; I < Symbols.size(); ++I) {
+    const Symbol &Prev = Symbols[I - 1];
+    const Symbol &Cur = Symbols[I];
+    if (Prev.Addr + Prev.Size > Cur.Addr)
+      return Error::failure(
+          format("symbols '%s' and '%s' overlap", Prev.Name.c_str(),
+                 Cur.Name.c_str()));
+  }
+  Finalized = true;
+  return Error::success();
+}
+
+SymbolTable SymbolTable::fromImage(const Image &Img) {
+  SymbolTable Table;
+  for (const FuncInfo &F : Img.Functions)
+    Table.addSymbol(F.Name, F.Addr, F.CodeSize);
+  cantFail(Table.finalize());
+  return Table;
+}
+
+uint32_t SymbolTable::findContaining(Address Pc) const {
+  assert(Finalized && "lookup before finalize()");
+  auto It = std::upper_bound(
+      Symbols.begin(), Symbols.end(), Pc,
+      [](Address A, const Symbol &S) { return A < S.Addr; });
+  if (It == Symbols.begin())
+    return NoSymbol;
+  --It;
+  if (Pc < It->Addr + It->Size)
+    return static_cast<uint32_t>(It - Symbols.begin());
+  return NoSymbol;
+}
+
+uint32_t SymbolTable::findAt(Address Pc) const {
+  uint32_t I = findContaining(Pc);
+  if (I != NoSymbol && Symbols[I].Addr == Pc)
+    return I;
+  return NoSymbol;
+}
+
+uint32_t SymbolTable::findByName(const std::string &Name) const {
+  for (uint32_t I = 0; I != Symbols.size(); ++I)
+    if (Symbols[I].Name == Name)
+      return I;
+  return NoSymbol;
+}
+
+Address SymbolTable::lowPc() const {
+  return Symbols.empty() ? 0 : Symbols.front().Addr;
+}
+
+Address SymbolTable::highPc() const {
+  if (Symbols.empty())
+    return 0;
+  return Symbols.back().Addr + Symbols.back().Size;
+}

@@ -1,0 +1,73 @@
+//===- core/SymbolTable.h - Address-to-routine symbolization --------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps program-counter values to routines.  The post-processor uses it in
+/// both directions of paper §3.1: the destination of an arc symbolizes to
+/// the callee routine, and the source symbolizes to the caller — or to no
+/// routine at all, in which case the activation is "spontaneous".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_CORE_SYMBOLTABLE_H
+#define GPROF_CORE_SYMBOLTABLE_H
+
+#include "gmon/Histogram.h"
+#include "support/Error.h"
+#include "vm/Image.h"
+
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// One routine in the profiled program's text.
+struct Symbol {
+  std::string Name;
+  Address Addr = 0;  ///< Entry address.
+  uint64_t Size = 0; ///< Code bytes; the range is [Addr, Addr + Size).
+};
+
+/// Sentinel routine index for "no routine".
+inline constexpr uint32_t NoSymbol = ~static_cast<uint32_t>(0);
+
+/// An address-sorted, non-overlapping table of routine symbols.
+class SymbolTable {
+public:
+  /// Adds a symbol; call finalize() after the last one.
+  void addSymbol(std::string Name, Address Addr, uint64_t Size);
+
+  /// Sorts by address and validates that no two symbols overlap.
+  Error finalize();
+
+  /// Builds the table from a VM image's function table.
+  static SymbolTable fromImage(const Image &Img);
+
+  size_t size() const { return Symbols.size(); }
+  const Symbol &symbol(uint32_t I) const { return Symbols.at(I); }
+
+  /// Index of the symbol whose range contains \p Pc, or NoSymbol.
+  uint32_t findContaining(Address Pc) const;
+
+  /// Index of the symbol whose entry address is exactly \p Pc, or
+  /// NoSymbol.
+  uint32_t findAt(Address Pc) const;
+
+  /// Index of the first symbol named \p Name, or NoSymbol.
+  uint32_t findByName(const std::string &Name) const;
+
+  /// Lowest symbol start / highest symbol end (0/0 when empty).
+  Address lowPc() const;
+  Address highPc() const;
+
+private:
+  std::vector<Symbol> Symbols;
+  bool Finalized = false;
+};
+
+} // namespace gprof
+
+#endif // GPROF_CORE_SYMBOLTABLE_H

@@ -1,0 +1,192 @@
+//===- gmon/GmonFile.cpp --------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gmon/GmonFile.h"
+
+#include "support/BinaryStream.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+
+using namespace gprof;
+
+namespace {
+
+constexpr char Magic[4] = {'G', 'M', 'O', 'N'};
+constexpr uint32_t Version = 1;
+
+/// Cap on nbuckets/narcs accepted from a file, guarding allocation against
+/// corrupted length fields (a 1 GiB histogram is already implausible).
+constexpr uint64_t MaxRecords = (1ULL << 30) / 8;
+
+} // namespace
+
+std::vector<uint8_t> gprof::writeGmon(const ProfileData &Data) {
+  BinaryWriter W;
+  W.writeBytes(reinterpret_cast<const uint8_t *>(Magic), sizeof(Magic));
+  W.writeU32(Version);
+  W.writeU64(Data.TicksPerSecond);
+  W.writeU32(Data.RunCount);
+  W.writeU8(Data.ArcTableOverflowed ? 1 : 0);
+
+  const Histogram &H = Data.Hist;
+  W.writeU64(H.lowPc());
+  W.writeU64(H.highPc());
+  W.writeU64(H.bucketSize());
+  W.writeU64(H.numBuckets());
+  for (size_t I = 0; I != H.numBuckets(); ++I)
+    W.writeU64(H.bucketCount(I));
+
+  W.writeU64(Data.Arcs.size());
+  for (const ArcRecord &R : Data.Arcs) {
+    W.writeU64(R.FromPc);
+    W.writeU64(R.SelfPc);
+    W.writeU64(R.Count);
+  }
+  return W.takeBytes();
+}
+
+Expected<ProfileData> gprof::readGmon(const std::vector<uint8_t> &Bytes) {
+  BinaryReader R(Bytes);
+
+  auto MagicBytes = R.readBytes(sizeof(Magic));
+  if (!MagicBytes)
+    return MagicBytes.takeError();
+  if (!std::equal(MagicBytes->begin(), MagicBytes->end(), Magic))
+    return Error::failure("not a gmon file: bad magic");
+
+  auto Ver = R.readU32();
+  if (!Ver)
+    return Ver.takeError();
+  if (*Ver != Version)
+    return Error::failure(
+        format("unsupported gmon version %u (expected %u)", *Ver, Version));
+
+  ProfileData Data;
+  auto Hz = R.readU64();
+  if (!Hz)
+    return Hz.takeError();
+  if (*Hz == 0)
+    return Error::failure("gmon file has zero sampling rate");
+  Data.TicksPerSecond = *Hz;
+
+  auto Runs = R.readU32();
+  if (!Runs)
+    return Runs.takeError();
+  if (*Runs == 0)
+    return Error::failure("gmon file records zero runs");
+  Data.RunCount = *Runs;
+
+  auto Flags = R.readU8();
+  if (!Flags)
+    return Flags.takeError();
+  Data.ArcTableOverflowed = (*Flags & 1) != 0;
+
+  auto LowPc = R.readU64();
+  if (!LowPc)
+    return LowPc.takeError();
+  auto HighPc = R.readU64();
+  if (!HighPc)
+    return HighPc.takeError();
+  auto BucketSize = R.readU64();
+  if (!BucketSize)
+    return BucketSize.takeError();
+  auto NumBuckets = R.readU64();
+  if (!NumBuckets)
+    return NumBuckets.takeError();
+  if (*NumBuckets > MaxRecords)
+    return Error::failure(
+        format("gmon histogram implausibly large (%llu buckets)",
+               static_cast<unsigned long long>(*NumBuckets)));
+  // Validate the length against the bytes actually present before
+  // allocating, so corrupted counts fail cleanly instead of exhausting
+  // memory.
+  if (*NumBuckets * 8 > R.remaining())
+    return Error::failure("gmon histogram longer than the file");
+
+  if (*NumBuckets != 0) {
+    if (*HighPc <= *LowPc || *BucketSize == 0)
+      return Error::failure("gmon histogram has an invalid address range");
+    // Check the range-implied bucket count arithmetically (overflow-free)
+    // before constructing — a corrupt HighPc must not drive a huge
+    // allocation.
+    uint64_t Span = *HighPc - *LowPc;
+    uint64_t Implied = Span / *BucketSize + (Span % *BucketSize != 0);
+    if (Implied != *NumBuckets)
+      return Error::failure(
+          format("gmon histogram bucket count mismatch: header says %llu, "
+                 "range implies %llu",
+                 static_cast<unsigned long long>(*NumBuckets),
+                 static_cast<unsigned long long>(Implied)));
+    Histogram H(*LowPc, *HighPc, *BucketSize);
+    for (size_t I = 0; I != H.numBuckets(); ++I) {
+      auto C = R.readU64();
+      if (!C)
+        return C.takeError();
+      H.setBucketCount(I, *C);
+    }
+    Data.Hist = std::move(H);
+  }
+
+  auto NumArcs = R.readU64();
+  if (!NumArcs)
+    return NumArcs.takeError();
+  if (*NumArcs > MaxRecords)
+    return Error::failure(
+        format("gmon arc table implausibly large (%llu records)",
+               static_cast<unsigned long long>(*NumArcs)));
+  if (*NumArcs * 24 > R.remaining())
+    return Error::failure("gmon arc table longer than the file");
+  Data.Arcs.reserve(static_cast<size_t>(*NumArcs));
+  for (uint64_t I = 0; I != *NumArcs; ++I) {
+    auto FromPc = R.readU64();
+    if (!FromPc)
+      return FromPc.takeError();
+    auto SelfPc = R.readU64();
+    if (!SelfPc)
+      return SelfPc.takeError();
+    auto Count = R.readU64();
+    if (!Count)
+      return Count.takeError();
+    Data.Arcs.push_back({*FromPc, *SelfPc, *Count});
+  }
+
+  if (!R.atEnd())
+    return Error::failure(
+        format("%zu trailing bytes after gmon data", R.remaining()));
+  return Data;
+}
+
+Error gprof::writeGmonFile(const std::string &Path, const ProfileData &Data) {
+  return writeFileBytes(Path, writeGmon(Data));
+}
+
+Expected<ProfileData> gprof::readGmonFile(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  auto Data = readGmon(*Bytes);
+  if (!Data)
+    return Error::failure(Path + ": " + Data.message());
+  return Data;
+}
+
+Expected<ProfileData>
+gprof::readAndSumGmonFiles(const std::vector<std::string> &Paths) {
+  if (Paths.empty())
+    return Error::failure("no gmon files given");
+  auto First = readGmonFile(Paths.front());
+  if (!First)
+    return First.takeError();
+  ProfileData Sum = First.takeValue();
+  for (size_t I = 1; I != Paths.size(); ++I) {
+    auto Next = readGmonFile(Paths[I]);
+    if (!Next)
+      return Next.takeError();
+    if (Error E = Sum.merge(*Next))
+      return Error::failure(Paths[I] + ": " + E.message());
+  }
+  return Sum;
+}

@@ -1,0 +1,56 @@
+//===- gmon/GmonFile.h - Binary profile file format -----------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "gmon.out" equivalent: a versioned binary container for one run's
+/// condensed profiling data.  Layout (all little-endian):
+///
+///   magic   "GMON"            4 bytes
+///   version u32               currently 1
+///   hz      u64               ticks per second
+///   runs    u32               runs summed into this file
+///   flags   u8                bit 0: arc table overflowed
+///   hist:   lowpc u64, highpc u64, bucketsize u64, nbuckets u64,
+///           counts u64[nbuckets]   (nbuckets == 0 encodes "no histogram")
+///   arcs:   narcs u64, then {frompc u64, selfpc u64, count u64}[narcs]
+///
+/// The reader validates the magic, version, and every length field, and
+/// rejects trailing garbage, so damaged files are reported rather than
+/// silently misparsed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_GMON_GMONFILE_H
+#define GPROF_GMON_GMONFILE_H
+
+#include "gmon/ProfileData.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// Serializes \p Data into the gmon container format.
+std::vector<uint8_t> writeGmon(const ProfileData &Data);
+
+/// Parses a gmon container.
+Expected<ProfileData> readGmon(const std::vector<uint8_t> &Bytes);
+
+/// Writes \p Data to the file at \p Path.
+Error writeGmonFile(const std::string &Path, const ProfileData &Data);
+
+/// Reads the gmon file at \p Path.
+Expected<ProfileData> readGmonFile(const std::string &Path);
+
+/// Reads and sums several gmon files (gprof's "sum the data over several
+/// profiled runs").  At least one path is required.
+Expected<ProfileData> readAndSumGmonFiles(const std::vector<std::string> &Paths);
+
+} // namespace gprof
+
+#endif // GPROF_GMON_GMONFILE_H

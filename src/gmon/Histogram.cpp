@@ -1,0 +1,57 @@
+//===- gmon/Histogram.cpp -------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gmon/Histogram.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace gprof;
+
+Histogram::Histogram(Address LowPc, Address HighPc, uint64_t BucketSize)
+    : LowPc(LowPc), HighPc(HighPc), BucketSize(BucketSize) {
+  assert(HighPc > LowPc && "empty address range");
+  assert(BucketSize != 0 && "zero bucket size");
+  uint64_t Span = HighPc - LowPc;
+  Counts.assign(static_cast<size_t>((Span + BucketSize - 1) / BucketSize), 0);
+}
+
+void Histogram::recordPc(Address Pc) {
+  if (Counts.empty() || Pc < LowPc || Pc >= HighPc) {
+    ++OutOfRange;
+    return;
+  }
+  ++Counts[static_cast<size_t>((Pc - LowPc) / BucketSize)];
+}
+
+Error Histogram::merge(const Histogram &Other) {
+  if (Counts.empty() && Other.Counts.empty()) {
+    OutOfRange += Other.OutOfRange;
+    return Error::success();
+  }
+  if (LowPc != Other.LowPc || HighPc != Other.HighPc ||
+      BucketSize != Other.BucketSize)
+    return Error::failure(format(
+        "incompatible histograms: [%llu,%llu)/%llu vs [%llu,%llu)/%llu",
+        static_cast<unsigned long long>(LowPc),
+        static_cast<unsigned long long>(HighPc),
+        static_cast<unsigned long long>(BucketSize),
+        static_cast<unsigned long long>(Other.LowPc),
+        static_cast<unsigned long long>(Other.HighPc),
+        static_cast<unsigned long long>(Other.BucketSize)));
+  for (size_t I = 0; I != Counts.size(); ++I)
+    Counts[I] += Other.Counts[I];
+  OutOfRange += Other.OutOfRange;
+  return Error::success();
+}
+
+uint64_t Histogram::totalSamples() const {
+  uint64_t Total = 0;
+  for (uint64_t C : Counts)
+    Total += C;
+  return Total;
+}

@@ -1,0 +1,87 @@
+//===- gmon/Histogram.h - Program-counter sample histogram ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PC histogram of paper §3.2: "the operating system can provide a
+/// histogram of the location of the program counter at the end of each
+/// clock tick".  The histogram covers [LowPc, HighPc) with fixed-size
+/// buckets; recording a PC increments the bucket containing it.  "The
+/// ranges themselves are summarized as a lower and upper bound and a step
+/// size."  Granularity is configurable — the retrospective's epiphany of a
+/// one-to-one PC→bucket mapping corresponds to BucketSize == 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_GMON_HISTOGRAM_H
+#define GPROF_GMON_HISTOGRAM_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gprof {
+
+/// A code address in the profiled image's flat address space.
+using Address = uint64_t;
+
+/// PC-sample histogram over a half-open address range.
+class Histogram {
+public:
+  /// Creates an empty histogram (no range; records are ignored).
+  Histogram() = default;
+
+  /// Creates a histogram over [LowPc, HighPc) with \p BucketSize addresses
+  /// per bucket.  HighPc must be > LowPc and BucketSize nonzero.
+  Histogram(Address LowPc, Address HighPc, uint64_t BucketSize);
+
+  /// Records one clock-tick sample at \p Pc.  Samples outside the range are
+  /// counted separately (the paper's routines compiled without profiling
+  /// live outside the monitored range).
+  void recordPc(Address Pc);
+
+  /// Adds \p Other bucket-by-bucket.  Fails unless the ranges and bucket
+  /// sizes are identical, mirroring gprof's refusal to sum profiles from
+  /// different executables.
+  Error merge(const Histogram &Other);
+
+  Address lowPc() const { return LowPc; }
+  Address highPc() const { return HighPc; }
+  uint64_t bucketSize() const { return BucketSize; }
+  bool empty() const { return Counts.empty(); }
+  size_t numBuckets() const { return Counts.size(); }
+
+  uint64_t bucketCount(size_t I) const { return Counts.at(I); }
+  void setBucketCount(size_t I, uint64_t V) { Counts.at(I) = V; }
+
+  /// Start address of bucket \p I.
+  Address bucketStart(size_t I) const {
+    return LowPc + static_cast<Address>(I) * BucketSize;
+  }
+  /// One past the last address of bucket \p I (clamped to HighPc).
+  Address bucketEnd(size_t I) const {
+    Address E = bucketStart(I) + BucketSize;
+    return E < HighPc ? E : HighPc;
+  }
+
+  /// Total samples recorded in range.
+  uint64_t totalSamples() const;
+  /// Samples whose PC fell outside [LowPc, HighPc).
+  uint64_t outOfRangeSamples() const { return OutOfRange; }
+
+  const std::vector<uint64_t> &counts() const { return Counts; }
+
+private:
+  Address LowPc = 0;
+  Address HighPc = 0;
+  uint64_t BucketSize = 1;
+  std::vector<uint64_t> Counts;
+  uint64_t OutOfRange = 0;
+};
+
+} // namespace gprof
+
+#endif // GPROF_GMON_HISTOGRAM_H

@@ -1,0 +1,45 @@
+//===- gmon/ProfileData.cpp -----------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gmon/ProfileData.h"
+
+#include "support/Format.h"
+
+using namespace gprof;
+
+void ProfileData::addArc(Address FromPc, Address SelfPc, uint64_t Count) {
+  for (ArcRecord &R : Arcs) {
+    if (R.FromPc == FromPc && R.SelfPc == SelfPc) {
+      R.Count += Count;
+      return;
+    }
+  }
+  Arcs.push_back({FromPc, SelfPc, Count});
+}
+
+Error ProfileData::merge(const ProfileData &Other) {
+  if (TicksPerSecond != Other.TicksPerSecond)
+    return Error::failure(
+        format("cannot sum profiles with different sampling rates "
+               "(%llu vs %llu ticks/sec)",
+               static_cast<unsigned long long>(TicksPerSecond),
+               static_cast<unsigned long long>(Other.TicksPerSecond)));
+  if (Error E = Hist.merge(Other.Hist))
+    return E;
+  for (const ArcRecord &R : Other.Arcs)
+    addArc(R.FromPc, R.SelfPc, R.Count);
+  RunCount += Other.RunCount;
+  ArcTableOverflowed = ArcTableOverflowed || Other.ArcTableOverflowed;
+  return Error::success();
+}
+
+uint64_t ProfileData::callsInto(Address SelfPc) const {
+  uint64_t Total = 0;
+  for (const ArcRecord &R : Arcs)
+    if (R.SelfPc == SelfPc)
+      Total += R.Count;
+  return Total;
+}

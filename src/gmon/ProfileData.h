@@ -1,0 +1,76 @@
+//===- gmon/ProfileData.h - Condensed profile data for one (or more) runs ===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory form of the data the monitoring run condenses to a file at
+/// program exit (paper §3.2): the arc table — "the source and destination
+/// addresses of the arc and the count of the number of times the arc was
+/// traversed" — and the PC sample histogram.  ProfileData also implements
+/// multi-run summing: "the profile data for several executions of a
+/// program can be combined by the post-processing to provide a profile of
+/// many executions" (§3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_GMON_PROFILEDATA_H
+#define GPROF_GMON_PROFILEDATA_H
+
+#include "gmon/Histogram.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gprof {
+
+/// One condensed call-graph arc: a call site (the "from" PC, inside the
+/// caller), the callee's entry address, and a traversal count.
+struct ArcRecord {
+  Address FromPc = 0; ///< Address of the call site, inside the caller.
+  Address SelfPc = 0; ///< Entry address of the callee.
+  uint64_t Count = 0; ///< Traversals observed.
+};
+
+/// The complete condensed output of one or more profiled executions.
+struct ProfileData {
+  /// PC-sample histogram over the profiled text range.
+  Histogram Hist;
+  /// Arc table, one record per distinct (call site, callee) pair.
+  std::vector<ArcRecord> Arcs;
+  /// Sampling rate: clock ticks per second of program time.  Each sample
+  /// accounts for 1/TicksPerSecond seconds.
+  uint64_t TicksPerSecond = 60;
+  /// Number of executions summed into this data (1 for a single run).
+  uint32_t RunCount = 1;
+  /// True if the runtime arc table overflowed during any contributing run
+  /// (mcount's "tos overflow"): arc counts are then lower bounds.
+  bool ArcTableOverflowed = false;
+
+  /// Seconds of profiled execution represented by the histogram.
+  double sampledSeconds() const {
+    if (TicksPerSecond == 0)
+      return 0.0;
+    return static_cast<double>(Hist.totalSamples()) /
+           static_cast<double>(TicksPerSecond);
+  }
+
+  /// Adds \p Count traversals for (FromPc, SelfPc), merging with an
+  /// existing record if present.  Linear scan: intended for building test
+  /// fixtures and merging, not for the hot recording path (the runtime's
+  /// ArcHashTable owns that).
+  void addArc(Address FromPc, Address SelfPc, uint64_t Count);
+
+  /// Sums \p Other into this profile (gprof -s).  Histogram ranges and
+  /// sampling rates must match.
+  Error merge(const ProfileData &Other);
+
+  /// Total traversals recorded into the callee at \p SelfPc.
+  uint64_t callsInto(Address SelfPc) const;
+};
+
+} // namespace gprof
+
+#endif // GPROF_GMON_PROFILEDATA_H

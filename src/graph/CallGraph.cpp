@@ -1,0 +1,72 @@
+//===- graph/CallGraph.cpp ------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/CallGraph.h"
+
+#include "graph/Tarjan.h"
+
+using namespace gprof;
+
+NodeId CallGraph::addNode(std::string Name) {
+  NodeId Id = static_cast<NodeId>(Names.size());
+  Names.push_back(std::move(Name));
+  Out.emplace_back();
+  In.emplace_back();
+  return Id;
+}
+
+ArcId CallGraph::addArc(NodeId From, NodeId To, uint64_t Count,
+                        bool IsStatic) {
+  assert(From < Names.size() && To < Names.size() && "node id out of range");
+  auto Key = std::make_pair(From, To);
+  auto It = ArcIndex.find(Key);
+  if (It != ArcIndex.end()) {
+    Arc &A = Arcs[It->second];
+    A.Count += Count;
+    if (!IsStatic)
+      A.Static = false;
+    return It->second;
+  }
+  ArcId Id = static_cast<ArcId>(Arcs.size());
+  Arcs.push_back({From, To, Count, IsStatic});
+  Out[From].push_back(Id);
+  In[To].push_back(Id);
+  ArcIndex.emplace(Key, Id);
+  return Id;
+}
+
+ArcId CallGraph::findArc(NodeId From, NodeId To) const {
+  auto It = ArcIndex.find(std::make_pair(From, To));
+  if (It == ArcIndex.end())
+    return InvalidNode;
+  return It->second;
+}
+
+NodeId CallGraph::findNode(const std::string &Name) const {
+  for (NodeId N = 0; N != Names.size(); ++N)
+    if (Names[N] == Name)
+      return N;
+  return InvalidNode;
+}
+
+uint64_t CallGraph::incomingCallCount(NodeId N) const {
+  uint64_t Total = 0;
+  for (ArcId A : inArcs(N))
+    if (Arcs[A].From != N)
+      Total += Arcs[A].Count;
+  return Total;
+}
+
+bool CallGraph::isAcyclic() const {
+  SCCResult SCCs = findSCCs(*this);
+  if (SCCs.Components.size() != numNodes())
+    return false;
+  // Single-node components may still carry a self arc.
+  for (NodeId N = 0; N != numNodes(); ++N)
+    if (findArc(N, N) != InvalidNode)
+      return false;
+  return true;
+}

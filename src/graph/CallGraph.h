@@ -1,0 +1,116 @@
+//===- graph/CallGraph.h - Directed call graph with weighted arcs --------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call-graph representation shared by the analysis pipeline (paper §4)
+/// and by the pure graph algorithms (Tarjan SCC, cycle collapse, feedback
+/// arc selection).  Nodes are routines; arcs go from caller to callee and
+/// carry a traversal count.  Arcs with count zero and the Static flag are
+/// the statically-discovered arcs of §4: they shape the graph (and may
+/// complete cycles) but never carry propagated time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_GRAPH_CALLGRAPH_H
+#define GPROF_GRAPH_CALLGRAPH_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// Index of a node within a CallGraph.
+using NodeId = uint32_t;
+/// Index of an arc within a CallGraph.
+using ArcId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId InvalidNode = ~static_cast<NodeId>(0);
+
+/// One caller→callee arc.  At most one Arc object exists per (From, To)
+/// pair; repeated insertions accumulate into Count.
+struct Arc {
+  NodeId From = InvalidNode;
+  NodeId To = InvalidNode;
+  /// Number of traversals recorded for this arc (zero for purely static
+  /// arcs).
+  uint64_t Count = 0;
+  /// True if this arc was only discovered by crawling the executable image.
+  bool Static = false;
+};
+
+/// A directed graph of named nodes with weighted, deduplicated arcs and
+/// adjacency lists in both directions.
+class CallGraph {
+public:
+  /// Adds a node named \p Name and returns its id.  Names need not be
+  /// unique (the profiler disambiguates by address); lookup helpers return
+  /// the first match.
+  NodeId addNode(std::string Name);
+
+  /// Adds \p Count traversals to the (From, To) arc, creating it if needed.
+  /// \p IsStatic only marks newly created arcs; adding a dynamic count to a
+  /// static arc clears its Static flag.
+  ArcId addArc(NodeId From, NodeId To, uint64_t Count, bool IsStatic = false);
+
+  /// Returns the arc id for (From, To) or InvalidNode if absent.
+  ArcId findArc(NodeId From, NodeId To) const;
+
+  size_t numNodes() const { return Names.size(); }
+  size_t numArcs() const { return Arcs.size(); }
+
+  const std::string &nodeName(NodeId N) const {
+    assert(N < Names.size() && "node id out of range");
+    return Names[N];
+  }
+
+  const Arc &arc(ArcId A) const {
+    assert(A < Arcs.size() && "arc id out of range");
+    return Arcs[A];
+  }
+  Arc &arc(ArcId A) {
+    assert(A < Arcs.size() && "arc id out of range");
+    return Arcs[A];
+  }
+
+  /// Ids of arcs leaving \p N (N as caller).
+  const std::vector<ArcId> &outArcs(NodeId N) const {
+    assert(N < Out.size() && "node id out of range");
+    return Out[N];
+  }
+
+  /// Ids of arcs entering \p N (N as callee).
+  const std::vector<ArcId> &inArcs(NodeId N) const {
+    assert(N < In.size() && "node id out of range");
+    return In[N];
+  }
+
+  /// Finds the first node named \p Name, or InvalidNode.
+  NodeId findNode(const std::string &Name) const;
+
+  /// Sum of counts on arcs into \p N, excluding the self arc.  This is the
+  /// paper's C_e: "call counts for routines can then be determined by
+  /// summing the counts on arcs directed into that routine" (§3.1).
+  uint64_t incomingCallCount(NodeId N) const;
+
+  /// True if the graph has no directed cycle (self arcs count as cycles).
+  bool isAcyclic() const;
+
+private:
+  std::vector<std::string> Names;
+  std::vector<Arc> Arcs;
+  std::vector<std::vector<ArcId>> Out;
+  std::vector<std::vector<ArcId>> In;
+  /// (From, To) → ArcId, for deduplication.
+  std::map<std::pair<NodeId, NodeId>, ArcId> ArcIndex;
+};
+
+} // namespace gprof
+
+#endif // GPROF_GRAPH_CALLGRAPH_H

@@ -1,0 +1,53 @@
+//===- graph/CycleCollapse.h - Collapse SCCs into cycle nodes ------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collapses each strongly connected component into a single node, as in
+/// paper §4: "Our solution collects all members of a cycle together,
+/// summing the time and call counts for all members.  All calls into the
+/// cycle are made to share the total time of the cycle, and all descendants
+/// of the cycle propagate time into the cycle as a whole.  Calls among the
+/// members of the cycle do not propagate any time."  The result (Figure 3)
+/// is a DAG whose nodes are either singleton routines or whole cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_GRAPH_CYCLECOLLAPSE_H
+#define GPROF_GRAPH_CYCLECOLLAPSE_H
+
+#include "graph/CallGraph.h"
+#include "graph/Tarjan.h"
+
+#include <vector>
+
+namespace gprof {
+
+/// The DAG obtained by collapsing every SCC of a CallGraph.
+///
+/// Condensed node ids coincide with SCC component indices, so they are in
+/// reverse topological order: arcs go from higher condensed ids to lower
+/// ones, and a forward sweep over ids visits callees before callers.
+struct CondensedGraph {
+  /// The condensed DAG.  Node K's name is the original node's name for
+  /// singleton components, or "<cycle K>" for collapsed cycles.  Arc counts
+  /// are the sums of the inter-component arc counts they replace; arcs
+  /// internal to a component are dropped.
+  CallGraph Dag;
+  /// Members (original node ids) of each condensed node.
+  std::vector<std::vector<NodeId>> Members;
+  /// Condensed node id of each original node.
+  std::vector<NodeId> CondensedOf;
+
+  /// True if condensed node \p C is a collapsed cycle of 2+ routines.
+  bool isCycle(NodeId C) const { return Members[C].size() > 1; }
+};
+
+/// Collapses the SCCs of \p G (as computed by findSCCs) into a DAG.
+CondensedGraph collapseCycles(const CallGraph &G, const SCCResult &SCCs);
+
+} // namespace gprof
+
+#endif // GPROF_GRAPH_CYCLECOLLAPSE_H

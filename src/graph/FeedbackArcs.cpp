@@ -1,0 +1,164 @@
+//===- graph/FeedbackArcs.cpp ---------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/FeedbackArcs.h"
+
+#include "graph/Tarjan.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace gprof;
+
+CallGraph gprof::removeArcs(const CallGraph &G,
+                            const std::vector<ArcId> &Removed) {
+  std::set<ArcId> Dropped(Removed.begin(), Removed.end());
+  CallGraph Out;
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    Out.addNode(G.nodeName(N));
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    if (Dropped.count(A))
+      continue;
+    const Arc &Edge = G.arc(A);
+    Out.addArc(Edge.From, Edge.To, Edge.Count, Edge.Static);
+  }
+  return Out;
+}
+
+namespace {
+
+/// True if the graph restricted to arcs not in \p Dropped has no cycle of
+/// length >= 2 (self arcs are ignored throughout cycle breaking).
+bool isAcyclicIgnoringSelfArcs(const CallGraph &G,
+                               const std::set<ArcId> &Dropped) {
+  // Kahn's algorithm over the restricted arc set.
+  std::vector<uint32_t> InDegree(G.numNodes(), 0);
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    const Arc &Edge = G.arc(A);
+    if (Edge.From == Edge.To || Dropped.count(A))
+      continue;
+    ++InDegree[Edge.To];
+  }
+  std::vector<NodeId> Ready;
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    if (InDegree[N] == 0)
+      Ready.push_back(N);
+  size_t Seen = 0;
+  while (!Ready.empty()) {
+    NodeId N = Ready.back();
+    Ready.pop_back();
+    ++Seen;
+    for (ArcId A : G.outArcs(N)) {
+      const Arc &Edge = G.arc(A);
+      if (Edge.From == Edge.To || Dropped.count(A))
+        continue;
+      if (--InDegree[Edge.To] == 0)
+        Ready.push_back(Edge.To);
+    }
+  }
+  return Seen == G.numNodes();
+}
+
+/// Collects arcs inside nontrivial SCCs of the graph restricted to arcs not
+/// in \p Dropped.
+std::vector<ArcId> intraSCCArcs(const CallGraph &G,
+                                const std::set<ArcId> &Dropped) {
+  // Build a filtered copy, then map SCCs back through original arc ids.
+  CallGraph Filtered;
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    Filtered.addNode(G.nodeName(N));
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    if (Dropped.count(A))
+      continue;
+    const Arc &Edge = G.arc(A);
+    Filtered.addArc(Edge.From, Edge.To, Edge.Count, Edge.Static);
+  }
+  SCCResult SCCs = findSCCs(Filtered);
+  std::vector<ArcId> Candidates;
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    if (Dropped.count(A))
+      continue;
+    const Arc &Edge = G.arc(A);
+    if (Edge.From == Edge.To)
+      continue;
+    if (SCCs.ComponentOf[Edge.From] == SCCs.ComponentOf[Edge.To])
+      Candidates.push_back(A);
+  }
+  return Candidates;
+}
+
+/// Depth-limited search for a feedback arc set of size <= Depth.  Appends
+/// the chosen arcs to \p Chosen.  Arcs are tried in increasing id order
+/// (\p MinArc): every minimal feedback arc set can be discovered in
+/// increasing order because each of its arcs lies on a cycle avoiding the
+/// rest of the set, so the ordering restriction loses no solutions while
+/// avoiding permutations of the same set.
+bool searchExact(const CallGraph &G, std::set<ArcId> &Dropped,
+                 std::vector<ArcId> &Chosen, unsigned Depth, ArcId MinArc) {
+  if (isAcyclicIgnoringSelfArcs(G, Dropped))
+    return true;
+  if (Depth == 0)
+    return false;
+  // Only arcs still participating in some cycle are worth trying.
+  std::vector<ArcId> Candidates = intraSCCArcs(G, Dropped);
+  for (ArcId A : Candidates) {
+    if (A < MinArc)
+      continue;
+    Dropped.insert(A);
+    Chosen.push_back(A);
+    if (searchExact(G, Dropped, Chosen, Depth - 1, A + 1))
+      return true;
+    Chosen.pop_back();
+    Dropped.erase(A);
+  }
+  return false;
+}
+
+} // namespace
+
+FeedbackArcResult gprof::selectFeedbackArcsGreedy(const CallGraph &G,
+                                                  unsigned MaxArcs) {
+  FeedbackArcResult Result;
+  std::set<ArcId> Dropped;
+  while (Result.RemovedArcs.size() < MaxArcs) {
+    std::vector<ArcId> Candidates = intraSCCArcs(G, Dropped);
+    if (Candidates.empty())
+      break;
+    // "there were just a few arcs -- with low traversal counts -- that
+    // closed the cycles": prefer the cheapest arc to delete.
+    ArcId Best = Candidates.front();
+    for (ArcId A : Candidates)
+      if (G.arc(A).Count < G.arc(Best).Count)
+        Best = A;
+    Dropped.insert(Best);
+    Result.RemovedArcs.push_back(Best);
+    Result.RemovedCount += G.arc(Best).Count;
+  }
+  Result.Acyclic = isAcyclicIgnoringSelfArcs(G, Dropped);
+  return Result;
+}
+
+FeedbackArcResult gprof::selectFeedbackArcsExact(const CallGraph &G,
+                                                 unsigned MaxArcs) {
+  FeedbackArcResult Result;
+  std::set<ArcId> Dropped;
+  if (isAcyclicIgnoringSelfArcs(G, Dropped)) {
+    Result.Acyclic = true;
+    return Result;
+  }
+  for (unsigned Depth = 1; Depth <= MaxArcs; ++Depth) {
+    std::vector<ArcId> Chosen;
+    std::set<ArcId> Work;
+    if (searchExact(G, Work, Chosen, Depth, /*MinArc=*/0)) {
+      Result.RemovedArcs = Chosen;
+      for (ArcId A : Chosen)
+        Result.RemovedCount += G.arc(A).Count;
+      Result.Acyclic = true;
+      return Result;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,68 @@
+//===- graph/FeedbackArcs.h - Cycle-breaking arc selection ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retrospective's cycle-breaking facility.  Large programs (the BSD
+/// kernel's networking stack, in the authors' telling) produce huge cycles
+/// closed by "just a few arcs -- with low traversal counts".  gprof grew an
+/// option to delete a user-chosen arc set from the analysis, and "to aid
+/// users unable or unwilling to find an arc set for themselves, we added a
+/// heuristic to help choose arcs to remove.  The underlying problem is
+/// NP-complete, so we added a bound on the number of arcs the tool would
+/// attempt to remove."
+///
+/// This module provides:
+///  - a greedy heuristic: repeatedly delete the lowest-traversal-count arc
+///    that lies inside a nontrivial SCC, up to a bound;
+///  - an exact branch-and-bound minimum feedback arc set for small
+///    components, used by tests and by the E7 bench to measure the
+///    heuristic's optimality gap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_GRAPH_FEEDBACKARCS_H
+#define GPROF_GRAPH_FEEDBACKARCS_H
+
+#include "graph/CallGraph.h"
+
+#include <vector>
+
+namespace gprof {
+
+/// Result of a cycle-breaking pass.
+struct FeedbackArcResult {
+  /// Arc ids (into the input graph) chosen for deletion, in deletion order.
+  std::vector<ArcId> RemovedArcs;
+  /// True if the graph is fully acyclic (ignoring self arcs) once the
+  /// removed arcs are deleted.  False if the bound stopped the search.
+  bool Acyclic = false;
+  /// Sum of the traversal counts of the removed arcs — the "information
+  /// lost by omitting these arcs".
+  uint64_t RemovedCount = 0;
+};
+
+/// Greedy heuristic: while a nontrivial SCC remains and fewer than
+/// \p MaxArcs arcs have been removed, deletes the intra-SCC arc with the
+/// smallest traversal count (ties broken toward the arc whose removal is
+/// attempted first in arc-id order).  Self arcs never participate: the
+/// analysis already treats them as non-propagating (paper §4).
+FeedbackArcResult selectFeedbackArcsGreedy(const CallGraph &G,
+                                           unsigned MaxArcs);
+
+/// Exact minimum-cardinality feedback arc set over the graph's intra-SCC
+/// arcs, by iterative-deepening branch and bound.  Exponential: callers
+/// must keep the candidate arc count small (tests use <= ~16 arcs).
+/// \p MaxArcs bounds the search depth; if no solution exists within the
+/// bound the result has Acyclic == false.
+FeedbackArcResult selectFeedbackArcsExact(const CallGraph &G,
+                                          unsigned MaxArcs);
+
+/// Copies \p G without the arcs in \p Removed (used to apply a selection).
+CallGraph removeArcs(const CallGraph &G, const std::vector<ArcId> &Removed);
+
+} // namespace gprof
+
+#endif // GPROF_GRAPH_FEEDBACKARCS_H

@@ -1,0 +1,52 @@
+//===- graph/Generators.h - Synthetic call-graph workloads ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic graph generators used by property tests and by the E7 and
+/// E10 benches.  Everything is seeded; no global randomness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_GRAPH_GENERATORS_H
+#define GPROF_GRAPH_GENERATORS_H
+
+#include "graph/CallGraph.h"
+
+#include <cstdint>
+
+namespace gprof {
+
+/// A random DAG: \p NumNodes nodes, roughly \p NumArcs forward arcs (from
+/// lower to higher index, then node ids are shuffled).  Arc counts are
+/// uniform in [1, MaxCount].
+CallGraph makeRandomDag(uint32_t NumNodes, uint32_t NumArcs,
+                        uint64_t MaxCount, uint64_t Seed);
+
+/// A random directed graph that may contain cycles: \p NumArcs arcs drawn
+/// uniformly over ordered node pairs (self arcs with probability
+/// \p SelfArcProb each draw).
+CallGraph makeRandomGraph(uint32_t NumNodes, uint32_t NumArcs,
+                          uint64_t MaxCount, double SelfArcProb,
+                          uint64_t Seed);
+
+/// The retrospective's "kernel" shape: \p NumSubsystems groups of
+/// \p SubsystemSize routines.  Each subsystem is internally layered and
+/// acyclic with heavy call counts; a few low-count "back arcs" (exactly
+/// \p BackArcs of them, with counts in [1, 5]) close large cycles across
+/// subsystem boundaries, mimicking the networking-stack profiles that
+/// motivated cycle breaking.
+CallGraph makeKernelLikeGraph(uint32_t NumSubsystems, uint32_t SubsystemSize,
+                              uint32_t BackArcs, uint64_t Seed);
+
+/// A layered call graph resembling a structured program: \p Layers layers
+/// of \p Width routines; every routine calls 1..MaxFanout routines in the
+/// next layer.  Always acyclic; a main root calls everything in layer 0.
+CallGraph makeLayeredGraph(uint32_t Layers, uint32_t Width,
+                           uint32_t MaxFanout, uint64_t Seed);
+
+} // namespace gprof
+
+#endif // GPROF_GRAPH_GENERATORS_H

@@ -1,0 +1,74 @@
+//===- graph/Tarjan.h - Strongly connected components & topo numbering ---===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tarjan's strongly-connected-components algorithm [Tarjan72], used as in
+/// paper §4: "we discover strongly-connected components in the call graph,
+/// treat each such component as a single node, and then sort the resulting
+/// graph.  We use a variation of Tarjan's strongly-connected components
+/// algorithm that discovers strongly-connected components as it is
+/// assigning topological order numbers."
+///
+/// The implementation is iterative (explicit DFS stack): profiled programs
+/// with deep recursion produce long call chains, and the analyzer must not
+/// overflow its own stack while analyzing them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_GRAPH_TARJAN_H
+#define GPROF_GRAPH_TARJAN_H
+
+#include "graph/CallGraph.h"
+
+#include <vector>
+
+namespace gprof {
+
+/// The SCC decomposition of a CallGraph.
+///
+/// Components are emitted in *reverse topological* order of the condensed
+/// graph: if any arc leads from component A to component B (A != B) then B
+/// appears before A in Components.  Equivalently, using the component index
+/// + 1 as a "topological number" gives the paper's Figure 1 property: every
+/// inter-component arc goes from a higher-numbered node to a lower-numbered
+/// node, and time can be propagated from callees to callers by a single
+/// sweep in index order.
+struct SCCResult {
+  /// Component index of each node.
+  std::vector<uint32_t> ComponentOf;
+  /// Member nodes of each component, in discovery order.
+  std::vector<std::vector<NodeId>> Components;
+
+  /// Number of components with more than one member (true cycles other
+  /// than self-loops).
+  size_t numNontrivialComponents() const {
+    size_t N = 0;
+    for (const auto &C : Components)
+      if (C.size() > 1)
+        ++N;
+    return N;
+  }
+};
+
+/// Runs Tarjan's algorithm over every node of \p G.
+SCCResult findSCCs(const CallGraph &G);
+
+/// Assigns each node the topological number of its component, numbering
+/// components 1..K such that every arc between distinct components goes
+/// from a higher number to a lower number (Figure 1 / Figure 3 semantics;
+/// leaves receive low numbers, roots high numbers).
+std::vector<uint32_t> topologicalNumbers(const CallGraph &G,
+                                         const SCCResult &SCCs);
+
+/// Verifies the Figure 1 invariant: for every arc between distinct
+/// components, Number[From] > Number[To].  Used by tests and benches.
+bool checkTopologicalProperty(const CallGraph &G,
+                              const std::vector<uint32_t> &Numbers,
+                              const SCCResult &SCCs);
+
+} // namespace gprof
+
+#endif // GPROF_GRAPH_TARJAN_H

@@ -1,0 +1,319 @@
+//===- lang/AST.h - Abstract syntax tree for TL ----------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node classes for TL.  Nodes carry a Kind discriminator (no RTTI,
+/// per the coding standards) and are owned through unique_ptr.  Semantic
+/// analysis fills in the resolution fields (local slots, global indices,
+/// callee bindings) in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_AST_H
+#define GPROF_LANG_AST_H
+
+#include "lang/SourceLocation.h"
+#include "lang/Token.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+class Expr;
+class Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// How a name reference was resolved by Sema.
+enum class NameBinding : uint8_t {
+  Unresolved,
+  Local,    ///< Parameter or local variable; Slot is the frame slot.
+  Global,   ///< Global variable; Slot is the global index.
+  Function, ///< Function name; Slot is the function index.
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for Expr subclasses.
+enum class ExprKind : uint8_t {
+  IntLiteral,
+  NameRef,
+  FuncAddr,
+  Unary,
+  Binary,
+  Assign,
+  Call,
+};
+
+/// Base class of all TL expressions.
+class Expr {
+public:
+  Expr(ExprKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+
+private:
+  ExprKind Kind;
+  SourceLocation Loc;
+};
+
+/// An integer literal.
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(int64_t Value, SourceLocation Loc)
+      : Expr(ExprKind::IntLiteral, Loc), Value(Value) {}
+
+  int64_t Value;
+};
+
+/// A reference to a variable (or, after resolution, possibly a function
+/// used as a value).
+class NameRefExpr : public Expr {
+public:
+  NameRefExpr(std::string Name, SourceLocation Loc)
+      : Expr(ExprKind::NameRef, Loc), Name(std::move(Name)) {}
+
+  std::string Name;
+  NameBinding Binding = NameBinding::Unresolved;
+  uint32_t Slot = 0;
+};
+
+/// '&name': takes the address of a function, producing a functional value
+/// — the paper's "functional parameters or functional variables" (§2),
+/// which create call sites with multiple dynamic callees.
+class FuncAddrExpr : public Expr {
+public:
+  FuncAddrExpr(std::string Name, SourceLocation Loc)
+      : Expr(ExprKind::FuncAddr, Loc), Name(std::move(Name)) {}
+
+  std::string Name;
+  uint32_t FunctionIndex = 0; ///< Filled by Sema.
+};
+
+/// Unary operator kinds.
+enum class UnaryOp : uint8_t { Neg, Not };
+
+/// A unary expression.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLocation Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+/// Binary operator kinds (logical ops short-circuit).
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LogicalAnd,
+  LogicalOr,
+};
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLocation Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// 'name = value' (assignment is an expression yielding the stored value).
+class AssignExpr : public Expr {
+public:
+  AssignExpr(std::string Name, ExprPtr Value, SourceLocation Loc)
+      : Expr(ExprKind::Assign, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+
+  std::string Name;
+  ExprPtr Value;
+  NameBinding Binding = NameBinding::Unresolved;
+  uint32_t Slot = 0;
+};
+
+/// Built-in operations that parse as calls.
+enum class BuiltinKind : uint8_t {
+  None,
+  Peek, ///< peek(addr): read a word of VM memory.
+  Poke, ///< poke(addr, value): write a word; yields the value.
+};
+
+/// A call.  Direct calls name a function; indirect calls go through an
+/// arbitrary callee expression holding a function address; peek/poke are
+/// built-ins resolved by Sema (unless shadowed by a user function).
+class CallExpr : public Expr {
+public:
+  CallExpr(ExprPtr Callee, std::vector<ExprPtr> Args, SourceLocation Loc)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+  /// True once Sema determines the callee is a function name (direct call).
+  bool IsDirect = false;
+  uint32_t DirectFunctionIndex = 0; ///< Valid if IsDirect.
+  BuiltinKind Builtin = BuiltinKind::None;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for Stmt subclasses.
+enum class StmtKind : uint8_t {
+  Block,
+  VarDecl,
+  If,
+  While,
+  Return,
+  Print,
+  ExprStmt,
+};
+
+/// Base class of all TL statements.
+class Stmt {
+public:
+  Stmt(StmtKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Stmt() = default;
+
+  StmtKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+
+private:
+  StmtKind Kind;
+  SourceLocation Loc;
+};
+
+/// '{ ... }'.
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Body, SourceLocation Loc)
+      : Stmt(StmtKind::Block, Loc), Body(std::move(Body)) {}
+
+  std::vector<StmtPtr> Body;
+};
+
+/// 'var name = init;' inside a function body.
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(std::string Name, ExprPtr Init, SourceLocation Loc)
+      : Stmt(StmtKind::VarDecl, Loc), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+
+  std::string Name;
+  ExprPtr Init; ///< May be null (defaults to 0).
+  uint32_t Slot = 0; ///< Frame slot assigned by Sema.
+};
+
+/// 'if (cond) then else else'.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLocation Loc)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+};
+
+/// 'while (cond) body'.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLocation Loc)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+/// 'return expr;' (expr optional; defaults to 0).
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLocation Loc)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+
+  ExprPtr Value; ///< May be null.
+};
+
+/// 'print expr;' — appends the value to the program's output.
+class PrintStmt : public Stmt {
+public:
+  PrintStmt(ExprPtr Value, SourceLocation Loc)
+      : Stmt(StmtKind::Print, Loc), Value(std::move(Value)) {}
+
+  ExprPtr Value;
+};
+
+/// An expression evaluated for its effect.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLocation Loc)
+      : Stmt(StmtKind::ExprStmt, Loc), E(std::move(E)) {}
+
+  ExprPtr E;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// 'fn name(params) { body }'.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLocation Loc;
+  /// Total frame slots (params + locals), assigned by Sema.
+  uint32_t NumSlots = 0;
+};
+
+/// A global 'var name = constant;'.
+struct GlobalVarDecl {
+  std::string Name;
+  int64_t InitValue = 0;
+  SourceLocation Loc;
+};
+
+/// One parsed TL translation unit.
+struct Program {
+  std::vector<FunctionDecl> Functions;
+  std::vector<GlobalVarDecl> Globals;
+
+  /// Finds a function by name; returns ~0u if absent.
+  uint32_t findFunction(const std::string &Name) const {
+    for (uint32_t I = 0; I != Functions.size(); ++I)
+      if (Functions[I].Name == Name)
+        return I;
+    return ~0u;
+  }
+};
+
+} // namespace gprof
+
+#endif // GPROF_LANG_AST_H

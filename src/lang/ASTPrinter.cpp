@@ -1,0 +1,211 @@
+//===- lang/ASTPrinter.cpp --------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+
+#include "support/Format.h"
+
+using namespace gprof;
+
+namespace {
+
+const char *binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::LogicalAnd:
+    return "&&";
+  case BinaryOp::LogicalOr:
+    return "||";
+  }
+  return "?";
+}
+
+std::string bindingSuffix(NameBinding Binding, uint32_t Slot) {
+  switch (Binding) {
+  case NameBinding::Unresolved:
+    return "";
+  case NameBinding::Local:
+    return format(":local%u", Slot);
+  case NameBinding::Global:
+    return format(":global%u", Slot);
+  case NameBinding::Function:
+    return format(":fn%u", Slot);
+  }
+  return "";
+}
+
+/// Tree-printing walker.
+class Printer {
+public:
+  std::string run(const Program &P) {
+    for (const GlobalVarDecl &G : P.Globals)
+      line(format("global %s = %lld", G.Name.c_str(),
+                  static_cast<long long>(G.InitValue)));
+    for (const FunctionDecl &F : P.Functions) {
+      std::string Params;
+      for (size_t I = 0; I != F.Params.size(); ++I) {
+        if (I)
+          Params += ", ";
+        Params += F.Params[I];
+      }
+      line(format("fn %s(%s) [%u slots]", F.Name.c_str(), Params.c_str(),
+                  F.NumSlots));
+      Indent += 2;
+      if (F.Body)
+        printStmt(*F.Body);
+      Indent -= 2;
+    }
+    return std::move(Out);
+  }
+
+  void printStmt(const Stmt &S) {
+    switch (S.kind()) {
+    case StmtKind::Block: {
+      line("block");
+      Indent += 2;
+      for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
+        printStmt(*Child);
+      Indent -= 2;
+      return;
+    }
+    case StmtKind::VarDecl: {
+      const auto &Decl = static_cast<const VarDeclStmt &>(S);
+      line(format("var %s:slot%u%s", Decl.Name.c_str(), Decl.Slot,
+                  Decl.Init ? " =" : ""));
+      if (Decl.Init) {
+        Indent += 2;
+        line(printExpr(*Decl.Init));
+        Indent -= 2;
+      }
+      return;
+    }
+    case StmtKind::If: {
+      const auto &If = static_cast<const IfStmt &>(S);
+      line("if " + printExpr(*If.Cond));
+      Indent += 2;
+      printStmt(*If.Then);
+      Indent -= 2;
+      if (If.Else) {
+        line("else");
+        Indent += 2;
+        printStmt(*If.Else);
+        Indent -= 2;
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto &While = static_cast<const WhileStmt &>(S);
+      line("while " + printExpr(*While.Cond));
+      Indent += 2;
+      printStmt(*While.Body);
+      Indent -= 2;
+      return;
+    }
+    case StmtKind::Return: {
+      const auto &Ret = static_cast<const ReturnStmt &>(S);
+      line(Ret.Value ? "return " + printExpr(*Ret.Value) : "return");
+      return;
+    }
+    case StmtKind::Print: {
+      line("print " + printExpr(*static_cast<const PrintStmt &>(S).Value));
+      return;
+    }
+    case StmtKind::ExprStmt: {
+      line("expr " + printExpr(*static_cast<const ExprStmt &>(S).E));
+      return;
+    }
+    }
+  }
+
+private:
+  void line(const std::string &Text) {
+    Out += std::string(Indent, ' ') + Text + "\n";
+  }
+
+  std::string Out;
+  unsigned Indent = 0;
+};
+
+} // namespace
+
+std::string gprof::printExpr(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::IntLiteral:
+    return format("(int %lld)",
+                  static_cast<long long>(
+                      static_cast<const IntLiteralExpr &>(E).Value));
+  case ExprKind::NameRef: {
+    const auto &Ref = static_cast<const NameRefExpr &>(E);
+    return format("(var %s%s)", Ref.Name.c_str(),
+                  bindingSuffix(Ref.Binding, Ref.Slot).c_str());
+  }
+  case ExprKind::FuncAddr: {
+    const auto &Addr = static_cast<const FuncAddrExpr &>(E);
+    return format("(&%s)", Addr.Name.c_str());
+  }
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    return format("(%s %s)", Un.Op == UnaryOp::Neg ? "neg" : "not",
+                  printExpr(*Un.Operand).c_str());
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    return format("(%s %s %s)", binaryOpSpelling(Bin.Op),
+                  printExpr(*Bin.LHS).c_str(),
+                  printExpr(*Bin.RHS).c_str());
+  }
+  case ExprKind::Assign: {
+    const auto &Assign = static_cast<const AssignExpr &>(E);
+    return format("(= %s%s %s)", Assign.Name.c_str(),
+                  bindingSuffix(Assign.Binding, Assign.Slot).c_str(),
+                  printExpr(*Assign.Value).c_str());
+  }
+  case ExprKind::Call: {
+    const auto &Call = static_cast<const CallExpr &>(E);
+    if (Call.Builtin != BuiltinKind::None) {
+      std::string S =
+          Call.Builtin == BuiltinKind::Peek ? "(peek" : "(poke";
+      for (const ExprPtr &Arg : Call.Args)
+        S += " " + printExpr(*Arg);
+      S += ")";
+      return S;
+    }
+    std::string S = Call.IsDirect ? "(call-direct " : "(call-indirect ";
+    S += printExpr(*Call.Callee);
+    for (const ExprPtr &Arg : Call.Args)
+      S += " " + printExpr(*Arg);
+    S += ")";
+    return S;
+  }
+  }
+  return "(?)";
+}
+
+std::string gprof::printAST(const Program &P) {
+  Printer Pr;
+  return Pr.run(P);
+}

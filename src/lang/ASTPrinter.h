@@ -1,0 +1,32 @@
+//===- lang/ASTPrinter.h - Human-readable AST dumps ------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a TL Program as an indented tree, with Sema's resolution facts
+/// (slot numbers, binding kinds, direct-call targets) when present.  Used
+/// by 'tlc --dump-ast' and by tests pinning the parser's shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_ASTPRINTER_H
+#define GPROF_LANG_ASTPRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace gprof {
+
+/// Renders the whole translation unit.
+std::string printAST(const Program &P);
+
+/// Renders one expression subtree (single line, s-expression style),
+/// e.g. "(+ (var a) (int 2))".  Convenient for precedence tests.
+std::string printExpr(const Expr &E);
+
+} // namespace gprof
+
+#endif // GPROF_LANG_ASTPRINTER_H

@@ -1,0 +1,32 @@
+//===- lang/Diagnostics.cpp -----------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Diagnostics.h"
+
+#include "support/Format.h"
+
+using namespace gprof;
+
+std::string Diagnostic::render(const std::string &FileName) const {
+  const char *Kind = "error";
+  if (Severity == DiagSeverity::Warning)
+    Kind = "warning";
+  else if (Severity == DiagSeverity::Note)
+    Kind = "note";
+  if (!Loc.isValid())
+    return format("%s: %s: %s", FileName.c_str(), Kind, Message.c_str());
+  return format("%s:%u:%u: %s: %s", FileName.c_str(), Loc.Line, Loc.Column,
+                Kind, Message.c_str());
+}
+
+std::string DiagnosticEngine::renderAll(const std::string &FileName) const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render(FileName);
+    Out += '\n';
+  }
+  return Out;
+}

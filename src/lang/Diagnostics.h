@@ -1,0 +1,68 @@
+//===- lang/Diagnostics.h - Diagnostic collection for the TL compiler ----===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer, parser and semantic analysis report problems through a
+/// DiagnosticEngine rather than failing fast, so one compile surfaces as
+/// many errors as possible.  Messages follow the LLVM style guide: start
+/// lowercase, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_DIAGNOSTICS_H
+#define GPROF_LANG_DIAGNOSTICS_H
+
+#include "lang/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// Severity of a diagnostic.
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders "line:col: error: message".
+  std::string render(const std::string &FileName) const;
+};
+
+/// Accumulates diagnostics for one compilation.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++ErrorCount;
+  }
+
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return ErrorCount != 0; }
+  unsigned errorCount() const { return ErrorCount; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string renderAll(const std::string &FileName) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned ErrorCount = 0;
+};
+
+} // namespace gprof
+
+#endif // GPROF_LANG_DIAGNOSTICS_H

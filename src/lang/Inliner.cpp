@@ -1,0 +1,316 @@
+//===- lang/Inliner.cpp -----------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Inliner.h"
+
+#include "support/Format.h"
+
+#include <map>
+
+using namespace gprof;
+
+ExprPtr gprof::cloneExpr(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::IntLiteral: {
+    const auto &Lit = static_cast<const IntLiteralExpr &>(E);
+    return std::make_unique<IntLiteralExpr>(Lit.Value, Lit.loc());
+  }
+  case ExprKind::NameRef: {
+    const auto &Ref = static_cast<const NameRefExpr &>(E);
+    return std::make_unique<NameRefExpr>(Ref.Name, Ref.loc());
+  }
+  case ExprKind::FuncAddr: {
+    const auto &Addr = static_cast<const FuncAddrExpr &>(E);
+    return std::make_unique<FuncAddrExpr>(Addr.Name, Addr.loc());
+  }
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    return std::make_unique<UnaryExpr>(Un.Op, cloneExpr(*Un.Operand),
+                                       Un.loc());
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    return std::make_unique<BinaryExpr>(Bin.Op, cloneExpr(*Bin.LHS),
+                                        cloneExpr(*Bin.RHS), Bin.loc());
+  }
+  case ExprKind::Assign: {
+    const auto &Assign = static_cast<const AssignExpr &>(E);
+    return std::make_unique<AssignExpr>(
+        Assign.Name, cloneExpr(*Assign.Value), Assign.loc());
+  }
+  case ExprKind::Call: {
+    const auto &Call = static_cast<const CallExpr &>(E);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &Arg : Call.Args)
+      Args.push_back(cloneExpr(*Arg));
+    return std::make_unique<CallExpr>(cloneExpr(*Call.Callee),
+                                      std::move(Args), Call.loc());
+  }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Counts references to each name within an expression; returns false if
+/// the expression does something an inlinable body must not (assign, or
+/// reference a name that is not in \p AllowedParams).
+bool collectNameUses(const Expr &E,
+                     const std::vector<std::string> &AllowedParams,
+                     std::map<std::string, unsigned> &Uses,
+                     const Program &P) {
+  switch (E.kind()) {
+  case ExprKind::IntLiteral:
+    return true;
+  case ExprKind::NameRef: {
+    const auto &Ref = static_cast<const NameRefExpr &>(E);
+    for (const std::string &Param : AllowedParams)
+      if (Param == Ref.Name) {
+        ++Uses[Ref.Name];
+        return true;
+      }
+    // Function names are fine (they denote globals of the program);
+    // anything else would need the caller's scope.
+    return P.findFunction(Ref.Name) != ~0u;
+  }
+  case ExprKind::FuncAddr:
+    return true;
+  case ExprKind::Unary:
+    return collectNameUses(*static_cast<const UnaryExpr &>(E).Operand,
+                           AllowedParams, Uses, P);
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    return collectNameUses(*Bin.LHS, AllowedParams, Uses, P) &&
+           collectNameUses(*Bin.RHS, AllowedParams, Uses, P);
+  }
+  case ExprKind::Assign:
+    return false; // Assignments could mutate the caller's state.
+  case ExprKind::Call: {
+    const auto &Call = static_cast<const CallExpr &>(E);
+    if (!collectNameUses(*Call.Callee, AllowedParams, Uses, P))
+      return false;
+    for (const ExprPtr &Arg : Call.Args)
+      if (!collectNameUses(*Arg, AllowedParams, Uses, P))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+/// True if evaluating \p E cannot have side effects or traps worth
+/// preserving in order/count (literals and bare name reads).
+bool isDuplicationSafe(const Expr &E) {
+  return E.kind() == ExprKind::IntLiteral || E.kind() == ExprKind::NameRef;
+}
+
+/// Clones \p Body substituting parameter references via \p ParamToArg.
+ExprPtr substitute(const Expr &Body,
+                   const std::map<std::string, const Expr *> &ParamToArg) {
+  if (Body.kind() == ExprKind::NameRef) {
+    const auto &Ref = static_cast<const NameRefExpr &>(Body);
+    auto It = ParamToArg.find(Ref.Name);
+    if (It != ParamToArg.end())
+      return cloneExpr(*It->second);
+    return cloneExpr(Body);
+  }
+  switch (Body.kind()) {
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(Body);
+    return std::make_unique<UnaryExpr>(
+        Un.Op, substitute(*Un.Operand, ParamToArg), Un.loc());
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(Body);
+    return std::make_unique<BinaryExpr>(
+        Bin.Op, substitute(*Bin.LHS, ParamToArg),
+        substitute(*Bin.RHS, ParamToArg), Bin.loc());
+  }
+  case ExprKind::Call: {
+    const auto &Call = static_cast<const CallExpr &>(Body);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &Arg : Call.Args)
+      Args.push_back(substitute(*Arg, ParamToArg));
+    return std::make_unique<CallExpr>(substitute(*Call.Callee, ParamToArg),
+                                      std::move(Args), Call.loc());
+  }
+  default:
+    return cloneExpr(Body);
+  }
+}
+
+/// The inlining walker: rewrites call expressions in place.
+class InlinePass {
+public:
+  InlinePass(Program &P, const FunctionDecl &Target)
+      : P(P), Target(Target),
+        BodyExpr(static_cast<const ReturnStmt &>(*Target.Body->Body[0])
+                     .Value.get()) {}
+
+  unsigned run() {
+    for (FunctionDecl &F : P.Functions) {
+      if (F.Name == Target.Name)
+        continue; // Never expand a routine into itself.
+      walkStmt(*F.Body);
+    }
+    return Expanded;
+  }
+
+private:
+  void walkStmt(Stmt &S) {
+    switch (S.kind()) {
+    case StmtKind::Block:
+      for (StmtPtr &Child : static_cast<BlockStmt &>(S).Body)
+        walkStmt(*Child);
+      return;
+    case StmtKind::VarDecl: {
+      auto &Decl = static_cast<VarDeclStmt &>(S);
+      if (Decl.Init)
+        walkExpr(Decl.Init);
+      return;
+    }
+    case StmtKind::If: {
+      auto &If = static_cast<IfStmt &>(S);
+      walkExpr(If.Cond);
+      walkStmt(*If.Then);
+      if (If.Else)
+        walkStmt(*If.Else);
+      return;
+    }
+    case StmtKind::While: {
+      auto &While = static_cast<WhileStmt &>(S);
+      walkExpr(While.Cond);
+      walkStmt(*While.Body);
+      return;
+    }
+    case StmtKind::Return: {
+      auto &Ret = static_cast<ReturnStmt &>(S);
+      if (Ret.Value)
+        walkExpr(Ret.Value);
+      return;
+    }
+    case StmtKind::Print:
+      walkExpr(static_cast<PrintStmt &>(S).Value);
+      return;
+    case StmtKind::ExprStmt:
+      walkExpr(static_cast<ExprStmt &>(S).E);
+      return;
+    }
+  }
+
+  void walkExpr(ExprPtr &E) {
+    // Recurse first so nested calls inside arguments get expanded; the
+    // substituted body is NOT revisited (no recursive re-expansion).
+    switch (E->kind()) {
+    case ExprKind::Unary:
+      walkExpr(static_cast<UnaryExpr &>(*E).Operand);
+      break;
+    case ExprKind::Binary: {
+      auto &Bin = static_cast<BinaryExpr &>(*E);
+      walkExpr(Bin.LHS);
+      walkExpr(Bin.RHS);
+      break;
+    }
+    case ExprKind::Assign:
+      walkExpr(static_cast<AssignExpr &>(*E).Value);
+      break;
+    case ExprKind::Call: {
+      auto &Call = static_cast<CallExpr &>(*E);
+      walkExpr(Call.Callee);
+      for (ExprPtr &Arg : Call.Args)
+        walkExpr(Arg);
+      break;
+    }
+    default:
+      break;
+    }
+
+    if (E->kind() != ExprKind::Call)
+      return;
+    auto &Call = static_cast<CallExpr &>(*E);
+    if (Call.Callee->kind() != ExprKind::NameRef)
+      return;
+    if (static_cast<NameRefExpr &>(*Call.Callee).Name != Target.Name)
+      return;
+    if (Call.Args.size() != Target.Params.size())
+      return; // Sema will diagnose the arity error.
+
+    // Safety: a parameter used more than once may only bind a
+    // duplication-safe argument.
+    std::map<std::string, unsigned> Uses;
+    if (!collectNameUses(*BodyExpr, Target.Params, Uses, P))
+      return;
+    std::map<std::string, const Expr *> ParamToArg;
+    for (size_t I = 0; I != Target.Params.size(); ++I) {
+      const std::string &Param = Target.Params[I];
+      if (Uses[Param] > 1 && !isDuplicationSafe(*Call.Args[I]))
+        return;
+      // A parameter used zero times would *drop* the argument's side
+      // effects entirely; only allow that for safe arguments too.
+      if (Uses[Param] == 0 && !isDuplicationSafe(*Call.Args[I]))
+        return;
+      ParamToArg[Param] = Call.Args[I].get();
+    }
+
+    E = substitute(*BodyExpr, ParamToArg);
+    ++Expanded;
+  }
+
+  Program &P;
+  const FunctionDecl &Target;
+  const Expr *BodyExpr;
+  unsigned Expanded = 0;
+};
+
+} // namespace
+
+bool gprof::isInlinableFunction(const FunctionDecl &F) {
+  if (!F.Body || F.Body->Body.size() != 1)
+    return false;
+  const Stmt &Only = *F.Body->Body[0];
+  if (Only.kind() != StmtKind::Return)
+    return false;
+  const auto &Ret = static_cast<const ReturnStmt &>(Only);
+  // The free-name check needs the Program and happens in inlineCalls.
+  return Ret.Value != nullptr;
+}
+
+unsigned gprof::inlineCalls(Program &P,
+                            const std::vector<std::string> &Names,
+                            DiagnosticEngine &Diags) {
+  unsigned Total = 0;
+  for (const std::string &Name : Names) {
+    uint32_t Idx = P.findFunction(Name);
+    if (Idx == ~0u) {
+      Diags.error(SourceLocation(),
+                  format("cannot inline unknown routine '%s'",
+                         Name.c_str()));
+      continue;
+    }
+    const FunctionDecl &Target = P.Functions[Idx];
+    if (!isInlinableFunction(Target)) {
+      Diags.error(Target.Loc,
+                  format("routine '%s' is not inlinable (body must be a "
+                         "single return expression)",
+                         Name.c_str()));
+      continue;
+    }
+    // The body must not need the caller's scope.
+    std::map<std::string, unsigned> Uses;
+    const auto &Ret =
+        static_cast<const ReturnStmt &>(*Target.Body->Body[0]);
+    if (!collectNameUses(*Ret.Value, Target.Params, Uses, P)) {
+      Diags.error(Target.Loc,
+                  format("routine '%s' is not inlinable (body uses names "
+                         "other than its parameters)",
+                         Name.c_str()));
+      continue;
+    }
+    InlinePass Pass(P, Target);
+    Total += Pass.run();
+  }
+  return Total;
+}

@@ -1,0 +1,59 @@
+//===- lang/Inliner.h - Inline expansion of simple routines ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §6: "The easiest optimization ... If this format routine is
+/// expanded inline in the output routine, the overhead of a function call
+/// and return can be saved for each datum ... The drawback to inline
+/// expansion is that the data abstractions in the program may become less
+/// parameterized ... The profiling will also become less useful since the
+/// loss of routines will make its output more granular."
+///
+/// This pass implements that optimization for TL so the trade-off can be
+/// measured: calls to a named routine are replaced by its body when the
+/// routine is "simple" — a single `return expr;` whose only free names
+/// are its parameters (plus calls to other routines).  Parameters are
+/// substituted syntactically, with duplication allowed only for
+/// side-effect-free arguments.
+///
+/// The pass runs before semantic analysis and is name-capture-naive for
+/// function names, like the macro-style inlining of the era: a caller
+/// local shadowing a function name used by the inlined body would be
+/// captured.  Sema still checks the result, so such programs fail loudly
+/// rather than miscompile silently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_INLINER_H
+#define GPROF_LANG_INLINER_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// Deep-copies an expression tree (resolution state is not copied; run
+/// Sema afterwards).
+ExprPtr cloneExpr(const Expr &E);
+
+/// Returns true if \p F qualifies for inline expansion: body is a single
+/// `return expr;` whose name references are all parameters.
+bool isInlinableFunction(const FunctionDecl &F);
+
+/// Expands calls to each routine named in \p Names throughout \p P
+/// (except within the routine itself).  Unknown or non-inlinable names
+/// are diagnosed as errors.  Call sites whose arguments cannot be safely
+/// substituted (a side-effecting argument bound to a parameter used more
+/// than once) are left alone.  Returns the number of call sites expanded.
+unsigned inlineCalls(Program &P, const std::vector<std::string> &Names,
+                     DiagnosticEngine &Diags);
+
+} // namespace gprof
+
+#endif // GPROF_LANG_INLINER_H

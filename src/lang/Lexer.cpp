@@ -1,0 +1,267 @@
+//===- lang/Lexer.cpp ------------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace gprof;
+
+const char *gprof::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Invalid:
+    return "invalid token";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = TokenStart;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  int64_t Value = 0;
+  bool Overflow = false;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+    int Digit = advance() - '0';
+    if (Value > (INT64_MAX - Digit) / 10)
+      Overflow = true;
+    else
+      Value = Value * 10 + Digit;
+  }
+  if (Overflow)
+    Diags.error(TokenStart, "integer literal too large");
+  Token T = makeToken(TokenKind::Number);
+  T.Value = Value;
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  size_t Start = Pos;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    advance();
+  std::string_view Text = Source.substr(Start, Pos - Start);
+
+  TokenKind Kind = TokenKind::Identifier;
+  if (Text == "fn")
+    Kind = TokenKind::KwFn;
+  else if (Text == "var")
+    Kind = TokenKind::KwVar;
+  else if (Text == "if")
+    Kind = TokenKind::KwIf;
+  else if (Text == "else")
+    Kind = TokenKind::KwElse;
+  else if (Text == "while")
+    Kind = TokenKind::KwWhile;
+  else if (Text == "return")
+    Kind = TokenKind::KwReturn;
+  else if (Text == "print")
+    Kind = TokenKind::KwPrint;
+
+  Token T = makeToken(Kind);
+  if (Kind == TokenKind::Identifier)
+    T.Text = std::string(Text);
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  TokenStart = here();
+  if (atEnd())
+    return makeToken(TokenKind::EndOfFile);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case ';':
+    return makeToken(TokenKind::Semicolon);
+  case '+':
+    return makeToken(TokenKind::Plus);
+  case '-':
+    return makeToken(TokenKind::Minus);
+  case '*':
+    return makeToken(TokenKind::Star);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '%':
+    return makeToken(TokenKind::Percent);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqualEqual);
+    }
+    return makeToken(TokenKind::Assign);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::BangEqual);
+    }
+    return makeToken(TokenKind::Bang);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEqual);
+    }
+    return makeToken(TokenKind::Less);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEqual);
+    }
+    return makeToken(TokenKind::Greater);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeToken(TokenKind::AmpAmp);
+    }
+    return makeToken(TokenKind::Amp);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeToken(TokenKind::PipePipe);
+    }
+    Diags.error(TokenStart, "expected '||'");
+    return makeToken(TokenKind::Invalid);
+  default:
+    Diags.error(TokenStart, format("unexpected character '%c'", C));
+    return makeToken(TokenKind::Invalid);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    if (T.Kind == TokenKind::Invalid)
+      continue; // Already diagnosed; resynchronize on the next character.
+    Tokens.push_back(T);
+    if (Tokens.back().Kind == TokenKind::EndOfFile)
+      return Tokens;
+  }
+}

@@ -1,0 +1,50 @@
+//===- lang/Lexer.h - Hand-written lexer for TL ----------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_LEXER_H
+#define GPROF_LANG_LEXER_H
+
+#include "lang/Diagnostics.h"
+#include "lang/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace gprof {
+
+/// Converts TL source text to a token stream.  Malformed characters are
+/// reported through the DiagnosticEngine and skipped, so the parser always
+/// sees a well-formed stream ending in EndOfFile.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes the entire input.  The last token is always EndOfFile.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  void skipWhitespaceAndComments();
+  Token lexNumber();
+  Token lexIdentifierOrKeyword();
+  Token makeToken(TokenKind Kind);
+
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLocation here() const { return {Line, Column}; }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  SourceLocation TokenStart;
+};
+
+} // namespace gprof
+
+#endif // GPROF_LANG_LEXER_H

@@ -1,0 +1,454 @@
+//===- lang/Parser.cpp -----------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace gprof;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::EndOfFile) &&
+         "token stream must end in EOF");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // EOF
+  return Tokens[I];
+}
+
+Token Parser::consume() {
+  Token T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!current().is(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(current().Loc,
+              format("expected %s %s, found %s", tokenKindName(Kind),
+                     Context, tokenKindName(current().Kind)));
+  return false;
+}
+
+void Parser::synchronizeToDecl() {
+  while (!current().is(TokenKind::EndOfFile) &&
+         !current().is(TokenKind::KwFn) && !current().is(TokenKind::KwVar))
+    consume();
+}
+
+void Parser::synchronizeToStmt() {
+  while (!current().is(TokenKind::EndOfFile)) {
+    if (match(TokenKind::Semicolon))
+      return;
+    if (current().is(TokenKind::RBrace) || current().is(TokenKind::LBrace))
+      return;
+    consume();
+  }
+}
+
+Program Parser::parseProgram() {
+  Program P;
+  while (!current().is(TokenKind::EndOfFile)) {
+    if (current().is(TokenKind::KwFn)) {
+      parseFunction(P);
+    } else if (current().is(TokenKind::KwVar)) {
+      parseGlobal(P);
+    } else {
+      Diags.error(current().Loc,
+                  format("expected 'fn' or 'var' at top level, found %s",
+                         tokenKindName(current().Kind)));
+      consume();
+      synchronizeToDecl();
+    }
+  }
+  return P;
+}
+
+void Parser::parseFunction(Program &P) {
+  FunctionDecl F;
+  F.Loc = current().Loc;
+  expect(TokenKind::KwFn, "to begin function");
+  if (!current().is(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected function name after 'fn'");
+    synchronizeToDecl();
+    return;
+  }
+  F.Name = consume().Text;
+  if (!expect(TokenKind::LParen, "after function name")) {
+    synchronizeToDecl();
+    return;
+  }
+  if (!current().is(TokenKind::RParen)) {
+    do {
+      if (!current().is(TokenKind::Identifier)) {
+        Diags.error(current().Loc, "expected parameter name");
+        synchronizeToDecl();
+        return;
+      }
+      F.Params.push_back(consume().Text);
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "after parameters")) {
+    synchronizeToDecl();
+    return;
+  }
+  if (!current().is(TokenKind::LBrace)) {
+    Diags.error(current().Loc, "expected '{' to begin function body");
+    synchronizeToDecl();
+    return;
+  }
+  F.Body = parseBlock();
+  P.Functions.push_back(std::move(F));
+}
+
+void Parser::parseGlobal(Program &P) {
+  GlobalVarDecl G;
+  G.Loc = current().Loc;
+  expect(TokenKind::KwVar, "to begin global variable");
+  if (!current().is(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected variable name after 'var'");
+    synchronizeToDecl();
+    return;
+  }
+  G.Name = consume().Text;
+  if (match(TokenKind::Assign)) {
+    bool Negative = match(TokenKind::Minus);
+    if (!current().is(TokenKind::Number)) {
+      Diags.error(current().Loc,
+                  "global initializer must be an integer constant");
+      synchronizeToDecl();
+      return;
+    }
+    G.InitValue = consume().Value;
+    if (Negative)
+      G.InitValue = -G.InitValue;
+  }
+  expect(TokenKind::Semicolon, "after global variable");
+  P.Globals.push_back(std::move(G));
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::LBrace, "to begin block");
+  std::vector<StmtPtr> Body;
+  while (!current().is(TokenKind::RBrace) &&
+         !current().is(TokenKind::EndOfFile)) {
+    StmtPtr S = parseStatement();
+    if (S)
+      Body.push_back(std::move(S));
+  }
+  expect(TokenKind::RBrace, "to end block");
+  return std::make_unique<BlockStmt>(std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseStatement() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwVar: {
+    consume();
+    if (!current().is(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected variable name after 'var'");
+      synchronizeToStmt();
+      return nullptr;
+    }
+    std::string Name = consume().Text;
+    ExprPtr Init;
+    if (match(TokenKind::Assign))
+      Init = parseExpr();
+    expect(TokenKind::Semicolon, "after variable declaration");
+    return std::make_unique<VarDeclStmt>(std::move(Name), std::move(Init),
+                                         Loc);
+  }
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwReturn: {
+    consume();
+    ExprPtr Value;
+    if (!current().is(TokenKind::Semicolon))
+      Value = parseExpr();
+    expect(TokenKind::Semicolon, "after return statement");
+    return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  }
+  case TokenKind::KwPrint: {
+    consume();
+    ExprPtr Value = parseExpr();
+    expect(TokenKind::Semicolon, "after print statement");
+    if (!Value) {
+      synchronizeToStmt();
+      return nullptr;
+    }
+    return std::make_unique<PrintStmt>(std::move(Value), Loc);
+  }
+  default: {
+    ExprPtr E = parseExpr();
+    if (!E) {
+      synchronizeToStmt();
+      return nullptr;
+    }
+    expect(TokenKind::Semicolon, "after expression statement");
+    return std::make_unique<ExprStmt>(std::move(E), Loc);
+  }
+  }
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::KwIf, "to begin if statement");
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  if (!Cond || !current().is(TokenKind::LBrace)) {
+    if (Cond)
+      Diags.error(current().Loc, "expected '{' after if condition");
+    synchronizeToStmt();
+    return nullptr;
+  }
+  StmtPtr Then = parseBlock();
+  StmtPtr Else;
+  if (match(TokenKind::KwElse)) {
+    if (current().is(TokenKind::KwIf)) {
+      Else = parseIf();
+    } else if (current().is(TokenKind::LBrace)) {
+      Else = parseBlock();
+    } else {
+      Diags.error(current().Loc, "expected '{' or 'if' after 'else'");
+      synchronizeToStmt();
+    }
+  }
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::KwWhile, "to begin while statement");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  if (!Cond || !current().is(TokenKind::LBrace)) {
+    if (Cond)
+      Diags.error(current().Loc, "expected '{' after while condition");
+    synchronizeToStmt();
+    return nullptr;
+  }
+  StmtPtr Body = parseBlock();
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+ExprPtr Parser::parseAssignment() {
+  // 'IDENT = ...' is an assignment; anything else falls through to the
+  // operator grammar.
+  if (current().is(TokenKind::Identifier) &&
+      peek(1).is(TokenKind::Assign)) {
+    SourceLocation Loc = current().Loc;
+    std::string Name = consume().Text;
+    consume(); // '='
+    ExprPtr Value = parseAssignment();
+    if (!Value)
+      return nullptr;
+    return std::make_unique<AssignExpr>(std::move(Name), std::move(Value),
+                                        Loc);
+  }
+  return parseLogicalOr();
+}
+
+ExprPtr Parser::parseLogicalOr() {
+  ExprPtr LHS = parseLogicalAnd();
+  while (LHS && current().is(TokenKind::PipePipe)) {
+    SourceLocation Loc = consume().Loc;
+    ExprPtr RHS = parseLogicalAnd();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::LogicalOr, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseLogicalAnd() {
+  ExprPtr LHS = parseComparison();
+  while (LHS && current().is(TokenKind::AmpAmp)) {
+    SourceLocation Loc = consume().Loc;
+    ExprPtr RHS = parseComparison();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::LogicalAnd, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr LHS = parseAdditive();
+  if (!LHS)
+    return nullptr;
+  BinaryOp Op;
+  switch (current().Kind) {
+  case TokenKind::EqualEqual:
+    Op = BinaryOp::Eq;
+    break;
+  case TokenKind::BangEqual:
+    Op = BinaryOp::Ne;
+    break;
+  case TokenKind::Less:
+    Op = BinaryOp::Lt;
+    break;
+  case TokenKind::LessEqual:
+    Op = BinaryOp::Le;
+    break;
+  case TokenKind::Greater:
+    Op = BinaryOp::Gt;
+    break;
+  case TokenKind::GreaterEqual:
+    Op = BinaryOp::Ge;
+    break;
+  default:
+    return LHS;
+  }
+  SourceLocation Loc = consume().Loc;
+  ExprPtr RHS = parseAdditive();
+  if (!RHS)
+    return nullptr;
+  return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                      Loc);
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr LHS = parseMultiplicative();
+  while (LHS && (current().is(TokenKind::Plus) ||
+                 current().is(TokenKind::Minus))) {
+    BinaryOp Op = current().is(TokenKind::Plus) ? BinaryOp::Add
+                                                : BinaryOp::Sub;
+    SourceLocation Loc = consume().Loc;
+    ExprPtr RHS = parseMultiplicative();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr LHS = parseUnary();
+  while (LHS &&
+         (current().is(TokenKind::Star) || current().is(TokenKind::Slash) ||
+          current().is(TokenKind::Percent))) {
+    BinaryOp Op = BinaryOp::Mul;
+    if (current().is(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (current().is(TokenKind::Percent))
+      Op = BinaryOp::Mod;
+    SourceLocation Loc = consume().Loc;
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (current().is(TokenKind::Minus)) {
+    SourceLocation Loc = consume().Loc;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(Operand),
+                                       Loc);
+  }
+  if (current().is(TokenKind::Bang)) {
+    SourceLocation Loc = consume().Loc;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(Operand),
+                                       Loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (E && current().is(TokenKind::LParen)) {
+    SourceLocation Loc = consume().Loc;
+    std::vector<ExprPtr> Args;
+    if (!current().is(TokenKind::RParen)) {
+      do {
+        ExprPtr Arg = parseExpr();
+        if (!Arg)
+          return nullptr;
+        Args.push_back(std::move(Arg));
+      } while (match(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "after call arguments");
+    E = std::make_unique<CallExpr>(std::move(E), std::move(Args), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Number: {
+    int64_t Value = consume().Value;
+    return std::make_unique<IntLiteralExpr>(Value, Loc);
+  }
+  case TokenKind::Identifier: {
+    std::string Name = consume().Text;
+    return std::make_unique<NameRefExpr>(std::move(Name), Loc);
+  }
+  case TokenKind::Amp: {
+    consume();
+    if (!current().is(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected function name after '&'");
+      return nullptr;
+    }
+    std::string Name = consume().Text;
+    return std::make_unique<FuncAddrExpr>(std::move(Name), Loc);
+  }
+  case TokenKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  default:
+    Diags.error(Loc, format("expected expression, found %s",
+                            tokenKindName(current().Kind)));
+    return nullptr;
+  }
+}
+
+Program gprof::parseTL(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  return P.parseProgram();
+}

@@ -1,0 +1,66 @@
+//===- lang/Parser.h - Recursive-descent parser for TL ---------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_PARSER_H
+#define GPROF_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+#include "lang/Token.h"
+
+#include <vector>
+
+namespace gprof {
+
+/// Parses a token stream into a Program.  Errors are reported to the
+/// DiagnosticEngine; the parser recovers at statement/declaration
+/// boundaries so multiple errors surface from one run.  Callers must check
+/// DiagnosticEngine::hasErrors() before using the result.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses the whole translation unit.
+  Program parseProgram();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeToDecl();
+  void synchronizeToStmt();
+
+  void parseFunction(Program &P);
+  void parseGlobal(Program &P);
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStatement();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseLogicalOr();
+  ExprPtr parseLogicalAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+/// Convenience: lexes and parses \p Source in one step.
+Program parseTL(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace gprof
+
+#endif // GPROF_LANG_PARSER_H

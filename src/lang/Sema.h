@@ -1,0 +1,31 @@
+//===- lang/Sema.h - Semantic analysis for TL ------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and static checking for TL.  Sema binds every name
+/// reference to a parameter/local slot, a global index, or a function;
+/// validates call arity for direct calls; assigns frame slots; and requires
+/// a zero-parameter 'main' entry point.  Indirect calls through functional
+/// variables are checked at run time (their callee set is by nature
+/// dynamic — exactly why the paper's call sites can have several callees).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_SEMA_H
+#define GPROF_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+
+namespace gprof {
+
+/// Runs semantic analysis over \p P in place.  Returns true on success;
+/// on failure the diagnostics explain every problem found.
+bool analyze(Program &P, DiagnosticEngine &Diags);
+
+} // namespace gprof
+
+#endif // GPROF_LANG_SEMA_H

@@ -1,0 +1,26 @@
+//===- lang/SourceLocation.h - Source positions for diagnostics ----------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_SOURCELOCATION_H
+#define GPROF_LANG_SOURCELOCATION_H
+
+#include <cstdint>
+
+namespace gprof {
+
+/// A 1-based line/column position in a TL source file.  Line 0 denotes an
+/// unknown location.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLocation &) const = default;
+};
+
+} // namespace gprof
+
+#endif // GPROF_LANG_SOURCELOCATION_H

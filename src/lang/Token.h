@@ -1,0 +1,84 @@
+//===- lang/Token.h - Token kinds for the TL language ---------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TL is the small imperative language this reproduction uses to write the
+/// workloads that get profiled.  Its compiler plays the role of the paper's
+/// C/Fortran77/Pascal compilers: it "can insert calls to a monitoring
+/// routine in the prologue for each routine" (paper §3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_LANG_TOKEN_H
+#define GPROF_LANG_TOKEN_H
+
+#include "lang/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gprof {
+
+/// Lexical token kinds of TL.
+enum class TokenKind : uint8_t {
+  EndOfFile,
+  Identifier,
+  Number,
+
+  // Keywords.
+  KwFn,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwPrint,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semicolon,
+  Assign,     // =
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  Slash,      // /
+  Percent,    // %
+  Bang,       // !
+  Amp,        // & (function reference)
+  EqualEqual, // ==
+  BangEqual,  // !=
+  Less,       // <
+  LessEqual,  // <=
+  Greater,    // >
+  GreaterEqual, // >=
+  AmpAmp,     // &&
+  PipePipe,   // ||
+
+  Invalid,
+};
+
+/// Returns a printable spelling for diagnostics ("'=='", "identifier"...).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  SourceLocation Loc;
+  /// Identifier spelling (Identifier tokens only).
+  std::string Text;
+  /// Numeric value (Number tokens only).
+  int64_t Value = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace gprof
+
+#endif // GPROF_LANG_TOKEN_H

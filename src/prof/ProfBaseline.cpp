@@ -1,0 +1,101 @@
+//===- prof/ProfBaseline.cpp -----------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/ProfBaseline.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace gprof;
+
+ProfReport gprof::analyzeProf(const SymbolTable &Syms,
+                              const ProfileData &Data) {
+  ProfReport Report;
+  Report.Entries.resize(Syms.size());
+  for (uint32_t I = 0; I != Syms.size(); ++I)
+    Report.Entries[I].Name = Syms.symbol(I).Name;
+
+  // Self time from the histogram, prorated across bucket overlap — the
+  // same rule gprof uses; prof's output differs by what it *doesn't* do
+  // with the result, not by the sampling arithmetic.
+  if (!Data.Hist.empty() && Data.TicksPerSecond != 0) {
+    const double SecPerSample = 1.0 / static_cast<double>(Data.TicksPerSecond);
+    for (size_t B = 0; B != Data.Hist.numBuckets(); ++B) {
+      uint64_t Samples = Data.Hist.bucketCount(B);
+      if (Samples == 0)
+        continue;
+      Address Start = Data.Hist.bucketStart(B);
+      Address End = Data.Hist.bucketEnd(B);
+      double BucketSeconds = static_cast<double>(Samples) * SecPerSample;
+      double BucketLen = static_cast<double>(End - Start);
+      // Walk only the symbols overlapping this bucket.
+      uint32_t First = Syms.findContaining(Start);
+      if (First == NoSymbol) {
+        for (uint32_t I = 0; I != Syms.size(); ++I) {
+          if (Syms.symbol(I).Addr >= End)
+            break;
+          if (Syms.symbol(I).Addr >= Start) {
+            First = I;
+            break;
+          }
+        }
+      }
+      for (uint32_t I = First; I != NoSymbol && I < Syms.size(); ++I) {
+        const Symbol &S = Syms.symbol(I);
+        if (S.Addr >= End)
+          break;
+        Address Lo = std::max(S.Addr, Start);
+        Address Hi = std::min(S.Addr + S.Size, End);
+        if (Hi <= Lo)
+          continue;
+        Report.Entries[I].SelfTime +=
+            BucketSeconds * static_cast<double>(Hi - Lo) / BucketLen;
+      }
+    }
+  }
+
+  // prof's per-function call counters, recovered by summing the counts of
+  // arcs into each routine (including recursive calls: prof counted every
+  // activation).
+  for (const ArcRecord &R : Data.Arcs) {
+    uint32_t Callee = Syms.findContaining(R.SelfPc);
+    if (Callee != NoSymbol)
+      Report.Entries[Callee].Calls += R.Count;
+  }
+
+  for (const ProfEntry &E : Report.Entries)
+    Report.TotalTime += E.SelfTime;
+  std::sort(Report.Entries.begin(), Report.Entries.end(),
+            [](const ProfEntry &A, const ProfEntry &B) {
+              if (A.SelfTime != B.SelfTime)
+                return A.SelfTime > B.SelfTime;
+              if (A.Calls != B.Calls)
+                return A.Calls > B.Calls;
+              return A.Name < B.Name;
+            });
+  return Report;
+}
+
+std::string gprof::printProf(const ProfReport &Report) {
+  std::string Out;
+  Out += " %time  cumsecs  seconds    #call  ms/call  name\n";
+  double Cumulative = 0.0;
+  for (const ProfEntry &E : Report.Entries) {
+    if (E.SelfTime == 0.0 && E.Calls == 0)
+      continue;
+    Cumulative += E.SelfTime;
+    std::string Calls =
+        E.Calls == 0 ? ""
+                     : format("%llu", static_cast<unsigned long long>(E.Calls));
+    std::string PerCall = E.Calls == 0 ? "" : format("%.2f", E.msPerCall());
+    Out += format("%6s %8.2f %8.2f %8s %8s  %s\n",
+                  formatPercent(E.SelfTime, Report.TotalTime).c_str(),
+                  Cumulative, E.SelfTime, Calls.c_str(), PerCall.c_str(),
+                  E.Name.c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- prof/ProfBaseline.h - The prof(1) flat-only baseline ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The predecessor tool gprof was built to improve on [Unix]: "a table of
+/// each function listing the number of times it was called, the time spent
+/// in it, and the average time per call" — with no call-graph attribution
+/// at all.  It consumes the same gmon data (prof's per-function counters
+/// are recovered by summing incoming arc counts) and serves as the
+/// baseline comparator in the benches: it demonstrates the paper's
+/// motivating complaint that once "the time for an operation spread across
+/// the several functions", a flat profile stops telling you which
+/// abstraction is expensive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_PROF_PROFBASELINE_H
+#define GPROF_PROF_PROFBASELINE_H
+
+#include "core/SymbolTable.h"
+#include "gmon/ProfileData.h"
+
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// One row of the prof listing.
+struct ProfEntry {
+  std::string Name;
+  double SelfTime = 0.0;
+  uint64_t Calls = 0;
+
+  double msPerCall() const {
+    return Calls == 0 ? 0.0
+                      : SelfTime * 1000.0 / static_cast<double>(Calls);
+  }
+};
+
+/// The prof analysis result.
+struct ProfReport {
+  /// Rows in decreasing self-time order.
+  std::vector<ProfEntry> Entries;
+  double TotalTime = 0.0;
+};
+
+/// Runs the flat-only analysis (counts + self time; no propagation).
+ProfReport analyzeProf(const SymbolTable &Syms, const ProfileData &Data);
+
+/// Renders the classic prof table: %time, cumulative seconds, self
+/// seconds, calls, ms/call, name.
+std::string printProf(const ProfReport &Report);
+
+} // namespace gprof
+
+#endif // GPROF_PROF_PROFBASELINE_H

@@ -1,0 +1,182 @@
+//===- runtime/ArcTable.cpp ------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ArcTable.h"
+
+#include <cassert>
+
+using namespace gprof;
+
+ArcRecorder::~ArcRecorder() = default;
+
+//===----------------------------------------------------------------------===//
+// BsdArcTable
+//===----------------------------------------------------------------------===//
+
+BsdArcTable::BsdArcTable(Address LowPc, Address HighPc,
+                         uint32_t FromsDensity, uint32_t TosLimit)
+    : LowPc(LowPc), HighPc(HighPc), FromsDensity(FromsDensity),
+      TosLimit(TosLimit) {
+  assert(HighPc > LowPc && "empty text range");
+  assert(FromsDensity != 0 && "zero froms density");
+  size_t NumSlots =
+      static_cast<size_t>((HighPc - LowPc + FromsDensity - 1) /
+                          FromsDensity);
+  Froms.assign(NumSlots, 0);
+  Tos.reserve(256);
+  Tos.push_back({0, 0, 0}); // Index 0 is the chain terminator.
+}
+
+void BsdArcTable::record(Address FromPc, Address SelfPc) {
+  if (Overflow)
+    return; // "halt further profiling" once tos is exhausted.
+
+  if (FromPc < LowPc || FromPc >= HighPc) {
+    // Spontaneous/external call site: keep it exactly.
+    ++Outside[{FromPc, SelfPc}];
+    return;
+  }
+
+  size_t SlotIdx = static_cast<size_t>((FromPc - LowPc) / FromsDensity);
+  uint32_t Head = Froms[SlotIdx];
+
+  // "Since each call site typically calls only one callee, we can reduce
+  // (usually to one) the number of minor lookups based on the callee."
+  for (uint32_t I = Head; I != 0; I = Tos[I].Link) {
+    if (Tos[I].SelfPc == SelfPc) {
+      ++Tos[I].Count;
+      return;
+    }
+  }
+
+  if (Tos.size() > TosLimit) {
+    Overflow = true;
+    return;
+  }
+  uint32_t NewIdx = static_cast<uint32_t>(Tos.size());
+  Tos.push_back({SelfPc, 1, Head});
+  Froms[SlotIdx] = NewIdx;
+}
+
+std::vector<ArcRecord> BsdArcTable::snapshot() const {
+  std::vector<ArcRecord> Arcs;
+  for (size_t SlotIdx = 0; SlotIdx != Froms.size(); ++SlotIdx) {
+    // The reconstructed call site is the slot's base address; with
+    // FromsDensity > 1 this merges neighbouring call sites, exactly as a
+    // sub-unit hash fraction did in the original.
+    Address FromPc = LowPc + static_cast<Address>(SlotIdx) * FromsDensity;
+    for (uint32_t I = Froms[SlotIdx]; I != 0; I = Tos[I].Link)
+      Arcs.push_back({FromPc, Tos[I].SelfPc, Tos[I].Count});
+  }
+  for (const auto &[Key, Count] : Outside)
+    Arcs.push_back({Key.first, Key.second, Count});
+  return Arcs;
+}
+
+void BsdArcTable::reset() {
+  std::fill(Froms.begin(), Froms.end(), 0);
+  Tos.clear();
+  Tos.push_back({0, 0, 0});
+  Outside.clear();
+  Overflow = false;
+}
+
+size_t BsdArcTable::memoryBytes() const {
+  return Froms.capacity() * sizeof(uint32_t) +
+         Tos.capacity() * sizeof(TosEntry);
+}
+
+//===----------------------------------------------------------------------===//
+// OpenAddressingArcTable
+//===----------------------------------------------------------------------===//
+
+OpenAddressingArcTable::OpenAddressingArcTable(size_t InitialCapacity) {
+  size_t Cap = 16;
+  while (Cap < InitialCapacity)
+    Cap <<= 1;
+  Slots.assign(Cap, Slot());
+}
+
+uint64_t OpenAddressingArcTable::hashPair(Address FromPc, Address SelfPc) {
+  // SplitMix64-style finalizer over the combined pair.
+  uint64_t H = FromPc * 0x9e3779b97f4a7c15ULL ^ SelfPc;
+  H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  H = (H ^ (H >> 27)) * 0x94d049bb133111ebULL;
+  return H ^ (H >> 31);
+}
+
+void OpenAddressingArcTable::record(Address FromPc, Address SelfPc) {
+  size_t Mask = Slots.size() - 1;
+  size_t Idx = static_cast<size_t>(hashPair(FromPc, SelfPc)) & Mask;
+  while (true) {
+    Slot &S = Slots[Idx];
+    if (S.Count == 0) {
+      S.FromPc = FromPc;
+      S.SelfPc = SelfPc;
+      S.Count = 1;
+      if (++Used * 4 > Slots.size() * 3)
+        grow();
+      return;
+    }
+    if (S.FromPc == FromPc && S.SelfPc == SelfPc) {
+      ++S.Count;
+      return;
+    }
+    Idx = (Idx + 1) & Mask;
+  }
+}
+
+void OpenAddressingArcTable::grow() {
+  std::vector<Slot> Old = std::move(Slots);
+  Slots.assign(Old.size() * 2, Slot());
+  Used = 0;
+  size_t Mask = Slots.size() - 1;
+  for (const Slot &S : Old) {
+    if (S.Count == 0)
+      continue;
+    size_t Idx = static_cast<size_t>(hashPair(S.FromPc, S.SelfPc)) & Mask;
+    while (Slots[Idx].Count != 0)
+      Idx = (Idx + 1) & Mask;
+    Slots[Idx] = S;
+    ++Used;
+  }
+}
+
+std::vector<ArcRecord> OpenAddressingArcTable::snapshot() const {
+  std::vector<ArcRecord> Arcs;
+  Arcs.reserve(Used);
+  for (const Slot &S : Slots)
+    if (S.Count != 0)
+      Arcs.push_back({S.FromPc, S.SelfPc, S.Count});
+  return Arcs;
+}
+
+void OpenAddressingArcTable::reset() {
+  std::fill(Slots.begin(), Slots.end(), Slot());
+  Used = 0;
+}
+
+size_t OpenAddressingArcTable::memoryBytes() const {
+  return Slots.capacity() * sizeof(Slot);
+}
+
+//===----------------------------------------------------------------------===//
+// StdMapArcTable
+//===----------------------------------------------------------------------===//
+
+void StdMapArcTable::record(Address FromPc, Address SelfPc) {
+  ++Counts[{FromPc, SelfPc}];
+}
+
+std::vector<ArcRecord> StdMapArcTable::snapshot() const {
+  std::vector<ArcRecord> Arcs;
+  Arcs.reserve(Counts.size());
+  for (const auto &[Key, Count] : Counts)
+    Arcs.push_back({Key.first, Key.second, Count});
+  return Arcs;
+}
+
+void StdMapArcTable::reset() { Counts.clear(); }

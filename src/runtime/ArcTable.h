@@ -1,0 +1,146 @@
+//===- runtime/ArcTable.h - The mcount arc-recording data structures -----===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The monitoring routine's table of call-graph arcs (paper §3.1): "the
+/// monitoring routine maintains a table of all the arcs discovered, with
+/// counts of the numbers of times each is traversed ... Access to it must
+/// be as fast as possible so as not to overwhelm the time required to
+/// execute the program."
+///
+/// Three implementations share the ArcRecorder interface (swapped through
+/// a single "late bound" call, as the retrospective puts it):
+///
+///  - BsdArcTable: the paper's design.  A froms[] array directly indexed
+///    by scaled call-site address ("our hash function is trivial to
+///    calculate") heads short chains of (callee, count) records in tos[].
+///    "Collisions occur only for call sites that call multiple
+///    destinations (e.g. functional parameters and functional variables)."
+///    With FromsDensity > 1 several call sites share a slot, reproducing
+///    the space/precision trade of a sub-unit hash fraction.
+///  - OpenAddressingArcTable: a modern (from, to)-keyed open-addressing
+///    hash table, the "one level hash function using both call site and
+///    callee" the paper rejects as needing "an unreasonably large hash
+///    table" — benchmarked against BSD in E5.
+///  - StdMapArcTable: std::unordered_map reference implementation used as
+///    a correctness oracle and microbenchmark baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_RUNTIME_ARCTABLE_H
+#define GPROF_RUNTIME_ARCTABLE_H
+
+#include "gmon/ProfileData.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace gprof {
+
+/// Interface of an arc-recording table.
+class ArcRecorder {
+public:
+  virtual ~ArcRecorder();
+
+  /// Records one traversal of the arc from call site \p FromPc to the
+  /// routine entered at \p SelfPc.  Called once per profiled call — the
+  /// hot path.
+  virtual void record(Address FromPc, Address SelfPc) = 0;
+
+  /// Condenses the table to arc records (order unspecified).
+  virtual std::vector<ArcRecord> snapshot() const = 0;
+
+  /// Clears all recorded arcs.
+  virtual void reset() = 0;
+
+  /// True if capacity was exhausted and some traversals were dropped
+  /// (mcount's "tos overflow" condition).
+  virtual bool overflowed() const { return false; }
+};
+
+/// The BSD mcount design: froms[] directly indexed by scaled call-site
+/// address; tos[] chains of per-callee counters.
+class BsdArcTable : public ArcRecorder {
+public:
+  /// Covers call sites in [LowPc, HighPc).  \p FromsDensity is the number
+  /// of code addresses sharing one froms[] slot (1 = the one-to-one
+  /// mapping the retrospective celebrates).  \p TosLimit bounds the number
+  /// of distinct arcs; beyond it recording stops and overflowed() becomes
+  /// true.  Call sites outside the range (spontaneous activations) are
+  /// kept exactly in a side map so the entry function's incoming arc
+  /// survives condensation.
+  BsdArcTable(Address LowPc, Address HighPc, uint32_t FromsDensity = 1,
+              uint32_t TosLimit = 1u << 20);
+
+  void record(Address FromPc, Address SelfPc) override;
+  std::vector<ArcRecord> snapshot() const override;
+  void reset() override;
+  bool overflowed() const override { return Overflow; }
+
+  /// Bytes of memory held by froms[] + tos[] (for the E5 space column).
+  size_t memoryBytes() const;
+
+private:
+  struct TosEntry {
+    Address SelfPc;
+    uint64_t Count;
+    uint32_t Link; ///< Next entry in this froms chain; 0 terminates.
+  };
+
+  Address LowPc;
+  Address HighPc;
+  uint32_t FromsDensity;
+  uint32_t TosLimit;
+  /// Indexed by (FromPc - LowPc) / FromsDensity; value is a tos[] index
+  /// (0 = empty chain; tos[0] is a reserved sentinel).
+  std::vector<uint32_t> Froms;
+  std::vector<TosEntry> Tos;
+  /// Arcs whose call site lies outside [LowPc, HighPc).
+  std::map<std::pair<Address, Address>, uint64_t> Outside;
+  bool Overflow = false;
+};
+
+/// Open-addressing table keyed on the (FromPc, SelfPc) pair.
+class OpenAddressingArcTable : public ArcRecorder {
+public:
+  explicit OpenAddressingArcTable(size_t InitialCapacity = 1024);
+
+  void record(Address FromPc, Address SelfPc) override;
+  std::vector<ArcRecord> snapshot() const override;
+  void reset() override;
+
+  size_t memoryBytes() const;
+
+private:
+  struct Slot {
+    Address FromPc = 0;
+    Address SelfPc = 0;
+    uint64_t Count = 0; ///< 0 means the slot is empty.
+  };
+
+  void grow();
+  static uint64_t hashPair(Address FromPc, Address SelfPc);
+
+  std::vector<Slot> Slots;
+  size_t Used = 0;
+};
+
+/// std::map-based oracle (ordered, so snapshots are deterministic).
+class StdMapArcTable : public ArcRecorder {
+public:
+  void record(Address FromPc, Address SelfPc) override;
+  std::vector<ArcRecord> snapshot() const override;
+  void reset() override;
+
+private:
+  std::map<std::pair<Address, Address>, uint64_t> Counts;
+};
+
+} // namespace gprof
+
+#endif // GPROF_RUNTIME_ARCTABLE_H

@@ -1,0 +1,55 @@
+//===- runtime/Monitor.cpp -------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Monitor.h"
+
+using namespace gprof;
+
+Monitor::Monitor(Address LowPc, Address HighPc, MonitorOptions Opts)
+    : LowPc(LowPc), HighPc(HighPc), Opts(Opts),
+      Hist(LowPc, HighPc, Opts.HistBucketSize) {
+  Arcs = makeTable();
+}
+
+std::unique_ptr<ArcRecorder> Monitor::makeTable() const {
+  switch (Opts.TableKind) {
+  case ArcTableKind::Bsd:
+    return std::make_unique<BsdArcTable>(LowPc, HighPc, Opts.FromsDensity,
+                                         Opts.TosLimit);
+  case ArcTableKind::OpenAddressing:
+    return std::make_unique<OpenAddressingArcTable>();
+  case ArcTableKind::StdMap:
+    return std::make_unique<StdMapArcTable>();
+  }
+  return nullptr;
+}
+
+void Monitor::onCall(Address FromPc, Address SelfPc) {
+  if (!Running || !Opts.RecordArcs)
+    return;
+  Arcs->record(FromPc, SelfPc);
+}
+
+void Monitor::onTick(Address Pc) {
+  if (!Running || !Opts.SampleHistogram)
+    return;
+  Hist.recordPc(Pc);
+}
+
+void Monitor::reset() {
+  Arcs->reset();
+  Hist = Histogram(LowPc, HighPc, Opts.HistBucketSize);
+}
+
+ProfileData Monitor::extract() const {
+  ProfileData Data;
+  Data.Hist = Hist;
+  Data.Arcs = Arcs->snapshot();
+  Data.TicksPerSecond = Opts.TicksPerSecond;
+  Data.RunCount = 1;
+  Data.ArcTableOverflowed = Arcs->overflowed();
+  return Data;
+}

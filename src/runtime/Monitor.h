@@ -1,0 +1,102 @@
+//===- runtime/Monitor.h - The profiling monitor and its control API ------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime half of the profiler (paper §3): "The first part allocates
+/// and initializes the runtime monitoring data structures before the
+/// program begins execution [monstartup].  The second part is the
+/// monitoring routine invoked from the prologue of each profiled routine
+/// [record]. The third part condenses the data structures and writes them
+/// to a file as the program terminates [finish]."
+///
+/// Monitor also exposes the retrospective's kernel-profiling control
+/// interface: "The programmer's interface allowed us to turn the profiler
+/// on and off, extract the profiling data, and reset the data" — so a
+/// long-running process can be profiled in slices without going down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_RUNTIME_MONITOR_H
+#define GPROF_RUNTIME_MONITOR_H
+
+#include "gmon/ProfileData.h"
+#include "runtime/ArcTable.h"
+#include "vm/VM.h"
+
+#include <memory>
+
+namespace gprof {
+
+/// Which arc table implementation the monitor uses.
+enum class ArcTableKind { Bsd, OpenAddressing, StdMap };
+
+/// Monitor configuration.
+struct MonitorOptions {
+  /// Histogram bucket granularity in code addresses.  1 gives the
+  /// retrospective's one-to-one PC↔bucket mapping; larger values give "a
+  /// finer or coarser histogram" trading space for precision.
+  uint64_t HistBucketSize = 1;
+  /// Clock ticks per second of program time; pairs with the VM's
+  /// CyclesPerTick to convert samples to seconds.
+  uint64_t TicksPerSecond = 60;
+  /// Arc table selection and sizing.
+  ArcTableKind TableKind = ArcTableKind::Bsd;
+  uint32_t FromsDensity = 1;
+  uint32_t TosLimit = 1u << 20;
+  /// Individual halves of the profiler can be disabled (bench E4 measures
+  /// histogram-only vs full profiling overhead).
+  bool RecordArcs = true;
+  bool SampleHistogram = true;
+};
+
+/// The profiling monitor.  Attach to a VM with VM::setHooks(&Monitor).
+class Monitor : public ProfileHooks {
+public:
+  /// monstartup: sizes the data structures for text range
+  /// [LowPc, HighPc).
+  Monitor(Address LowPc, Address HighPc,
+          MonitorOptions Opts = MonitorOptions());
+
+  // ProfileHooks implementation (the monitoring routine proper).
+  void onCall(Address FromPc, Address SelfPc) override;
+  void onTick(Address Pc) override;
+
+  /// moncontrol: starts or stops data gathering.  While stopped, profiled
+  /// routines still execute their prologue call but nothing is recorded
+  /// (matching moncontrol(0) semantics: profiling off, program running).
+  void control(bool Run) { Running = Run; }
+  bool isRunning() const { return Running; }
+
+  /// Zeroes the arc table and histogram (kernel interface "reset").
+  void reset();
+
+  /// Snapshots the current data without disturbing collection (kernel
+  /// interface "extract").
+  ProfileData extract() const;
+
+  /// Condenses the final data, as done "as the profiled program exits".
+  /// The monitor keeps collecting if execution continues afterwards.
+  ProfileData finish() const { return extract(); }
+
+  /// True if the arc table overflowed and dropped arcs.
+  bool arcTableOverflowed() const { return Arcs && Arcs->overflowed(); }
+
+  const MonitorOptions &options() const { return Opts; }
+
+private:
+  std::unique_ptr<ArcRecorder> makeTable() const;
+
+  Address LowPc;
+  Address HighPc;
+  MonitorOptions Opts;
+  std::unique_ptr<ArcRecorder> Arcs;
+  Histogram Hist;
+  bool Running = true;
+};
+
+} // namespace gprof
+
+#endif // GPROF_RUNTIME_MONITOR_H

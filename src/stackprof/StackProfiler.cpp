@@ -1,0 +1,110 @@
+//===- stackprof/StackProfiler.cpp -----------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stackprof/StackProfiler.h"
+
+#include <algorithm>
+
+using namespace gprof;
+
+const StackProfile::FunctionTimes *
+StackProfile::find(const std::string &Name) const {
+  for (const FunctionTimes &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+double StackProfile::arcTime(const std::string &Caller,
+                             const std::string &Callee) const {
+  const FunctionTimes *From = find(Caller);
+  const FunctionTimes *To = find(Callee);
+  if (!From || !To)
+    return 0.0;
+  for (const ArcTimes &A : Arcs)
+    if (A.CallerAddr == From->Addr && A.CalleeAddr == To->Addr)
+      return A.Time;
+  return 0.0;
+}
+
+StackSampleProfiler::StackSampleProfiler(uint64_t TicksPerSecond)
+    : TicksPerSecond(TicksPerSecond) {}
+
+void StackSampleProfiler::onCall(Address, Address) {
+  // Stack sampling needs no per-call bookkeeping: that is its whole
+  // point (the overhead moved from every call to every sample).
+}
+
+void StackSampleProfiler::onTick(Address) {
+  // Work happens in onTickStack, which the VM calls for the same tick.
+}
+
+void StackSampleProfiler::onTickStack(const std::vector<Address> &Stack,
+                                      Address) {
+  ++Samples;
+  if (Stack.empty())
+    return;
+
+  // Self time: the innermost frame.
+  ++SelfTicks[Stack.back()];
+
+  // Inclusive time: each distinct function once, even if it appears in
+  // several (recursive) frames.
+  Dedup.assign(Stack.begin(), Stack.end());
+  std::sort(Dedup.begin(), Dedup.end());
+  Dedup.erase(std::unique(Dedup.begin(), Dedup.end()), Dedup.end());
+  for (Address Fn : Dedup)
+    ++InclusiveTicks[Fn];
+
+  // Arc time: each distinct caller->callee adjacency once per tick.
+  std::vector<std::pair<Address, Address>> Pairs;
+  for (size_t I = 0; I + 1 < Stack.size(); ++I)
+    Pairs.emplace_back(Stack[I], Stack[I + 1]);
+  std::sort(Pairs.begin(), Pairs.end());
+  Pairs.erase(std::unique(Pairs.begin(), Pairs.end()), Pairs.end());
+  for (const auto &P : Pairs)
+    ++ArcTicks[P];
+}
+
+void StackSampleProfiler::reset() {
+  Samples = 0;
+  SelfTicks.clear();
+  InclusiveTicks.clear();
+  ArcTicks.clear();
+}
+
+StackProfile StackSampleProfiler::buildProfile(const SymbolTable &Syms) const {
+  StackProfile Profile;
+  const double SecPerTick =
+      TicksPerSecond == 0 ? 0.0 : 1.0 / static_cast<double>(TicksPerSecond);
+  Profile.TotalTime = static_cast<double>(Samples) * SecPerTick;
+
+  auto NameOf = [&Syms](Address A) -> std::string {
+    uint32_t I = Syms.findContaining(A);
+    return I == NoSymbol ? std::string("<unknown>") : Syms.symbol(I).Name;
+  };
+
+  for (const auto &[Addr, Ticks] : InclusiveTicks) {
+    StackProfile::FunctionTimes F;
+    F.Name = NameOf(Addr);
+    F.Addr = Addr;
+    F.InclusiveTime = static_cast<double>(Ticks) * SecPerTick;
+    auto SelfIt = SelfTicks.find(Addr);
+    if (SelfIt != SelfTicks.end())
+      F.SelfTime = static_cast<double>(SelfIt->second) * SecPerTick;
+    Profile.Functions.push_back(std::move(F));
+  }
+  std::sort(Profile.Functions.begin(), Profile.Functions.end(),
+            [](const auto &A, const auto &B) {
+              return A.InclusiveTime > B.InclusiveTime;
+            });
+
+  for (const auto &[Pair, Ticks] : ArcTicks)
+    Profile.Arcs.push_back(
+        {Pair.first, Pair.second,
+         static_cast<double>(Ticks) * SecPerTick});
+  return Profile;
+}

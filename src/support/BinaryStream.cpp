@@ -1,0 +1,104 @@
+//===- support/BinaryStream.cpp -------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinaryStream.h"
+
+#include "support/Format.h"
+
+#include <cstring>
+
+using namespace gprof;
+
+void BinaryWriter::writeF64(double V) {
+  static_assert(sizeof(double) == sizeof(uint64_t),
+                "IEEE-754 binary64 expected");
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  writeU64(Bits);
+}
+
+void BinaryWriter::writeString(std::string_view S) {
+  writeU32(static_cast<uint32_t>(S.size()));
+  writeBytes(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+}
+
+Error BinaryReader::checkAvailable(size_t N) {
+  if (Size - Pos < N)
+    return Error::failure(format(
+        "truncated input: need %zu bytes at offset %zu, have %zu", N, Pos,
+        Size - Pos));
+  return Error::success();
+}
+
+Expected<uint8_t> BinaryReader::readU8() {
+  if (Error E = checkAvailable(1))
+    return E;
+  return Data[Pos++];
+}
+
+Expected<uint16_t> BinaryReader::readU16() {
+  if (Error E = checkAvailable(2))
+    return E;
+  uint16_t V = static_cast<uint16_t>(Data[Pos]) |
+               static_cast<uint16_t>(Data[Pos + 1]) << 8;
+  Pos += 2;
+  return V;
+}
+
+Expected<uint32_t> BinaryReader::readU32() {
+  if (Error E = checkAvailable(4))
+    return E;
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(Data[Pos + I]) << (8 * I);
+  Pos += 4;
+  return V;
+}
+
+Expected<uint64_t> BinaryReader::readU64() {
+  if (Error E = checkAvailable(8))
+    return E;
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(Data[Pos + I]) << (8 * I);
+  Pos += 8;
+  return V;
+}
+
+Expected<int64_t> BinaryReader::readI64() {
+  auto V = readU64();
+  if (!V)
+    return V.takeError();
+  return static_cast<int64_t>(*V);
+}
+
+Expected<double> BinaryReader::readF64() {
+  auto Bits = readU64();
+  if (!Bits)
+    return Bits.takeError();
+  double V;
+  std::memcpy(&V, &*Bits, sizeof(V));
+  return V;
+}
+
+Expected<std::string> BinaryReader::readString() {
+  auto Len = readU32();
+  if (!Len)
+    return Len.takeError();
+  if (Error E = checkAvailable(*Len))
+    return E;
+  std::string S(reinterpret_cast<const char *>(Data + Pos), *Len);
+  Pos += *Len;
+  return S;
+}
+
+Expected<std::vector<uint8_t>> BinaryReader::readBytes(size_t N) {
+  if (Error E = checkAvailable(N))
+    return E;
+  std::vector<uint8_t> Out(Data + Pos, Data + Pos + N);
+  Pos += N;
+  return Out;
+}

@@ -1,0 +1,100 @@
+//===- support/BinaryStream.h - Little-endian binary (de)serialization ---===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-oriented writer/reader used by the gmon profile file format and the
+/// VM executable image.  All multi-byte quantities are little-endian and
+/// written byte-by-byte so the format is independent of host endianness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_BINARYSTREAM_H
+#define GPROF_SUPPORT_BINARYSTREAM_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gprof {
+
+/// Appends little-endian encoded values to a growable byte buffer.
+class BinaryWriter {
+public:
+  void writeU8(uint8_t V) { Bytes.push_back(V); }
+
+  void writeU16(uint16_t V) {
+    writeU8(static_cast<uint8_t>(V));
+    writeU8(static_cast<uint8_t>(V >> 8));
+  }
+
+  void writeU32(uint32_t V) {
+    writeU16(static_cast<uint16_t>(V));
+    writeU16(static_cast<uint16_t>(V >> 16));
+  }
+
+  void writeU64(uint64_t V) {
+    writeU32(static_cast<uint32_t>(V));
+    writeU32(static_cast<uint32_t>(V >> 32));
+  }
+
+  void writeI64(int64_t V) { writeU64(static_cast<uint64_t>(V)); }
+
+  void writeF64(double V);
+
+  /// Writes a length-prefixed UTF-8 string (u32 length + bytes).
+  void writeString(std::string_view S);
+
+  /// Appends raw bytes.
+  void writeBytes(const uint8_t *Data, size_t Size) {
+    Bytes.insert(Bytes.end(), Data, Data + Size);
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::vector<uint8_t> takeBytes() { return std::move(Bytes); }
+  size_t size() const { return Bytes.size(); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Reads little-endian encoded values from a byte buffer.  All read methods
+/// fail (rather than assert) on truncated input so corrupted profile files
+/// are reported as recoverable errors.
+class BinaryReader {
+public:
+  BinaryReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit BinaryReader(const std::vector<uint8_t> &Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  Expected<uint8_t> readU8();
+  Expected<uint16_t> readU16();
+  Expected<uint32_t> readU32();
+  Expected<uint64_t> readU64();
+  Expected<int64_t> readI64();
+  Expected<double> readF64();
+  Expected<std::string> readString();
+
+  /// Reads exactly \p N raw bytes.
+  Expected<std::vector<uint8_t>> readBytes(size_t N);
+
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+private:
+  Error checkAvailable(size_t N);
+
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_BINARYSTREAM_H

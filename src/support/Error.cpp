@@ -1,0 +1,16 @@
+//===- support/Error.cpp --------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+
+using namespace gprof;
+
+void gprof::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  std::abort();
+}

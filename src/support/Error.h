@@ -1,0 +1,180 @@
+//===- support/Error.h - Lightweight recoverable error handling ----------===//
+//
+// Part of the gprof-repro project: a reproduction of "gprof: a Call Graph
+// Execution Profiler" (Graham, Kessler, McKusick; PLDI 1982).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small exception-free error-handling scheme in the style of LLVM's
+/// Error/Expected.  Fallible operations return Error (void result) or
+/// Expected<T>.  In builds with assertions enabled, destroying an Error or a
+/// failed Expected without inspecting it aborts, which catches dropped
+/// errors early.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_ERROR_H
+#define GPROF_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace gprof {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// A default-constructed Error is a success value.  Error is move-only; it
+/// must be checked (converted to bool, or its message taken) before it is
+/// destroyed.
+class Error {
+public:
+  /// Creates a success value.
+  Error() = default;
+
+  /// Creates a failure value carrying \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Msg = std::move(Message);
+    E.Failed = true;
+    return E;
+  }
+
+  /// Creates a success value (for symmetry with failure()).
+  static Error success() { return Error(); }
+
+  Error(const Error &) = delete;
+  Error &operator=(const Error &) = delete;
+
+  Error(Error &&Other) noexcept { moveFrom(std::move(Other)); }
+
+  Error &operator=(Error &&Other) noexcept {
+    if (this != &Other) {
+      assertChecked();
+      moveFrom(std::move(Other));
+    }
+    return *this;
+  }
+
+  ~Error() { assertChecked(); }
+
+  /// Tests for failure; marks the error as checked.
+  explicit operator bool() {
+    Checked = true;
+    return Failed;
+  }
+
+  /// Returns the failure message.  Only valid on failure values.
+  const std::string &message() const {
+    assert(Failed && "message() on a success value");
+    return Msg;
+  }
+
+  /// Returns true if this is a failure value without marking it checked.
+  /// Intended for tests and diagnostics only.
+  bool isFailure() const { return Failed; }
+
+private:
+  void moveFrom(Error &&Other) {
+    Msg = std::move(Other.Msg);
+    Failed = Other.Failed;
+    Checked = Other.Checked;
+    Other.Failed = false;
+    Other.Checked = true;
+  }
+
+  void assertChecked() const {
+    assert((Checked || !Failed) && "dropped an unchecked gprof::Error");
+  }
+
+  std::string Msg;
+  bool Failed = false;
+  bool Checked = true;
+};
+
+/// Either a value of type \p T or an Error.
+///
+/// Converts to true on success.  On success the value is reached through
+/// operator* / operator->; on failure takeError() extracts the Error.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Val(std::move(Value)), HasValue(true) {}
+
+  /// Constructs a failure value from \p E (which must be a failure).
+  Expected(Error E) : Err(std::move(E)), HasValue(false) {
+    assert(Err.isFailure() && "Expected constructed from success Error");
+  }
+
+  Expected(const Expected &) = delete;
+  Expected &operator=(const Expected &) = delete;
+  Expected(Expected &&) = default;
+  Expected &operator=(Expected &&) = default;
+
+  /// Tests for success; marks a contained error as checked.
+  explicit operator bool() {
+    if (!HasValue)
+      (void)static_cast<bool>(Err);
+    return HasValue;
+  }
+
+  /// Returns the contained value.  Only valid on success.
+  T &operator*() {
+    assert(HasValue && "dereferencing a failed Expected");
+    return Val;
+  }
+  const T &operator*() const {
+    assert(HasValue && "dereferencing a failed Expected");
+    return Val;
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+  /// Moves the contained value out.  Only valid on success.
+  T takeValue() {
+    assert(HasValue && "takeValue() on a failed Expected");
+    return std::move(Val);
+  }
+
+  /// Extracts the error (success Error if this holds a value).
+  Error takeError() {
+    if (HasValue)
+      return Error::success();
+    return std::move(Err);
+  }
+
+  /// Returns the failure message.  Only valid on failure values.
+  const std::string &message() const { return Err.message(); }
+
+  /// Returns true if this holds a value, without marking errors checked.
+  bool hasValue() const { return HasValue; }
+
+private:
+  T Val{};
+  Error Err;
+  bool HasValue;
+};
+
+/// Aborts the process after printing \p Message.  For invariant violations
+/// that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Asserts that \p E is a success value and consumes it.  Use only at call
+/// sites that are known to be infallible for their inputs.
+inline void cantFail(Error E) {
+  if (E)
+    reportFatalError("cantFail called on failure: " + E.message());
+}
+
+/// Asserts that \p E holds a value and unwraps it.
+template <typename T> T cantFail(Expected<T> E) {
+  if (!E)
+    reportFatalError("cantFail called on failure: " + E.message());
+  return E.takeValue();
+}
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_ERROR_H

@@ -1,0 +1,72 @@
+//===- support/FileUtils.cpp ----------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileUtils.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace gprof;
+
+namespace {
+
+/// RAII wrapper over std::FILE.
+struct FileHandle {
+  explicit FileHandle(std::FILE *F) : F(F) {}
+  ~FileHandle() {
+    if (F)
+      std::fclose(F);
+  }
+  FileHandle(const FileHandle &) = delete;
+  FileHandle &operator=(const FileHandle &) = delete;
+  std::FILE *F;
+};
+
+} // namespace
+
+Expected<std::vector<uint8_t>> gprof::readFileBytes(const std::string &Path) {
+  FileHandle FH(std::fopen(Path.c_str(), "rb"));
+  if (!FH.F)
+    return Error::failure(format("cannot open '%s' for reading",
+                                 Path.c_str()));
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[64 * 1024];
+  while (true) {
+    size_t N = std::fread(Buf, 1, sizeof(Buf), FH.F);
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+    if (N < sizeof(Buf)) {
+      if (std::ferror(FH.F))
+        return Error::failure(format("read error on '%s'", Path.c_str()));
+      break;
+    }
+  }
+  return Bytes;
+}
+
+Expected<std::string> gprof::readFileText(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  return std::string(Bytes->begin(), Bytes->end());
+}
+
+Error gprof::writeFileBytes(const std::string &Path,
+                            const std::vector<uint8_t> &Bytes) {
+  FileHandle FH(std::fopen(Path.c_str(), "wb"));
+  if (!FH.F)
+    return Error::failure(format("cannot open '%s' for writing",
+                                 Path.c_str()));
+  if (!Bytes.empty() &&
+      std::fwrite(Bytes.data(), 1, Bytes.size(), FH.F) != Bytes.size())
+    return Error::failure(format("write error on '%s'", Path.c_str()));
+  return Error::success();
+}
+
+Error gprof::writeFileText(const std::string &Path, const std::string &Text) {
+  std::vector<uint8_t> Bytes(Text.begin(), Text.end());
+  return writeFileBytes(Path, Bytes);
+}

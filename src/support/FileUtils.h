@@ -1,0 +1,33 @@
+//===- support/FileUtils.h - Whole-file read/write helpers ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_FILEUTILS_H
+#define GPROF_SUPPORT_FILEUTILS_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// Reads the entire file at \p Path as bytes.
+Expected<std::vector<uint8_t>> readFileBytes(const std::string &Path);
+
+/// Reads the entire file at \p Path as text.
+Expected<std::string> readFileText(const std::string &Path);
+
+/// Writes \p Bytes to \p Path, replacing any existing file.
+Error writeFileBytes(const std::string &Path,
+                     const std::vector<uint8_t> &Bytes);
+
+/// Writes \p Text to \p Path, replacing any existing file.
+Error writeFileText(const std::string &Path, const std::string &Text);
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_FILEUTILS_H

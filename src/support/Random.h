@@ -1,0 +1,66 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64 generator.  Tests, property sweeps and workload generators
+/// all derive their randomness from explicit seeds through this class so
+/// every experiment in EXPERIMENTS.md is exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_RANDOM_H
+#define GPROF_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gprof {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload shaping.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound).  \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    while (true) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_RANDOM_H

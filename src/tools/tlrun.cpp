@@ -1,0 +1,155 @@
+//===- tools/tlrun.cpp - Run a TLX image, emitting profile data -----------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an image on the VM.  If the image was compiled with profiling
+/// (or --force-monitor is given), a Monitor gathers arcs and PC samples
+/// during execution and condenses them to a gmon file at exit — the
+/// paper's "gather profiling data in memory during program execution and
+/// ... condense it to a file as the profiled program exits".
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/SymbolTable.h"
+#include "gmon/GmonFile.h"
+#include "runtime/Monitor.h"
+#include "stackprof/StackProfiler.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace gprof;
+
+int main(int Argc, char **Argv) {
+  OptionParser Opts("tlrun", "execute a TLX image on the virtual machine");
+  Opts.setPositionalHelp("image.tlx");
+  Opts.addOption("gmon", 'g', "FILE",
+                 "profile output path (default gmon.out)");
+  Opts.addOption("hz", 0, "N", "sampling ticks per second (default 60)");
+  Opts.addOption("cycles-per-tick", 0, "N",
+                 "virtual cycles per clock tick (default 10000)");
+  Opts.addOption("bucket-size", 0, "N",
+                 "histogram bucket granularity in addresses (default 1)");
+  Opts.addOption("table", 't', "KIND",
+                 "arc table: bsd, open, or map (default bsd)");
+  Opts.addFlag("no-sample", 0, "disable the PC sample histogram");
+  Opts.addFlag("no-arcs", 0, "disable call graph arc recording");
+  Opts.addFlag("force-monitor", 0,
+               "attach the monitor even if nothing was compiled with --pg");
+  Opts.addFlag("stack", 's',
+               "use complete-call-stack sampling instead of the gprof "
+               "monitor and print exact self/inclusive times");
+  Opts.addFlag("quiet", 'q', "suppress printed program output");
+
+  if (Error E = Opts.parse(Argc, Argv)) {
+    std::fprintf(stderr, "tlrun: %s\n", E.message().c_str());
+    return 1;
+  }
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() != 1) {
+    std::fprintf(stderr, "tlrun: expected exactly one image\n");
+    return 1;
+  }
+
+  auto Img = Image::loadFromFile(Opts.positional().front());
+  if (!Img) {
+    std::fprintf(stderr, "tlrun: %s\n", Img.message().c_str());
+    return 1;
+  }
+
+  auto ParseU64 = [&](const char *Name, uint64_t Default) -> uint64_t {
+    auto V = Opts.getValue(Name);
+    if (!V)
+      return Default;
+    unsigned long long Parsed;
+    if (!parseUInt64(*V, Parsed) || Parsed == 0) {
+      std::fprintf(stderr, "tlrun: invalid --%s value '%s'\n", Name,
+                   V->c_str());
+      std::exit(1);
+    }
+    return Parsed;
+  };
+
+  VMOptions VO;
+  VO.CyclesPerTick = ParseU64("cycles-per-tick", 10000);
+  VM Machine(*Img, VO);
+
+  bool AnyProfiled = false;
+  for (const FuncInfo &F : Img->Functions)
+    AnyProfiled |= F.Profiled;
+
+  MonitorOptions MO;
+  MO.HistBucketSize = ParseU64("bucket-size", 1);
+  MO.TicksPerSecond = ParseU64("hz", 60);
+  MO.SampleHistogram = !Opts.hasFlag("no-sample");
+  MO.RecordArcs = !Opts.hasFlag("no-arcs");
+  if (auto Table = Opts.getValue("table")) {
+    if (*Table == "bsd") {
+      MO.TableKind = ArcTableKind::Bsd;
+    } else if (*Table == "open") {
+      MO.TableKind = ArcTableKind::OpenAddressing;
+    } else if (*Table == "map") {
+      MO.TableKind = ArcTableKind::StdMap;
+    } else {
+      std::fprintf(stderr, "tlrun: unknown arc table kind '%s'\n",
+                   Table->c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<Monitor> Mon;
+  std::unique_ptr<StackSampleProfiler> StackProf;
+  if (Opts.hasFlag("stack")) {
+    StackProf = std::make_unique<StackSampleProfiler>(MO.TicksPerSecond);
+    Machine.setHooks(StackProf.get());
+  } else if (AnyProfiled || Opts.hasFlag("force-monitor")) {
+    Mon = std::make_unique<Monitor>(Img->lowPc(), Img->highPc(), MO);
+    Machine.setHooks(Mon.get());
+  }
+
+  auto Result = Machine.run();
+  if (!Result) {
+    std::fprintf(stderr, "tlrun: %s\n", Result.message().c_str());
+    return 1;
+  }
+
+  if (!Opts.hasFlag("quiet"))
+    for (int64_t V : Result->Printed)
+      std::printf("%lld\n", static_cast<long long>(V));
+  std::fprintf(stderr,
+               "tlrun: exit value %lld, %llu instructions, %llu cycles, "
+               "%llu ticks\n",
+               static_cast<long long>(Result->ExitValue),
+               static_cast<unsigned long long>(Result->Instructions),
+               static_cast<unsigned long long>(Result->Cycles),
+               static_cast<unsigned long long>(Result->Ticks));
+
+  if (Mon) {
+    std::string GmonPath = Opts.getValue("gmon").value_or("gmon.out");
+    if (Error E = writeGmonFile(GmonPath, Mon->finish())) {
+      std::fprintf(stderr, "tlrun: %s\n", E.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "tlrun: profile written to %s\n", GmonPath.c_str());
+  }
+
+  if (StackProf) {
+    StackProfile P =
+        StackProf->buildProfile(SymbolTable::fromImage(*Img));
+    std::printf("\nstack-sample profile (%llu samples):\n",
+                static_cast<unsigned long long>(StackProf->sampleCount()));
+    std::printf("   self secs   incl secs  name\n");
+    for (const auto &F : P.Functions)
+      std::printf("%12.2f %11.2f  %s\n", F.SelfTime, F.InclusiveTime,
+                  F.Name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,431 @@
+//===- vm/CodeGen.cpp ------------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/CodeGen.h"
+
+#include "lang/Inliner.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "support/Format.h"
+#include "vm/Bytecode.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+using namespace gprof;
+
+namespace {
+
+/// Bytecode emitter with label patching for function targets.
+class Emitter {
+public:
+  explicit Emitter(const Program &P) : P(P) {}
+
+  size_t offset() const { return Code.size(); }
+
+  void emitOp(Opcode Op) { Code.push_back(static_cast<uint8_t>(Op)); }
+
+  void emitU8(uint8_t V) { Code.push_back(V); }
+
+  void emitU16(uint16_t V) {
+    Code.push_back(static_cast<uint8_t>(V));
+    Code.push_back(static_cast<uint8_t>(V >> 8));
+  }
+
+  void emitU64(uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I)
+      Code.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void emitI64(int64_t V) { emitU64(static_cast<uint64_t>(V)); }
+
+  /// Emits a u64 placeholder to be patched with function \p Index's entry
+  /// address.
+  void emitFunctionRef(uint32_t Index) {
+    FuncFixups.push_back({Code.size(), Index});
+    emitU64(0);
+  }
+
+  /// Emits a u64 placeholder for a not-yet-bound local label; returns the
+  /// fixup id.
+  size_t emitLabelRef() {
+    LabelFixups.push_back(Code.size());
+    emitU64(0);
+    return LabelFixups.size() - 1;
+  }
+
+  /// Binds the label fixup \p Id to the current offset.
+  void bindLabel(size_t Id) {
+    patchU64(LabelFixups[Id], Image::BaseAddr + Code.size());
+  }
+
+  /// Applies function-address fixups once all entry addresses are known.
+  void patchFunctionRefs(const std::vector<Address> &EntryAddrs) {
+    for (const auto &[Offset, Index] : FuncFixups)
+      patchU64(Offset, EntryAddrs[Index]);
+  }
+
+  /// Notes that code emitted from here on derives from source \p Line.
+  void markLine(uint32_t Line) {
+    if (Line == 0)
+      return;
+    if (!Lines.empty() && Lines.back().CodeOffset == Code.size()) {
+      Lines.back().Line = Line;
+      return;
+    }
+    if (!Lines.empty() && Lines.back().Line == Line)
+      return;
+    Lines.push_back({static_cast<uint32_t>(Code.size()), Line});
+  }
+
+  std::vector<uint8_t> takeCode() { return std::move(Code); }
+  std::vector<LineEntry> takeLines() { return std::move(Lines); }
+
+private:
+  void patchU64(size_t Offset, uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I)
+      Code[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+
+  const Program &P;
+  std::vector<uint8_t> Code;
+  std::vector<std::pair<size_t, uint32_t>> FuncFixups;
+  std::vector<size_t> LabelFixups;
+  std::vector<LineEntry> Lines;
+};
+
+/// Generates code for one Program.
+class CodeGenerator {
+public:
+  CodeGenerator(const Program &P, const CodeGenOptions &Opts)
+      : P(P), Opts(Opts), E(P),
+        Unprofiled(Opts.UnprofiledFunctions.begin(),
+                   Opts.UnprofiledFunctions.end()) {}
+
+  Expected<Image> run();
+
+private:
+  void genFunction(const FunctionDecl &F);
+  void genStmt(const Stmt &S);
+  void genExpr(const Expr &Ex);
+
+  const Program &P;
+  const CodeGenOptions &Opts;
+  Emitter E;
+  std::set<std::string> Unprofiled;
+};
+
+Expected<Image> CodeGenerator::run() {
+  if (P.findFunction("main") == ~0u)
+    return Error::failure("cannot compile a program without 'main'");
+
+  Image Img;
+  std::vector<Address> EntryAddrs(P.Functions.size(), 0);
+
+  for (uint32_t I = 0; I != P.Functions.size(); ++I) {
+    const FunctionDecl &F = P.Functions[I];
+    size_t Start = E.offset();
+    EntryAddrs[I] = Image::BaseAddr + Start;
+    genFunction(F);
+
+    FuncInfo Info;
+    Info.Name = F.Name;
+    Info.Addr = EntryAddrs[I];
+    Info.CodeSize = static_cast<uint32_t>(E.offset() - Start);
+    Info.NumParams = static_cast<uint16_t>(F.Params.size());
+    Info.NumSlots = static_cast<uint16_t>(
+        std::max<uint32_t>(F.NumSlots, F.Params.size()));
+    Info.Profiled = Opts.EnableProfiling && !Unprofiled.count(F.Name);
+    Img.Functions.push_back(std::move(Info));
+  }
+
+  E.patchFunctionRefs(EntryAddrs);
+  Img.Code = E.takeCode();
+  Img.LineTable = E.takeLines();
+  Img.GlobalNames.reserve(P.Globals.size());
+  for (const GlobalVarDecl &G : P.Globals) {
+    Img.GlobalNames.push_back(G.Name);
+    Img.GlobalInits.push_back(G.InitValue);
+  }
+  Img.EntryFunction = P.findFunction("main");
+  return Img;
+}
+
+void CodeGenerator::genFunction(const FunctionDecl &F) {
+  E.markLine(F.Loc.Line);
+  if (Opts.EnableProfiling && !Unprofiled.count(F.Name))
+    E.emitOp(Opcode::Mcount);
+  genStmt(*F.Body);
+  // Implicit 'return 0' for bodies that fall off the end.
+  E.emitOp(Opcode::Push);
+  E.emitI64(0);
+  E.emitOp(Opcode::Ret);
+}
+
+void CodeGenerator::genStmt(const Stmt &S) {
+  if (S.kind() != StmtKind::Block)
+    E.markLine(S.loc().Line);
+  switch (S.kind()) {
+  case StmtKind::Block: {
+    const auto &Block = static_cast<const BlockStmt &>(S);
+    for (const StmtPtr &Child : Block.Body)
+      genStmt(*Child);
+    return;
+  }
+  case StmtKind::VarDecl: {
+    const auto &Decl = static_cast<const VarDeclStmt &>(S);
+    if (Decl.Init) {
+      genExpr(*Decl.Init);
+    } else {
+      E.emitOp(Opcode::Push);
+      E.emitI64(0);
+    }
+    E.emitOp(Opcode::StoreLocal);
+    E.emitU16(static_cast<uint16_t>(Decl.Slot));
+    return;
+  }
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    genExpr(*If.Cond);
+    E.emitOp(Opcode::JumpIfZero);
+    size_t ElseLabel = E.emitLabelRef();
+    genStmt(*If.Then);
+    if (If.Else) {
+      E.emitOp(Opcode::Jump);
+      size_t EndLabel = E.emitLabelRef();
+      E.bindLabel(ElseLabel);
+      genStmt(*If.Else);
+      E.bindLabel(EndLabel);
+    } else {
+      E.bindLabel(ElseLabel);
+    }
+    return;
+  }
+  case StmtKind::While: {
+    const auto &While = static_cast<const WhileStmt &>(S);
+    Address Top = Image::BaseAddr + E.offset();
+    genExpr(*While.Cond);
+    E.emitOp(Opcode::JumpIfZero);
+    size_t EndLabel = E.emitLabelRef();
+    genStmt(*While.Body);
+    E.emitOp(Opcode::Jump);
+    E.emitU64(Top);
+    E.bindLabel(EndLabel);
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &Ret = static_cast<const ReturnStmt &>(S);
+    if (Ret.Value) {
+      genExpr(*Ret.Value);
+    } else {
+      E.emitOp(Opcode::Push);
+      E.emitI64(0);
+    }
+    E.emitOp(Opcode::Ret);
+    return;
+  }
+  case StmtKind::Print: {
+    genExpr(*static_cast<const PrintStmt &>(S).Value);
+    E.emitOp(Opcode::Print);
+    return;
+  }
+  case StmtKind::ExprStmt: {
+    genExpr(*static_cast<const ExprStmt &>(S).E);
+    E.emitOp(Opcode::Pop);
+    return;
+  }
+  }
+}
+
+void CodeGenerator::genExpr(const Expr &Ex) {
+  switch (Ex.kind()) {
+  case ExprKind::IntLiteral: {
+    E.emitOp(Opcode::Push);
+    E.emitI64(static_cast<const IntLiteralExpr &>(Ex).Value);
+    return;
+  }
+  case ExprKind::NameRef: {
+    const auto &Ref = static_cast<const NameRefExpr &>(Ex);
+    switch (Ref.Binding) {
+    case NameBinding::Local:
+      E.emitOp(Opcode::LoadLocal);
+      E.emitU16(static_cast<uint16_t>(Ref.Slot));
+      return;
+    case NameBinding::Global:
+      E.emitOp(Opcode::LoadGlobal);
+      E.emitU16(static_cast<uint16_t>(Ref.Slot));
+      return;
+    case NameBinding::Function:
+      // A bare function name used as a value is a functional value.
+      E.emitOp(Opcode::PushFunc);
+      E.emitFunctionRef(Ref.Slot);
+      return;
+    case NameBinding::Unresolved:
+      assert(false && "codegen on unresolved name (Sema not run?)");
+      return;
+    }
+    return;
+  }
+  case ExprKind::FuncAddr: {
+    const auto &Addr = static_cast<const FuncAddrExpr &>(Ex);
+    E.emitOp(Opcode::PushFunc);
+    E.emitFunctionRef(Addr.FunctionIndex);
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(Ex);
+    genExpr(*Un.Operand);
+    E.emitOp(Un.Op == UnaryOp::Neg ? Opcode::Neg : Opcode::Not);
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(Ex);
+    if (Bin.Op == BinaryOp::LogicalAnd || Bin.Op == BinaryOp::LogicalOr) {
+      // Short-circuit to a normalized 0/1 result.
+      Opcode ShortJump = Bin.Op == BinaryOp::LogicalAnd
+                             ? Opcode::JumpIfZero
+                             : Opcode::JumpIfNonZero;
+      int64_t ShortValue = Bin.Op == BinaryOp::LogicalAnd ? 0 : 1;
+      genExpr(*Bin.LHS);
+      E.emitOp(ShortJump);
+      size_t ShortLabel = E.emitLabelRef();
+      genExpr(*Bin.RHS);
+      E.emitOp(ShortJump);
+      size_t ShortLabel2 = E.emitLabelRef();
+      E.emitOp(Opcode::Push);
+      E.emitI64(1 - ShortValue);
+      E.emitOp(Opcode::Jump);
+      size_t EndLabel = E.emitLabelRef();
+      E.bindLabel(ShortLabel);
+      E.bindLabel(ShortLabel2);
+      E.emitOp(Opcode::Push);
+      E.emitI64(ShortValue);
+      E.bindLabel(EndLabel);
+      return;
+    }
+    genExpr(*Bin.LHS);
+    genExpr(*Bin.RHS);
+    switch (Bin.Op) {
+    case BinaryOp::Add:
+      E.emitOp(Opcode::Add);
+      return;
+    case BinaryOp::Sub:
+      E.emitOp(Opcode::Sub);
+      return;
+    case BinaryOp::Mul:
+      E.emitOp(Opcode::Mul);
+      return;
+    case BinaryOp::Div:
+      E.emitOp(Opcode::Div);
+      return;
+    case BinaryOp::Mod:
+      E.emitOp(Opcode::Mod);
+      return;
+    case BinaryOp::Eq:
+      E.emitOp(Opcode::CmpEq);
+      return;
+    case BinaryOp::Ne:
+      E.emitOp(Opcode::CmpNe);
+      return;
+    case BinaryOp::Lt:
+      E.emitOp(Opcode::CmpLt);
+      return;
+    case BinaryOp::Le:
+      E.emitOp(Opcode::CmpLe);
+      return;
+    case BinaryOp::Gt:
+      E.emitOp(Opcode::CmpGt);
+      return;
+    case BinaryOp::Ge:
+      E.emitOp(Opcode::CmpGe);
+      return;
+    case BinaryOp::LogicalAnd:
+    case BinaryOp::LogicalOr:
+      break; // Handled above.
+    }
+    assert(false && "unhandled binary operator");
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto &Assign = static_cast<const AssignExpr &>(Ex);
+    genExpr(*Assign.Value);
+    E.emitOp(Opcode::Dup); // Assignment yields the stored value.
+    if (Assign.Binding == NameBinding::Local) {
+      E.emitOp(Opcode::StoreLocal);
+      E.emitU16(static_cast<uint16_t>(Assign.Slot));
+    } else {
+      assert(Assign.Binding == NameBinding::Global &&
+             "codegen on unresolved assignment");
+      E.emitOp(Opcode::StoreGlobal);
+      E.emitU16(static_cast<uint16_t>(Assign.Slot));
+    }
+    return;
+  }
+  case ExprKind::Call: {
+    const auto &Call = static_cast<const CallExpr &>(Ex);
+    for (const ExprPtr &Arg : Call.Args)
+      genExpr(*Arg);
+    if (Call.Builtin == BuiltinKind::Peek) {
+      E.emitOp(Opcode::MemLoad);
+      return;
+    }
+    if (Call.Builtin == BuiltinKind::Poke) {
+      E.emitOp(Opcode::MemStore);
+      return;
+    }
+    E.markLine(Call.loc().Line); // Call sites get precise line info.
+    if (Call.IsDirect) {
+      E.emitOp(Opcode::Call);
+      E.emitFunctionRef(Call.DirectFunctionIndex);
+      E.emitU8(static_cast<uint8_t>(Call.Args.size()));
+      return;
+    }
+    genExpr(*Call.Callee);
+    E.emitOp(Opcode::CallIndirect);
+    E.emitU8(static_cast<uint8_t>(Call.Args.size()));
+    return;
+  }
+  }
+}
+
+} // namespace
+
+Expected<Image> gprof::compileToImage(const Program &P,
+                                      const CodeGenOptions &Opts) {
+  CodeGenerator Gen(P, Opts);
+  return Gen.run();
+}
+
+Expected<Image> gprof::compileTL(std::string_view Source,
+                                 const CodeGenOptions &Opts,
+                                 DiagnosticEngine &Diags) {
+  Program P = parseTL(Source, Diags);
+  if (Diags.hasErrors())
+    return Error::failure(
+        format("compilation failed with %u error(s)", Diags.errorCount()));
+  if (!Opts.InlineFunctions.empty()) {
+    inlineCalls(P, Opts.InlineFunctions, Diags);
+    if (Diags.hasErrors())
+      return Error::failure(format("compilation failed with %u error(s)",
+                                   Diags.errorCount()));
+  }
+  if (!analyze(P, Diags))
+    return Error::failure(
+        format("compilation failed with %u error(s)", Diags.errorCount()));
+  return compileToImage(P, Opts);
+}
+
+Image gprof::compileTLOrDie(std::string_view Source,
+                            const CodeGenOptions &Opts) {
+  DiagnosticEngine Diags;
+  auto Img = compileTL(Source, Opts, Diags);
+  if (!Img) {
+    std::fprintf(stderr, "%s", Diags.renderAll("<tl>").c_str());
+    reportFatalError(Img.message());
+  }
+  return Img.takeValue();
+}

@@ -1,0 +1,62 @@
+//===- vm/CodeGen.h - AST to bytecode compilation --------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a semantically-checked TL Program to an executable Image.
+/// When profiling is enabled the compiler inserts an Mcount instruction at
+/// the head of each function's code — the paper's "augmented routine
+/// prologues" (§3): "our compilers ... can insert calls to a monitoring
+/// routine in the prologue for each routine.  Use of the monitoring
+/// routine requires no planning on part of a programmer other than to
+/// request that augmented routine prologues be produced during
+/// compilation."  Individual routines can be left unprofiled ("One need
+/// not profile all the routines in a program.  Routines that are not
+/// profiled run at full speed.").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_VM_CODEGEN_H
+#define GPROF_VM_CODEGEN_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+#include "support/Error.h"
+#include "vm/Image.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gprof {
+
+/// Compilation controls.
+struct CodeGenOptions {
+  /// Insert Mcount profiling prologues (the -pg equivalent).
+  bool EnableProfiling = false;
+  /// Functions compiled *without* the profiling prologue even when
+  /// EnableProfiling is set.
+  std::vector<std::string> UnprofiledFunctions;
+  /// Routines to inline-expand at their call sites before code
+  /// generation (paper §6's optimization, with its profiling drawback).
+  std::vector<std::string> InlineFunctions;
+};
+
+/// Compiles \p P (which must have passed Sema) into an Image.
+Expected<Image> compileToImage(const Program &P, const CodeGenOptions &Opts);
+
+/// One-stop front end: lex + parse + sema + codegen.  Diagnostics land in
+/// \p Diags; the Error return carries a summary on failure.
+Expected<Image> compileTL(std::string_view Source, const CodeGenOptions &Opts,
+                          DiagnosticEngine &Diags);
+
+/// compileTL variant that aborts with rendered diagnostics on failure —
+/// for tests, benches and examples whose sources are known-good.
+Image compileTLOrDie(std::string_view Source,
+                     const CodeGenOptions &Opts = {});
+
+} // namespace gprof
+
+#endif // GPROF_VM_CODEGEN_H

@@ -1,0 +1,101 @@
+//===- vm/Disassembler.cpp -------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disassembler.h"
+
+#include "support/Format.h"
+#include "vm/Bytecode.h"
+
+using namespace gprof;
+
+namespace {
+
+uint16_t decodeU16(const Image &Img, Address Pc) {
+  size_t Off = static_cast<size_t>(Pc - Image::BaseAddr);
+  return static_cast<uint16_t>(Img.Code[Off]) |
+         static_cast<uint16_t>(Img.Code[Off + 1]) << 8;
+}
+
+uint64_t decodeU64(const Image &Img, Address Pc) {
+  size_t Off = static_cast<size_t>(Pc - Image::BaseAddr);
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(Img.Code[Off + I]) << (8 * I);
+  return V;
+}
+
+std::string targetName(const Image &Img, Address Target) {
+  if (const FuncInfo *F = Img.findFunctionAt(Target))
+    return F->Name;
+  return format("0x%llx", static_cast<unsigned long long>(Target));
+}
+
+} // namespace
+
+std::string gprof::disassembleInstruction(const Image &Img, Address Pc) {
+  Opcode Op = static_cast<Opcode>(Img.byteAt(Pc));
+  if (Op >= Opcode::NumOpcodes)
+    return format("0x%06llx: <illegal opcode %u>",
+                  static_cast<unsigned long long>(Pc), Img.byteAt(Pc));
+
+  std::string Line =
+      format("0x%06llx: %-10s ", static_cast<unsigned long long>(Pc),
+             opcodeName(Op));
+  switch (Op) {
+  case Opcode::Push:
+    Line += format("%lld",
+                   static_cast<long long>(decodeU64(Img, Pc + 1)));
+    break;
+  case Opcode::PushFunc:
+    Line += targetName(Img, decodeU64(Img, Pc + 1));
+    break;
+  case Opcode::LoadLocal:
+  case Opcode::StoreLocal:
+    Line += format("slot %u", decodeU16(Img, Pc + 1));
+    break;
+  case Opcode::LoadGlobal:
+  case Opcode::StoreGlobal:
+    Line += format("global %u", decodeU16(Img, Pc + 1));
+    break;
+  case Opcode::Jump:
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNonZero:
+    Line += format("0x%llx",
+                   static_cast<unsigned long long>(decodeU64(Img, Pc + 1)));
+    break;
+  case Opcode::Call: {
+    Address Target = decodeU64(Img, Pc + 1);
+    uint8_t Argc = Img.byteAt(Pc + 9);
+    Line += format("%s, %u args", targetName(Img, Target).c_str(), Argc);
+    break;
+  }
+  case Opcode::CallIndirect:
+    Line += format("%u args", Img.byteAt(Pc + 1));
+    break;
+  default:
+    break;
+  }
+  return Line;
+}
+
+std::string gprof::disassemble(const Image &Img) {
+  std::string Out;
+  for (const FuncInfo &F : Img.Functions) {
+    Out += format("%s:  ; %u params, %u slots%s\n", F.Name.c_str(),
+                  F.NumParams, F.NumSlots,
+                  F.Profiled ? ", profiled" : "");
+    Address Pc = F.Addr;
+    Address End = F.Addr + F.CodeSize;
+    while (Pc < End) {
+      Opcode Op = static_cast<Opcode>(Img.byteAt(Pc));
+      Out += "  " + disassembleInstruction(Img, Pc) + "\n";
+      if (Op >= Opcode::NumOpcodes)
+        break;
+      Pc += instructionSize(Op);
+    }
+  }
+  return Out;
+}

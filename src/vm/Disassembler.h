@@ -1,0 +1,26 @@
+//===- vm/Disassembler.h - Text listing of image code --------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_VM_DISASSEMBLER_H
+#define GPROF_VM_DISASSEMBLER_H
+
+#include "vm/Image.h"
+
+#include <string>
+
+namespace gprof {
+
+/// Renders the whole image as an assembly-style listing, with function
+/// labels and symbolic call targets.  Used by 'tlc --disasm' and by tests
+/// that pin down code layout.
+std::string disassemble(const Image &Img);
+
+/// Renders the single instruction at \p Pc.
+std::string disassembleInstruction(const Image &Img, Address Pc);
+
+} // namespace gprof
+
+#endif // GPROF_VM_DISASSEMBLER_H

@@ -1,0 +1,219 @@
+//===- vm/Image.cpp --------------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Image.h"
+
+#include "support/BinaryStream.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace gprof;
+
+namespace {
+
+constexpr char Magic[4] = {'T', 'L', 'X', 'I'};
+constexpr uint32_t Version = 2;
+constexpr uint64_t MaxEntities = 1u << 24;
+
+} // namespace
+
+const FuncInfo *Image::findFunctionAt(Address Pc) const {
+  const FuncInfo *F = findFunctionContaining(Pc);
+  if (F && F->Addr == Pc)
+    return F;
+  return nullptr;
+}
+
+const FuncInfo *Image::findFunctionContaining(Address Pc) const {
+  // Functions are sorted by address; find the last function whose entry is
+  // <= Pc and check its extent.
+  auto It = std::upper_bound(
+      Functions.begin(), Functions.end(), Pc,
+      [](Address A, const FuncInfo &F) { return A < F.Addr; });
+  if (It == Functions.begin())
+    return nullptr;
+  --It;
+  if (Pc < It->Addr + It->CodeSize)
+    return &*It;
+  return nullptr;
+}
+
+std::vector<uint8_t> Image::serialize() const {
+  BinaryWriter W;
+  W.writeBytes(reinterpret_cast<const uint8_t *>(Magic), sizeof(Magic));
+  W.writeU32(Version);
+  W.writeU64(Code.size());
+  W.writeBytes(Code.data(), Code.size());
+
+  W.writeU32(static_cast<uint32_t>(Functions.size()));
+  for (const FuncInfo &F : Functions) {
+    W.writeString(F.Name);
+    W.writeU64(F.Addr);
+    W.writeU32(F.CodeSize);
+    W.writeU16(F.NumParams);
+    W.writeU16(F.NumSlots);
+    W.writeU8(F.Profiled ? 1 : 0);
+  }
+
+  W.writeU32(static_cast<uint32_t>(GlobalNames.size()));
+  for (size_t I = 0; I != GlobalNames.size(); ++I) {
+    W.writeString(GlobalNames[I]);
+    W.writeI64(GlobalInits[I]);
+  }
+
+  W.writeU32(EntryFunction);
+
+  W.writeU32(static_cast<uint32_t>(LineTable.size()));
+  for (const LineEntry &L : LineTable) {
+    W.writeU32(L.CodeOffset);
+    W.writeU32(L.Line);
+  }
+  return W.takeBytes();
+}
+
+uint32_t Image::lineForPc(Address Pc) const {
+  if (Pc < BaseAddr || Pc >= BaseAddr + Code.size() || LineTable.empty())
+    return 0;
+  uint32_t Offset = static_cast<uint32_t>(Pc - BaseAddr);
+  auto It = std::upper_bound(
+      LineTable.begin(), LineTable.end(), Offset,
+      [](uint32_t O, const LineEntry &L) { return O < L.CodeOffset; });
+  if (It == LineTable.begin())
+    return 0;
+  return (It - 1)->Line;
+}
+
+Expected<Image> Image::deserialize(const std::vector<uint8_t> &Bytes) {
+  BinaryReader R(Bytes);
+  auto MagicBytes = R.readBytes(sizeof(Magic));
+  if (!MagicBytes)
+    return MagicBytes.takeError();
+  if (!std::equal(MagicBytes->begin(), MagicBytes->end(), Magic))
+    return Error::failure("not a TLX image: bad magic");
+  auto Ver = R.readU32();
+  if (!Ver)
+    return Ver.takeError();
+  if (*Ver != Version)
+    return Error::failure(
+        format("unsupported TLX version %u (expected %u)", *Ver, Version));
+
+  Image Img;
+  auto CodeSize = R.readU64();
+  if (!CodeSize)
+    return CodeSize.takeError();
+  if (*CodeSize > MaxEntities * 16)
+    return Error::failure("TLX code segment implausibly large");
+  auto Code = R.readBytes(static_cast<size_t>(*CodeSize));
+  if (!Code)
+    return Code.takeError();
+  Img.Code = Code.takeValue();
+
+  auto NumFuncs = R.readU32();
+  if (!NumFuncs)
+    return NumFuncs.takeError();
+  if (*NumFuncs > MaxEntities)
+    return Error::failure("TLX function table implausibly large");
+  for (uint32_t I = 0; I != *NumFuncs; ++I) {
+    FuncInfo F;
+    auto Name = R.readString();
+    if (!Name)
+      return Name.takeError();
+    F.Name = Name.takeValue();
+    auto Addr = R.readU64();
+    if (!Addr)
+      return Addr.takeError();
+    F.Addr = *Addr;
+    auto Size = R.readU32();
+    if (!Size)
+      return Size.takeError();
+    F.CodeSize = *Size;
+    auto Params = R.readU16();
+    if (!Params)
+      return Params.takeError();
+    F.NumParams = *Params;
+    auto Slots = R.readU16();
+    if (!Slots)
+      return Slots.takeError();
+    F.NumSlots = *Slots;
+    auto Prof = R.readU8();
+    if (!Prof)
+      return Prof.takeError();
+    F.Profiled = *Prof != 0;
+    if (F.Addr < BaseAddr || F.Addr + F.CodeSize > BaseAddr + Img.Code.size())
+      return Error::failure(
+          format("function '%s' extends outside the code segment",
+                 F.Name.c_str()));
+    Img.Functions.push_back(std::move(F));
+  }
+  if (!std::is_sorted(Img.Functions.begin(), Img.Functions.end(),
+                      [](const FuncInfo &A, const FuncInfo &B) {
+                        return A.Addr < B.Addr;
+                      }))
+    return Error::failure("TLX function table is not address-sorted");
+
+  auto NumGlobals = R.readU32();
+  if (!NumGlobals)
+    return NumGlobals.takeError();
+  if (*NumGlobals > MaxEntities)
+    return Error::failure("TLX global table implausibly large");
+  for (uint32_t I = 0; I != *NumGlobals; ++I) {
+    auto Name = R.readString();
+    if (!Name)
+      return Name.takeError();
+    auto Init = R.readI64();
+    if (!Init)
+      return Init.takeError();
+    Img.GlobalNames.push_back(Name.takeValue());
+    Img.GlobalInits.push_back(*Init);
+  }
+
+  auto Entry = R.readU32();
+  if (!Entry)
+    return Entry.takeError();
+  if (*Entry >= Img.Functions.size())
+    return Error::failure("TLX entry function index out of range");
+  Img.EntryFunction = *Entry;
+
+  auto NumLines = R.readU32();
+  if (!NumLines)
+    return NumLines.takeError();
+  if (static_cast<uint64_t>(*NumLines) * 8 > R.remaining())
+    return Error::failure("TLX line table longer than the file");
+  uint32_t PrevOffset = 0;
+  for (uint32_t I = 0; I != *NumLines; ++I) {
+    auto Offset = R.readU32();
+    if (!Offset)
+      return Offset.takeError();
+    auto Line = R.readU32();
+    if (!Line)
+      return Line.takeError();
+    if (*Offset >= Img.Code.size() || (I != 0 && *Offset < PrevOffset))
+      return Error::failure("TLX line table is malformed");
+    PrevOffset = *Offset;
+    Img.LineTable.push_back({*Offset, *Line});
+  }
+
+  if (!R.atEnd())
+    return Error::failure(
+        format("%zu trailing bytes after TLX data", R.remaining()));
+  return Img;
+}
+
+Error Image::saveToFile(const std::string &Path) const {
+  return writeFileBytes(Path, serialize());
+}
+
+Expected<Image> Image::loadFromFile(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  auto Img = deserialize(*Bytes);
+  if (!Img)
+    return Error::failure(Path + ": " + Img.message());
+  return Img;
+}

@@ -1,0 +1,98 @@
+//===- vm/Image.h - Executable image: code + symbol table ----------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM's "a.out": a flat code segment starting at a fixed base address,
+/// a symbol table of functions (name, entry address, size), and global
+/// variable metadata.  This is what the paper means by "the static calling
+/// information is also contained in the executable version of the program,
+/// which we already have available, and which is in language-independent
+/// form" (§4): the post-processor symbolizes PCs against the function
+/// table and the static scanner crawls the code segment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_VM_IMAGE_H
+#define GPROF_VM_IMAGE_H
+
+#include "gmon/Histogram.h" // for Address
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// One line-table entry: code at offsets >= CodeOffset (up to the next
+/// entry) was generated from source line Line.
+struct LineEntry {
+  uint32_t CodeOffset = 0;
+  uint32_t Line = 0;
+};
+
+/// Symbol-table entry for one function in an Image.
+struct FuncInfo {
+  std::string Name;
+  Address Addr = 0;      ///< Entry address (address of the first instruction).
+  uint32_t CodeSize = 0; ///< Bytes of code, so the range is [Addr, Addr+Size).
+  uint16_t NumParams = 0;
+  uint16_t NumSlots = 0; ///< Frame slots (params + locals).
+  bool Profiled = false; ///< True if the prologue begins with Mcount.
+};
+
+/// An executable TL image.
+struct Image {
+  /// All code addresses are offset by this base so that address 0 (and the
+  /// VM's synthetic return address for main) lies outside the text range —
+  /// arcs from such addresses symbolize to no routine and are classified
+  /// "spontaneous", as in paper §3.1.
+  static constexpr Address BaseAddr = 0x1000;
+
+  std::vector<uint8_t> Code;
+  /// Functions sorted by ascending entry address.
+  std::vector<FuncInfo> Functions;
+  std::vector<std::string> GlobalNames;
+  std::vector<int64_t> GlobalInits;
+  /// Index into Functions of the entry point ('main').
+  uint32_t EntryFunction = 0;
+  /// Source line table, sorted by ascending CodeOffset.  Empty for images
+  /// built without line information.
+  std::vector<LineEntry> LineTable;
+
+  /// Source line that generated the code at \p Pc, or 0 if unknown.
+  uint32_t lineForPc(Address Pc) const;
+
+  Address lowPc() const { return BaseAddr; }
+  Address highPc() const { return BaseAddr + Code.size(); }
+
+  /// The opcode byte at \p Pc.
+  uint8_t byteAt(Address Pc) const {
+    assert(Pc >= BaseAddr && Pc - BaseAddr < Code.size() &&
+           "address outside code segment");
+    return Code[static_cast<size_t>(Pc - BaseAddr)];
+  }
+
+  /// Finds the function whose entry address is exactly \p Pc, else null.
+  const FuncInfo *findFunctionAt(Address Pc) const;
+
+  /// Finds the function whose code range contains \p Pc, else null.
+  const FuncInfo *findFunctionContaining(Address Pc) const;
+
+  /// Serializes to the TLX container format.
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses a TLX container, validating structure.
+  static Expected<Image> deserialize(const std::vector<uint8_t> &Bytes);
+
+  /// Convenience file wrappers.
+  Error saveToFile(const std::string &Path) const;
+  static Expected<Image> loadFromFile(const std::string &Path);
+};
+
+} // namespace gprof
+
+#endif // GPROF_VM_IMAGE_H

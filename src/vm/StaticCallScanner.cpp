@@ -1,0 +1,50 @@
+//===- vm/StaticCallScanner.cpp --------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/StaticCallScanner.h"
+
+#include "vm/Bytecode.h"
+
+#include <algorithm>
+
+using namespace gprof;
+
+StaticScanResult gprof::scanStaticCalls(const Image &Img) {
+  StaticScanResult Result;
+  for (const FuncInfo &F : Img.Functions) {
+    Address Pc = F.Addr;
+    const Address End = F.Addr + F.CodeSize;
+    while (Pc < End) {
+      Opcode Op = static_cast<Opcode>(Img.byteAt(Pc));
+      if (Op >= Opcode::NumOpcodes)
+        break; // Corrupt code; symbol boundaries keep the scan sane.
+      unsigned Size = instructionSize(Op);
+      if (Pc + Size > End)
+        break;
+
+      if (Op == Opcode::Call) {
+        uint64_t Target = 0;
+        for (unsigned I = 0; I != 8; ++I)
+          Target |= static_cast<uint64_t>(Img.byteAt(Pc + 1 + I)) << (8 * I);
+        Result.DirectCalls.push_back({Pc, Target});
+      } else if (Op == Opcode::PushFunc) {
+        uint64_t Target = 0;
+        for (unsigned I = 0; I != 8; ++I)
+          Target |= static_cast<uint64_t>(Img.byteAt(Pc + 1 + I)) << (8 * I);
+        Result.AddressTaken.push_back(Target);
+      } else if (Op == Opcode::CallIndirect) {
+        Result.IndirectCallSites.push_back(Pc);
+      }
+      Pc += Size;
+    }
+  }
+  // Deduplicate the address-taken set.
+  std::sort(Result.AddressTaken.begin(), Result.AddressTaken.end());
+  Result.AddressTaken.erase(
+      std::unique(Result.AddressTaken.begin(), Result.AddressTaken.end()),
+      Result.AddressTaken.end());
+  return Result;
+}

@@ -1,0 +1,50 @@
+//===- vm/StaticCallScanner.h - Crawl the image for static call arcs ------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements paper §4's static call graph discovery: "One can examine the
+/// instructions in the object program, looking for calls to routines, and
+/// note which routines can be called."  Direct Call instructions yield
+/// (call site, callee) arcs; PushFunc instructions reveal routines whose
+/// address is taken (potential targets of functional variables); and
+/// CallIndirect instructions are the call sites the static graph cannot
+/// resolve — which is exactly why "the dynamic call graph ... may include
+/// arcs to functional parameters or variables that the static call graph
+/// may omit" (§2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_VM_STATICCALLSCANNER_H
+#define GPROF_VM_STATICCALLSCANNER_H
+
+#include "vm/Image.h"
+
+#include <vector>
+
+namespace gprof {
+
+/// One statically discovered direct call.
+struct StaticArc {
+  Address CallSitePc = 0; ///< Address of the Call instruction.
+  Address TargetPc = 0;   ///< Callee entry address.
+};
+
+/// Everything the scanner can see in an image.
+struct StaticScanResult {
+  /// Direct call arcs, in code order.
+  std::vector<StaticArc> DirectCalls;
+  /// Entry addresses of functions whose address is taken by PushFunc.
+  std::vector<Address> AddressTaken;
+  /// Addresses of CallIndirect instructions (unresolvable statically).
+  std::vector<Address> IndirectCallSites;
+};
+
+/// Decodes every instruction of \p Img and collects static call facts.
+StaticScanResult scanStaticCalls(const Image &Img);
+
+} // namespace gprof
+
+#endif // GPROF_VM_STATICCALLSCANNER_H

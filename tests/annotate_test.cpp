@@ -1,0 +1,161 @@
+//===- tests/annotate_test.cpp - Line tables and annotated listings -------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Annotate.h"
+#include "runtime/Monitor.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace gprof;
+
+namespace {
+
+// Line numbers below refer to this exact text (line 1 is the first
+// line after the opening quote).
+const char *Source =
+    R"(fn hot_loop(n) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    acc = acc + i * i;
+    i = i + 1;
+  }
+  return acc;
+}
+fn helper(x) { return x + 1; }
+fn main() {
+  var total = hot_loop(20000);
+  var i = 0;
+  while (i < 300) {
+    total = total + helper(i);
+    i = i + 1;
+  }
+  return total;
+}
+)";
+
+struct Annotated {
+  Image Img;
+  ProfileData Data;
+  std::vector<AnnotatedLine> Lines;
+};
+
+Annotated annotateRun() {
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Annotated A{compileTLOrDie(Source, CG), {}, {}};
+  Monitor Mon(A.Img.lowPc(), A.Img.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = 37;
+  VM Machine(A.Img, VO);
+  Machine.setHooks(&Mon);
+  cantFail(Machine.run());
+  A.Data = Mon.finish();
+  A.Lines = annotateSource(A.Img, Source, A.Data);
+  return A;
+}
+
+} // namespace
+
+TEST(LineTableTest, PresentAndSorted) {
+  Image Img = compileTLOrDie(Source);
+  ASSERT_FALSE(Img.LineTable.empty());
+  for (size_t I = 1; I < Img.LineTable.size(); ++I)
+    EXPECT_GE(Img.LineTable[I].CodeOffset,
+              Img.LineTable[I - 1].CodeOffset);
+}
+
+TEST(LineTableTest, RoundTripsThroughSerialization) {
+  Image Img = compileTLOrDie(Source);
+  auto Back = Image::deserialize(Img.serialize());
+  ASSERT_TRUE(static_cast<bool>(Back));
+  ASSERT_EQ(Back->LineTable.size(), Img.LineTable.size());
+  for (size_t I = 0; I != Img.LineTable.size(); ++I) {
+    EXPECT_EQ(Back->LineTable[I].CodeOffset, Img.LineTable[I].CodeOffset);
+    EXPECT_EQ(Back->LineTable[I].Line, Img.LineTable[I].Line);
+  }
+}
+
+TEST(LineTableTest, LineForPcMapsEntries) {
+  // Use a profiled image: the mcount prologue instruction anchors the
+  // declaration line (without it the first statement's mark takes over).
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(Source, CG);
+  // The entry of hot_loop is attributed to its declaration line (1).
+  const FuncInfo *Hot = nullptr;
+  for (const FuncInfo &F : Img.Functions)
+    if (F.Name == "hot_loop")
+      Hot = &F;
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_EQ(Img.lineForPc(Hot->Addr), 1u);
+  // Outside the code segment there is no line.
+  EXPECT_EQ(Img.lineForPc(0), 0u);
+  EXPECT_EQ(Img.lineForPc(Img.highPc()), 0u);
+}
+
+TEST(LineTableTest, MalformedTablesRejected) {
+  Image Img = compileTLOrDie(Source);
+  Img.LineTable = {{5, 1}, {2, 2}}; // Out of order.
+  auto R = Image::deserialize(Img.serialize());
+  EXPECT_FALSE(static_cast<bool>(R));
+  (void)R.takeError();
+
+  Img.LineTable = {{static_cast<uint32_t>(Img.Code.size()), 1}}; // Range.
+  auto R2 = Image::deserialize(Img.serialize());
+  EXPECT_FALSE(static_cast<bool>(R2));
+  (void)R2.takeError();
+}
+
+TEST(AnnotateTest, HotLoopLinesCarryTheTime) {
+  Annotated A = annotateRun();
+  ASSERT_GE(A.Lines.size(), 18u);
+  double Total = 0.0, LoopBody = 0.0;
+  for (const AnnotatedLine &L : A.Lines) {
+    Total += L.SelfTime;
+    if (L.Line == 4 || L.Line == 5 || L.Line == 6) // the hot while loop
+      LoopBody += L.SelfTime;
+  }
+  ASSERT_GT(Total, 0.0);
+  EXPECT_GT(LoopBody, 0.8 * Total);
+}
+
+TEST(AnnotateTest, CallSiteLinesCarryTheCounts) {
+  Annotated A = annotateRun();
+  // Line 12 calls hot_loop once; line 15 calls helper 300 times.
+  EXPECT_EQ(A.Lines[11].Calls, 1u);
+  EXPECT_EQ(A.Lines[14].Calls, 300u);
+  // Non-call lines have no counts.
+  EXPECT_EQ(A.Lines[2].Calls, 0u);
+}
+
+TEST(AnnotateTest, ListingFormat) {
+  Annotated A = annotateRun();
+  std::string Out = printAnnotatedSource(A.Lines);
+  EXPECT_NE(Out.find("seconds"), std::string::npos);
+  EXPECT_NE(Out.find("while (i < n)"), std::string::npos);
+  // Line numbers are present.
+  EXPECT_NE(Out.find("  15  "), std::string::npos);
+  // The helper call line shows 300.
+  std::string Line15;
+  size_t Pos = Out.find("total = total + helper(i);");
+  ASSERT_NE(Pos, std::string::npos);
+  size_t LineStart = Out.rfind('\n', Pos) + 1;
+  Line15 = Out.substr(LineStart, Pos - LineStart);
+  EXPECT_NE(Line15.find("300"), std::string::npos) << Line15;
+}
+
+TEST(AnnotateTest, EmptyProfileAnnotatesToZeros) {
+  Image Img = compileTLOrDie(Source);
+  ProfileData Empty;
+  auto Lines = annotateSource(Img, Source, Empty);
+  for (const AnnotatedLine &L : Lines) {
+    EXPECT_EQ(L.SelfTime, 0.0);
+    EXPECT_EQ(L.Calls, 0u);
+  }
+}

@@ -1,0 +1,114 @@
+//===- tests/astprinter_test.cpp - Tests for the AST dumper ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace gprof;
+
+namespace {
+
+Program compileOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  Program P = parseTL(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll("<test>");
+  analyze(P, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll("<test>");
+  return P;
+}
+
+const Expr &returnExprOf(const Program &P, size_t FnIndex = 0) {
+  const auto &Ret =
+      static_cast<const ReturnStmt &>(*P.Functions[FnIndex].Body->Body[0]);
+  return *Ret.Value;
+}
+
+} // namespace
+
+TEST(ASTPrinterTest, PrecedenceVisibleInSExpr) {
+  Program P = compileOk("fn main() { return 1 + 2 * 3; }");
+  EXPECT_EQ(printExpr(returnExprOf(P)),
+            "(+ (int 1) (* (int 2) (int 3)))");
+}
+
+TEST(ASTPrinterTest, ParenthesesOverridePrecedence) {
+  Program P = compileOk("fn main() { return (1 + 2) * 3; }");
+  EXPECT_EQ(printExpr(returnExprOf(P)),
+            "(* (+ (int 1) (int 2)) (int 3))");
+}
+
+TEST(ASTPrinterTest, ComparisonAndLogic) {
+  Program P = compileOk("fn main() { return 1 < 2 && 3 >= 4 || !0; }");
+  EXPECT_EQ(printExpr(returnExprOf(P)),
+            "(|| (&& (< (int 1) (int 2)) (>= (int 3) (int 4))) "
+            "(not (int 0)))");
+}
+
+TEST(ASTPrinterTest, BindingsAnnotated) {
+  Program P = compileOk(R"(
+    var g = 1;
+    fn f(a) { return a + g; }
+    fn main() { return f(1); }
+  )");
+  EXPECT_EQ(printExpr(returnExprOf(P)),
+            "(+ (var a:local0) (var g:global0))");
+}
+
+TEST(ASTPrinterTest, CallsShowDirectness) {
+  Program P = compileOk(R"(
+    fn f(x) { return x; }
+    fn main() {
+      var g = &f;
+      return f(g(1));
+    }
+  )");
+  const auto &Ret =
+      static_cast<const ReturnStmt &>(*P.Functions[1].Body->Body[1]);
+  EXPECT_EQ(printExpr(*Ret.Value),
+            "(call-direct (var f:fn0) (call-indirect (var g:local0) "
+            "(int 1)))");
+}
+
+TEST(ASTPrinterTest, ProgramDumpShape) {
+  Program P = compileOk(R"(
+    var counter = 3;
+    fn bump(by) {
+      counter = counter + by;
+      if (counter > 10) { return 1; }
+      while (by > 0) { by = by - 1; }
+      print counter;
+      return 0;
+    }
+    fn main() { return bump(2); }
+  )");
+  std::string Dump = printAST(P);
+  EXPECT_NE(Dump.find("global counter = 3"), std::string::npos);
+  EXPECT_NE(Dump.find("fn bump(by) [1 slots]"), std::string::npos);
+  EXPECT_NE(Dump.find("if (> (var counter:global0) (int 10))"),
+            std::string::npos);
+  EXPECT_NE(Dump.find("while (> (var by:local0) (int 0))"),
+            std::string::npos);
+  EXPECT_NE(Dump.find("print (var counter:global0)"), std::string::npos);
+  EXPECT_NE(Dump.find("expr (= counter:global0"), std::string::npos);
+}
+
+TEST(ASTPrinterTest, UnaryNegation) {
+  Program P = compileOk("fn main() { return -5; }");
+  EXPECT_EQ(printExpr(returnExprOf(P)), "(neg (int 5))");
+}
+
+TEST(ASTPrinterTest, FunctionAddressLiteral) {
+  Program P = compileOk(R"(
+    fn f() { return 0; }
+    fn main() { return (&f)(); }
+  )");
+  const auto &Ret =
+      static_cast<const ReturnStmt &>(*P.Functions[1].Body->Body[0]);
+  EXPECT_EQ(printExpr(*Ret.Value), "(call-indirect (&f))");
+}

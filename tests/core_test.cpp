@@ -1,0 +1,816 @@
+//===- tests/core_test.cpp - Unit & property tests for the analyzer -------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "graph/Generators.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+using namespace gprof;
+
+namespace {
+
+/// Builder for synthetic profiles: routines are laid out 100 addresses
+/// apart, each 100 addresses long; self times are expressed in seconds and
+/// realized as histogram samples at 60 ticks/second.
+class ProfileFixture {
+public:
+  static constexpr Address Base = 0x1000;
+  static constexpr uint64_t FuncSize = 100;
+  static constexpr uint64_t Hz = 60;
+
+  /// Adds a routine and returns its index.
+  uint32_t addFunction(const std::string &Name) {
+    uint32_t I = static_cast<uint32_t>(Names.size());
+    Names.push_back(Name);
+    return I;
+  }
+
+  Address entryOf(uint32_t Fn) const { return Base + Fn * FuncSize; }
+  /// A distinct call-site address inside \p Fn.
+  Address siteOf(uint32_t Fn, uint32_t Site = 0) const {
+    return entryOf(Fn) + 10 + Site;
+  }
+
+  /// Records \p Count calls from a call site in \p From to \p To.
+  void addCall(uint32_t From, uint32_t To, uint64_t Count,
+               uint32_t Site = 0) {
+    Data.addArc(siteOf(From, Site), entryOf(To), Count);
+  }
+
+  /// Records \p Count spontaneous activations of \p Fn (caller outside
+  /// the text range).
+  void addSpontaneous(uint32_t Fn, uint64_t Count = 1) {
+    Data.addArc(0, entryOf(Fn), Count);
+  }
+
+  /// Gives \p Fn exactly \p Seconds of self time.
+  void setSelfSeconds(uint32_t Fn, double Seconds) {
+    SelfSeconds[Fn] = Seconds;
+  }
+
+  /// Builds the analyzer inputs.
+  std::pair<SymbolTable, ProfileData> build() {
+    SymbolTable Syms;
+    for (uint32_t I = 0; I != Names.size(); ++I)
+      Syms.addSymbol(Names[I], entryOf(I), FuncSize);
+    cantFail(Syms.finalize());
+
+    Data.TicksPerSecond = Hz;
+    Histogram H(Base, Base + Names.size() * FuncSize, 1);
+    for (const auto &[Fn, Seconds] : SelfSeconds) {
+      auto Samples = static_cast<uint64_t>(std::llround(Seconds * Hz));
+      for (uint64_t S = 0; S != Samples; ++S)
+        H.recordPc(entryOf(Fn) + 50); // One address inside the routine.
+    }
+    Data.Hist = std::move(H);
+    return {std::move(Syms), Data};
+  }
+
+  ProfileReport analyze(AnalyzerOptions Opts = {}) {
+    auto [Syms, D] = build();
+    Analyzer A(std::move(Syms), std::move(Opts));
+    auto R = A.analyze(D);
+    EXPECT_TRUE(static_cast<bool>(R)) << R.message();
+    return R.takeValue();
+  }
+
+  std::vector<std::string> Names;
+  ProfileData Data;
+  std::map<uint32_t, double> SelfSeconds;
+};
+
+/// Finds the report arc parent->child, asserting it exists.
+const ReportArc &findArc(const ProfileReport &R, const std::string &Parent,
+                         const std::string &Child) {
+  uint32_t P = R.findFunction(Parent);
+  uint32_t C = R.findFunction(Child);
+  EXPECT_NE(P, ~0u);
+  EXPECT_NE(C, ~0u);
+  for (const ReportArc &A : R.Arcs)
+    if (A.Parent == P && A.Child == C)
+      return A;
+  ADD_FAILURE() << "no arc " << Parent << " -> " << Child;
+  static ReportArc Dummy;
+  return Dummy;
+}
+
+const FunctionEntry &fn(const ProfileReport &R, const std::string &Name) {
+  uint32_t I = R.findFunction(Name);
+  EXPECT_NE(I, ~0u) << Name;
+  return R.Functions[I];
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SymbolTable
+//===----------------------------------------------------------------------===//
+
+TEST(SymbolTableTest, LookupSemantics) {
+  SymbolTable T;
+  T.addSymbol("b", 200, 50);
+  T.addSymbol("a", 100, 50);
+  cantFail(T.finalize());
+  EXPECT_EQ(T.symbol(0).Name, "a"); // Sorted by address.
+  EXPECT_EQ(T.findContaining(100), 0u);
+  EXPECT_EQ(T.findContaining(149), 0u);
+  EXPECT_EQ(T.findContaining(150), NoSymbol); // Gap between symbols.
+  EXPECT_EQ(T.findContaining(99), NoSymbol);
+  EXPECT_EQ(T.findContaining(249), 1u);
+  EXPECT_EQ(T.findContaining(250), NoSymbol);
+  EXPECT_EQ(T.findAt(200), 1u);
+  EXPECT_EQ(T.findAt(201), NoSymbol);
+  EXPECT_EQ(T.findByName("b"), 1u);
+  EXPECT_EQ(T.findByName("zz"), NoSymbol);
+  EXPECT_EQ(T.lowPc(), 100u);
+  EXPECT_EQ(T.highPc(), 250u);
+}
+
+TEST(SymbolTableTest, OverlapRejected) {
+  SymbolTable T;
+  T.addSymbol("a", 100, 60);
+  T.addSymbol("b", 150, 60);
+  Error E = T.finalize();
+  EXPECT_TRUE(static_cast<bool>(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Self-time assignment
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, SelfTimesFromHistogram) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t Hot = F.addFunction("hot");
+  F.addSpontaneous(Main);
+  F.addCall(Main, Hot, 3);
+  F.setSelfSeconds(Main, 0.5);
+  F.setSelfSeconds(Hot, 2.0);
+  ProfileReport R = F.analyze();
+  EXPECT_NEAR(fn(R, "main").SelfTime, 0.5, 1e-9);
+  EXPECT_NEAR(fn(R, "hot").SelfTime, 2.0, 1e-9);
+  EXPECT_NEAR(R.TotalTime, 2.5, 1e-9);
+  EXPECT_NEAR(R.UnattributedTime, 0.0, 1e-9);
+}
+
+TEST(AnalyzerTest, StraddlingBucketProrated) {
+  // One bucket of 10 addresses covering the boundary between a and b:
+  // 40% of the bucket overlaps a, 60% overlaps b.
+  SymbolTable Syms;
+  Syms.addSymbol("a", 100, 24);
+  Syms.addSymbol("b", 124, 26);
+  cantFail(Syms.finalize());
+
+  ProfileData Data;
+  Data.TicksPerSecond = 60;
+  Histogram H(100, 150, 10);
+  // 60 samples into the bucket [120, 130): 4 addresses in a, 6 in b.
+  for (int I = 0; I != 60; ++I)
+    H.recordPc(125);
+  Data.Hist = std::move(H);
+
+  Analyzer A(std::move(Syms));
+  ProfileReport R = cantFail(A.analyze(Data));
+  EXPECT_NEAR(fn(R, "a").SelfTime, 0.4, 1e-9);
+  EXPECT_NEAR(fn(R, "b").SelfTime, 0.6, 1e-9);
+}
+
+TEST(AnalyzerTest, SamplesOutsideSymbolsUnattributed) {
+  SymbolTable Syms;
+  Syms.addSymbol("a", 100, 10);
+  cantFail(Syms.finalize());
+  ProfileData Data;
+  Data.TicksPerSecond = 60;
+  Histogram H(0, 1000, 1);
+  for (int I = 0; I != 30; ++I)
+    H.recordPc(500); // Nowhere near 'a'.
+  for (int I = 0; I != 30; ++I)
+    H.recordPc(105);
+  Data.Hist = std::move(H);
+  Analyzer A(std::move(Syms));
+  ProfileReport R = cantFail(A.analyze(Data));
+  EXPECT_NEAR(R.UnattributedTime, 0.5, 1e-9);
+  EXPECT_NEAR(R.TotalTime, 0.5, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Call counts
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, CallCountsSumIncomingArcs) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t A = F.addFunction("a");
+  uint32_t B = F.addFunction("b");
+  F.addSpontaneous(Main);
+  F.addCall(Main, B, 4);
+  F.addCall(A, B, 6);
+  F.addCall(Main, A, 1);
+  ProfileReport R = F.analyze();
+  EXPECT_EQ(fn(R, "b").Calls, 10u); // "summing the counts on arcs" §3.1.
+  EXPECT_EQ(fn(R, "a").Calls, 1u);
+  EXPECT_EQ(fn(R, "main").Calls, 1u);
+  EXPECT_EQ(fn(R, "main").SpontaneousCalls, 1u);
+}
+
+TEST(AnalyzerTest, SelfCallsSeparated) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t Rec = F.addFunction("rec");
+  F.addSpontaneous(Main);
+  F.addCall(Main, Rec, 10);
+  F.addCall(Rec, Rec, 4);
+  ProfileReport R = F.analyze();
+  EXPECT_EQ(fn(R, "rec").Calls, 10u);
+  EXPECT_EQ(fn(R, "rec").SelfCalls, 4u);
+  // The self arc is listed but flagged.
+  const ReportArc &Self = findArc(R, "rec", "rec");
+  EXPECT_TRUE(Self.SelfArc);
+  EXPECT_EQ(Self.Count, 4u);
+  EXPECT_EQ(Self.PropSelf, 0.0);
+}
+
+TEST(AnalyzerTest, MultipleCallSitesMerge) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t Leaf = F.addFunction("leaf");
+  F.addSpontaneous(Main);
+  F.addCall(Main, Leaf, 3, /*Site=*/0);
+  F.addCall(Main, Leaf, 5, /*Site=*/7);
+  ProfileReport R = F.analyze();
+  EXPECT_EQ(fn(R, "leaf").Calls, 8u);
+  EXPECT_EQ(findArc(R, "main", "leaf").Count, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Time propagation
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, ChainPropagation) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t Mid = F.addFunction("mid");
+  uint32_t Leaf = F.addFunction("leaf");
+  F.addSpontaneous(Main);
+  F.addCall(Main, Mid, 2);
+  F.addCall(Mid, Leaf, 8);
+  F.setSelfSeconds(Main, 0.1);
+  F.setSelfSeconds(Mid, 0.4);
+  F.setSelfSeconds(Leaf, 1.5);
+  ProfileReport R = F.analyze();
+
+  EXPECT_NEAR(fn(R, "leaf").ChildTime, 0.0, 1e-9);
+  EXPECT_NEAR(fn(R, "mid").ChildTime, 1.5, 1e-9);
+  EXPECT_NEAR(fn(R, "main").ChildTime, 1.9, 1e-9);
+  EXPECT_NEAR(fn(R, "main").totalTime(), 2.0, 1e-9);
+
+  const ReportArc &MainMid = findArc(R, "main", "mid");
+  EXPECT_NEAR(MainMid.PropSelf, 0.4, 1e-9);
+  EXPECT_NEAR(MainMid.PropChild, 1.5, 1e-9);
+}
+
+TEST(AnalyzerTest, ProportionalSplitBetweenParents) {
+  // The Figure 4 ratio: 4/10 to one caller, 6/10 to the other.
+  ProfileFixture F;
+  uint32_t C1 = F.addFunction("caller1");
+  uint32_t C2 = F.addFunction("caller2");
+  uint32_t E = F.addFunction("example");
+  F.addSpontaneous(C1);
+  F.addSpontaneous(C2);
+  F.addCall(C1, E, 4);
+  F.addCall(C2, E, 6);
+  F.setSelfSeconds(E, 0.5);
+  ProfileReport R = F.analyze();
+
+  const ReportArc &A1 = findArc(R, "caller1", "example");
+  const ReportArc &A2 = findArc(R, "caller2", "example");
+  EXPECT_NEAR(A1.PropSelf, 0.2, 1e-9);
+  EXPECT_NEAR(A2.PropSelf, 0.3, 1e-9);
+  EXPECT_NEAR(fn(R, "caller1").ChildTime, 0.2, 1e-9);
+  EXPECT_NEAR(fn(R, "caller2").ChildTime, 0.3, 1e-9);
+}
+
+TEST(AnalyzerTest, SpontaneousFractionStaysPut) {
+  // Half of leaf's calls come from nowhere: only the known caller's half
+  // propagates.
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t Leaf = F.addFunction("leaf");
+  F.addSpontaneous(Main);
+  F.addCall(Main, Leaf, 5);
+  F.addSpontaneous(Leaf, 5);
+  F.setSelfSeconds(Leaf, 1.0);
+  ProfileReport R = F.analyze();
+  EXPECT_NEAR(fn(R, "main").ChildTime, 0.5, 1e-9);
+  EXPECT_EQ(fn(R, "leaf").Calls, 10u);
+}
+
+TEST(AnalyzerTest, NeverCalledTimeDoesNotPropagate) {
+  // A routine with samples but no incoming arcs (compiled without
+  // profiling): its time stays with it.
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t Mystery = F.addFunction("mystery");
+  F.addSpontaneous(Main);
+  F.setSelfSeconds(Mystery, 1.0);
+  ProfileReport R = F.analyze();
+  EXPECT_NEAR(fn(R, "mystery").SelfTime, 1.0, 1e-9);
+  EXPECT_NEAR(fn(R, "main").ChildTime, 0.0, 1e-9);
+  (void)Main;
+  (void)Mystery;
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: the recurrence T_r = S_r + sum T_e * C^r_e / C_e holds
+// exactly on random DAG profiles.
+//===----------------------------------------------------------------------===//
+
+class PropagationPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropagationPropertyTest, RecurrenceHoldsOnRandomDags) {
+  CallGraph G = makeRandomDag(25, 60, 20, GetParam());
+  SplitMix64 Rng(GetParam() * 7 + 1);
+
+  ProfileFixture F;
+  for (NodeId N = 0; N != G.numNodes(); ++N) {
+    F.addFunction(G.nodeName(N));
+    F.setSelfSeconds(static_cast<uint32_t>(N),
+                     static_cast<double>(Rng.nextInRange(0, 120)) / 60.0);
+  }
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    const Arc &E = G.arc(A);
+    F.addCall(E.From, E.To, E.Count);
+  }
+  // Roots (no incoming arcs) activate spontaneously.
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    if (G.inArcs(N).empty())
+      F.addSpontaneous(N);
+
+  ProfileReport R = F.analyze();
+
+  // Verify the recurrence at every node against an independent
+  // memoized evaluation.
+  std::vector<double> Expected(G.numNodes(), -1.0);
+  auto Eval = [&](auto &&Self, NodeId N) -> double {
+    if (Expected[N] >= 0)
+      return Expected[N];
+    double T = R.Functions[N].SelfTime;
+    for (ArcId A : G.outArcs(N)) {
+      const Arc &E = G.arc(A);
+      uint64_t CalleeCalls = R.Functions[E.To].Calls;
+      EXPECT_NE(CalleeCalls, 0u);
+      if (CalleeCalls != 0)
+        T += Self(Self, E.To) * static_cast<double>(E.Count) /
+             static_cast<double>(CalleeCalls);
+    }
+    Expected[N] = T;
+    return T;
+  };
+  for (NodeId N = 0; N != G.numNodes(); ++N) {
+    Eval(Eval, N);
+    EXPECT_NEAR(R.Functions[N].totalTime(), Expected[N], 1e-6)
+        << G.nodeName(N);
+  }
+
+  // Conservation: all time flows to the roots.
+  double RootTotal = 0.0;
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    if (G.inArcs(N).empty())
+      RootTotal += R.Functions[N].totalTime();
+  EXPECT_NEAR(RootTotal, R.TotalTime, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationPropertyTest,
+                         testing::Range<uint64_t>(0, 10));
+
+//===----------------------------------------------------------------------===//
+// Cycles
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, MutualRecursionCollapses) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t B = F.addFunction("b");
+  uint32_t C = F.addFunction("c");
+  uint32_t D = F.addFunction("d");
+  F.addSpontaneous(Main);
+  F.addCall(Main, B, 10);   // External calls into the cycle.
+  F.addCall(B, C, 30);      // Intra-cycle.
+  F.addCall(C, B, 29);      // Intra-cycle (closes the cycle).
+  F.addCall(C, D, 8);       // Cycle calls out.
+  F.setSelfSeconds(B, 1.0);
+  F.setSelfSeconds(C, 2.0);
+  F.setSelfSeconds(D, 0.6);
+  ProfileReport R = F.analyze();
+
+  ASSERT_EQ(R.Cycles.size(), 1u);
+  const CycleEntry &Cycle = R.Cycles[0];
+  EXPECT_EQ(Cycle.Members.size(), 2u);
+  EXPECT_NEAR(Cycle.SelfTime, 3.0, 1e-9);
+  EXPECT_EQ(Cycle.ExternalCalls, 10u);
+  EXPECT_EQ(Cycle.InternalCalls, 59u);
+  // d's whole time flows into the cycle (c is its only caller).
+  EXPECT_NEAR(Cycle.ChildTime, 0.6, 1e-9);
+
+  EXPECT_EQ(fn(R, "b").CycleNumber, 1u);
+  EXPECT_EQ(fn(R, "c").CycleNumber, 1u);
+  EXPECT_EQ(fn(R, "main").CycleNumber, 0u);
+
+  // Intra-cycle arcs never propagate.
+  EXPECT_TRUE(findArc(R, "b", "c").WithinCycle);
+  EXPECT_EQ(findArc(R, "b", "c").PropSelf, 0.0);
+  EXPECT_TRUE(findArc(R, "c", "b").WithinCycle);
+
+  // main receives the whole cycle's self+descendant time (it is the only
+  // external caller: 10/10).
+  EXPECT_NEAR(fn(R, "main").ChildTime, 3.6, 1e-9);
+  const ReportArc &IntoCycle = findArc(R, "main", "b");
+  EXPECT_NEAR(IntoCycle.PropSelf, 3.0, 1e-9);
+  EXPECT_NEAR(IntoCycle.PropChild, 0.6, 1e-9);
+}
+
+TEST(AnalyzerTest, CycleSharedBetweenTwoCallers) {
+  // Two callers split a cycle's time by their call counts into it.
+  ProfileFixture F;
+  uint32_t P1 = F.addFunction("p1");
+  uint32_t P2 = F.addFunction("p2");
+  uint32_t X = F.addFunction("x");
+  uint32_t Y = F.addFunction("y");
+  F.addSpontaneous(P1);
+  F.addSpontaneous(P2);
+  F.addCall(P1, X, 20); // 20/40 of the cycle.
+  F.addCall(P2, Y, 20); // 20/40 of the cycle.
+  F.addCall(X, Y, 100);
+  F.addCall(Y, X, 99);
+  F.setSelfSeconds(X, 2.0);
+  F.setSelfSeconds(Y, 4.0);
+  ProfileReport R = F.analyze();
+  ASSERT_EQ(R.Cycles.size(), 1u);
+  EXPECT_EQ(R.Cycles[0].ExternalCalls, 40u);
+  EXPECT_NEAR(fn(R, "p1").ChildTime, 3.0, 1e-9);
+  EXPECT_NEAR(fn(R, "p2").ChildTime, 3.0, 1e-9);
+}
+
+TEST(AnalyzerTest, ThreeNodeCycleThroughTwoComponents) {
+  // A larger cycle a->b->c->a plus an independent 2-cycle d<->e gives two
+  // cycle entries with distinct numbers.
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t A = F.addFunction("a");
+  uint32_t B = F.addFunction("b");
+  uint32_t C = F.addFunction("c");
+  uint32_t D = F.addFunction("d");
+  uint32_t E = F.addFunction("e");
+  F.addSpontaneous(Main);
+  F.addCall(Main, A, 1);
+  F.addCall(A, B, 5);
+  F.addCall(B, C, 5);
+  F.addCall(C, A, 4);
+  F.addCall(Main, D, 1);
+  F.addCall(D, E, 3);
+  F.addCall(E, D, 2);
+  ProfileReport R = F.analyze();
+  ASSERT_EQ(R.Cycles.size(), 2u);
+  EXPECT_NE(fn(R, "a").CycleNumber, 0u);
+  EXPECT_EQ(fn(R, "a").CycleNumber, fn(R, "b").CycleNumber);
+  EXPECT_EQ(fn(R, "a").CycleNumber, fn(R, "c").CycleNumber);
+  EXPECT_NE(fn(R, "d").CycleNumber, 0u);
+  EXPECT_EQ(fn(R, "d").CycleNumber, fn(R, "e").CycleNumber);
+  EXPECT_NE(fn(R, "a").CycleNumber, fn(R, "d").CycleNumber);
+}
+
+//===----------------------------------------------------------------------===//
+// Static arcs
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, StaticArcsAddedWithZeroCount) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t Used = F.addFunction("used");
+  uint32_t Cold = F.addFunction("cold");
+  F.addSpontaneous(Main);
+  F.addCall(Main, Used, 5);
+  F.setSelfSeconds(Used, 1.0);
+
+  auto [Syms, Data] = F.build();
+  AnalyzerOptions Opts;
+  Opts.UseStaticArcs = true;
+  Analyzer An(std::move(Syms), Opts);
+  An.setStaticArcs({{F.siteOf(Main, 1), F.entryOf(Cold)},
+                    {F.siteOf(Main, 0), F.entryOf(Used)}});
+  ProfileReport R = cantFail(An.analyze(Data));
+
+  const ReportArc &ColdArc = findArc(R, "main", "cold");
+  EXPECT_TRUE(ColdArc.Static);
+  EXPECT_EQ(ColdArc.Count, 0u);
+  EXPECT_EQ(ColdArc.PropSelf, 0.0);
+  // The dynamic arc keeps its count despite the duplicate static arc.
+  EXPECT_EQ(findArc(R, "main", "used").Count, 5u);
+  EXPECT_FALSE(findArc(R, "main", "used").Static);
+  // cold is never called but referenced: it gets a listing slot.
+  EXPECT_NE(fn(R, "cold").ListingIndex, 0u);
+}
+
+TEST(AnalyzerTest, StaticArcCompletesCycle) {
+  // Dynamic: b -> c.  Static: c -> b.  The two must land in one cycle,
+  // "since they may complete strongly connected components" (§4) —
+  // keeping cycle membership stable across runs.
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t B = F.addFunction("b");
+  uint32_t C = F.addFunction("c");
+  F.addSpontaneous(Main);
+  F.addCall(Main, B, 2);
+  F.addCall(B, C, 3);
+  F.setSelfSeconds(C, 1.0);
+
+  auto [Syms, Data] = F.build();
+  AnalyzerOptions Opts;
+  Opts.UseStaticArcs = true;
+  Analyzer An(std::move(Syms), Opts);
+  An.setStaticArcs({{F.siteOf(C), F.entryOf(B)}});
+  ProfileReport R = cantFail(An.analyze(Data));
+
+  ASSERT_EQ(R.Cycles.size(), 1u);
+  EXPECT_EQ(fn(R, "b").CycleNumber, 1u);
+  EXPECT_EQ(fn(R, "c").CycleNumber, 1u);
+  // All of the cycle's time still reaches main (sole external caller).
+  EXPECT_NEAR(fn(R, "main").ChildTime, 1.0, 1e-9);
+}
+
+TEST(AnalyzerTest, WithoutStaticArcsNoCycle) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t B = F.addFunction("b");
+  F.addFunction("c");
+  F.addSpontaneous(Main);
+  F.addCall(Main, B, 2);
+  F.addCall(B, 2, 3);
+  ProfileReport R = F.analyze();
+  EXPECT_TRUE(R.Cycles.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Arc deletion and cycle breaking
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, DeleteArcBreaksCycle) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t B = F.addFunction("b");
+  uint32_t C = F.addFunction("c");
+  F.addSpontaneous(Main);
+  F.addCall(Main, B, 10);
+  F.addCall(B, C, 1000);
+  F.addCall(C, B, 2); // The low-count arc closing the cycle.
+  F.setSelfSeconds(B, 1.0);
+  F.setSelfSeconds(C, 3.0);
+
+  // Without deletion: one cycle.
+  EXPECT_EQ(F.analyze().Cycles.size(), 1u);
+
+  // With -k c/b: no cycle, and c's time attributes cleanly through b.
+  AnalyzerOptions Opts;
+  Opts.DeleteArcs = {{"c", "b"}};
+  ProfileReport R = F.analyze(Opts);
+  EXPECT_TRUE(R.Cycles.empty());
+  EXPECT_NEAR(fn(R, "b").ChildTime, 3.0, 1e-9);
+  EXPECT_NEAR(fn(R, "main").ChildTime, 4.0, 1e-9);
+  ASSERT_EQ(R.RemovedArcs.size(), 1u);
+}
+
+TEST(AnalyzerTest, DeleteUnknownArcFails) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  F.addSpontaneous(Main);
+  auto [Syms, Data] = F.build();
+  AnalyzerOptions Opts;
+  Opts.DeleteArcs = {{"main", "ghost"}};
+  Analyzer A(std::move(Syms), Opts);
+  auto R = A.analyze(Data);
+  EXPECT_FALSE(static_cast<bool>(R));
+  (void)R.takeError();
+}
+
+TEST(AnalyzerTest, AutoBreakHeuristicRemovesLowCountArcs) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t B = F.addFunction("b");
+  uint32_t C = F.addFunction("c");
+  F.addSpontaneous(Main);
+  F.addCall(Main, B, 10);
+  F.addCall(B, C, 100000);
+  F.addCall(C, B, 3); // Low-count back arc.
+  AnalyzerOptions Opts;
+  Opts.AutoBreakCycleBound = 5;
+  ProfileReport R = F.analyze(Opts);
+  EXPECT_TRUE(R.Cycles.empty());
+  ASSERT_EQ(R.RemovedArcs.size(), 1u);
+  EXPECT_EQ(R.Functions[R.RemovedArcs[0].first].Name, "c");
+  EXPECT_EQ(R.Functions[R.RemovedArcs[0].second].Name, "b");
+}
+
+TEST(AnalyzerTest, AutoBreakRespectsBound) {
+  // Two independent 2-cycles, budget 1: one cycle must survive.
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t A = F.addFunction("a");
+  uint32_t B = F.addFunction("b");
+  uint32_t C = F.addFunction("c");
+  uint32_t D = F.addFunction("d");
+  F.addSpontaneous(Main);
+  F.addCall(Main, A, 1);
+  F.addCall(Main, C, 1);
+  F.addCall(A, B, 10);
+  F.addCall(B, A, 1);
+  F.addCall(C, D, 10);
+  F.addCall(D, C, 1);
+  AnalyzerOptions Opts;
+  Opts.AutoBreakCycleBound = 1;
+  ProfileReport R = F.analyze(Opts);
+  EXPECT_EQ(R.Cycles.size(), 1u);
+  EXPECT_EQ(R.RemovedArcs.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Listing orders, unused functions, report plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, FlatOrderByDecreasingSelfTime) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t A = F.addFunction("aa");
+  uint32_t B = F.addFunction("bb");
+  F.addSpontaneous(Main);
+  F.addCall(Main, A, 1);
+  F.addCall(Main, B, 1);
+  F.setSelfSeconds(A, 0.5);
+  F.setSelfSeconds(B, 2.0);
+  ProfileReport R = F.analyze();
+  ASSERT_EQ(R.FlatOrder.size(), 3u);
+  EXPECT_EQ(R.Functions[R.FlatOrder[0]].Name, "bb");
+  EXPECT_EQ(R.Functions[R.FlatOrder[1]].Name, "aa");
+}
+
+TEST(AnalyzerTest, GraphOrderByTotalTimeWithIndices) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t A = F.addFunction("a");
+  F.addSpontaneous(Main);
+  F.addCall(Main, A, 1);
+  F.setSelfSeconds(A, 1.0);
+  ProfileReport R = F.analyze();
+  // main's total (1.0 inherited) ties with a's; order is by name then.
+  EXPECT_EQ(fn(R, "main").ListingIndex + fn(R, "a").ListingIndex, 3u);
+  for (uint32_t Pos = 0; Pos != R.GraphOrder.size(); ++Pos) {
+    const ListingEntry &E = R.GraphOrder[Pos];
+    uint32_t Idx = E.IsCycle ? R.Cycles[E.Index].ListingIndex
+                             : R.Functions[E.Index].ListingIndex;
+    EXPECT_EQ(Idx, Pos + 1);
+  }
+}
+
+TEST(AnalyzerTest, UnusedFunctionsListed) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  F.addFunction("never_a");
+  F.addFunction("never_b");
+  F.addSpontaneous(Main);
+  F.setSelfSeconds(Main, 0.1);
+  ProfileReport R = F.analyze();
+  ASSERT_EQ(R.UnusedFunctions.size(), 2u);
+  EXPECT_EQ(R.Functions[R.UnusedFunctions[0]].Name, "never_a");
+  EXPECT_EQ(R.Functions[R.UnusedFunctions[1]].Name, "never_b");
+  // Unused functions get no graph entry.
+  EXPECT_EQ(fn(R, "never_a").ListingIndex, 0u);
+}
+
+TEST(AnalyzerTest, TopoNumbersValidOnReport) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t A = F.addFunction("a");
+  uint32_t B = F.addFunction("b");
+  F.addSpontaneous(Main);
+  F.addCall(Main, A, 1);
+  F.addCall(A, B, 1);
+  ProfileReport R = F.analyze();
+  EXPECT_GT(fn(R, "main").TopoNumber, fn(R, "a").TopoNumber);
+  EXPECT_GT(fn(R, "a").TopoNumber, fn(R, "b").TopoNumber);
+}
+
+//===----------------------------------------------------------------------===//
+// Printers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ProfileReport exampleReport() {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t Work = F.addFunction("work");
+  uint32_t Leaf = F.addFunction("leaf");
+  F.addFunction("unused_fn");
+  F.addSpontaneous(Main);
+  F.addCall(Main, Work, 2);
+  F.addCall(Work, Leaf, 10);
+  F.addCall(Work, Work, 3); // Self recursion.
+  F.setSelfSeconds(Work, 1.0);
+  F.setSelfSeconds(Leaf, 3.0);
+  return F.analyze();
+}
+
+} // namespace
+
+TEST(FlatPrinterTest, RowsAndNeverCalledList) {
+  std::string Out = printFlatProfile(exampleReport());
+  EXPECT_NE(Out.find("leaf"), std::string::npos);
+  EXPECT_NE(Out.find("75.0"), std::string::npos); // leaf: 3.0 of 4.0.
+  EXPECT_NE(Out.find("routines never called"), std::string::npos);
+  EXPECT_NE(Out.find("unused_fn"), std::string::npos);
+  // Decreasing self-time order: leaf row precedes work row.
+  EXPECT_LT(Out.find("leaf"), Out.find("work"));
+}
+
+TEST(FlatPrinterTest, ZeroUsageRowsOnRequest) {
+  FlatPrintOptions Opts;
+  Opts.ShowZeroUsage = true;
+  std::string Out = printFlatProfile(exampleReport(), Opts);
+  EXPECT_EQ(Out.find("routines never called"), std::string::npos);
+  EXPECT_NE(Out.find("unused_fn"), std::string::npos);
+}
+
+TEST(GraphPrinterTest, EntryStructure) {
+  ProfileReport R = exampleReport();
+  std::string Out = printCallGraph(R);
+  // work's entry shows its self-recursion as "2+3".
+  EXPECT_NE(Out.find("2+3"), std::string::npos);
+  // leaf's calls are shown as the 10/10 fraction.
+  EXPECT_NE(Out.find("10/10"), std::string::npos);
+  // main is spontaneous.
+  EXPECT_NE(Out.find("<spontaneous>"), std::string::npos);
+  // The index table is present and alphabetical.
+  EXPECT_NE(Out.find("index by function name"), std::string::npos);
+}
+
+TEST(GraphPrinterTest, FiltersApply) {
+  ProfileReport R = exampleReport();
+  GraphPrintOptions Only;
+  Only.OnlyFunctions = {"leaf"};
+  Only.PrintIndex = false;
+  std::string Out = printCallGraph(R, Only);
+  // Only leaf's primary entry: the string "work [" appears only as a
+  // parent row, and main's entry is absent entirely.
+  EXPECT_NE(Out.find("leaf ["), std::string::npos);
+  EXPECT_EQ(Out.find("<spontaneous>"), std::string::npos);
+
+  GraphPrintOptions Exclude;
+  Exclude.ExcludeFunctions = {"leaf"};
+  Exclude.PrintIndex = false;
+  std::string Out2 = printCallGraph(R, Exclude);
+  // leaf's primary line (which starts a line with its index) is gone,
+  // though leaf still appears as a child row in work's entry.
+  std::string LeafPrimary =
+      format("\n[%u]", R.Functions[R.findFunction("leaf")].ListingIndex);
+  std::string Full = printCallGraph(R, GraphPrintOptions{});
+  EXPECT_NE(Full.find(LeafPrimary), std::string::npos);
+  EXPECT_EQ(Out2.find(LeafPrimary), std::string::npos);
+}
+
+TEST(GraphPrinterTest, SingleEntryHelper) {
+  ProfileReport R = exampleReport();
+  std::string Out = printCallGraphEntry(R, "work");
+  EXPECT_NE(Out.find("work"), std::string::npos);
+  EXPECT_NE(Out.find("leaf"), std::string::npos);
+  EXPECT_EQ(printCallGraphEntry(R, "missing"), "");
+}
+
+TEST(GraphPrinterTest, CycleEntryRendered) {
+  ProfileFixture F;
+  uint32_t Main = F.addFunction("main");
+  uint32_t A = F.addFunction("alpha");
+  uint32_t B = F.addFunction("beta");
+  F.addSpontaneous(Main);
+  F.addCall(Main, A, 4);
+  F.addCall(A, B, 7);
+  F.addCall(B, A, 6);
+  F.setSelfSeconds(A, 1.0);
+  F.setSelfSeconds(B, 1.0);
+  ProfileReport R = F.analyze();
+  std::string Out = printCallGraph(R);
+  EXPECT_NE(Out.find("<cycle 1 as a whole>"), std::string::npos);
+  EXPECT_NE(Out.find("alpha <cycle1>"), std::string::npos);
+  EXPECT_NE(Out.find("beta <cycle1>"), std::string::npos);
+  // The cycle's primary line shows external+internal calls: "4+13".
+  EXPECT_NE(Out.find("4+13"), std::string::npos);
+}

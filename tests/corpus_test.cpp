@@ -1,0 +1,145 @@
+//===- tests/corpus_test.cpp - Sweep over the TL example corpus -----------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles and runs every .tl program in examples/tl twice — plain and
+/// with profiling prologues — and checks the system-wide invariants on
+/// each: identical program results, conserved time attribution, exact
+/// image round trips, and deterministic profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "gmon/GmonFile.h"
+#include "runtime/Monitor.h"
+#include "support/FileUtils.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <dirent.h>
+#include <string>
+#include <vector>
+
+using namespace gprof;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  DIR *Dir = opendir(TL_CORPUS_DIR);
+  if (!Dir)
+    return Files;
+  while (dirent *Entry = readdir(Dir)) {
+    std::string Name = Entry->d_name;
+    if (Name.size() > 3 && Name.substr(Name.size() - 3) == ".tl")
+      Files.push_back(std::string(TL_CORPUS_DIR) + "/" + Name);
+  }
+  closedir(Dir);
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+class CorpusTest : public testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST(CorpusDiscoveryTest, CorpusIsPresent) {
+  EXPECT_GE(corpusFiles().size(), 5u) << "expected the TL corpus at "
+                                      << TL_CORPUS_DIR;
+}
+
+TEST_P(CorpusTest, CompilesRunsAndProfiles) {
+  auto Source = readFileText(GetParam());
+  ASSERT_TRUE(static_cast<bool>(Source)) << Source.message();
+
+  // Plain and profiled compilations.
+  Image Plain = compileTLOrDie(*Source);
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Profiled = compileTLOrDie(*Source, CG);
+
+  // The image round-trips exactly.
+  auto Reloaded = Image::deserialize(Profiled.serialize());
+  ASSERT_TRUE(static_cast<bool>(Reloaded));
+  EXPECT_EQ(Reloaded->Code, Profiled.Code);
+
+  // Plain run.
+  VM PlainVM(Plain);
+  auto PlainRun = PlainVM.run();
+  ASSERT_TRUE(static_cast<bool>(PlainRun)) << PlainRun.message();
+
+  // Profiled run under the monitor.
+  Monitor Mon(Profiled.lowPc(), Profiled.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = 500;
+  VM ProfVM(Profiled, VO);
+  ProfVM.setHooks(&Mon);
+  auto ProfRun = ProfVM.run();
+  ASSERT_TRUE(static_cast<bool>(ProfRun)) << ProfRun.message();
+
+  // Instrumentation must not change observable behavior.
+  EXPECT_EQ(PlainRun->ExitValue, ProfRun->ExitValue);
+  EXPECT_EQ(PlainRun->Printed, ProfRun->Printed);
+
+  // The profile analyzes cleanly and conserves time.
+  ProfileData Data = cantFail(readGmon(writeGmon(Mon.finish())));
+  auto Report = analyzeImageProfile(Profiled, Data);
+  ASSERT_TRUE(static_cast<bool>(Report)) << Report.message();
+  EXPECT_NEAR(Report->TotalTime, Data.sampledSeconds(), 1e-6);
+  EXPECT_NEAR(Report->UnattributedTime, 0.0, 1e-9);
+
+  // main is spontaneous and inherits all time (single entry point,
+  // whether or not cycles exist below it).
+  uint32_t Main = Report->findFunction("main");
+  ASSERT_NE(Main, ~0u);
+  EXPECT_EQ(Report->Functions[Main].SpontaneousCalls, 1u);
+  EXPECT_NEAR(Report->Functions[Main].totalTime(), Report->TotalTime,
+              1e-6);
+
+  // Listings render without issue and mention every executed routine.
+  std::string Flat = printFlatProfile(*Report);
+  std::string Graph = printCallGraph(*Report);
+  for (const FunctionEntry &F : Report->Functions) {
+    if (F.isUnused())
+      continue;
+    EXPECT_NE(Flat.find(F.Name), std::string::npos) << F.Name;
+    EXPECT_NE(Graph.find(F.Name), std::string::npos) << F.Name;
+  }
+
+  // Deterministic: a second profiled run gives the identical report.
+  Monitor Mon2(Profiled.lowPc(), Profiled.highPc());
+  VM ProfVM2(Profiled, VO);
+  ProfVM2.setHooks(&Mon2);
+  cantFail(ProfVM2.run());
+  auto Report2 = analyzeImageProfile(Profiled, Mon2.finish());
+  ASSERT_TRUE(static_cast<bool>(Report2));
+  EXPECT_EQ(printCallGraph(*Report), printCallGraph(*Report2));
+
+  // Static arcs only ever add to the graph.
+  AnalyzerOptions WithStatic;
+  WithStatic.UseStaticArcs = true;
+  auto ReportStatic = analyzeImageProfile(Profiled, Data, WithStatic);
+  ASSERT_TRUE(static_cast<bool>(ReportStatic));
+  EXPECT_GE(ReportStatic->Arcs.size(), Report->Arcs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, CorpusTest, testing::ValuesIn(corpusFiles()),
+    [](const testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      size_t Slash = Name.find_last_of('/');
+      if (Slash != std::string::npos)
+        Name = Name.substr(Slash + 1);
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,280 @@
+//===- tests/gmon_test.cpp - Unit tests for the profile data model --------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gmon/GmonFile.h"
+#include "gmon/Histogram.h"
+#include "gmon/ProfileData.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace gprof;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, BucketGeometry) {
+  Histogram H(100, 200, 10);
+  EXPECT_EQ(H.numBuckets(), 10u);
+  EXPECT_EQ(H.bucketStart(0), 100u);
+  EXPECT_EQ(H.bucketEnd(0), 110u);
+  EXPECT_EQ(H.bucketStart(9), 190u);
+  EXPECT_EQ(H.bucketEnd(9), 200u);
+}
+
+TEST(HistogramTest, PartialFinalBucket) {
+  Histogram H(0, 25, 10);
+  EXPECT_EQ(H.numBuckets(), 3u);
+  EXPECT_EQ(H.bucketEnd(2), 25u); // Clamped.
+}
+
+TEST(HistogramTest, RecordInRange) {
+  Histogram H(100, 200, 10);
+  H.recordPc(100);
+  H.recordPc(109);
+  H.recordPc(110);
+  H.recordPc(199);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(9), 1u);
+  EXPECT_EQ(H.totalSamples(), 4u);
+  EXPECT_EQ(H.outOfRangeSamples(), 0u);
+}
+
+TEST(HistogramTest, OutOfRangeCountedSeparately) {
+  Histogram H(100, 200, 10);
+  H.recordPc(99);
+  H.recordPc(200);
+  H.recordPc(5000);
+  EXPECT_EQ(H.totalSamples(), 0u);
+  EXPECT_EQ(H.outOfRangeSamples(), 3u);
+}
+
+TEST(HistogramTest, OneToOneGranularity) {
+  // The retrospective's epiphany: bucket size 1 gives a full count per PC.
+  Histogram H(0, 100, 1);
+  EXPECT_EQ(H.numBuckets(), 100u);
+  for (int I = 0; I != 5; ++I)
+    H.recordPc(42);
+  EXPECT_EQ(H.bucketCount(42), 5u);
+}
+
+TEST(HistogramTest, MergeAddsBuckets) {
+  Histogram A(0, 100, 10), B(0, 100, 10);
+  A.recordPc(5);
+  B.recordPc(5);
+  B.recordPc(95);
+  cantFail(A.merge(B));
+  EXPECT_EQ(A.bucketCount(0), 2u);
+  EXPECT_EQ(A.bucketCount(9), 1u);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedRanges) {
+  Histogram A(0, 100, 10), B(0, 200, 10);
+  Error E = A.merge(B);
+  EXPECT_TRUE(static_cast<bool>(E));
+  Histogram C(0, 100, 20);
+  Error E2 = A.merge(C);
+  EXPECT_TRUE(static_cast<bool>(E2));
+}
+
+TEST(HistogramTest, EmptyMergesWithEmpty) {
+  Histogram A, B;
+  cantFail(A.merge(B));
+  EXPECT_TRUE(A.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileData
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileDataTest, AddArcMerges) {
+  ProfileData D;
+  D.addArc(10, 20, 1);
+  D.addArc(10, 20, 2);
+  D.addArc(10, 30, 5);
+  ASSERT_EQ(D.Arcs.size(), 2u);
+  EXPECT_EQ(D.Arcs[0].Count, 3u);
+  EXPECT_EQ(D.callsInto(20), 3u);
+  EXPECT_EQ(D.callsInto(30), 5u);
+  EXPECT_EQ(D.callsInto(99), 0u);
+}
+
+TEST(ProfileDataTest, MergeSumsRunsAndArcs) {
+  ProfileData A, B;
+  A.Hist = Histogram(0, 100, 1);
+  B.Hist = Histogram(0, 100, 1);
+  A.Hist.recordPc(1);
+  B.Hist.recordPc(1);
+  A.addArc(5, 6, 7);
+  B.addArc(5, 6, 3);
+  B.addArc(8, 9, 1);
+  B.ArcTableOverflowed = true;
+  cantFail(A.merge(B));
+  EXPECT_EQ(A.RunCount, 2u);
+  EXPECT_EQ(A.Hist.bucketCount(1), 2u);
+  EXPECT_EQ(A.callsInto(6), 10u);
+  EXPECT_EQ(A.callsInto(9), 1u);
+  EXPECT_TRUE(A.ArcTableOverflowed);
+}
+
+TEST(ProfileDataTest, MergeRejectsDifferentRates) {
+  ProfileData A, B;
+  A.TicksPerSecond = 60;
+  B.TicksPerSecond = 100;
+  Error E = A.merge(B);
+  EXPECT_TRUE(static_cast<bool>(E));
+}
+
+TEST(ProfileDataTest, SampledSeconds) {
+  ProfileData D;
+  D.TicksPerSecond = 60;
+  D.Hist = Histogram(0, 10, 1);
+  for (int I = 0; I != 120; ++I)
+    D.Hist.recordPc(3);
+  EXPECT_DOUBLE_EQ(D.sampledSeconds(), 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Gmon file format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ProfileData makeSampleData() {
+  ProfileData D;
+  D.TicksPerSecond = 60;
+  D.RunCount = 2;
+  D.ArcTableOverflowed = false;
+  D.Hist = Histogram(0x1000, 0x2000, 4);
+  D.Hist.recordPc(0x1000);
+  D.Hist.recordPc(0x1FFF);
+  D.Hist.recordPc(0x1800);
+  D.addArc(0x1010, 0x1100, 42);
+  D.addArc(0x1020, 0x1100, 1);
+  D.addArc(0, 0x1000, 1); // Spontaneous caller.
+  return D;
+}
+
+} // namespace
+
+TEST(GmonFileTest, RoundTrip) {
+  ProfileData D = makeSampleData();
+  auto Bytes = writeGmon(D);
+  auto Back = readGmon(Bytes);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->TicksPerSecond, 60u);
+  EXPECT_EQ(Back->RunCount, 2u);
+  EXPECT_EQ(Back->Arcs.size(), 3u);
+  EXPECT_EQ(Back->Hist.lowPc(), 0x1000u);
+  EXPECT_EQ(Back->Hist.highPc(), 0x2000u);
+  EXPECT_EQ(Back->Hist.bucketSize(), 4u);
+  EXPECT_EQ(Back->Hist.totalSamples(), 3u);
+  EXPECT_EQ(Back->callsInto(0x1100), 43u);
+}
+
+TEST(GmonFileTest, OverflowFlagPersists) {
+  ProfileData D = makeSampleData();
+  D.ArcTableOverflowed = true;
+  auto Back = readGmon(writeGmon(D));
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_TRUE(Back->ArcTableOverflowed);
+}
+
+TEST(GmonFileTest, EmptyHistogramRoundTrips) {
+  ProfileData D;
+  D.addArc(1, 2, 3);
+  auto Back = readGmon(writeGmon(D));
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_TRUE(Back->Hist.empty());
+  EXPECT_EQ(Back->Arcs.size(), 1u);
+}
+
+TEST(GmonFileTest, BadMagicRejected) {
+  auto Bytes = writeGmon(makeSampleData());
+  Bytes[0] = 'X';
+  auto Back = readGmon(Bytes);
+  EXPECT_FALSE(static_cast<bool>(Back));
+  EXPECT_NE(Back.message().find("magic"), std::string::npos);
+  (void)Back.takeError();
+}
+
+TEST(GmonFileTest, BadVersionRejected) {
+  auto Bytes = writeGmon(makeSampleData());
+  Bytes[4] = 99;
+  auto Back = readGmon(Bytes);
+  EXPECT_FALSE(static_cast<bool>(Back));
+  (void)Back.takeError();
+}
+
+TEST(GmonFileTest, TruncationRejected) {
+  auto Bytes = writeGmon(makeSampleData());
+  for (size_t Cut : {Bytes.size() - 1, Bytes.size() / 2, size_t(5)}) {
+    std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + Cut);
+    auto Back = readGmon(Short);
+    EXPECT_FALSE(static_cast<bool>(Back)) << "cut at " << Cut;
+    (void)Back.takeError();
+  }
+}
+
+TEST(GmonFileTest, TrailingGarbageRejected) {
+  auto Bytes = writeGmon(makeSampleData());
+  Bytes.push_back(0);
+  auto Back = readGmon(Bytes);
+  EXPECT_FALSE(static_cast<bool>(Back));
+  (void)Back.takeError();
+}
+
+TEST(GmonFileTest, FileRoundTripAndSumming) {
+  std::string P1 = testing::TempDir() + "/gmon_test_1.out";
+  std::string P2 = testing::TempDir() + "/gmon_test_2.out";
+  ProfileData D = makeSampleData();
+  cantFail(writeGmonFile(P1, D));
+  cantFail(writeGmonFile(P2, D));
+
+  auto Sum = readAndSumGmonFiles({P1, P2});
+  ASSERT_TRUE(static_cast<bool>(Sum));
+  EXPECT_EQ(Sum->RunCount, 4u);
+  EXPECT_EQ(Sum->Hist.totalSamples(), 6u);
+  EXPECT_EQ(Sum->callsInto(0x1100), 86u);
+
+  std::remove(P1.c_str());
+  std::remove(P2.c_str());
+}
+
+TEST(GmonFileTest, SumNoFilesFails) {
+  auto Sum = readAndSumGmonFiles({});
+  EXPECT_FALSE(static_cast<bool>(Sum));
+  (void)Sum.takeError();
+}
+
+TEST(GmonFileTest, MergeCommutative) {
+  SplitMix64 Rng(11);
+  ProfileData A, B;
+  A.Hist = Histogram(0, 1000, 8);
+  B.Hist = Histogram(0, 1000, 8);
+  for (int I = 0; I != 200; ++I) {
+    A.Hist.recordPc(Rng.nextBelow(1000));
+    B.Hist.recordPc(Rng.nextBelow(1000));
+    A.addArc(Rng.nextBelow(50), Rng.nextBelow(50), 1 + Rng.nextBelow(5));
+    B.addArc(Rng.nextBelow(50), Rng.nextBelow(50), 1 + Rng.nextBelow(5));
+  }
+  ProfileData AB = A, BA = B;
+  cantFail(AB.merge(B));
+  cantFail(BA.merge(A));
+  EXPECT_EQ(AB.Hist.counts(), BA.Hist.counts());
+  for (const ArcRecord &R : AB.Arcs) {
+    // Same (from, self) totals in both orders.
+    uint64_t Other = 0;
+    for (const ArcRecord &S : BA.Arcs)
+      if (S.FromPc == R.FromPc && S.SelfPc == R.SelfPc)
+        Other = S.Count;
+    EXPECT_EQ(R.Count, Other);
+  }
+}

@@ -1,0 +1,348 @@
+//===- tests/integration_test.cpp - Full-pipeline scenarios ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests driving the whole system the way a user would:
+/// TL source -> compiler (-pg) -> VM + monitor -> gmon data -> analyzer ->
+/// listings, asserting semantic facts about the resulting profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "gmon/GmonFile.h"
+#include "prof/ProfBaseline.h"
+#include "runtime/Monitor.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace gprof;
+
+namespace {
+
+struct PipelineResult {
+  Image Img;
+  ProfileData Data;
+  ProfileReport Report;
+  RunResult Run;
+};
+
+/// Compiles with -pg, runs under a monitor, round-trips the gmon bytes,
+/// and analyzes.
+PipelineResult runPipeline(std::string_view Source,
+                           AnalyzerOptions Opts = {},
+                           uint64_t CyclesPerTick = 200) {
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  PipelineResult P{compileTLOrDie(Source, CG), {}, {}, {}};
+
+  Monitor Mon(P.Img.lowPc(), P.Img.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = CyclesPerTick;
+  VM Machine(P.Img, VO);
+  Machine.setHooks(&Mon);
+  P.Run = cantFail(Machine.run());
+
+  P.Data = cantFail(readGmon(writeGmon(Mon.finish())));
+  P.Report = cantFail(analyzeImageProfile(P.Img, P.Data, Opts));
+  return P;
+}
+
+const FunctionEntry &fn(const ProfileReport &R, const std::string &Name) {
+  uint32_t I = R.findFunction(Name);
+  EXPECT_NE(I, ~0u) << Name;
+  return R.Functions[I];
+}
+
+} // namespace
+
+TEST(IntegrationTest, SelfRecursionProfile) {
+  PipelineResult P = runPipeline(R"(
+    fn fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    fn main() { return fib(16); }
+  )");
+  // fib(16): called once from main; fib calls itself fib(16)-count times.
+  const FunctionEntry &Fib = fn(P.Report, "fib");
+  EXPECT_EQ(Fib.Calls, 1u);
+  EXPECT_GT(Fib.SelfCalls, 1000u);
+  // Recursion must not create a cycle entry (self arcs are special).
+  EXPECT_TRUE(P.Report.Cycles.empty());
+  // All of fib's time flows to main.
+  EXPECT_NEAR(fn(P.Report, "main").totalTime(), P.Report.TotalTime, 1e-6);
+  // The flat profile ranks fib first.
+  EXPECT_EQ(P.Report.Functions[P.Report.FlatOrder[0]].Name, "fib");
+}
+
+TEST(IntegrationTest, MutualRecursionBecomesCycle) {
+  PipelineResult P = runPipeline(R"(
+    fn even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+    fn odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+    fn main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 50) { acc = acc + even(i); i = i + 1; }
+      return acc;
+    }
+  )");
+  ASSERT_EQ(P.Report.Cycles.size(), 1u);
+  const CycleEntry &Cycle = P.Report.Cycles[0];
+  EXPECT_EQ(Cycle.Members.size(), 2u);
+  EXPECT_EQ(fn(P.Report, "even").CycleNumber, 1u);
+  EXPECT_EQ(fn(P.Report, "odd").CycleNumber, 1u);
+  // External calls: main -> even, 50 times.
+  EXPECT_EQ(Cycle.ExternalCalls, 50u);
+  EXPECT_GT(Cycle.InternalCalls, 50u);
+  // The listing renders the cycle as an entity.
+  std::string Listing = printCallGraph(P.Report);
+  EXPECT_NE(Listing.find("<cycle 1 as a whole>"), std::string::npos);
+}
+
+TEST(IntegrationTest, FunctionalParametersMultiCalleeSite) {
+  PipelineResult P = runPipeline(R"(
+    fn twice(x) { return 2 * x; }
+    fn thrice(x) { return 3 * x; }
+    fn apply(f, x) { return f(x); }
+    fn main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 30) {
+        if (i % 2 == 0) { acc = acc + apply(&twice, i); }
+        else { acc = acc + apply(&thrice, i); }
+        i = i + 1;
+      }
+      return acc;
+    }
+  )");
+  // The single call site inside apply reaches both callees: the paper's
+  // collision case.  Find two raw arcs with the same FromPc.
+  Address ApplySite = 0;
+  int CalleesFromApply = 0;
+  for (const ArcRecord &A : P.Data.Arcs) {
+    const FuncInfo *Caller = P.Img.findFunctionContaining(A.FromPc);
+    if (Caller && Caller->Name == "apply") {
+      if (ApplySite == 0)
+        ApplySite = A.FromPc;
+      EXPECT_EQ(A.FromPc, ApplySite) << "one indirect call site expected";
+      ++CalleesFromApply;
+    }
+  }
+  EXPECT_EQ(CalleesFromApply, 2);
+  EXPECT_EQ(fn(P.Report, "twice").Calls, 15u);
+  EXPECT_EQ(fn(P.Report, "thrice").Calls, 15u);
+}
+
+TEST(IntegrationTest, TimeConservationSingleRoot) {
+  PipelineResult P = runPipeline(R"(
+    fn leafa(n) { var i = 0; var a = 0;
+      while (i < n) { a = a + i * i; i = i + 1; } return a; }
+    fn leafb(n) { var i = 0; var a = 0;
+      while (i < n) { a = a + i; i = i + 1; } return a; }
+    fn mid(n) { return leafa(n) + leafb(n * 2); }
+    fn main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 40) { acc = acc + mid(50); i = i + 1; }
+      return acc;
+    }
+  )");
+  // main inherits everything; totals are conserved.
+  EXPECT_NEAR(fn(P.Report, "main").totalTime(), P.Report.TotalTime, 1e-6);
+  double MidTotal = fn(P.Report, "mid").totalTime();
+  double LeafTotal = fn(P.Report, "leafa").totalTime() +
+                     fn(P.Report, "leafb").totalTime();
+  EXPECT_GE(MidTotal + 1e-9, LeafTotal);
+  // Total attributed time equals the sampled seconds (every sample lands
+  // inside some routine on the VM).
+  EXPECT_NEAR(P.Report.TotalTime, P.Data.sampledSeconds(), 1e-6);
+  EXPECT_NEAR(P.Report.UnattributedTime, 0.0, 1e-9);
+}
+
+TEST(IntegrationTest, MergedRunsDoubleEverything) {
+  const char *Source = R"(
+    fn work(n) { var i = 0; var a = 0;
+      while (i < n) { a = a + i; i = i + 1; } return a; }
+    fn main() { return work(500); }
+  )";
+  PipelineResult P1 = runPipeline(Source);
+  PipelineResult P2 = runPipeline(Source);
+
+  ProfileData Merged = P1.Data;
+  cantFail(Merged.merge(P2.Data));
+  ProfileReport R = cantFail(analyzeImageProfile(P1.Img, Merged));
+
+  EXPECT_EQ(R.RunCount, 2u);
+  EXPECT_EQ(fn(R, "work").Calls, 2 * fn(P1.Report, "work").Calls);
+  EXPECT_NEAR(fn(R, "work").SelfTime,
+              2 * fn(P1.Report, "work").SelfTime, 1e-6);
+}
+
+TEST(IntegrationTest, GmonFilesOnDiskSum) {
+  const char *Source = R"(
+    fn work(n) { var i = 0; var a = 0;
+      while (i < n) { a = a + i; i = i + 1; } return a; }
+    fn main() { return work(300); }
+  )";
+  PipelineResult P = runPipeline(Source);
+  std::string Path1 = testing::TempDir() + "/integ_gmon_1.out";
+  std::string Path2 = testing::TempDir() + "/integ_gmon_2.out";
+  cantFail(writeGmonFile(Path1, P.Data));
+  cantFail(writeGmonFile(Path2, P.Data));
+  auto Sum = readAndSumGmonFiles({Path1, Path2});
+  ASSERT_TRUE(static_cast<bool>(Sum));
+  EXPECT_EQ(Sum->RunCount, 2u);
+  EXPECT_EQ(Sum->Hist.totalSamples(), 2 * P.Data.Hist.totalSamples());
+  std::remove(Path1.c_str());
+  std::remove(Path2.c_str());
+}
+
+TEST(IntegrationTest, UnprofiledRoutineRunsAtFullSpeed) {
+  const char *Source = R"(
+    fn hot(n) { var i = 0; var a = 0;
+      while (i < n) { a = a + i * 3; i = i + 1; } return a; }
+    fn main() { return hot(4000); }
+  )";
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  CG.UnprofiledFunctions = {"hot"};
+  Image Img = compileTLOrDie(Source, CG);
+
+  Monitor Mon(Img.lowPc(), Img.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = 100;
+  VM Machine(Img, VO);
+  Machine.setHooks(&Mon);
+  cantFail(Machine.run());
+
+  ProfileReport R =
+      cantFail(analyzeImageProfile(Img, Mon.finish()));
+  // hot gets sampled time but no recorded calls ("no arcs will be
+  // recorded whose destinations are in these routines").
+  EXPECT_GT(fn(R, "hot").SelfTime, 0.0);
+  EXPECT_EQ(fn(R, "hot").Calls, 0u);
+  // Its time stays put: main inherits nothing from it.
+  EXPECT_NEAR(fn(R, "main").ChildTime, 0.0, 1e-9);
+}
+
+TEST(IntegrationTest, DeterministicReports) {
+  const char *Source = R"(
+    fn a(n) { if (n < 1) { return 0; } return b(n - 1) + 1; }
+    fn b(n) { if (n < 1) { return 0; } return a(n - 1) + 2; }
+    fn main() { return a(40); }
+  )";
+  PipelineResult P1 = runPipeline(Source);
+  PipelineResult P2 = runPipeline(Source);
+  EXPECT_EQ(printFlatProfile(P1.Report), printFlatProfile(P2.Report));
+  EXPECT_EQ(printCallGraph(P1.Report), printCallGraph(P2.Report));
+}
+
+TEST(IntegrationTest, ProfBaselineAgreesOnFlatFacts) {
+  PipelineResult P = runPipeline(R"(
+    fn leaf(n) { var i = 0; var a = 0;
+      while (i < n) { a = a + i; i = i + 1; } return a; }
+    fn main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 25) { acc = acc + leaf(200); i = i + 1; }
+      return acc;
+    }
+  )");
+  ProfReport Prof = analyzeProf(SymbolTable::fromImage(P.Img), P.Data);
+  // prof and gprof agree on self time and call counts...
+  const ProfEntry *ProfLeaf = nullptr;
+  for (const ProfEntry &E : Prof.Entries)
+    if (E.Name == "leaf")
+      ProfLeaf = &E;
+  ASSERT_NE(ProfLeaf, nullptr);
+  EXPECT_NEAR(ProfLeaf->SelfTime, fn(P.Report, "leaf").SelfTime, 1e-9);
+  EXPECT_EQ(ProfLeaf->Calls, fn(P.Report, "leaf").totalCalls());
+  // ...but only gprof attributes the leaf's time to main.
+  EXPECT_GT(fn(P.Report, "main").ChildTime, 0.0);
+}
+
+TEST(IntegrationTest, ArcDeletionThroughFullPipeline) {
+  AnalyzerOptions Opts;
+  Opts.DeleteArcs = {{"retry", "submit"}};
+  PipelineResult P = runPipeline(R"(
+    fn submit(n) {
+      if (n > 0 && n % 7 == 0) { return retry(n); }
+      return n * 2;
+    }
+    fn retry(n) { return submit(n - 1); }
+    fn main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 60) { acc = acc + submit(i); i = i + 1; }
+      return acc;
+    }
+  )",
+                                 Opts);
+  EXPECT_TRUE(P.Report.Cycles.empty());
+  ASSERT_EQ(P.Report.RemovedArcs.size(), 1u);
+
+  // Without deletion the same program has a cycle.
+  PipelineResult Q = runPipeline(R"(
+    fn submit(n) {
+      if (n > 0 && n % 7 == 0) { return retry(n); }
+      return n * 2;
+    }
+    fn retry(n) { return submit(n - 1); }
+    fn main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 60) { acc = acc + submit(i); i = i + 1; }
+      return acc;
+    }
+  )");
+  EXPECT_EQ(Q.Report.Cycles.size(), 1u);
+}
+
+TEST(IntegrationTest, StaticArcsThroughFullPipeline) {
+  AnalyzerOptions Opts;
+  Opts.UseStaticArcs = true;
+  PipelineResult P = runPipeline(R"(
+    fn rare() { return 99; }
+    fn common() { return 1; }
+    fn pick(mode) {
+      if (mode == 1) { return rare(); }
+      return common();
+    }
+    fn main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 20) { acc = acc + pick(0); i = i + 1; }
+      return acc;
+    }
+  )",
+                                 Opts);
+  // rare was never executed, yet the arc pick -> rare exists statically.
+  uint32_t Pick = P.Report.findFunction("pick");
+  uint32_t Rare = P.Report.findFunction("rare");
+  bool Found = false;
+  for (const ReportArc &A : P.Report.Arcs)
+    if (A.Parent == Pick && A.Child == Rare) {
+      Found = true;
+      EXPECT_TRUE(A.Static);
+      EXPECT_EQ(A.Count, 0u);
+    }
+  EXPECT_TRUE(Found);
+  // rare shows in the graph listing despite zero calls.
+  EXPECT_NE(fn(P.Report, "rare").ListingIndex, 0u);
+}
+
+TEST(IntegrationTest, SpontaneousMainIsReported) {
+  PipelineResult P = runPipeline("fn main() { var i = 0; "
+                                 "while (i < 2000) { i = i + 1; } "
+                                 "return i; }");
+  EXPECT_EQ(fn(P.Report, "main").SpontaneousCalls, 1u);
+  std::string Listing = printCallGraph(P.Report);
+  EXPECT_NE(Listing.find("<spontaneous>"), std::string::npos);
+}

@@ -1,0 +1,373 @@
+//===- tests/lang_test.cpp - Unit tests for the TL front end --------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Diagnostics.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace gprof;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Src, DiagnosticEngine &Diags) {
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::vector<Token> lexOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  return Tokens;
+}
+
+/// Parses and runs Sema, expecting success.
+Program compileOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  Program P = parseTL(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll("<test>");
+  bool Ok = analyze(P, Diags);
+  EXPECT_TRUE(Ok) << Diags.renderAll("<test>");
+  return P;
+}
+
+/// Parses and runs Sema, expecting at least one error containing
+/// \p Needle.
+void expectError(std::string_view Src, const std::string &Needle) {
+  DiagnosticEngine Diags;
+  Program P = parseTL(Src, Diags);
+  if (!Diags.hasErrors())
+    analyze(P, Diags);
+  ASSERT_TRUE(Diags.hasErrors()) << "expected an error matching: " << Needle;
+  EXPECT_NE(Diags.renderAll("<test>").find(Needle), std::string::npos)
+      << Diags.renderAll("<test>");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, EmptyInputYieldsEOF) {
+  auto Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Tokens = lexOk("fn var if else while return print foo _bar x9");
+  ASSERT_EQ(Tokens.size(), 11u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::KwFn));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::KwVar));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::KwIf));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::KwElse));
+  EXPECT_TRUE(Tokens[4].is(TokenKind::KwWhile));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::KwReturn));
+  EXPECT_TRUE(Tokens[6].is(TokenKind::KwPrint));
+  EXPECT_TRUE(Tokens[7].is(TokenKind::Identifier));
+  EXPECT_EQ(Tokens[7].Text, "foo");
+  EXPECT_EQ(Tokens[8].Text, "_bar");
+  EXPECT_EQ(Tokens[9].Text, "x9");
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  auto Tokens = lexOk("1 + 23 * 456 == 7 && 8 || 9 != 0");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Number));
+  EXPECT_EQ(Tokens[0].Value, 1);
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Plus));
+  EXPECT_EQ(Tokens[2].Value, 23);
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Star));
+  EXPECT_EQ(Tokens[4].Value, 456);
+  EXPECT_TRUE(Tokens[5].is(TokenKind::EqualEqual));
+  EXPECT_TRUE(Tokens[7].is(TokenKind::AmpAmp));
+  EXPECT_TRUE(Tokens[9].is(TokenKind::PipePipe));
+  EXPECT_TRUE(Tokens[11].is(TokenKind::BangEqual));
+}
+
+TEST(LexerTest, TwoCharOperatorsDistinctFromOneChar) {
+  auto Tokens = lexOk("< <= > >= = == ! != & &&");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Less));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::LessEqual));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::Greater));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::GreaterEqual));
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Assign));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::EqualEqual));
+  EXPECT_TRUE(Tokens[6].is(TokenKind::Bang));
+  EXPECT_TRUE(Tokens[7].is(TokenKind::BangEqual));
+  EXPECT_TRUE(Tokens[8].is(TokenKind::Amp));
+  EXPECT_TRUE(Tokens[9].is(TokenKind::AmpAmp));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto Tokens = lexOk("1 // a comment\n2");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Value, 1);
+  EXPECT_EQ(Tokens[1].Value, 2);
+}
+
+TEST(LexerTest, LocationsTracked) {
+  auto Tokens = lexOk("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, BadCharacterDiagnosed) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the error.
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, SinglePipeDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("a | b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, HugeLiteralDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("99999999999999999999999999", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, MinimalProgram) {
+  Program P = compileOk("fn main() { return 0; }");
+  ASSERT_EQ(P.Functions.size(), 1u);
+  EXPECT_EQ(P.Functions[0].Name, "main");
+  EXPECT_TRUE(P.Functions[0].Params.empty());
+}
+
+TEST(ParserTest, ParamsAndGlobals) {
+  Program P = compileOk(R"(
+    var counter = 5;
+    var negative = -3;
+    fn add(a, b) { return a + b; }
+    fn main() { return add(counter, negative); }
+  )");
+  ASSERT_EQ(P.Globals.size(), 2u);
+  EXPECT_EQ(P.Globals[0].InitValue, 5);
+  EXPECT_EQ(P.Globals[1].InitValue, -3);
+  ASSERT_EQ(P.Functions.size(), 2u);
+  EXPECT_EQ(P.Functions[0].Params.size(), 2u);
+}
+
+TEST(ParserTest, PrecedenceShape) {
+  // 1 + 2 * 3 must parse as 1 + (2 * 3).
+  Program P = compileOk("fn main() { return 1 + 2 * 3; }");
+  const auto &Body = P.Functions[0].Body->Body;
+  ASSERT_EQ(Body.size(), 1u);
+  const auto &Ret = static_cast<const ReturnStmt &>(*Body[0]);
+  const auto &Add = static_cast<const BinaryExpr &>(*Ret.Value);
+  EXPECT_EQ(Add.Op, BinaryOp::Add);
+  EXPECT_EQ(Add.LHS->kind(), ExprKind::IntLiteral);
+  EXPECT_EQ(Add.RHS->kind(), ExprKind::Binary);
+  EXPECT_EQ(static_cast<const BinaryExpr &>(*Add.RHS).Op, BinaryOp::Mul);
+}
+
+TEST(ParserTest, IfElseChain) {
+  compileOk(R"(
+    fn main() {
+      var x = 3;
+      if (x < 1) { x = 1; }
+      else if (x < 2) { x = 2; }
+      else { x = 3; }
+      return x;
+    }
+  )");
+}
+
+TEST(ParserTest, FunctionValueSyntax) {
+  Program P = compileOk(R"(
+    fn f(x) { return x; }
+    fn main() {
+      var g = &f;
+      return g(3);
+    }
+  )");
+  // Indirect call: the callee expression is a local, not a function name.
+  ASSERT_EQ(P.Functions.size(), 2u);
+}
+
+TEST(ParserTest, MissingSemicolonDiagnosed) {
+  expectError("fn main() { return 0 }", "expected ';'");
+}
+
+TEST(ParserTest, UnbalancedBraceDiagnosed) {
+  expectError("fn main() { return 0;", "expected '}'");
+}
+
+TEST(ParserTest, TopLevelJunkDiagnosed) {
+  expectError("42 fn main() { return 0; }", "expected 'fn' or 'var'");
+}
+
+TEST(ParserTest, RecoveryProducesMultipleErrors) {
+  DiagnosticEngine Diags;
+  parseTL(R"(
+    fn f( { return 0; }
+    fn g() { var = 3; }
+    fn main() { return 0; }
+  )",
+          Diags);
+  EXPECT_GE(Diags.errorCount(), 2u);
+}
+
+TEST(ParserTest, GlobalInitializerMustBeConstant) {
+  expectError("var x = y; fn main() { return 0; }", "constant");
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, LocalsResolveToSlots) {
+  Program P = compileOk(R"(
+    fn f(a, b) {
+      var c = a;
+      return b + c;
+    }
+    fn main() { return f(1, 2); }
+  )");
+  const FunctionDecl &F = P.Functions[0];
+  EXPECT_EQ(F.NumSlots, 3u); // a, b, c.
+}
+
+TEST(SemaTest, SiblingScopesReuseSlots) {
+  Program P = compileOk(R"(
+    fn f() {
+      if (1) { var a = 1; print a; }
+      if (1) { var b = 2; print b; }
+      return 0;
+    }
+    fn main() { return f(); }
+  )");
+  EXPECT_EQ(P.Functions[0].NumSlots, 1u); // a and b share slot 0.
+}
+
+TEST(SemaTest, ShadowingAllowedAcrossScopes) {
+  compileOk(R"(
+    fn f(x) {
+      if (x) { var x = 2; print x; }
+      return x;
+    }
+    fn main() { return f(1); }
+  )");
+}
+
+TEST(SemaTest, UndeclaredNameDiagnosed) {
+  expectError("fn main() { return nope; }", "undeclared name 'nope'");
+}
+
+TEST(SemaTest, DuplicateFunctionDiagnosed) {
+  expectError("fn f() { return 0; } fn f() { return 1; } "
+              "fn main() { return 0; }",
+              "redefinition of function 'f'");
+}
+
+TEST(SemaTest, DuplicateGlobalDiagnosed) {
+  expectError("var x; var x; fn main() { return 0; }",
+              "redefinition of global");
+}
+
+TEST(SemaTest, DuplicateParamDiagnosed) {
+  expectError("fn f(a, a) { return a; } fn main() { return 0; }",
+              "duplicate parameter");
+}
+
+TEST(SemaTest, RedeclaredLocalDiagnosed) {
+  expectError("fn main() { var a = 1; var a = 2; return a; }",
+              "redeclaration of variable 'a'");
+}
+
+TEST(SemaTest, MissingMainDiagnosed) {
+  expectError("fn f() { return 0; }", "no 'main' function");
+}
+
+TEST(SemaTest, MainWithParamsDiagnosed) {
+  expectError("fn main(x) { return x; }", "'main' must take no parameters");
+}
+
+TEST(SemaTest, DirectCallArityChecked) {
+  expectError("fn f(a) { return a; } fn main() { return f(1, 2); }",
+              "call to 'f' with 2 arguments; it takes 1");
+}
+
+TEST(SemaTest, AssignToFunctionDiagnosed) {
+  expectError("fn f() { return 0; } fn main() { f = 3; return 0; }",
+              "cannot assign to function 'f'");
+}
+
+TEST(SemaTest, AddressOfNonFunctionDiagnosed) {
+  expectError("var g; fn main() { var p = &g; return p; }",
+              "does not name a function");
+}
+
+TEST(SemaTest, DirectCallsMarked) {
+  Program P = compileOk(R"(
+    fn f() { return 1; }
+    fn main() {
+      var g = &f;
+      return f() + g();
+    }
+  )");
+  // Dig out the return expression of main: f() is direct, g() is not.
+  const FunctionDecl &Main = P.Functions[1];
+  const auto &Ret = static_cast<const ReturnStmt &>(*Main.Body->Body[1]);
+  const auto &Add = static_cast<const BinaryExpr &>(*Ret.Value);
+  const auto &Direct = static_cast<const CallExpr &>(*Add.LHS);
+  const auto &Indirect = static_cast<const CallExpr &>(*Add.RHS);
+  EXPECT_TRUE(Direct.IsDirect);
+  EXPECT_FALSE(Indirect.IsDirect);
+}
+
+TEST(SemaTest, GlobalsResolve) {
+  Program P = compileOk(R"(
+    var g = 7;
+    fn main() { g = g + 1; return g; }
+  )");
+  (void)P;
+}
+
+TEST(SemaTest, BuiltinShadowedByLocalIsOrdinaryCall) {
+  // A local named 'peek' shadows the built-in; the call becomes an
+  // indirect call through the variable (checked at run time), so Sema
+  // accepts it.
+  compileOk("fn main() { var peek = 5; "
+            "if (0) { return peek(1); } return peek; }");
+}
+
+TEST(SemaTest, BuiltinNotAValue) {
+  expectError("fn main() { var p = peek; return 0; }",
+              "built-in 'peek' can only be called");
+  expectError("fn main() { var p = &poke; return 0; }",
+              "does not name a function");
+}
+
+TEST(SemaTest, BuiltinArityErrors) {
+  expectError("fn main() { return poke(1); }", "'poke' takes 2 arguments");
+  expectError("fn main() { return peek(); }", "'peek' takes 1 argument");
+}
+
+TEST(SemaTest, DiagnosticRendering) {
+  DiagnosticEngine Diags;
+  Diags.error({3, 7}, "something bad");
+  Diags.warning({1, 1}, "looks odd");
+  std::string Out = Diags.renderAll("file.tl");
+  EXPECT_NE(Out.find("file.tl:3:7: error: something bad"),
+            std::string::npos);
+  EXPECT_NE(Out.find("file.tl:1:1: warning: looks odd"), std::string::npos);
+}

@@ -1,0 +1,136 @@
+//===- tests/metamorphic_test.cpp - Scale-invariance properties -----------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metamorphic tests: known transformations of the input profile must
+/// produce predictable transformations of the analysis.
+///
+///  - Scaling every arc count by a constant leaves all propagated times
+///    unchanged (only the C^r_e / C_e *ratios* matter, paper §4).
+///  - Scaling the histogram (summing a run with itself) scales every
+///    time by the same constant and preserves all orderings.
+///  - Renaming routines permutes labels but not numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/SyntheticProfile.h"
+#include "graph/Generators.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace gprof;
+
+namespace {
+
+/// Builds a random profile over graph \p G with arc counts scaled by
+/// \p CountScale and every self time from a seeded distribution.
+SyntheticProfileBuilder makeProfile(const CallGraph &G, uint64_t Seed,
+                                    uint64_t CountScale) {
+  SyntheticProfileBuilder B(100);
+  SplitMix64 Rng(Seed);
+  for (NodeId N = 0; N != G.numNodes(); ++N) {
+    B.addFunction(G.nodeName(N));
+    B.setSelfSeconds(static_cast<uint32_t>(N),
+                     static_cast<double>(Rng.nextInRange(0, 50)) / 100.0);
+  }
+  for (ArcId A = 0; A != G.numArcs(); ++A) {
+    const Arc &E = G.arc(A);
+    B.addCall(E.From, E.To, E.Count * CountScale);
+  }
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    if (G.inArcs(N).empty())
+      B.addSpontaneous(N, CountScale);
+  return B;
+}
+
+ProfileReport analyzeBuilder(const SyntheticProfileBuilder &B) {
+  auto In = B.build();
+  Analyzer A(std::move(In.Syms));
+  return cantFail(A.analyze(In.Data));
+}
+
+} // namespace
+
+class MetamorphicTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetamorphicTest, ArcCountScalingLeavesTimesInvariant) {
+  CallGraph G = makeRandomGraph(25, 55, 9, 0.05, GetParam());
+  ProfileReport R1 = analyzeBuilder(makeProfile(G, GetParam() + 1, 1));
+  ProfileReport R7 = analyzeBuilder(makeProfile(G, GetParam() + 1, 7));
+
+  ASSERT_EQ(R1.Functions.size(), R7.Functions.size());
+  for (size_t I = 0; I != R1.Functions.size(); ++I) {
+    EXPECT_NEAR(R1.Functions[I].SelfTime, R7.Functions[I].SelfTime, 1e-9);
+    EXPECT_NEAR(R1.Functions[I].ChildTime, R7.Functions[I].ChildTime,
+                1e-6)
+        << R1.Functions[I].Name;
+    EXPECT_EQ(R1.Functions[I].Calls * 7, R7.Functions[I].Calls);
+    EXPECT_EQ(R1.Functions[I].CycleNumber, R7.Functions[I].CycleNumber);
+  }
+  EXPECT_NEAR(R1.TotalTime, R7.TotalTime, 1e-9);
+}
+
+TEST_P(MetamorphicTest, SummingARunWithItselfDoublesEverything) {
+  CallGraph G = makeRandomGraph(20, 45, 9, 0.05, GetParam() + 100);
+  SyntheticProfileBuilder B = makeProfile(G, GetParam() + 2, 1);
+  auto In = B.build();
+  ProfileData Doubled = In.Data;
+  cantFail(Doubled.merge(In.Data));
+
+  Analyzer A1(std::move(In.Syms));
+  ProfileReport Single = cantFail(A1.analyze(In.Data));
+  auto In2 = B.build();
+  Analyzer A2(std::move(In2.Syms));
+  ProfileReport Double = cantFail(A2.analyze(Doubled));
+
+  EXPECT_EQ(Double.RunCount, 2u);
+  EXPECT_NEAR(Double.TotalTime, 2 * Single.TotalTime, 1e-9);
+  for (size_t I = 0; I != Single.Functions.size(); ++I) {
+    EXPECT_NEAR(Double.Functions[I].SelfTime,
+                2 * Single.Functions[I].SelfTime, 1e-9);
+    EXPECT_NEAR(Double.Functions[I].totalTime(),
+                2 * Single.Functions[I].totalTime(), 1e-6);
+    EXPECT_EQ(Double.Functions[I].Calls, 2 * Single.Functions[I].Calls);
+  }
+  // Orderings are preserved exactly.
+  EXPECT_EQ(Single.FlatOrder, Double.FlatOrder);
+  ASSERT_EQ(Single.GraphOrder.size(), Double.GraphOrder.size());
+  for (size_t I = 0; I != Single.GraphOrder.size(); ++I) {
+    EXPECT_EQ(Single.GraphOrder[I].IsCycle, Double.GraphOrder[I].IsCycle);
+    EXPECT_EQ(Single.GraphOrder[I].Index, Double.GraphOrder[I].Index);
+  }
+}
+
+TEST_P(MetamorphicTest, DeletingAllArcsOfACallerIsolatesIt) {
+  // Removing every outgoing arc of one routine must hand its inherited
+  // time back to nobody — its ChildTime drops to 0 and the callees'
+  // remaining parents absorb proportionally more.
+  CallGraph G = makeRandomDag(15, 30, 9, GetParam() + 200);
+  // Pick a node with outgoing arcs.
+  NodeId Victim = InvalidNode;
+  for (NodeId N = 0; N != G.numNodes(); ++N)
+    if (!G.outArcs(N).empty()) {
+      Victim = N;
+      break;
+    }
+  ASSERT_NE(Victim, InvalidNode);
+
+  SyntheticProfileBuilder B = makeProfile(G, GetParam() + 3, 1);
+  auto In = B.build();
+  AnalyzerOptions Opts;
+  for (ArcId A : G.outArcs(Victim))
+    Opts.DeleteArcs.emplace_back(G.nodeName(Victim),
+                                 G.nodeName(G.arc(A).To));
+  Analyzer A(std::move(In.Syms), Opts);
+  ProfileReport R = cantFail(A.analyze(In.Data));
+  uint32_t V = R.findFunction(G.nodeName(Victim));
+  EXPECT_NEAR(R.Functions[V].ChildTime, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
+                         testing::Range<uint64_t>(0, 10));

@@ -1,0 +1,162 @@
+//===- tests/stackprof_test.cpp - Tests for the stack-sampling profiler ---===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stackprof/StackProfiler.h"
+
+#include "core/SymbolTable.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace gprof;
+
+namespace {
+
+/// Runs \p Source under the stack profiler.
+StackProfile profileStacks(std::string_view Source,
+                           uint64_t CyclesPerTick = 50,
+                           uint64_t TicksPerSecond = 60) {
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(Source, CG);
+  StackSampleProfiler Prof(TicksPerSecond);
+  VMOptions VO;
+  VO.CyclesPerTick = CyclesPerTick;
+  VM Machine(Img, VO);
+  Machine.setHooks(&Prof);
+  cantFail(Machine.run());
+  return Prof.buildProfile(SymbolTable::fromImage(Img));
+}
+
+} // namespace
+
+TEST(StackProfilerTest, SelfAndInclusiveTimes) {
+  StackProfile P = profileStacks(R"(
+    fn leaf(n) {
+      var i = 0;
+      var a = 0;
+      while (i < n) { a = a + i * i; i = i + 1; }
+      return a;
+    }
+    fn mid(n) { return leaf(n) + leaf(n); }
+    fn main() { return mid(3000); }
+  )");
+  const auto *Leaf = P.find("leaf");
+  const auto *Mid = P.find("mid");
+  const auto *Main = P.find("main");
+  ASSERT_NE(Leaf, nullptr);
+  ASSERT_NE(Mid, nullptr);
+  ASSERT_NE(Main, nullptr);
+
+  // Nearly all time is inside leaf; main and mid inherit it inclusively.
+  EXPECT_GT(Leaf->SelfTime, 0.9 * P.TotalTime);
+  EXPECT_GT(Mid->InclusiveTime, 0.9 * P.TotalTime);
+  EXPECT_GT(Main->InclusiveTime, 0.99 * P.TotalTime);
+  EXPECT_LT(Mid->SelfTime, 0.1 * P.TotalTime);
+  // Self <= inclusive, always.
+  for (const auto &F : P.Functions)
+    EXPECT_LE(F.SelfTime, F.InclusiveTime + 1e-12);
+}
+
+TEST(StackProfilerTest, RecursionCountedOnce) {
+  StackProfile P = profileStacks(R"(
+    fn down(n) {
+      if (n == 0) { return 0; }
+      var i = 0;
+      var a = 0;
+      while (i < 50) { a = a + i; i = i + 1; }
+      return a + down(n - 1);
+    }
+    fn main() { return down(200); }
+  )");
+  const auto *Down = P.find("down");
+  ASSERT_NE(Down, nullptr);
+  // Despite up to 200 simultaneous frames of down, its inclusive time is
+  // counted once per tick and can never exceed the total.
+  EXPECT_LE(Down->InclusiveTime, P.TotalTime + 1e-12);
+  EXPECT_GT(Down->InclusiveTime, 0.9 * P.TotalTime);
+}
+
+TEST(StackProfilerTest, ArcTimesAttributeExactly) {
+  StackProfile P = profileStacks(R"(
+    fn spin(n) {
+      var i = 0;
+      var a = 0;
+      while (i < n) { a = a + i; i = i + 1; }
+      return a;
+    }
+    fn light() { return spin(40); }
+    fn heavy() { return spin(4000); }
+    fn main() {
+      var i = 0;
+      var a = 0;
+      while (i < 10) { a = a + light(); i = i + 1; }
+      return a + heavy();
+    }
+  )");
+  double LightArc = P.arcTime("light", "spin");
+  double HeavyArc = P.arcTime("heavy", "spin");
+  // heavy's single call dwarfs light's ten calls.
+  EXPECT_GT(HeavyArc, 5 * LightArc);
+  // Unknown arcs report zero.
+  EXPECT_EQ(P.arcTime("main", "spin"), 0.0);
+  EXPECT_EQ(P.arcTime("nope", "spin"), 0.0);
+}
+
+TEST(StackProfilerTest, ResetClears) {
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(
+      "fn main() { var i = 0; while (i < 5000) { i = i + 1; } return i; }",
+      CG);
+  StackSampleProfiler Prof;
+  VMOptions VO;
+  VO.CyclesPerTick = 50;
+  VM Machine(Img, VO);
+  Machine.setHooks(&Prof);
+  cantFail(Machine.run());
+  EXPECT_GT(Prof.sampleCount(), 0u);
+  Prof.reset();
+  EXPECT_EQ(Prof.sampleCount(), 0u);
+  StackProfile P = Prof.buildProfile(SymbolTable::fromImage(Img));
+  EXPECT_TRUE(P.Functions.empty());
+}
+
+TEST(StackProfilerTest, SamplingCostScalesWithFrequency) {
+  // Sanity on the retrospective's note that stack gathering cost is
+  // "hidden by backing off the frequency": sample counts scale inversely
+  // with the interval, deterministically.
+  const char *Source =
+      "fn main() { var i = 0; while (i < 20000) { i = i + 1; } return i; }";
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(Source, CG);
+
+  uint64_t Counts[2] = {0, 0};
+  uint64_t Intervals[2] = {50, 500};
+  for (int I = 0; I != 2; ++I) {
+    StackSampleProfiler Prof;
+    VMOptions VO;
+    VO.CyclesPerTick = Intervals[I];
+    VM Machine(Img, VO);
+    Machine.setHooks(&Prof);
+    cantFail(Machine.run());
+    Counts[I] = Prof.sampleCount();
+  }
+  EXPECT_NEAR(static_cast<double>(Counts[0]) / Counts[1], 10.0, 0.5);
+}
+
+TEST(StackProfilerTest, TotalTimeMatchesTickArithmetic) {
+  StackProfile P = profileStacks(
+      "fn main() { var i = 0; while (i < 6000) { i = i + 1; } return i; }",
+      /*CyclesPerTick=*/100, /*TicksPerSecond=*/100);
+  // TotalTime = samples / 100; self times sum to it.
+  double SelfSum = 0;
+  for (const auto &F : P.Functions)
+    SelfSum += F.SelfTime;
+  EXPECT_NEAR(SelfSum, P.TotalTime, 1e-9);
+}
