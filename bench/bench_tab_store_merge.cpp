@@ -1,0 +1,109 @@
+//===- bench/bench_tab_store_merge.cpp - Store merge throughput -----------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the profile store's aggregation engine over a fleet-sized shard
+/// set: 256 synthetic gmon shards merged by (a) the historical sequential
+/// fold (ProfileData::merge, linear-scan addArc), and (b) the parallel
+/// k-way merge tree at 1/2/4/8 workers.  Checks that every configuration
+/// produces byte-identical output — the determinism contract that makes
+/// the store's aggregate cache sound — and that the k-way engine beats the
+/// quadratic fold.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "gmon/GmonFile.h"
+#include "store/MergeEngine.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+
+using namespace gprof;
+using namespace gprof::bench;
+
+namespace {
+
+constexpr size_t NumShards = 256;
+
+/// One synthetic shard: common geometry, seed-dependent samples and arcs.
+/// Arc keys are drawn from a pool large enough that shards overlap only
+/// partially, like profiles of different request mixes.
+ProfileData makeShard(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  ProfileData D;
+  D.TicksPerSecond = 60;
+  D.Hist = Histogram(0x1000, 0x11000, 4);
+  for (int I = 0; I != 512; ++I)
+    D.Hist.recordPc(0x1000 + Rng.nextBelow(0x10000));
+  for (int I = 0; I != 400; ++I)
+    D.addArc(0x1000 + Rng.nextBelow(2048) * 16,
+             0x1000 + Rng.nextBelow(256) * 256, 1 + Rng.nextBelow(50));
+  canonicalizeProfile(D);
+  return D;
+}
+
+} // namespace
+
+int main() {
+  banner("T-store (new)",
+         "parallel k-way merge over a 256-shard profile repository");
+
+  std::vector<ProfileData> Shards;
+  Shards.reserve(NumShards);
+  for (size_t I = 0; I != NumShards; ++I)
+    Shards.push_back(makeShard(0xACE0 + I));
+  size_t TotalArcs = 0;
+  for (const ProfileData &S : Shards)
+    TotalArcs += S.Arcs.size();
+  std::printf("\n%zu shards, %zu arc records total\n\n", Shards.size(),
+              TotalArcs);
+
+  row({"engine", "threads", "ms", "speedup vs fold"}, 16);
+
+  // Baseline: the pre-store sequential fold (what readAndSumGmonFiles
+  // does), quadratic in the merged arc table.
+  ProfileData Fold;
+  double FoldMs = timeMs([&] {
+    Fold = Shards.front();
+    for (size_t I = 1; I != Shards.size(); ++I)
+      cantFail(Fold.merge(Shards[I]));
+  });
+  canonicalizeProfile(Fold);
+  std::vector<uint8_t> Reference = writeGmon(Fold);
+  row({"sequential fold", "1", format("%.2f", FoldMs), "1.00x"}, 16);
+
+  bool Identical = true;
+  double KWay1Ms = 0.0, BestParallelMs = 1e300;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Threads);
+    ProfileData Merged;
+    double Ms = timeMs([&] {
+      Merged = cantFail(mergeProfiles(Shards, &Pool));
+    });
+    Identical = Identical && writeGmon(Merged) == Reference;
+    if (Threads == 1)
+      KWay1Ms = Ms;
+    else if (Ms < BestParallelMs)
+      BestParallelMs = Ms;
+    row({"k-way tree", format("%u", Threads), format("%.2f", Ms),
+         format("%.2fx", FoldMs / Ms)},
+        16);
+  }
+
+  std::printf("\nchecks:\n");
+  bool Ok = true;
+  Ok &= check(Identical,
+              "every engine and thread count produces byte-identical gmon "
+              "output");
+  Ok &= check(KWay1Ms < FoldMs,
+              "the k-way merge beats the quadratic sequential fold");
+  Ok &= check(BestParallelMs <= KWay1Ms * 1.10,
+              "parallel workers do not lose to single-threaded k-way "
+              "(within 10% even on one core)");
+  return Ok ? 0 : 1;
+}

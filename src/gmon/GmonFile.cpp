@@ -185,8 +185,12 @@ gprof::readAndSumGmonFiles(const std::vector<std::string> &Paths) {
     auto Next = readGmonFile(Paths[I]);
     if (!Next)
       return Next.takeError();
+    // Name both sides: the accumulated sum carries the geometry of the
+    // first file, so a mismatch is between Paths[I] and Paths[0].
     if (Error E = Sum.merge(*Next))
-      return Error::failure(Paths[I] + ": " + E.message());
+      return Error::failure(format("cannot sum '%s' with '%s': %s",
+                                   Paths[I].c_str(), Paths.front().c_str(),
+                                   E.message().c_str()));
   }
   return Sum;
 }

@@ -1,0 +1,368 @@
+//===- store/ProfileStore.cpp ---------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/ProfileStore.h"
+
+#include "gmon/GmonFile.h"
+#include "store/MergeEngine.h"
+#include "support/BinaryStream.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace gprof;
+
+namespace {
+
+constexpr char IndexMagic[4] = {'G', 'P', 'S', 'I'};
+constexpr uint32_t IndexVersion = 1;
+
+/// Cap on index record counts accepted from disk, guarding allocation
+/// against a corrupted length field.
+constexpr uint64_t MaxIndexRecords = 1ULL << 24;
+
+bool isZeroDigest(const Sha256Digest &D) {
+  return std::all_of(D.begin(), D.end(), [](uint8_t B) { return B == 0; });
+}
+
+bool digestLess(const ShardInfo &A, const ShardInfo &B) {
+  return A.Digest < B.Digest;
+}
+
+} // namespace
+
+Expected<ProfileStore> ProfileStore::open(const std::string &RootDir) {
+  ProfileStore Store;
+  Store.Root = RootDir;
+  while (Store.Root.size() > 1 && Store.Root.back() == '/')
+    Store.Root.pop_back();
+  if (Store.Root.empty())
+    return Error::failure("empty store path");
+  for (const char *Sub : {"", "/objects", "/cache"})
+    if (Error E = createDirectories(Store.Root + Sub))
+      return E;
+  if (Error E = Store.loadIndex())
+    return E;
+  return Store;
+}
+
+std::string ProfileStore::objectPath(const Sha256Digest &Digest) const {
+  std::string Hex = digestToHex(Digest);
+  return Root + "/objects/" + Hex.substr(0, 2) + "/" + Hex + ".gmon";
+}
+
+std::string ProfileStore::cachePath(const Sha256Digest &AggDigest) const {
+  return Root + "/cache/" + digestToHex(AggDigest) + ".gmon";
+}
+
+const ShardInfo *ProfileStore::findShard(const Sha256Digest &Digest) const {
+  auto It = std::lower_bound(Shards.begin(), Shards.end(),
+                             ShardInfo{.Digest = Digest}, digestLess);
+  if (It != Shards.end() && It->Digest == Digest)
+    return &*It;
+  return nullptr;
+}
+
+Error ProfileStore::loadIndex() {
+  std::string Path = Root + "/index.bin";
+  if (!fileExists(Path))
+    return Error::success(); // Fresh store.
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  BinaryReader R(*Bytes);
+
+  auto Magic = R.readBytes(sizeof(IndexMagic));
+  if (!Magic)
+    return Magic.takeError();
+  if (!std::equal(Magic->begin(), Magic->end(), IndexMagic))
+    return Error::failure(Path + ": not a profile store index (bad magic)");
+  auto Ver = R.readU32();
+  if (!Ver)
+    return Ver.takeError();
+  if (*Ver != IndexVersion)
+    return Error::failure(format("%s: unsupported index version %u "
+                                 "(expected %u)",
+                                 Path.c_str(), *Ver, IndexVersion));
+  auto Count = R.readU64();
+  if (!Count)
+    return Count.takeError();
+  if (*Count > MaxIndexRecords)
+    return Error::failure(Path + ": index record count implausibly large");
+
+  Shards.clear();
+  Shards.reserve(static_cast<size_t>(*Count));
+  for (uint64_t I = 0; I != *Count; ++I) {
+    ShardInfo Info;
+    auto Digest = R.readBytes(32);
+    if (!Digest)
+      return Digest.takeError();
+    std::copy(Digest->begin(), Digest->end(), Info.Digest.begin());
+    auto ImageId = R.readBytes(32);
+    if (!ImageId)
+      return ImageId.takeError();
+    std::copy(ImageId->begin(), ImageId->end(), Info.ImageId.begin());
+    auto ReadField = [&R](uint64_t &Out) -> Error {
+      auto V = R.readU64();
+      if (!V)
+        return V.takeError();
+      Out = *V;
+      return Error::success();
+    };
+    for (uint64_t *Field : {&Info.Hz, &Info.LowPc, &Info.HighPc,
+                            &Info.BucketSize, &Info.NumBuckets, &Info.NumArcs,
+                            &Info.TotalSamples})
+      if (Error E = ReadField(*Field))
+        return E;
+    auto Runs = R.readU32();
+    if (!Runs)
+      return Runs.takeError();
+    Info.Runs = *Runs;
+    Shards.push_back(Info);
+  }
+  if (!R.atEnd())
+    return Error::failure(format("%s: %zu trailing bytes after index data",
+                                 Path.c_str(), R.remaining()));
+  std::sort(Shards.begin(), Shards.end(), digestLess);
+  return Error::success();
+}
+
+Error ProfileStore::saveIndex() const {
+  BinaryWriter W;
+  W.writeBytes(reinterpret_cast<const uint8_t *>(IndexMagic),
+               sizeof(IndexMagic));
+  W.writeU32(IndexVersion);
+  W.writeU64(Shards.size());
+  for (const ShardInfo &Info : Shards) {
+    W.writeBytes(Info.Digest.data(), Info.Digest.size());
+    W.writeBytes(Info.ImageId.data(), Info.ImageId.size());
+    for (uint64_t Field : {Info.Hz, Info.LowPc, Info.HighPc, Info.BucketSize,
+                           Info.NumBuckets, Info.NumArcs, Info.TotalSamples})
+      W.writeU64(Field);
+    W.writeU32(Info.Runs);
+  }
+  // Write-then-rename so a crash mid-save never leaves a torn index.
+  std::string Tmp = Root + "/index.bin.tmp";
+  if (Error E = writeFileBytes(Tmp, W.bytes()))
+    return E;
+  return renameFile(Tmp, Root + "/index.bin");
+}
+
+Error ProfileStore::checkCompatibleWithStore(const ProfileData &Data,
+                                             const Sha256Digest &ImageId,
+                                             const std::string &Label) const {
+  if (Shards.empty())
+    return Error::success();
+  const ShardInfo &Key = Shards.front();
+  if (Data.TicksPerSecond != Key.Hz)
+    return Error::failure(format(
+        "cannot ingest '%s' into store '%s': sampling rates differ "
+        "(%llu vs %llu ticks/sec)",
+        Label.c_str(), Root.c_str(),
+        static_cast<unsigned long long>(Data.TicksPerSecond),
+        static_cast<unsigned long long>(Key.Hz)));
+  bool DataEmpty = Data.Hist.empty();
+  bool KeyEmpty = Key.NumBuckets == 0;
+  if (DataEmpty != KeyEmpty ||
+      (!DataEmpty && (Data.Hist.lowPc() != Key.LowPc ||
+                      Data.Hist.highPc() != Key.HighPc ||
+                      Data.Hist.bucketSize() != Key.BucketSize)))
+    return Error::failure(format(
+        "cannot ingest '%s' into store '%s': histogram ranges differ "
+        "([%llu,%llu)/%llu vs [%llu,%llu)/%llu)",
+        Label.c_str(), Root.c_str(),
+        static_cast<unsigned long long>(Data.Hist.lowPc()),
+        static_cast<unsigned long long>(Data.Hist.highPc()),
+        static_cast<unsigned long long>(Data.Hist.bucketSize()),
+        static_cast<unsigned long long>(Key.LowPc),
+        static_cast<unsigned long long>(Key.HighPc),
+        static_cast<unsigned long long>(Key.BucketSize)));
+  if (!isZeroDigest(ImageId)) {
+    // Any shard that recorded an image identity pins the store to it.
+    for (const ShardInfo &S : Shards)
+      if (!isZeroDigest(S.ImageId) && S.ImageId != ImageId)
+        return Error::failure(format(
+            "cannot ingest '%s' into store '%s': profiled image %s does not "
+            "match the store's image %s",
+            Label.c_str(), Root.c_str(),
+            digestToHex(ImageId).substr(0, 12).c_str(),
+            digestToHex(S.ImageId).substr(0, 12).c_str()));
+  }
+  return Error::success();
+}
+
+Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
+                                         const Sha256Digest &ImageId,
+                                         const std::string &Label) {
+  canonicalizeProfile(Data);
+  if (Error E = checkCompatibleWithStore(Data, ImageId, Label))
+    return E;
+
+  std::vector<uint8_t> Bytes = writeGmon(Data);
+  Sha256Digest Digest = Sha256::hash(Bytes);
+  if (const ShardInfo *Existing = findShard(Digest))
+    return Existing->Digest; // Content-addressed: already ingested.
+
+  std::string Path = objectPath(Digest);
+  if (Error E = createDirectories(Path.substr(0, Path.rfind('/'))))
+    return E;
+  if (Error E = writeFileBytes(Path, Bytes))
+    return E;
+
+  ShardInfo Info;
+  Info.Digest = Digest;
+  Info.ImageId = ImageId;
+  Info.Hz = Data.TicksPerSecond;
+  Info.LowPc = Data.Hist.lowPc();
+  Info.HighPc = Data.Hist.highPc();
+  Info.BucketSize = Data.Hist.bucketSize();
+  Info.NumBuckets = Data.Hist.numBuckets();
+  Info.NumArcs = Data.Arcs.size();
+  Info.TotalSamples = Data.Hist.totalSamples();
+  Info.Runs = Data.RunCount;
+  Shards.insert(
+      std::upper_bound(Shards.begin(), Shards.end(), Info, digestLess), Info);
+  if (Error E = saveIndex())
+    return E;
+  return Digest;
+}
+
+Expected<Sha256Digest> ProfileStore::putFile(const std::string &GmonPath,
+                                             const Sha256Digest &ImageId) {
+  auto Data = readGmonFile(GmonPath);
+  if (!Data)
+    return Data.takeError();
+  return put(Data.takeValue(), ImageId, GmonPath);
+}
+
+Expected<ShardInfo> ProfileStore::resolve(const std::string &HexPrefix) const {
+  if (HexPrefix.empty())
+    return Error::failure("empty shard digest");
+  const ShardInfo *Match = nullptr;
+  for (const ShardInfo &S : Shards) {
+    std::string Hex = digestToHex(S.Digest);
+    if (Hex.compare(0, HexPrefix.size(), HexPrefix) == 0) {
+      if (Match)
+        return Error::failure(format("shard digest '%s' is ambiguous",
+                                     HexPrefix.c_str()));
+      Match = &S;
+    }
+  }
+  if (!Match)
+    return Error::failure(format("no shard matches digest '%s'",
+                                 HexPrefix.c_str()));
+  return *Match;
+}
+
+Expected<ProfileData>
+ProfileStore::loadShard(const Sha256Digest &Digest) const {
+  std::string Path = objectPath(Digest);
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  // The slot name promises the content; verify before trusting it.
+  if (Sha256::hash(*Bytes) != Digest)
+    return Error::failure(Path + ": object bytes do not match their digest");
+  auto Data = readGmon(*Bytes);
+  if (!Data)
+    return Error::failure(Path + ": " + Data.message());
+  return Data;
+}
+
+Sha256Digest ProfileStore::aggregateDigest(std::vector<Sha256Digest> Members) {
+  std::sort(Members.begin(), Members.end());
+  Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
+  Sha256 H;
+  // Domain-separate aggregate keys from shard content digests.
+  const char Tag[4] = {'G', 'A', 'G', 'G'};
+  H.update(reinterpret_cast<const uint8_t *>(Tag), sizeof(Tag));
+  for (const Sha256Digest &D : Members)
+    H.update(D.data(), D.size());
+  return H.finish();
+}
+
+Expected<ProfileStore::MergeResult>
+ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
+  if (Members.empty())
+    for (const ShardInfo &S : Shards)
+      Members.push_back(S.Digest);
+  if (Members.empty())
+    return Error::failure(format("store '%s' is empty", Root.c_str()));
+  std::sort(Members.begin(), Members.end());
+  Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
+  for (const Sha256Digest &D : Members)
+    if (!findShard(D))
+      return Error::failure(format("no shard %s in store '%s'",
+                                   digestToHex(D).substr(0, 12).c_str(),
+                                   Root.c_str()));
+
+  MergeResult Result;
+  Result.Digest = aggregateDigest(Members);
+  Result.MemberCount = Members.size();
+
+  std::string Cached = cachePath(Result.Digest);
+  if (fileExists(Cached)) {
+    auto Data = readGmonFile(Cached);
+    if (Data) {
+      Result.Data = Data.takeValue();
+      Result.CacheHit = true;
+      return Result;
+    }
+    // A damaged cache entry is not an error — recompute below.
+    (void)Data.takeError();
+  }
+
+  std::vector<ProfileData> Inputs;
+  Inputs.reserve(Members.size());
+  for (const Sha256Digest &D : Members) {
+    auto Data = loadShard(D);
+    if (!Data)
+      return Data.takeError();
+    Inputs.push_back(Data.takeValue());
+  }
+  auto Merged = mergeProfiles(Inputs, Pool);
+  if (!Merged)
+    return Merged.takeError();
+  Result.Data = Merged.takeValue();
+  if (Error E = writeGmonFile(Cached, Result.Data))
+    return E;
+  return Result;
+}
+
+Expected<GcStats> ProfileStore::gc() {
+  GcStats Stats;
+  auto CacheEntries = listDirectory(Root + "/cache");
+  if (!CacheEntries)
+    return CacheEntries.takeError();
+  for (const std::string &Name : *CacheEntries) {
+    if (Error E = removeFile(Root + "/cache/" + Name))
+      return E;
+    ++Stats.CachedAggregates;
+  }
+
+  auto Fans = listDirectory(Root + "/objects");
+  if (!Fans)
+    return Fans.takeError();
+  for (const std::string &Fan : *Fans) {
+    std::string FanDir = Root + "/objects/" + Fan;
+    auto Objects = listDirectory(FanDir);
+    if (!Objects)
+      return Objects.takeError();
+    for (const std::string &Name : *Objects) {
+      std::string Stem = Name;
+      if (Stem.size() > 5 && Stem.compare(Stem.size() - 5, 5, ".gmon") == 0)
+        Stem.resize(Stem.size() - 5);
+      auto Digest = digestFromHex(Stem);
+      if (Digest && findShard(*Digest))
+        continue;
+      if (Error E = removeFile(FanDir + "/" + Name))
+        return E;
+      ++Stats.OrphanObjects;
+    }
+  }
+  return Stats;
+}

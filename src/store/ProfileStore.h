@@ -1,0 +1,137 @@
+//===- store/ProfileStore.h - On-disk repository of gmon shards ----------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent repository for profile shards, built for the retrospective
+/// observation that "summing the data over several profiled runs" is what
+/// makes rarely-hit routines visible — at fleet scale that means keeping
+/// thousands of gmon files around and aggregating subsets of them on
+/// demand.  Layout under the store root:
+///
+///   index.bin                    versioned binary index of every shard
+///   objects/<hh>/<digest>.gmon   canonical shard bytes, content-addressed
+///   cache/<digest>.gmon          merged aggregates, keyed by member set
+///
+/// Shards are canonicalized (arc table sorted, duplicates coalesced) before
+/// digesting, so the same logical profile always lands in the same slot no
+/// matter how its arcs were ordered on disk.  Ingest validates
+/// compatibility — sampling rate, histogram geometry, and (when known) the
+/// identity of the profiled VM image — so a store never accumulates shards
+/// that cannot be summed.  Aggregation runs on the parallel k-way merge
+/// tree (store/MergeEngine.h) and is deterministic, which is what makes
+/// the aggregate cache sound: the cache key depends only on the member
+/// digest set, never on thread count or ingest order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_STORE_PROFILESTORE_H
+#define GPROF_STORE_PROFILESTORE_H
+
+#include "gmon/ProfileData.h"
+#include "support/Error.h"
+#include "support/Sha256.h"
+#include "support/ThreadPool.h"
+
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// Index record for one ingested shard: its content digest plus the
+/// summary fields `gprof-store list` shows without touching the object.
+struct ShardInfo {
+  Sha256Digest Digest{};  ///< SHA-256 of the canonical gmon bytes.
+  Sha256Digest ImageId{}; ///< SHA-256 of the profiled image; zero = unknown.
+  uint64_t Hz = 0;        ///< Sampling ticks per second.
+  Address LowPc = 0;      ///< Histogram range (zeros when no histogram).
+  Address HighPc = 0;
+  uint64_t BucketSize = 0;
+  uint64_t NumBuckets = 0;
+  uint64_t NumArcs = 0;
+  uint64_t TotalSamples = 0;
+  uint32_t Runs = 0;
+};
+
+/// What gc() swept.
+struct GcStats {
+  unsigned CachedAggregates = 0; ///< Cache entries removed.
+  unsigned OrphanObjects = 0;    ///< Object files not named by the index.
+};
+
+/// An open profile repository rooted at one directory.
+class ProfileStore {
+public:
+  /// Creates an inert store; open() is the real entry point.
+  ProfileStore() = default;
+
+  /// Opens (creating if needed) the store rooted at \p RootDir.
+  static Expected<ProfileStore> open(const std::string &RootDir);
+
+  const std::string &rootDir() const { return Root; }
+
+  /// Every ingested shard, sorted by ascending digest.
+  const std::vector<ShardInfo> &shards() const { return Shards; }
+
+  /// Ingests one profile: canonicalizes, validates compatibility against
+  /// the shards already present, writes the object, and updates the index.
+  /// Idempotent — re-ingesting identical data returns the same digest
+  /// without rewriting anything.  \p Label names the source in errors.
+  Expected<Sha256Digest> put(ProfileData Data,
+                             const Sha256Digest &ImageId = Sha256Digest{},
+                             const std::string &Label = "profile");
+
+  /// Reads the gmon file at \p GmonPath and ingests it.
+  Expected<Sha256Digest>
+  putFile(const std::string &GmonPath,
+          const Sha256Digest &ImageId = Sha256Digest{});
+
+  /// Resolves a (unique) hex digest prefix to a shard record.
+  Expected<ShardInfo> resolve(const std::string &HexPrefix) const;
+
+  /// Loads one shard's profile data from its object slot.
+  Expected<ProfileData> loadShard(const Sha256Digest &Digest) const;
+
+  /// The digest that keys an aggregate over \p Members (order-insensitive:
+  /// members are deduplicated and sorted before hashing).
+  static Sha256Digest aggregateDigest(std::vector<Sha256Digest> Members);
+
+  struct MergeResult {
+    ProfileData Data;
+    Sha256Digest Digest; ///< Aggregate digest (the cache key).
+    bool CacheHit = false;
+    size_t MemberCount = 0;
+  };
+
+  /// Merges the shards named by \p Members (every shard when empty) and
+  /// caches the aggregate; subsequent identical queries are served from
+  /// the cache without re-merging.  \p Pool may be null for a sequential
+  /// merge — the bytes are identical either way.
+  Expected<MergeResult> merge(std::vector<Sha256Digest> Members,
+                              ThreadPool *Pool = nullptr);
+
+  /// Drops every cached aggregate and deletes object files the index does
+  /// not reference.
+  Expected<GcStats> gc();
+
+  /// Filesystem slot of a shard object / cached aggregate.
+  std::string objectPath(const Sha256Digest &Digest) const;
+  std::string cachePath(const Sha256Digest &AggregateDigest) const;
+
+private:
+  Error loadIndex();
+  Error saveIndex() const;
+  const ShardInfo *findShard(const Sha256Digest &Digest) const;
+  Error checkCompatibleWithStore(const ProfileData &Data,
+                                 const Sha256Digest &ImageId,
+                                 const std::string &Label) const;
+
+  std::string Root;
+  std::vector<ShardInfo> Shards; ///< Sorted by digest.
+};
+
+} // namespace gprof
+
+#endif // GPROF_STORE_PROFILESTORE_H

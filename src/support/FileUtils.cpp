@@ -8,7 +8,10 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 using namespace gprof;
 
@@ -69,4 +72,51 @@ Error gprof::writeFileBytes(const std::string &Path,
 Error gprof::writeFileText(const std::string &Path, const std::string &Text) {
   std::vector<uint8_t> Bytes(Text.begin(), Text.end());
   return writeFileBytes(Path, Bytes);
+}
+
+bool gprof::fileExists(const std::string &Path) {
+  std::error_code EC;
+  return std::filesystem::is_regular_file(Path, EC);
+}
+
+Error gprof::createDirectories(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::create_directories(Path, EC);
+  if (EC)
+    return Error::failure(format("cannot create directory '%s': %s",
+                                 Path.c_str(), EC.message().c_str()));
+  return Error::success();
+}
+
+Expected<std::vector<std::string>> gprof::listDirectory(
+    const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Path, EC);
+  if (EC)
+    return Error::failure(format("cannot list directory '%s': %s",
+                                 Path.c_str(), EC.message().c_str()));
+  std::vector<std::string> Names;
+  for (const auto &Entry : It)
+    Names.push_back(Entry.path().filename().string());
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+Error gprof::removeFile(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::remove(Path, EC);
+  if (EC)
+    return Error::failure(format("cannot remove '%s': %s", Path.c_str(),
+                                 EC.message().c_str()));
+  return Error::success();
+}
+
+Error gprof::renameFile(const std::string &From, const std::string &To) {
+  std::error_code EC;
+  std::filesystem::rename(From, To, EC);
+  if (EC)
+    return Error::failure(format("cannot rename '%s' to '%s': %s",
+                                 From.c_str(), To.c_str(),
+                                 EC.message().c_str()));
+  return Error::success();
 }

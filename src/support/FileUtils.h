@@ -28,6 +28,22 @@ Error writeFileBytes(const std::string &Path,
 /// Writes \p Text to \p Path, replacing any existing file.
 Error writeFileText(const std::string &Path, const std::string &Text);
 
+/// True if a regular file exists at \p Path.
+bool fileExists(const std::string &Path);
+
+/// Creates \p Path and any missing parents (a no-op if it already exists).
+Error createDirectories(const std::string &Path);
+
+/// Entry names (not full paths) in the directory at \p Path, sorted.
+/// "." and ".." are omitted.
+Expected<std::vector<std::string>> listDirectory(const std::string &Path);
+
+/// Deletes the file at \p Path (a no-op if it does not exist).
+Error removeFile(const std::string &Path);
+
+/// Atomically replaces \p To with \p From (same filesystem).
+Error renameFile(const std::string &From, const std::string &To);
+
 } // namespace gprof
 
 #endif // GPROF_SUPPORT_FILEUTILS_H

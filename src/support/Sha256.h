@@ -1,0 +1,69 @@
+//===- support/Sha256.h - SHA-256 content digests ------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free SHA-256 (FIPS 180-4) implementation.  The profile
+/// store addresses gmon shards by the digest of their canonical bytes, and
+/// keys cached aggregates by the digest of the member digest set, so the
+/// hash must be stable across platforms and collision-resistant enough
+/// that distinct profiles never alias a slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_SHA256_H
+#define GPROF_SUPPORT_SHA256_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gprof {
+
+/// A raw 256-bit digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+public:
+  Sha256();
+
+  /// Absorbs \p Size bytes at \p Data.
+  void update(const uint8_t *Data, size_t Size);
+  void update(const std::vector<uint8_t> &Bytes) {
+    update(Bytes.data(), Bytes.size());
+  }
+
+  /// Pads, finalizes, and returns the digest.  The hasher must not be
+  /// updated afterwards.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(const uint8_t *Data, size_t Size);
+  static Sha256Digest hash(const std::vector<uint8_t> &Bytes) {
+    return hash(Bytes.data(), Bytes.size());
+  }
+
+private:
+  void compress(const uint8_t *Block);
+
+  std::array<uint32_t, 8> State;
+  std::array<uint8_t, 64> Buffer;
+  size_t BufferLen = 0;
+  uint64_t TotalBytes = 0;
+};
+
+/// Renders a digest as 64 lowercase hex characters.
+std::string digestToHex(const Sha256Digest &D);
+
+/// Parses 64 hex characters back into a digest; nullopt on malformed input.
+std::optional<Sha256Digest> digestFromHex(std::string_view Hex);
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_SHA256_H

@@ -1,0 +1,311 @@
+//===- tools/gprof_store_tool.cpp - The profile repository CLI ------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line face of the profile store: `gprof-store put` ingests gmon
+/// shards into a content-addressed repository, `list` shows the index,
+/// `merge` aggregates any subset through the parallel k-way merge tree
+/// (caching the result by the member digest set), `report` feeds a merged
+/// aggregate straight into the gprof analyzer and printers, and `gc`
+/// sweeps cached aggregates and orphaned objects.  This is the fleet-scale
+/// version of "summing the data over several profiled runs": shards
+/// accumulate across runs and machines, and any subset can be turned into
+/// a profile listing on demand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "gmon/GmonFile.h"
+#include "store/ProfileStore.h"
+#include "support/CommandLine.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+#include "vm/Image.h"
+
+#include <cstdio>
+
+using namespace gprof;
+
+namespace {
+
+int fail(const std::string &Message) {
+  std::fprintf(stderr, "gprof-store: %s\n", Message.c_str());
+  return 1;
+}
+
+/// Hashes the image file at \p Path into a store image identity.
+Expected<Sha256Digest> imageIdForFile(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  return Sha256::hash(*Bytes);
+}
+
+/// Parses --jobs into a worker count (0 = hardware threads).
+bool parseJobs(OptionParser &Opts, unsigned &Jobs) {
+  Jobs = 0;
+  if (auto V = Opts.getValue("jobs")) {
+    unsigned long long N;
+    if (!parseUInt64(*V, N) || N > 1024)
+      return false;
+    Jobs = static_cast<unsigned>(N);
+  }
+  return true;
+}
+
+/// Resolves positional digest-prefix arguments (after the leading \p Skip
+/// positionals) into full member digests; empty result means "all shards".
+Expected<std::vector<Sha256Digest>> resolveMembers(const ProfileStore &Store,
+                                                   const OptionParser &Opts,
+                                                   size_t Skip) {
+  std::vector<Sha256Digest> Members;
+  for (size_t I = Skip; I < Opts.positional().size(); ++I) {
+    auto Info = Store.resolve(Opts.positional()[I]);
+    if (!Info)
+      return Info.takeError();
+    Members.push_back(Info->Digest);
+  }
+  return Members;
+}
+
+int cmdPut(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store put",
+                    "ingest gmon shards into a profile store");
+  Opts.setPositionalHelp("STORE gmon.out ...");
+  Opts.addOption("image", 'i', "FILE",
+                 "TLX image the shards were profiled against; pins the "
+                 "store to its identity");
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() < 2)
+    return fail("expected a store path and at least one gmon file");
+
+  Sha256Digest ImageId{};
+  if (auto ImagePath = Opts.getValue("image")) {
+    auto Id = imageIdForFile(*ImagePath);
+    if (!Id)
+      return fail(Id.message());
+    ImageId = *Id;
+  }
+
+  auto Store = ProfileStore::open(Opts.positional().front());
+  if (!Store)
+    return fail(Store.message());
+  for (size_t I = 1; I < Opts.positional().size(); ++I) {
+    const std::string &Path = Opts.positional()[I];
+    auto Digest = Store->putFile(Path, ImageId);
+    if (!Digest)
+      return fail(Digest.message());
+    std::printf("%s %s\n", digestToHex(*Digest).c_str(), Path.c_str());
+  }
+  return 0;
+}
+
+int cmdList(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store list", "list the shards in a profile store");
+  Opts.setPositionalHelp("STORE");
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() != 1)
+    return fail("expected exactly one store path");
+
+  auto Store = ProfileStore::open(Opts.positional().front());
+  if (!Store)
+    return fail(Store.message());
+  std::printf("%-12s %6s %10s %10s %8s %s\n", "digest", "runs", "samples",
+              "arcs", "hz", "image");
+  for (const ShardInfo &S : Store->shards())
+    std::printf("%-12s %6u %10llu %10llu %8llu %s\n",
+                digestToHex(S.Digest).substr(0, 12).c_str(), S.Runs,
+                static_cast<unsigned long long>(S.TotalSamples),
+                static_cast<unsigned long long>(S.NumArcs),
+                static_cast<unsigned long long>(S.Hz),
+                S.ImageId == Sha256Digest{}
+                    ? "-"
+                    : digestToHex(S.ImageId).substr(0, 12).c_str());
+  std::printf("%zu shard(s)\n", Store->shards().size());
+  return 0;
+}
+
+int cmdMerge(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store merge",
+                    "aggregate shards with the parallel k-way merge tree");
+  Opts.setPositionalHelp("STORE [DIGEST-PREFIX ...]");
+  Opts.addOption("jobs", 'j', "N",
+                 "worker threads for the merge tree (0 = one per core)");
+  Opts.addOption("output", 'o', "FILE",
+                 "also write the merged gmon data to FILE");
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().empty())
+    return fail("expected a store path");
+  unsigned Jobs;
+  if (!parseJobs(Opts, Jobs))
+    return fail("invalid --jobs value");
+
+  auto Store = ProfileStore::open(Opts.positional().front());
+  if (!Store)
+    return fail(Store.message());
+  auto Members = resolveMembers(*Store, Opts, 1);
+  if (!Members)
+    return fail(Members.message());
+
+  ThreadPool Pool(Jobs);
+  auto Result = Store->merge(Members.takeValue(), &Pool);
+  if (!Result)
+    return fail(Result.message());
+  if (auto OutPath = Opts.getValue("output"))
+    if (Error E = writeGmonFile(*OutPath, Result->Data))
+      return fail(E.message());
+  std::printf("aggregate %s over %zu shard(s): %u run(s), %llu sample(s), "
+              "%zu arc(s)%s\n",
+              digestToHex(Result->Digest).substr(0, 12).c_str(),
+              Result->MemberCount, Result->Data.RunCount,
+              static_cast<unsigned long long>(
+                  Result->Data.Hist.totalSamples()),
+              Result->Data.Arcs.size(),
+              Result->CacheHit ? " [cached]" : "");
+  return 0;
+}
+
+int cmdReport(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store report",
+                    "print gprof listings for a merged aggregate");
+  Opts.setPositionalHelp("STORE image.tlx [DIGEST-PREFIX ...]");
+  Opts.addOption("jobs", 'j', "N",
+                 "worker threads for the merge tree (0 = one per core)");
+  Opts.addFlag("brief", 'b', "suppress field descriptions");
+  Opts.addFlag("zero", 'z', "show zero-time zero-call routines as rows");
+  Opts.addFlag("flat-only", 0, "print only the flat profile");
+  Opts.addFlag("graph-only", 0, "print only the call graph profile");
+  Opts.addFlag("no-index", 0, "omit the index-by-name table");
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() < 2)
+    return fail("expected a store path and an image path");
+  unsigned Jobs;
+  if (!parseJobs(Opts, Jobs))
+    return fail("invalid --jobs value");
+
+  auto Img = Image::loadFromFile(Opts.positional()[1]);
+  if (!Img)
+    return fail(Img.message());
+  auto Store = ProfileStore::open(Opts.positional().front());
+  if (!Store)
+    return fail(Store.message());
+  auto Members = resolveMembers(*Store, Opts, 2);
+  if (!Members)
+    return fail(Members.message());
+
+  ThreadPool Pool(Jobs);
+  auto Result = Store->merge(Members.takeValue(), &Pool);
+  if (!Result)
+    return fail(Result.message());
+
+  auto Report = analyzeImageProfile(*Img, Result->Data);
+  if (!Report)
+    return fail(Report.message());
+
+  FlatPrintOptions FP;
+  FP.ShowZeroUsage = Opts.hasFlag("zero");
+  FP.Brief = Opts.hasFlag("brief");
+  GraphPrintOptions GP;
+  GP.Brief = Opts.hasFlag("brief");
+  GP.PrintIndex = !Opts.hasFlag("no-index");
+
+  if (!Opts.hasFlag("graph-only"))
+    std::printf("%s", printFlatProfile(*Report, FP).c_str());
+  if (!Opts.hasFlag("flat-only") && !Opts.hasFlag("graph-only"))
+    std::printf("\n");
+  if (!Opts.hasFlag("flat-only"))
+    std::printf("%s", printCallGraph(*Report, GP).c_str());
+  return 0;
+}
+
+int cmdGc(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store gc",
+                    "drop cached aggregates and orphaned objects");
+  Opts.setPositionalHelp("STORE");
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() != 1)
+    return fail("expected exactly one store path");
+
+  auto Store = ProfileStore::open(Opts.positional().front());
+  if (!Store)
+    return fail(Store.message());
+  auto Stats = Store->gc();
+  if (!Stats)
+    return fail(Stats.message());
+  std::printf("removed %u cached aggregate(s), %u orphan object(s)\n",
+              Stats->CachedAggregates, Stats->OrphanObjects);
+  return 0;
+}
+
+void printUsage() {
+  std::printf(
+      "USAGE: gprof-store <command> [options]\n\n"
+      "Commands:\n"
+      "  put STORE gmon.out ...        ingest shards (content-addressed)\n"
+      "  list STORE                    show the shard index\n"
+      "  merge STORE [DIGEST ...]      aggregate shards (all by default)\n"
+      "  report STORE IMG [DIGEST ...] gprof listings for an aggregate\n"
+      "  gc STORE                      sweep caches and orphaned objects\n\n"
+      "Run 'gprof-store <command> --help' for per-command options.\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    printUsage();
+    return 1;
+  }
+  std::string Command = Argv[1];
+  if (Command == "--help" || Command == "-h" || Command == "help") {
+    printUsage();
+    return 0;
+  }
+  // Each subcommand parses the arguments after its own name.
+  int SubArgc = Argc - 1;
+  const char *const *SubArgv = Argv + 1;
+  if (Command == "put")
+    return cmdPut(SubArgc, SubArgv);
+  if (Command == "list")
+    return cmdList(SubArgc, SubArgv);
+  if (Command == "merge")
+    return cmdMerge(SubArgc, SubArgv);
+  if (Command == "report")
+    return cmdReport(SubArgc, SubArgv);
+  if (Command == "gc")
+    return cmdGc(SubArgc, SubArgv);
+  std::fprintf(stderr, "gprof-store: unknown command '%s'\n",
+               Command.c_str());
+  printUsage();
+  return 1;
+}

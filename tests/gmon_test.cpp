@@ -7,6 +7,7 @@
 #include "gmon/GmonFile.h"
 #include "gmon/Histogram.h"
 #include "gmon/ProfileData.h"
+#include "support/Format.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -246,6 +247,163 @@ TEST(GmonFileTest, FileRoundTripAndSumming) {
 
   std::remove(P1.c_str());
   std::remove(P2.c_str());
+}
+
+TEST(GmonFileTest, SumAccumulatesRunsAcrossManyFiles) {
+  // Regression: the runs counter must be the sum over every input, not
+  // just the first pair.
+  std::vector<std::string> Paths;
+  uint32_t ExpectedRuns = 0;
+  for (uint32_t Runs : {1u, 2u, 5u}) {
+    ProfileData D = makeSampleData();
+    D.RunCount = Runs;
+    ExpectedRuns += Runs;
+    std::string P = testing::TempDir() +
+                    format("/gmon_runs_%u.out", Runs);
+    cantFail(writeGmonFile(P, D));
+    Paths.push_back(P);
+  }
+  auto Sum = readAndSumGmonFiles(Paths);
+  ASSERT_TRUE(static_cast<bool>(Sum));
+  EXPECT_EQ(Sum->RunCount, ExpectedRuns);
+  EXPECT_EQ(Sum->Hist.totalSamples(), 9u); // 3 samples per file.
+  for (const std::string &P : Paths)
+    std::remove(P.c_str());
+}
+
+TEST(GmonFileTest, SumMismatchedRateNamesBothFiles) {
+  std::string P1 = testing::TempDir() + "/gmon_rate_60.out";
+  std::string P2 = testing::TempDir() + "/gmon_rate_100.out";
+  ProfileData A = makeSampleData();
+  ProfileData B = makeSampleData();
+  B.TicksPerSecond = 100;
+  cantFail(writeGmonFile(P1, A));
+  cantFail(writeGmonFile(P2, B));
+
+  auto Sum = readAndSumGmonFiles({P1, P2});
+  ASSERT_FALSE(static_cast<bool>(Sum));
+  EXPECT_NE(Sum.message().find(P1), std::string::npos) << Sum.message();
+  EXPECT_NE(Sum.message().find(P2), std::string::npos) << Sum.message();
+  EXPECT_NE(Sum.message().find("sampling rates"), std::string::npos);
+  (void)Sum.takeError();
+  std::remove(P1.c_str());
+  std::remove(P2.c_str());
+}
+
+TEST(GmonFileTest, SumMismatchedHistogramNamesBothFiles) {
+  std::string P1 = testing::TempDir() + "/gmon_hist_a.out";
+  std::string P2 = testing::TempDir() + "/gmon_hist_b.out";
+  ProfileData A = makeSampleData();
+  ProfileData B = makeSampleData();
+  B.Hist = Histogram(0x1000, 0x4000, 4); // Different [lowpc, highpc).
+  cantFail(writeGmonFile(P1, A));
+  cantFail(writeGmonFile(P2, B));
+
+  auto Sum = readAndSumGmonFiles({P1, P2});
+  ASSERT_FALSE(static_cast<bool>(Sum));
+  EXPECT_NE(Sum.message().find(P1), std::string::npos) << Sum.message();
+  EXPECT_NE(Sum.message().find(P2), std::string::npos) << Sum.message();
+  EXPECT_NE(Sum.message().find("histograms"), std::string::npos)
+      << Sum.message();
+  (void)Sum.takeError();
+  std::remove(P1.c_str());
+  std::remove(P2.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Corrupted-input corpus: every mutation must produce an error, never a
+// crash or a silent misparse.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Patches a little-endian u64 into \p Bytes at \p Offset.
+void patchU64(std::vector<uint8_t> &Bytes, size_t Offset, uint64_t Value) {
+  ASSERT_LE(Offset + 8, Bytes.size());
+  for (size_t I = 0; I != 8; ++I)
+    Bytes[Offset + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+// Fixed header layout (see docs/FORMATS.md): magic@0, version@4, hz@8,
+// runs@16, flags@20, lowpc@21, highpc@29, bucketsize@37, nbuckets@45,
+// counts@53.
+constexpr size_t NbucketsOffset = 45;
+constexpr size_t CountsOffset = 53;
+
+} // namespace
+
+TEST(GmonFileTest, CorpusTruncatedHeaders) {
+  auto Bytes = writeGmon(makeSampleData());
+  // Every prefix that cuts inside the header or the histogram lengths must
+  // fail cleanly.
+  for (size_t Cut = 0; Cut != CountsOffset + 8; ++Cut) {
+    std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + Cut);
+    auto Back = readGmon(Short);
+    EXPECT_FALSE(static_cast<bool>(Back)) << "header cut at " << Cut;
+    (void)Back.takeError();
+  }
+}
+
+TEST(GmonFileTest, CorpusOversizedNbuckets) {
+  auto Valid = writeGmon(makeSampleData());
+  // Larger than the plausibility cap, larger than the file, and the
+  // all-ones pattern whose byte size would overflow.
+  for (uint64_t Bad : std::initializer_list<uint64_t>{
+           ~0ULL, 1ULL << 40, (1ULL << 30) / 8 + 1, Valid.size()}) {
+    auto Bytes = Valid;
+    patchU64(Bytes, NbucketsOffset, Bad);
+    auto Back = readGmon(Bytes);
+    EXPECT_FALSE(static_cast<bool>(Back)) << "nbuckets = " << Bad;
+    (void)Back.takeError();
+  }
+  // A count that disagrees with the range must also be rejected, even if
+  // the buckets would fit in the file.
+  auto Bytes = Valid;
+  ProfileData D = makeSampleData();
+  patchU64(Bytes, NbucketsOffset, D.Hist.numBuckets() - 1);
+  auto Back = readGmon(Bytes);
+  EXPECT_FALSE(static_cast<bool>(Back));
+  EXPECT_NE(Back.message().find("mismatch"), std::string::npos);
+  (void)Back.takeError();
+}
+
+TEST(GmonFileTest, CorpusOversizedNarcs) {
+  ProfileData D = makeSampleData();
+  auto Valid = writeGmon(D);
+  size_t NarcsOffset = CountsOffset + 8 * D.Hist.numBuckets();
+  for (uint64_t Bad : std::initializer_list<uint64_t>{
+           ~0ULL, 1ULL << 40, (1ULL << 30) / 8 + 1, 1000}) {
+    auto Bytes = Valid;
+    patchU64(Bytes, NarcsOffset, Bad);
+    auto Back = readGmon(Bytes);
+    EXPECT_FALSE(static_cast<bool>(Back)) << "narcs = " << Bad;
+    (void)Back.takeError();
+  }
+}
+
+TEST(GmonFileTest, CorpusTrailingGarbage) {
+  auto Valid = writeGmon(makeSampleData());
+  for (size_t Extra : {size_t(1), size_t(7), size_t(4096)}) {
+    auto Bytes = Valid;
+    Bytes.insert(Bytes.end(), Extra, 0xAB);
+    auto Back = readGmon(Bytes);
+    EXPECT_FALSE(static_cast<bool>(Back)) << Extra << " trailing bytes";
+    EXPECT_NE(Back.message().find("trailing"), std::string::npos);
+    (void)Back.takeError();
+  }
+}
+
+TEST(GmonFileTest, CorpusArcTableTruncations) {
+  ProfileData D = makeSampleData();
+  auto Valid = writeGmon(D);
+  size_t ArcsStart = CountsOffset + 8 * D.Hist.numBuckets() + 8;
+  // Cut inside each arc record.
+  for (size_t Cut = ArcsStart; Cut < Valid.size(); Cut += 5) {
+    std::vector<uint8_t> Short(Valid.begin(), Valid.begin() + Cut);
+    auto Back = readGmon(Short);
+    EXPECT_FALSE(static_cast<bool>(Back)) << "arc cut at " << Cut;
+    (void)Back.takeError();
+  }
 }
 
 TEST(GmonFileTest, SumNoFilesFails) {

@@ -1,0 +1,203 @@
+//===- tests/store_cli_test.cpp - End-to-end gprof-store CLI tests --------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the gprof-store binary as a user would: profile the TL `primes`
+/// example in-process (same fixed settings as the golden tests), ingest
+/// the gmon shard, and check `put`/`list`/`merge`/`report`/`gc` behavior.
+/// The `report` output is pinned against the same golden files as the
+/// plain gprof tool, proving the store path is a drop-in front end to the
+/// analyzer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gmon/GmonFile.h"
+#include "runtime/Monitor.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+using namespace gprof;
+
+namespace {
+
+/// Runs a command, capturing stdout+stderr; returns the exit code.
+int runCommand(const std::string &Command, std::string &Output) {
+  std::string Full = Command + " 2>&1";
+  std::FILE *Pipe = popen(Full.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  Output.clear();
+  char Buf[4096];
+  while (size_t N = std::fread(Buf, 1, sizeof(Buf), Pipe))
+    Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+std::string tempPath(const std::string &Name) {
+  // Per-process paths: ctest runs each test case as its own process, so a
+  // shared fixed path would race under parallel test execution.
+  return testing::TempDir() +
+         format("/gprof_store_cli_%d_%s", getpid(), Name.c_str());
+}
+
+/// Fixture: profiles primes.tl once under the golden-test settings and
+/// writes the image and gmon shard where the CLI can reach them.
+class StoreCliTest : public testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    Img = new std::string(tempPath("primes.tlx"));
+    Gmon = new std::string(tempPath("primes_gmon.out"));
+    StoreDir = new std::string(tempPath("store"));
+    std::filesystem::remove_all(*StoreDir);
+
+    std::string Source =
+        cantFail(readFileText(std::string(TL_CORPUS_DIR) + "/primes.tl"));
+    CodeGenOptions CG;
+    CG.EnableProfiling = true;
+    Image Compiled = compileTLOrDie(Source, CG);
+    Monitor Mon(Compiled.lowPc(), Compiled.highPc());
+    VMOptions VO;
+    VO.CyclesPerTick = 997;
+    VM Machine(Compiled, VO);
+    Machine.setHooks(&Mon);
+    cantFail(Machine.run());
+    cantFail(Compiled.saveToFile(*Img));
+    cantFail(writeGmonFile(*Gmon, Mon.finish()));
+  }
+
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*StoreDir);
+    std::remove(Img->c_str());
+    std::remove(Gmon->c_str());
+    delete Img;
+    delete Gmon;
+    delete StoreDir;
+  }
+
+  static std::string *Img, *Gmon, *StoreDir;
+};
+
+std::string *StoreCliTest::Img = nullptr;
+std::string *StoreCliTest::Gmon = nullptr;
+std::string *StoreCliTest::StoreDir = nullptr;
+
+std::string golden(const std::string &Name) {
+  return cantFail(readFileText(std::string(GOLDEN_DIR) + "/" + Name));
+}
+
+} // namespace
+
+TEST_F(StoreCliTest, PutListMergeReportGc) {
+  std::string Out;
+
+  // put: prints "<digest> <path>" and is idempotent.
+  int Rc = runCommand(format("%s put %s --image %s %s", GPROF_STORE_PATH,
+                             StoreDir->c_str(), Img->c_str(), Gmon->c_str()),
+                      Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  ASSERT_GE(Out.size(), 64u);
+  std::string Digest = Out.substr(0, 64);
+  EXPECT_NE(Out.find(*Gmon), std::string::npos);
+
+  Rc = runCommand(format("%s put %s %s", GPROF_STORE_PATH, StoreDir->c_str(),
+                         Gmon->c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_EQ(Out.substr(0, 64), Digest) << "re-ingest changed the digest";
+
+  // list: one shard, shown by digest prefix.
+  Rc = runCommand(format("%s list %s", GPROF_STORE_PATH, StoreDir->c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find(Digest.substr(0, 12)), std::string::npos);
+  EXPECT_NE(Out.find("1 shard(s)"), std::string::npos);
+
+  // merge: computes an aggregate, then serves it from the cache.
+  Rc = runCommand(format("%s merge %s -j 2", GPROF_STORE_PATH,
+                         StoreDir->c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("aggregate"), std::string::npos);
+  EXPECT_EQ(Out.find("[cached]"), std::string::npos);
+  Rc = runCommand(format("%s merge %s", GPROF_STORE_PATH, StoreDir->c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("[cached]"), std::string::npos);
+
+  // gc: drops the cached aggregate.
+  Rc = runCommand(format("%s gc %s", GPROF_STORE_PATH, StoreDir->c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("1 cached aggregate(s)"), std::string::npos);
+}
+
+TEST_F(StoreCliTest, ReportMatchesGoldenListings) {
+  std::string StorePath = tempPath("golden_store");
+  std::filesystem::remove_all(StorePath);
+  std::string Out;
+  int Rc = runCommand(format("%s put %s %s", GPROF_STORE_PATH,
+                             StorePath.c_str(), Gmon->c_str()),
+                      Out);
+  ASSERT_EQ(Rc, 0) << Out;
+
+  // The store's flat profile is byte-identical to the gprof golden file.
+  Rc = runCommand(format("%s report --flat-only %s %s", GPROF_STORE_PATH,
+                         StorePath.c_str(), Img->c_str()),
+                  Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_EQ(Out, golden("primes_flat.txt"));
+
+  // And so is the call graph profile.
+  Rc = runCommand(format("%s report --graph-only %s %s", GPROF_STORE_PATH,
+                         StorePath.c_str(), Img->c_str()),
+                  Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_EQ(Out, golden("primes_graph.txt"));
+  std::filesystem::remove_all(StorePath);
+}
+
+TEST_F(StoreCliTest, RejectsUnknownCommandAndMissingShard) {
+  std::string Out;
+  int Rc = runCommand(format("%s frobnicate", GPROF_STORE_PATH), Out);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("unknown command"), std::string::npos);
+
+  std::string StorePath = tempPath("err_store");
+  std::filesystem::remove_all(StorePath);
+  Rc = runCommand(format("%s put %s %s", GPROF_STORE_PATH, StorePath.c_str(),
+                         Gmon->c_str()),
+                  Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  Rc = runCommand(format("%s merge %s ffffffffffff", GPROF_STORE_PATH,
+                         StorePath.c_str()),
+                  Out);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("no shard matches"), std::string::npos) << Out;
+  std::filesystem::remove_all(StorePath);
+}
+
+TEST_F(StoreCliTest, HelpTextsWork) {
+  std::string Out;
+  int Rc = runCommand(format("%s --help", GPROF_STORE_PATH), Out);
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("USAGE"), std::string::npos);
+  for (const char *Cmd : {"put", "list", "merge", "report", "gc"}) {
+    Rc = runCommand(format("%s %s --help", GPROF_STORE_PATH, Cmd), Out);
+    EXPECT_EQ(Rc, 0) << Cmd;
+    EXPECT_NE(Out.find("USAGE"), std::string::npos) << Cmd;
+  }
+}

@@ -1,0 +1,472 @@
+//===- tests/store_test.cpp - Profile store, merge engine, pool, digests --===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the profile repository subsystem: SHA-256 known-answer
+/// vectors, ThreadPool behavior, canonical form, merge determinism across
+/// thread counts and shard orders, the aggregate cache (hit / miss / gc
+/// invalidation), and store compatibility validation at ingest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gmon/GmonFile.h"
+#include "store/MergeEngine.h"
+#include "store/ProfileStore.h"
+#include "support/FileUtils.h"
+#include "support/Random.h"
+#include "support/Sha256.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <numeric>
+#include <string>
+
+using namespace gprof;
+
+namespace {
+
+/// A fresh store root under the test temp dir, removed on destruction.
+struct TempStoreDir {
+  explicit TempStoreDir(const std::string &Name)
+      : Path(testing::TempDir() + "/gprof_store_" + Name) {
+    std::filesystem::remove_all(Path);
+  }
+  ~TempStoreDir() { std::filesystem::remove_all(Path); }
+  std::string Path;
+};
+
+/// Builds one synthetic shard with the shared geometry and seed-dependent
+/// contents.
+ProfileData makeShard(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  ProfileData D;
+  D.TicksPerSecond = 60;
+  D.Hist = Histogram(0x1000, 0x3000, 8);
+  for (int I = 0; I != 64; ++I)
+    D.Hist.recordPc(0x1000 + Rng.nextBelow(0x2000));
+  for (int I = 0; I != 32; ++I)
+    D.addArc(0x1000 + Rng.nextBelow(64) * 8, 0x1000 + Rng.nextBelow(16) * 128,
+             1 + Rng.nextBelow(9));
+  return D;
+}
+
+std::vector<ProfileData> makeShards(size_t N, uint64_t Seed) {
+  std::vector<ProfileData> Shards;
+  for (size_t I = 0; I != N; ++I) {
+    ProfileData D = makeShard(Seed + I);
+    canonicalizeProfile(D);
+    Shards.push_back(std::move(D));
+  }
+  return Shards;
+}
+
+/// Deterministic Fisher-Yates shuffle.
+template <typename T> void shuffle(std::vector<T> &V, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  for (size_t I = V.size(); I > 1; --I)
+    std::swap(V[I - 1], V[Rng.nextBelow(I)]);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Sha256
+//===----------------------------------------------------------------------===//
+
+TEST(Sha256Test, KnownAnswerVectors) {
+  // FIPS 180-4 test vectors.
+  EXPECT_EQ(digestToHex(Sha256::hash(nullptr, 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const char *Abc = "abc";
+  EXPECT_EQ(digestToHex(Sha256::hash(
+                reinterpret_cast<const uint8_t *>(Abc), 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  const char *Two = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(digestToHex(Sha256::hash(
+                reinterpret_cast<const uint8_t *>(Two), 56)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  SplitMix64 Rng(7);
+  std::vector<uint8_t> Bytes(100000);
+  for (uint8_t &B : Bytes)
+    B = static_cast<uint8_t>(Rng.next());
+  Sha256 H;
+  // Uneven chunking crosses block boundaries in every alignment.
+  size_t Pos = 0;
+  for (size_t Chunk = 1; Pos < Bytes.size(); Chunk = Chunk * 3 + 1) {
+    size_t Take = std::min(Chunk, Bytes.size() - Pos);
+    H.update(Bytes.data() + Pos, Take);
+    Pos += Take;
+  }
+  EXPECT_EQ(H.finish(), Sha256::hash(Bytes));
+}
+
+TEST(Sha256Test, HexRoundTrip) {
+  Sha256Digest D = Sha256::hash(nullptr, 0);
+  auto Back = digestFromHex(digestToHex(D));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, D);
+  EXPECT_FALSE(digestFromHex("abc").has_value());
+  EXPECT_FALSE(digestFromHex(std::string(64, 'g')).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEveryJob) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Counter{0};
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I != 100; ++I)
+    Futures.push_back(Pool.async([I, &Counter] {
+      ++Counter;
+      return I * I;
+    }));
+  int Sum = 0;
+  for (auto &F : Futures)
+    Sum += F.get();
+  EXPECT_EQ(Counter.load(), 100);
+  // Sum of squares 0..99.
+  EXPECT_EQ(Sum, 328350);
+}
+
+TEST(ThreadPoolTest, WaitDrainsQueue) {
+  ThreadPool Pool(2);
+  std::atomic<int> Done{0};
+  for (int I = 0; I != 50; ++I)
+    Pool.async([&Done] { ++Done; });
+  Pool.wait();
+  EXPECT_EQ(Done.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedFutures) {
+  std::future<int> F;
+  {
+    ThreadPool Pool(1);
+    F = Pool.async([] { return 42; });
+  }
+  EXPECT_EQ(F.get(), 42);
+}
+
+//===----------------------------------------------------------------------===//
+// MergeEngine
+//===----------------------------------------------------------------------===//
+
+TEST(MergeEngineTest, CanonicalizeSortsAndCoalesces) {
+  ProfileData D;
+  D.Arcs = {{30, 1, 2}, {10, 5, 1}, {30, 1, 3}, {10, 2, 4}};
+  canonicalizeProfile(D);
+  ASSERT_EQ(D.Arcs.size(), 3u);
+  EXPECT_EQ(D.Arcs[0].FromPc, 10u);
+  EXPECT_EQ(D.Arcs[0].SelfPc, 2u);
+  EXPECT_EQ(D.Arcs[1].SelfPc, 5u);
+  EXPECT_EQ(D.Arcs[2].FromPc, 30u);
+  EXPECT_EQ(D.Arcs[2].Count, 5u); // 2 + 3 coalesced.
+  EXPECT_TRUE(isCanonicalProfile(D));
+}
+
+TEST(MergeEngineTest, MatchesSequentialFold) {
+  std::vector<ProfileData> Shards = makeShards(17, 100);
+  ProfileData Fold = Shards.front();
+  for (size_t I = 1; I != Shards.size(); ++I)
+    cantFail(Fold.merge(Shards[I]));
+  canonicalizeProfile(Fold);
+
+  auto Merged = mergeProfiles(Shards);
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  EXPECT_EQ(writeGmon(*Merged), writeGmon(Fold));
+}
+
+TEST(MergeEngineTest, DeterministicAcrossThreadsAndOrder) {
+  std::vector<ProfileData> Shards = makeShards(41, 2000);
+  auto Reference = mergeProfiles(Shards);
+  ASSERT_TRUE(static_cast<bool>(Reference));
+  std::vector<uint8_t> ReferenceBytes = writeGmon(*Reference);
+
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Threads);
+    shuffle(Shards, 77 + Threads);
+    auto Merged = mergeProfiles(Shards, &Pool);
+    ASSERT_TRUE(static_cast<bool>(Merged)) << Threads << " threads";
+    EXPECT_EQ(writeGmon(*Merged), ReferenceBytes)
+        << Threads << " threads, shuffled input";
+  }
+}
+
+TEST(MergeEngineTest, SumsRunsAndOverflow) {
+  std::vector<ProfileData> Shards = makeShards(5, 9);
+  Shards[1].RunCount = 3;
+  Shards[4].ArcTableOverflowed = true;
+  auto Merged = mergeProfiles(Shards);
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  EXPECT_EQ(Merged->RunCount, 7u); // 1+3+1+1+1.
+  EXPECT_TRUE(Merged->ArcTableOverflowed);
+}
+
+TEST(MergeEngineTest, RejectsIncompatibleShards) {
+  std::vector<ProfileData> Shards = makeShards(3, 50);
+  Shards[2].TicksPerSecond = 100;
+  auto Merged = mergeProfiles(Shards);
+  ASSERT_FALSE(static_cast<bool>(Merged));
+  EXPECT_NE(Merged.message().find("sampling rates"), std::string::npos);
+  (void)Merged.takeError();
+
+  Shards = makeShards(3, 50);
+  Shards[1].Hist = Histogram(0, 0x800, 8);
+  auto Merged2 = mergeProfiles(Shards);
+  ASSERT_FALSE(static_cast<bool>(Merged2));
+  EXPECT_NE(Merged2.message().find("histogram ranges"), std::string::npos);
+  (void)Merged2.takeError();
+}
+
+TEST(MergeEngineTest, EmptyInputFails) {
+  auto Merged = mergeProfiles({});
+  EXPECT_FALSE(static_cast<bool>(Merged));
+  (void)Merged.takeError();
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileStore
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileStoreTest, PutIsContentAddressedAndIdempotent) {
+  TempStoreDir Dir("idempotent");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+
+  ProfileData D = makeShard(1);
+  auto A = Store->put(D);
+  ASSERT_TRUE(static_cast<bool>(A));
+  // Same logical profile with a permuted arc table lands in the same slot.
+  ProfileData Permuted = makeShard(1);
+  std::reverse(Permuted.Arcs.begin(), Permuted.Arcs.end());
+  auto B = Store->put(Permuted);
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(*A, *B);
+  EXPECT_EQ(Store->shards().size(), 1u);
+  EXPECT_TRUE(fileExists(Store->objectPath(*A)));
+}
+
+TEST(ProfileStoreTest, PersistsAcrossReopen) {
+  TempStoreDir Dir("reopen");
+  Sha256Digest Digest;
+  {
+    auto Store = ProfileStore::open(Dir.Path);
+    ASSERT_TRUE(static_cast<bool>(Store));
+    Digest = cantFail(Store->put(makeShard(3)));
+  }
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  ASSERT_EQ(Store->shards().size(), 1u);
+  EXPECT_EQ(Store->shards().front().Digest, Digest);
+  EXPECT_EQ(Store->shards().front().Hz, 60u);
+  EXPECT_EQ(Store->shards().front().NumBuckets, 0x2000u / 8);
+
+  auto Loaded = Store->loadShard(Digest);
+  ASSERT_TRUE(static_cast<bool>(Loaded));
+  EXPECT_EQ(Sha256::hash(writeGmon(*Loaded)), Digest);
+}
+
+TEST(ProfileStoreTest, ResolvesUniquePrefixes) {
+  TempStoreDir Dir("resolve");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  Sha256Digest A = cantFail(Store->put(makeShard(10)));
+  cantFail(Store->put(makeShard(11)));
+
+  auto Hit = Store->resolve(digestToHex(A).substr(0, 12));
+  ASSERT_TRUE(static_cast<bool>(Hit));
+  EXPECT_EQ(Hit->Digest, A);
+
+  auto Miss = Store->resolve("ffffffffffff0000");
+  EXPECT_FALSE(static_cast<bool>(Miss));
+  (void)Miss.takeError();
+  // A zero-length prefix would match everything.
+  auto Empty = Store->resolve("");
+  EXPECT_FALSE(static_cast<bool>(Empty));
+  (void)Empty.takeError();
+}
+
+TEST(ProfileStoreTest, RejectsIncompatibleIngest) {
+  TempStoreDir Dir("compat");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  cantFail(Store->put(makeShard(1)));
+
+  ProfileData BadHz = makeShard(2);
+  BadHz.TicksPerSecond = 100;
+  auto R1 = Store->put(BadHz, Sha256Digest{}, "badhz.out");
+  ASSERT_FALSE(static_cast<bool>(R1));
+  EXPECT_NE(R1.message().find("badhz.out"), std::string::npos);
+  EXPECT_NE(R1.message().find("sampling rates"), std::string::npos);
+  (void)R1.takeError();
+
+  ProfileData BadRange = makeShard(2);
+  BadRange.Hist = Histogram(0, 0x100, 4);
+  auto R2 = Store->put(BadRange);
+  ASSERT_FALSE(static_cast<bool>(R2));
+  EXPECT_NE(R2.message().find("histogram ranges"), std::string::npos);
+  (void)R2.takeError();
+}
+
+TEST(ProfileStoreTest, PinsImageIdentity) {
+  TempStoreDir Dir("imageid");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  Sha256Digest Image1{};
+  Image1[0] = 1;
+  Sha256Digest Image2{};
+  Image2[0] = 2;
+  cantFail(Store->put(makeShard(1), Image1));
+  // Unknown identity is always accepted.
+  auto Anon = Store->put(makeShard(2));
+  EXPECT_TRUE(static_cast<bool>(Anon));
+  // A different known identity is not.
+  auto Clash = Store->put(makeShard(3), Image2);
+  ASSERT_FALSE(static_cast<bool>(Clash));
+  EXPECT_NE(Clash.message().find("image"), std::string::npos);
+  (void)Clash.takeError();
+  // The same known identity is.
+  auto Same = Store->put(makeShard(4), Image1);
+  EXPECT_TRUE(static_cast<bool>(Same));
+}
+
+TEST(ProfileStoreTest, MergeDigestIgnoresIngestOrder) {
+  TempStoreDir DirA("order_a"), DirB("order_b");
+  auto StoreA = ProfileStore::open(DirA.Path);
+  auto StoreB = ProfileStore::open(DirB.Path);
+  ASSERT_TRUE(static_cast<bool>(StoreA));
+  ASSERT_TRUE(static_cast<bool>(StoreB));
+
+  std::vector<uint64_t> Seeds(24);
+  std::iota(Seeds.begin(), Seeds.end(), 500);
+  for (uint64_t S : Seeds)
+    cantFail(StoreA->put(makeShard(S)));
+  shuffle(Seeds, 99);
+  for (uint64_t S : Seeds)
+    cantFail(StoreB->put(makeShard(S)));
+
+  auto MergedA = StoreA->merge({});
+  auto MergedB = StoreB->merge({});
+  ASSERT_TRUE(static_cast<bool>(MergedA));
+  ASSERT_TRUE(static_cast<bool>(MergedB));
+  EXPECT_EQ(MergedA->Digest, MergedB->Digest);
+  EXPECT_EQ(writeGmon(MergedA->Data), writeGmon(MergedB->Data));
+  EXPECT_EQ(MergedA->MemberCount, 24u);
+}
+
+TEST(ProfileStoreTest, MergeIsThreadCountInvariant) {
+  TempStoreDir Dir("threads");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  for (uint64_t S = 0; S != 20; ++S)
+    cantFail(Store->put(makeShard(700 + S)));
+
+  std::vector<uint8_t> Reference;
+  Sha256Digest AggDigest{};
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Threads);
+    auto Merged = Store->merge({}, &Pool);
+    ASSERT_TRUE(static_cast<bool>(Merged)) << Threads << " threads";
+    EXPECT_FALSE(Merged->CacheHit) << Threads << " threads";
+    std::vector<uint8_t> Bytes = writeGmon(Merged->Data);
+    if (Reference.empty()) {
+      Reference = Bytes;
+      AggDigest = Merged->Digest;
+    } else {
+      EXPECT_EQ(Bytes, Reference) << Threads << " threads";
+      EXPECT_EQ(Merged->Digest, AggDigest);
+    }
+    // Flush the cache so every thread count actually re-merges.
+    cantFail(Store->gc().takeError());
+  }
+}
+
+TEST(ProfileStoreTest, CacheHitsUntilGc) {
+  TempStoreDir Dir("cache");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  for (uint64_t S = 0; S != 8; ++S)
+    cantFail(Store->put(makeShard(40 + S)));
+
+  auto First = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(First));
+  EXPECT_FALSE(First->CacheHit);
+  EXPECT_TRUE(fileExists(Store->cachePath(First->Digest)));
+
+  auto Second = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Second));
+  EXPECT_TRUE(Second->CacheHit);
+  EXPECT_EQ(writeGmon(Second->Data), writeGmon(First->Data));
+
+  auto Stats = Store->gc();
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_GE(Stats->CachedAggregates, 1u);
+  EXPECT_FALSE(fileExists(Store->cachePath(First->Digest)));
+
+  auto Third = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Third));
+  EXPECT_FALSE(Third->CacheHit); // gc invalidated the cache ...
+  EXPECT_EQ(Third->Digest, First->Digest); // ... but the key is stable.
+  EXPECT_EQ(writeGmon(Third->Data), writeGmon(First->Data));
+}
+
+TEST(ProfileStoreTest, SubsetMergeAndRunsSum) {
+  TempStoreDir Dir("subset");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  ProfileData A = makeShard(1), B = makeShard(2), C = makeShard(3);
+  A.RunCount = 2;
+  B.RunCount = 5;
+  Sha256Digest DA = cantFail(Store->put(A));
+  Sha256Digest DB = cantFail(Store->put(B));
+  cantFail(Store->put(C));
+
+  auto Merged = Store->merge({DA, DB});
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  EXPECT_EQ(Merged->MemberCount, 2u);
+  EXPECT_EQ(Merged->Data.RunCount, 7u);
+  // Duplicate members collapse.
+  auto Dup = Store->merge({DA, DA, DB});
+  ASSERT_TRUE(static_cast<bool>(Dup));
+  EXPECT_EQ(Dup->Digest, Merged->Digest);
+  EXPECT_TRUE(Dup->CacheHit);
+}
+
+TEST(ProfileStoreTest, GcSweepsOrphanObjects) {
+  TempStoreDir Dir("orphans");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  cantFail(Store->put(makeShard(1)));
+  // Plant an object no index record names.
+  std::string Orphan = Dir.Path + "/objects/zz";
+  cantFail(createDirectories(Orphan));
+  cantFail(writeFileText(Orphan + "/deadbeef.gmon", "junk"));
+
+  auto Stats = Store->gc();
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_EQ(Stats->OrphanObjects, 1u);
+  EXPECT_FALSE(fileExists(Orphan + "/deadbeef.gmon"));
+  // The indexed object survives.
+  EXPECT_TRUE(fileExists(Store->objectPath(Store->shards().front().Digest)));
+}
+
+TEST(ProfileStoreTest, MergeOfEmptyStoreFails) {
+  TempStoreDir Dir("empty");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  auto Merged = Store->merge({});
+  EXPECT_FALSE(static_cast<bool>(Merged));
+  (void)Merged.takeError();
+}

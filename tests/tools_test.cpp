@@ -21,6 +21,8 @@
 #include <cstdlib>
 #include <string>
 
+#include <unistd.h>
+
 using namespace gprof;
 
 namespace {
@@ -40,7 +42,10 @@ int runCommand(const std::string &Command, std::string &Output) {
 }
 
 std::string tempPath(const std::string &Name) {
-  return testing::TempDir() + "/gprof_tools_" + Name;
+  // Per-process paths: ctest runs each test case as its own process, so a
+  // shared fixed path would race under parallel test execution.
+  return testing::TempDir() +
+         format("/gprof_tools_%d_%s", getpid(), Name.c_str());
 }
 
 const char *SampleProgram = R"(
