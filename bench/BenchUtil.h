@@ -15,12 +15,14 @@
 #ifndef GPROF_BENCH_BENCHUTIL_H
 #define GPROF_BENCH_BENCHUTIL_H
 
+#include "support/FileUtils.h"
 #include "support/Format.h"
 
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gprof {
@@ -48,6 +50,86 @@ inline bool check(bool Ok, const std::string &Claim) {
   std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", Claim.c_str());
   return Ok;
 }
+
+/// Machine-readable bench output: accumulates scalar fields plus one
+/// uniform "results" array and writes BENCH_<name>.json, the file the
+/// perf-tracking tooling scrapes.  Values are stored pre-encoded; use the
+/// typed set/setRow overloads.
+class BenchJson {
+public:
+  explicit BenchJson(std::string Name) : Name(std::move(Name)) {}
+
+  void set(const std::string &Key, const std::string &Value) {
+    Fields.emplace_back(Key, quote(Value));
+  }
+  void set(const std::string &Key, double Value) {
+    Fields.emplace_back(Key, format("%.6g", Value));
+  }
+  void set(const std::string &Key, uint64_t Value) {
+    Fields.emplace_back(Key, format("%llu",
+                                    static_cast<unsigned long long>(Value)));
+  }
+  void set(const std::string &Key, bool Value) {
+    Fields.emplace_back(Key, Value ? "true" : "false");
+  }
+
+  /// Starts a new row in the "results" array; subsequent setRow calls
+  /// fill it.
+  void beginRow() { Rows.emplace_back(); }
+  void setRow(const std::string &Key, double Value) {
+    Rows.back().emplace_back(Key, format("%.6g", Value));
+  }
+  void setRow(const std::string &Key, uint64_t Value) {
+    Rows.back().emplace_back(Key, format("%llu",
+                                         static_cast<unsigned long long>(
+                                             Value)));
+  }
+  void setRow(const std::string &Key, const std::string &Value) {
+    Rows.back().emplace_back(Key, quote(Value));
+  }
+
+  std::string render() const {
+    std::string S = "{\n  \"bench\": " + quote(Name);
+    for (const auto &[K, V] : Fields)
+      S += ",\n  " + quote(K) + ": " + V;
+    S += ",\n  \"results\": [";
+    for (size_t R = 0; R != Rows.size(); ++R) {
+      S += R == 0 ? "\n    {" : ",\n    {";
+      for (size_t F = 0; F != Rows[R].size(); ++F)
+        S += (F == 0 ? "" : ", ") + quote(Rows[R][F].first) + ": " +
+             Rows[R][F].second;
+      S += "}";
+    }
+    S += "\n  ]\n}\n";
+    return S;
+  }
+
+  /// Writes BENCH_<name>.json into the working directory and reports the
+  /// path on stdout.
+  void write() const {
+    std::string Path = "BENCH_" + Name + ".json";
+    if (Error E = writeFileText(Path, render()))
+      std::printf("  (could not write %s: %s)\n", Path.c_str(),
+                  E.message().c_str());
+    else
+      std::printf("  wrote %s\n", Path.c_str());
+  }
+
+private:
+  static std::string quote(const std::string &S) {
+    std::string Out = "\"";
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    return Out + "\"";
+  }
+
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Fields;
+  std::vector<std::vector<std::pair<std::string, std::string>>> Rows;
+};
 
 /// Wall-clock time of \p Fn in milliseconds, best of \p Reps repetitions.
 inline double timeMs(const std::function<void()> &Fn, int Reps = 3) {

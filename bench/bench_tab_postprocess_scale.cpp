@@ -17,10 +17,19 @@
 ///  - the prof(1) flat-only baseline (no propagation at all), which
 ///    bounds the cost gprof adds over its predecessor.
 ///
+/// A second section measures the parallel pipeline: wall time of the
+/// same analysis at 1/2/4/8 worker threads over a cycle-rich synthetic
+/// profile, asserting the listings stay byte-identical at every thread
+/// count, and emits BENCH_postprocess_scale.json (threads → ms, speedup)
+/// for the perf-tracking tooling.  Run with --smoke for a single
+/// quick iteration (the ctest smoke target).
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
 #include "graph/Generators.h"
 #include "prof/ProfBaseline.h"
 #include "support/Random.h"
@@ -28,6 +37,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 using namespace gprof;
@@ -100,9 +111,36 @@ unsigned naiveFixpoint(const CallGraph &G, const ProfileReport &Seeded,
   return Sweeps;
 }
 
+/// Builds the thread-scaling workload: a random DAG of \p N routines
+/// plus rings of back arcs so the condensed graph has real multi-member
+/// cycles to collapse and propagate through.
+void makeScalingProfile(uint32_t N, SymbolTable &Syms, ProfileData &Data) {
+  CallGraph G = makeRandomDag(N, N * 4, 50, /*Seed=*/N);
+  realize(G, N + 1, Syms, Data);
+  // Close a cycle over every 50th run of 2..18 consecutive routines.
+  SplitMix64 Rng(N * 31 + 7);
+  for (uint32_t Lo = 0; Lo + 20 < N; Lo += 50) {
+    uint32_t Len = 2 + static_cast<uint32_t>(Rng.nextBelow(17));
+    for (uint32_t I = 0; I != Len; ++I) {
+      uint32_t From = Lo + I, To = Lo + (I + 1) % Len;
+      Data.Arcs.push_back({Base + From * FuncSize + 11,
+                           Base + To * FuncSize, 1 + Rng.nextBelow(9)});
+    }
+  }
+}
+
+/// The full listings a user would see; byte-compared across thread
+/// counts.
+std::string renderListings(const ProfileReport &R) {
+  return printFlatProfile(R) + "\n" + printCallGraph(R);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const bool Smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int Reps = Smoke ? 1 : 3;
+
   banner("E10 (section 4)",
          "single-traversal propagation vs naive fixpoint vs prof");
 
@@ -118,7 +156,10 @@ int main() {
   bool Ok = true;
   double LastGprofMs = 0.0;
 
-  for (uint32_t N : {200u, 1000u, 5000u, 20000u, 50000u}) {
+  std::vector<uint32_t> Sizes = {200u, 1000u, 5000u, 20000u, 50000u};
+  if (Smoke)
+    Sizes = {200u, 1000u};
+  for (uint32_t N : Sizes) {
     CallGraph G = makeRandomDag(N, N * 4, 50, /*Seed=*/N);
     SymbolTable Syms;
     ProfileData Data;
@@ -126,20 +167,21 @@ int main() {
 
     Analyzer An(std::move(Syms));
     ProfileReport Report;
-    double GprofMs = timeMs([&] { Report = cantFail(An.analyze(Data)); });
+    double GprofMs =
+        timeMs([&] { Report = cantFail(An.analyze(Data)); }, Reps);
     LastGprofMs = GprofMs;
 
     std::vector<double> NaiveTotal;
     unsigned Sweeps = 0;
     double NaiveMs =
-        timeMs([&] { Sweeps = naiveFixpoint(G, Report, NaiveTotal); });
+        timeMs([&] { Sweeps = naiveFixpoint(G, Report, NaiveTotal); }, Reps);
 
     // prof flat-only baseline over the same inputs.
     SymbolTable ProfSyms;
     ProfileData ProfData;
     realize(G, N + 1, ProfSyms, ProfData);
     double ProfMs =
-        timeMs([&] { (void)analyzeProf(ProfSyms, ProfData); });
+        timeMs([&] { (void)analyzeProf(ProfSyms, ProfData); }, Reps);
 
     // Cross-check: both propagation schemes compute the same totals.
     bool Agree = true;
@@ -155,10 +197,66 @@ int main() {
         12);
   }
 
+  //--- Parallel pipeline scaling (AnalyzerOptions::Threads). --------------
+  const uint32_t ScaleN = 5000;
+  SymbolTable ScaleSyms;
+  ProfileData ScaleData;
+  makeScalingProfile(ScaleN, ScaleSyms, ScaleData);
+  const unsigned Cores = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("\nparallel pipeline over %u routines (%zu raw arcs, "
+              "%u hardware threads):\n\n",
+              ScaleN, ScaleData.Arcs.size(), Cores);
+  row({"threads", "ms", "speedup", "identical"}, 12);
+
+  BenchJson Json("postprocess_scale");
+  Json.set("routines", static_cast<uint64_t>(ScaleN));
+  Json.set("raw_arcs", static_cast<uint64_t>(ScaleData.Arcs.size()));
+  Json.set("hardware_concurrency", static_cast<uint64_t>(Cores));
+
+  std::string Reference;
+  double BaseMs = 0.0, Ms4 = 0.0;
+  bool AllIdentical = true;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    AnalyzerOptions AO;
+    AO.Threads = Threads;
+    Analyzer An(ScaleSyms, AO);
+    ProfileReport R;
+    double Ms = timeMs([&] { R = cantFail(An.analyze(ScaleData)); }, Reps);
+    std::string Listings = renderListings(R);
+    if (Threads == 1) {
+      Reference = std::move(Listings);
+      BaseMs = Ms;
+    } else {
+      AllIdentical &= Listings == Reference;
+    }
+    if (Threads == 4)
+      Ms4 = Ms;
+    double Speedup = Ms > 0.0 ? BaseMs / Ms : 0.0;
+    row({format("%u", Threads), formatFixed(Ms, 1), formatFixed(Speedup, 2),
+         Threads == 1 ? "-" : (AllIdentical ? "yes" : "NO")},
+        12);
+    Json.beginRow();
+    Json.setRow("threads", static_cast<uint64_t>(Threads));
+    Json.setRow("ms", Ms);
+    Json.setRow("speedup", Speedup);
+  }
+  Json.set("identical_listings", AllIdentical);
+  Json.write();
+
   std::printf("\nchecks against the paper:\n");
   Ok &= check(Ok, "single-pass totals equal the fixpoint totals");
   Ok &= check(LastGprofMs < 30000.0,
               "post-processing stays a fast separate pass even at 50k "
               "routines");
+  Ok &= check(AllIdentical,
+              "listings are byte-identical at 1/2/4/8 analysis threads");
+  if (Cores >= 4 && !Smoke)
+    Ok &= check(Ms4 * 2.0 <= BaseMs,
+                "4-thread pipeline is at least 2x the sequential speed");
+  else
+    std::printf("  [SKIP] 4-thread speedup gate (needs >= 4 cores and a "
+                "full run; this host has %u)\n",
+                Cores);
   return Ok ? 0 : 1;
 }

@@ -11,9 +11,12 @@
 #include "graph/FeedbackArcs.h"
 #include "graph/Tarjan.h"
 #include "support/Format.h"
+#include "support/Parallel.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 using namespace gprof;
 
@@ -28,61 +31,164 @@ struct FnArcInfo {
   bool Static = false;
 };
 
-/// Distributes histogram samples over symbols as self time, prorating
-/// buckets that straddle symbol boundaries (the gprof rule).  Returns the
-/// seconds that fell outside every symbol.
+/// Chunk-local accumulators for parallel arc symbolization.  Every count
+/// is an integer, so reducing the shards in chunk index order yields
+/// totals independent of the chunk decomposition (and therefore of the
+/// thread count).
+struct SymbolizeShard {
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> Arcs;
+  std::map<uint32_t, uint64_t> SelfCalls;
+  std::map<uint32_t, uint64_t> Spontaneous;
+};
+
+/// Step 1: symbolizes raw arc records into function-level arcs, self
+/// calls and spontaneous activations.  Raw records shard across workers;
+/// each worker resolves call sites against the sorted symbol table and
+/// accumulates shard-locally.
+void symbolizeArcs(const std::vector<ArcRecord> &Raw, const SymbolTable &Syms,
+                   ThreadPool *Pool,
+                   std::map<std::pair<uint32_t, uint32_t>, FnArcInfo> &FnArcs,
+                   std::vector<uint64_t> &SelfCalls,
+                   std::vector<uint64_t> &Spontaneous) {
+  std::vector<IndexChunk> Chunks = planChunks(Pool, Raw.size(), 1024);
+  std::vector<SymbolizeShard> Shards(Chunks.size());
+  runChunks(Pool, Chunks, [&](size_t Begin, size_t End, size_t Chunk) {
+    SymbolizeShard &Shard = Shards[Chunk];
+    for (size_t I = Begin; I != End; ++I) {
+      const ArcRecord &R = Raw[I];
+      uint32_t Callee = Syms.findContaining(R.SelfPc);
+      if (Callee == NoSymbol)
+        continue; // Arc into unknown code; nothing to attach it to.
+      uint32_t Caller = Syms.findContaining(R.FromPc);
+      if (Caller == NoSymbol) {
+        // "the apparent source of the arc is not a call site at all.  Such
+        // anomalous invocations are declared 'spontaneous'" (§3.1).
+        Shard.Spontaneous[Callee] += R.Count;
+        continue;
+      }
+      if (Caller == Callee) {
+        Shard.SelfCalls[Callee] += R.Count;
+        continue;
+      }
+      Shard.Arcs[{Caller, Callee}] += R.Count;
+    }
+  });
+  for (const SymbolizeShard &Shard : Shards) {
+    for (const auto &[Key, Count] : Shard.Arcs)
+      FnArcs[Key].Count += Count;
+    for (const auto &[Fn, Count] : Shard.SelfCalls)
+      SelfCalls[Fn] += Count;
+    for (const auto &[Fn, Count] : Shard.Spontaneous)
+      Spontaneous[Fn] += Count;
+  }
+}
+
+/// Step 4: distributes histogram samples over symbols as self time,
+/// prorating buckets that straddle symbol boundaries (the gprof rule).
+/// Routine-major: each routine's self time is summed over its overlapping
+/// buckets in ascending bucket order by exactly one worker, which
+/// reproduces the sequential bucket-major accumulation bit for bit —
+/// routines partition the output, so no sum ever crosses a chunk
+/// boundary.  Returns the seconds that fell outside every symbol, reduced
+/// over per-bucket residuals in bucket order.
 double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
                        const SymbolTable &Syms,
-                       std::vector<FunctionEntry> &Entries) {
+                       std::vector<FunctionEntry> &Entries,
+                       ThreadPool *Pool) {
   if (Hist.empty() || TicksPerSecond == 0)
     return 0.0;
   const double SecPerSample = 1.0 / static_cast<double>(TicksPerSecond);
-  double Unattributed = 0.0;
 
-  for (size_t B = 0; B != Hist.numBuckets(); ++B) {
-    uint64_t Samples = Hist.bucketCount(B);
-    if (Samples == 0)
-      continue;
-    const Address Start = Hist.bucketStart(B);
-    const Address End = Hist.bucketEnd(B);
-    const double BucketSeconds = static_cast<double>(Samples) * SecPerSample;
-    const double BucketLen = static_cast<double>(End - Start);
-
-    double Attributed = 0.0;
-    // Walk the symbols overlapping [Start, End).
-    uint32_t S = Syms.findContaining(Start);
-    if (S == NoSymbol) {
-      // Find the first symbol starting within the bucket, if any.
-      for (uint32_t I = 0; I != Syms.size(); ++I) {
-        if (Syms.symbol(I).Addr >= Start && Syms.symbol(I).Addr < End) {
-          S = I;
-          break;
+  parallelChunks(
+      Pool, Syms.size(), 64, [&](size_t FnBegin, size_t FnEnd, size_t) {
+        for (size_t I = FnBegin; I != FnEnd; ++I) {
+          const Symbol &Sym = Syms.symbol(static_cast<uint32_t>(I));
+          const Address SymLo = Sym.Addr;
+          const Address SymHi = Sym.Addr + Sym.Size;
+          if (SymHi <= SymLo || SymHi <= Hist.lowPc() ||
+              SymLo >= Hist.highPc())
+            continue;
+          size_t B = SymLo > Hist.lowPc()
+                         ? static_cast<size_t>((SymLo - Hist.lowPc()) /
+                                               Hist.bucketSize())
+                         : 0;
+          double Self = Entries[I].SelfTime;
+          for (; B < Hist.numBuckets(); ++B) {
+            const Address Start = Hist.bucketStart(B);
+            if (Start >= SymHi)
+              break;
+            const uint64_t Samples = Hist.bucketCount(B);
+            if (Samples == 0)
+              continue;
+            const Address End = Hist.bucketEnd(B);
+            Address OverlapLo = std::max(SymLo, Start);
+            Address OverlapHi = std::min(SymHi, End);
+            if (OverlapHi <= OverlapLo)
+              continue;
+            const double BucketSeconds =
+                static_cast<double>(Samples) * SecPerSample;
+            const double BucketLen = static_cast<double>(End - Start);
+            Self += BucketSeconds *
+                    static_cast<double>(OverlapHi - OverlapLo) / BucketLen;
+          }
+          Entries[I].SelfTime = Self;
         }
-        if (Syms.symbol(I).Addr >= End)
-          break;
-      }
-    }
-    for (uint32_t I = S; I != NoSymbol && I < Syms.size(); ++I) {
-      const Symbol &Sym = Syms.symbol(I);
-      if (Sym.Addr >= End)
-        break;
-      Address OverlapLo = std::max(Sym.Addr, Start);
-      Address OverlapHi = std::min(Sym.Addr + Sym.Size, End);
-      if (OverlapHi <= OverlapLo)
-        continue;
-      double Share = BucketSeconds *
-                     static_cast<double>(OverlapHi - OverlapLo) / BucketLen;
-      Entries[I].SelfTime += Share;
-      Attributed += Share;
-    }
-    Unattributed += BucketSeconds - Attributed;
-  }
+      });
+
+  // The unattributed remainder of each bucket.  Workers fill disjoint
+  // slots of Residual; the final sum runs on one thread in bucket order,
+  // skipping unsampled buckets exactly as the bucket-major walk did.
+  std::vector<double> Residual(Hist.numBuckets(), 0.0);
+  parallelChunks(
+      Pool, Hist.numBuckets(), 256, [&](size_t BBegin, size_t BEnd, size_t) {
+        for (size_t B = BBegin; B != BEnd; ++B) {
+          const uint64_t Samples = Hist.bucketCount(B);
+          if (Samples == 0)
+            continue;
+          const Address Start = Hist.bucketStart(B);
+          const Address End = Hist.bucketEnd(B);
+          const double BucketSeconds =
+              static_cast<double>(Samples) * SecPerSample;
+          const double BucketLen = static_cast<double>(End - Start);
+          double Attributed = 0.0;
+          uint32_t S = Syms.findContaining(Start);
+          if (S == NoSymbol)
+            S = Syms.findFirstAtOrAfter(Start);
+          for (uint32_t I = S; I != NoSymbol && I < Syms.size(); ++I) {
+            const Symbol &Sym = Syms.symbol(I);
+            if (Sym.Addr >= End)
+              break;
+            Address OverlapLo = std::max(Sym.Addr, Start);
+            Address OverlapHi = std::min(Sym.Addr + Sym.Size, End);
+            if (OverlapHi <= OverlapLo)
+              continue;
+            Attributed += BucketSeconds *
+                          static_cast<double>(OverlapHi - OverlapLo) /
+                          BucketLen;
+          }
+          Residual[B] = BucketSeconds - Attributed;
+        }
+      });
+  double Unattributed = 0.0;
+  for (size_t B = 0; B != Hist.numBuckets(); ++B)
+    if (Hist.bucketCount(B) != 0)
+      Unattributed += Residual[B];
   return Unattributed;
 }
 
 } // namespace
 
 Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
+  // Threads == 1 runs every stage inline; otherwise the stages below
+  // dispatch chunks to this pool.  Either way the output is the same,
+  // byte for byte.
+  std::unique_ptr<ThreadPool> OwnedPool;
+  ThreadPool *Pool = nullptr;
+  if (Opts.Threads != 1) {
+    OwnedPool = std::make_unique<ThreadPool>(Opts.Threads);
+    Pool = OwnedPool.get();
+  }
+
   ProfileReport Report;
   Report.RunCount = Data.RunCount;
   Report.TicksPerSecond = Data.TicksPerSecond;
@@ -99,24 +205,7 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
   std::map<std::pair<uint32_t, uint32_t>, FnArcInfo> FnArcs;
   std::vector<uint64_t> SelfCalls(NumFns, 0);
   std::vector<uint64_t> Spontaneous(NumFns, 0);
-
-  for (const ArcRecord &R : Data.Arcs) {
-    uint32_t Callee = Syms.findContaining(R.SelfPc);
-    if (Callee == NoSymbol)
-      continue; // Arc into unknown code; nothing to attach it to.
-    uint32_t Caller = Syms.findContaining(R.FromPc);
-    if (Caller == NoSymbol) {
-      // "the apparent source of the arc is not a call site at all.  Such
-      // anomalous invocations are declared 'spontaneous'" (§3.1).
-      Spontaneous[Callee] += R.Count;
-      continue;
-    }
-    if (Caller == Callee) {
-      SelfCalls[Callee] += R.Count;
-      continue;
-    }
-    FnArcs[{Caller, Callee}].Count += R.Count;
-  }
+  symbolizeArcs(Data.Arcs, Syms, Pool, FnArcs, SelfCalls, Spontaneous);
 
   //--- Step 2a: delete the arcs named by -k options. ----------------------
   for (const auto &[FromName, ToName] : Opts.DeleteArcs) {
@@ -180,7 +269,7 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
 
   //--- Step 4: self times from the histogram. -----------------------------
   Report.UnattributedTime = assignSelfTimes(
-      Data.Hist, Data.TicksPerSecond, Syms, Report.Functions);
+      Data.Hist, Data.TicksPerSecond, Syms, Report.Functions, Pool);
   // -E exclusions: drop the named routines' time before totals and
   // propagation so it appears nowhere.
   for (const std::string &Name : Opts.ExcludeTimeOf) {
@@ -251,8 +340,9 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
 
   //--- Step 6: time propagation over the condensed DAG. -------------------
   // Calls into each condensed node from outside it (the C_e denominator).
-  std::vector<uint64_t> CallsOfCond(Cond.Dag.numNodes(), 0);
-  for (NodeId C = 0; C != Cond.Dag.numNodes(); ++C) {
+  const size_t NumCond = Cond.Dag.numNodes();
+  std::vector<uint64_t> CallsOfCond(NumCond, 0);
+  for (NodeId C = 0; C != NumCond; ++C) {
     uint64_t Calls = Cond.Dag.incomingCallCount(C);
     for (NodeId M : Cond.Members[C])
       Calls += Spontaneous[M];
@@ -266,8 +356,11 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
   // Condensed ids are in reverse topological order, so a forward sweep
   // sees every callee before its callers: "execution time can be
   // propagated from descendants to ancestors after a single traversal of
-  // each arc in the call graph" (§4).
-  for (NodeId C = 0; C != Cond.Dag.numNodes(); ++C) {
+  // each arc in the call graph" (§4).  One condensed node — with every
+  // member of its cycle — is always processed by a single worker in the
+  // sequential member/arc order, so each += chain (ChildTime, CycleChild)
+  // is the sequential one regardless of scheduling.
+  auto PropagateCondNode = [&](NodeId C) {
     for (NodeId M : Cond.Members[C]) {
       for (ArcId A : G.outArcs(M)) {
         const Arc &Edge = G.arc(A);
@@ -299,6 +392,39 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
           CycleChild[CycleIndexOfCond[C]] += Inherited;
       }
     }
+  };
+
+  if (!Pool) {
+    for (NodeId C = 0; C != NumCond; ++C)
+      PropagateCondNode(C);
+  } else {
+    // Level-synchronous schedule: a node's level is the longest chain of
+    // inter-component arcs below it, so every callee of a level-L node
+    // sits strictly below level L.  Nodes of one level propagate
+    // concurrently; a barrier separates levels.  Inter-component arcs go
+    // from higher condensed ids to lower ones, so a forward id sweep
+    // computes levels in one pass.
+    std::vector<uint32_t> Level(NumCond, 0);
+    uint32_t MaxLevel = 0;
+    for (NodeId C = 0; C != NumCond; ++C) {
+      uint32_t L = 0;
+      for (ArcId A : Cond.Dag.outArcs(C)) {
+        NodeId D = Cond.Dag.arc(A).To;
+        if (D != C)
+          L = std::max(L, Level[D] + 1);
+      }
+      Level[C] = L;
+      MaxLevel = std::max(MaxLevel, L);
+    }
+    std::vector<std::vector<NodeId>> Levels(MaxLevel + 1);
+    for (NodeId C = 0; C != NumCond; ++C)
+      Levels[Level[C]].push_back(C);
+    for (const std::vector<NodeId> &Nodes : Levels)
+      parallelChunks(Pool, Nodes.size(), 8,
+                     [&](size_t Begin, size_t End, size_t) {
+                       for (size_t I = Begin; I != End; ++I)
+                         PropagateCondNode(Nodes[I]);
+                     });
   }
   for (size_t I = 0; I != Report.Cycles.size(); ++I)
     Report.Cycles[I].ChildTime = CycleChild[I];

@@ -60,6 +60,16 @@ uint32_t SymbolTable::findAt(Address Pc) const {
   return NoSymbol;
 }
 
+uint32_t SymbolTable::findFirstAtOrAfter(Address Pc) const {
+  assert(Finalized && "lookup before finalize()");
+  auto It = std::lower_bound(
+      Symbols.begin(), Symbols.end(), Pc,
+      [](const Symbol &S, Address A) { return S.Addr < A; });
+  if (It == Symbols.end())
+    return NoSymbol;
+  return static_cast<uint32_t>(It - Symbols.begin());
+}
+
 uint32_t SymbolTable::findByName(const std::string &Name) const {
   for (uint32_t I = 0; I != Symbols.size(); ++I)
     if (Symbols[I].Name == Name)

@@ -56,6 +56,12 @@ public:
   /// NoSymbol.
   uint32_t findAt(Address Pc) const;
 
+  /// Index of the first symbol whose entry address is >= \p Pc, or
+  /// NoSymbol when every symbol starts below \p Pc.  With findContaining,
+  /// this locates the first symbol overlapping an address range without a
+  /// linear scan.
+  uint32_t findFirstAtOrAfter(Address Pc) const;
+
   /// Index of the first symbol named \p Name, or NoSymbol.
   uint32_t findByName(const std::string &Name) const;
 

@@ -45,11 +45,22 @@ void BsdArcTable::record(Address FromPc, Address SelfPc) {
 
   // "Since each call site typically calls only one callee, we can reduce
   // (usually to one) the number of minor lookups based on the callee."
+  // A hit behind the head is moved to the front of its chain (the BSD
+  // mcount trick), so a site that switches callees — a functional
+  // parameter settling on one target — pays the chain walk once and then
+  // resolves in a single compare again.
+  uint32_t Prev = 0;
   for (uint32_t I = Head; I != 0; I = Tos[I].Link) {
     if (Tos[I].SelfPc == SelfPc) {
       ++Tos[I].Count;
+      if (Prev != 0) {
+        Tos[Prev].Link = Tos[I].Link;
+        Tos[I].Link = Head;
+        Froms[SlotIdx] = I;
+      }
       return;
     }
+    Prev = I;
   }
 
   if (Tos.size() > TosLimit) {
@@ -63,6 +74,7 @@ void BsdArcTable::record(Address FromPc, Address SelfPc) {
 
 std::vector<ArcRecord> BsdArcTable::snapshot() const {
   std::vector<ArcRecord> Arcs;
+  Arcs.reserve(Tos.size() - 1 + Outside.size());
   for (size_t SlotIdx = 0; SlotIdx != Froms.size(); ++SlotIdx) {
     // The reconstructed call site is the slot's base address; with
     // FromsDensity > 1 this merges neighbouring call sites, exactly as a

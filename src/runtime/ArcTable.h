@@ -19,8 +19,11 @@
 ///    calculate") heads short chains of (callee, count) records in tos[].
 ///    "Collisions occur only for call sites that call multiple
 ///    destinations (e.g. functional parameters and functional variables)."
-///    With FromsDensity > 1 several call sites share a slot, reproducing
-///    the space/precision trade of a sub-unit hash fraction.
+///    A chain hit is moved to the front of its chain, as BSD mcount did,
+///    so repeated (site, callee) hits resolve in one compare even after
+///    the site changes callees.  With FromsDensity > 1 several call sites
+///    share a slot, reproducing the space/precision trade of a sub-unit
+///    hash fraction.
 ///  - OpenAddressingArcTable: a modern (from, to)-keyed open-addressing
 ///    hash table, the "one level hash function using both call site and
 ///    callee" the paper rejects as needing "an unreasonably large hash

@@ -1,0 +1,60 @@
+//===- support/Parallel.cpp -----------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+
+using namespace gprof;
+
+std::vector<IndexChunk> gprof::planChunks(const ThreadPool *Pool, size_t N,
+                                          size_t MinPerChunk) {
+  std::vector<IndexChunk> Chunks;
+  if (N == 0)
+    return Chunks;
+  if (MinPerChunk == 0)
+    MinPerChunk = 1;
+
+  size_t NumChunks = 1;
+  if (Pool) {
+    // A few chunks per worker so an unlucky heavy chunk cannot serialize
+    // the whole stage.
+    NumChunks = static_cast<size_t>(Pool->size()) * 4;
+    NumChunks = std::min(NumChunks, (N + MinPerChunk - 1) / MinPerChunk);
+    NumChunks = std::max<size_t>(NumChunks, 1);
+  }
+
+  size_t ChunkSize = (N + NumChunks - 1) / NumChunks;
+  for (size_t Begin = 0; Begin < N; Begin += ChunkSize)
+    Chunks.emplace_back(Begin, std::min(Begin + ChunkSize, N));
+  return Chunks;
+}
+
+void gprof::runChunks(ThreadPool *Pool, const std::vector<IndexChunk> &Chunks,
+                      const std::function<void(size_t, size_t, size_t)> &Body) {
+  if (Chunks.empty())
+    return;
+  if (!Pool || Chunks.size() == 1) {
+    for (size_t C = 0; C != Chunks.size(); ++C)
+      Body(Chunks[C].first, Chunks[C].second, C);
+    return;
+  }
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(Chunks.size());
+  for (size_t C = 0; C != Chunks.size(); ++C)
+    Futures.push_back(Pool->async(
+        [&Body, Begin = Chunks[C].first, End = Chunks[C].second, C] {
+          Body(Begin, End, C);
+        }));
+  for (std::future<void> &F : Futures)
+    F.get();
+}
+
+void gprof::parallelChunks(ThreadPool *Pool, size_t N, size_t MinPerChunk,
+                           const std::function<void(size_t, size_t, size_t)>
+                               &Body) {
+  runChunks(Pool, planChunks(Pool, N, MinPerChunk), Body);
+}

@@ -1,0 +1,67 @@
+//===- support/Parallel.h - Deterministic chunked parallel loops ---------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chunked parallel-for over an index range, built on ThreadPool.  The
+/// analyzer's parallel pipeline stages run through these helpers under a
+/// strict determinism contract: a caller's output must be bitwise
+/// independent of how the range is chunked and of the order in which
+/// chunks execute.  The two sanctioned ways to meet the contract are
+///
+///  - partition the *output*: each index owns disjoint result slots, so
+///    chunk boundaries never split an accumulation (the analyzer's
+///    routine-major sample assignment and per-node propagation), or
+///  - accumulate into chunk-local state and reduce over chunks in chunk
+///    index order after runChunks returns (the analyzer's sharded arc
+///    symbolization and the residual-time reduction).
+///
+/// Relying on chunk sizes, worker identity, or completion order is a bug:
+/// planChunks sizes chunks from the pool width, which varies by machine
+/// and by the AnalyzerOptions::Threads knob.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_PARALLEL_H
+#define GPROF_SUPPORT_PARALLEL_H
+
+#include "support/ThreadPool.h"
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace gprof {
+
+/// A contiguous [Begin, End) slice of the iteration range.
+using IndexChunk = std::pair<size_t, size_t>;
+
+/// Splits [0, N) into contiguous chunks sized for \p Pool: enough chunks
+/// to load-balance across the workers, but never smaller than
+/// \p MinPerChunk indices (so tiny ranges do not drown in dispatch
+/// overhead).  A null \p Pool yields at most one chunk.
+std::vector<IndexChunk> planChunks(const ThreadPool *Pool, size_t N,
+                                   size_t MinPerChunk = 1);
+
+/// Runs Body(Begin, End, ChunkIndex) for every chunk of \p Chunks,
+/// blocking until all complete.  Runs inline (on the calling thread) when
+/// \p Pool is null or there is at most one chunk; otherwise every chunk
+/// is dispatched to the pool.  Chunk index is the position in \p Chunks,
+/// so chunk-local accumulators can be reduced deterministically in index
+/// order afterwards.
+void runChunks(ThreadPool *Pool, const std::vector<IndexChunk> &Chunks,
+               const std::function<void(size_t Begin, size_t End,
+                                        size_t Chunk)> &Body);
+
+/// planChunks + runChunks in one call, for stages with no chunk-local
+/// state to pre-allocate.
+void parallelChunks(ThreadPool *Pool, size_t N, size_t MinPerChunk,
+                    const std::function<void(size_t Begin, size_t End,
+                                             size_t Chunk)> &Body);
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_PARALLEL_H

@@ -190,7 +190,8 @@ int cmdReport(int Argc, const char *const *Argv) {
                     "print gprof listings for a merged aggregate");
   Opts.setPositionalHelp("STORE image.tlx [DIGEST-PREFIX ...]");
   Opts.addOption("jobs", 'j', "N",
-                 "worker threads for the merge tree (0 = one per core)");
+                 "worker threads for the merge tree and the analysis "
+                 "pipeline (0 = one per core)");
   Opts.addFlag("brief", 'b', "suppress field descriptions");
   Opts.addFlag("zero", 'z', "show zero-time zero-call routines as rows");
   Opts.addFlag("flat-only", 0, "print only the flat profile");
@@ -223,7 +224,9 @@ int cmdReport(int Argc, const char *const *Argv) {
   if (!Result)
     return fail(Result.message());
 
-  auto Report = analyzeImageProfile(*Img, Result->Data);
+  AnalyzerOptions AO;
+  AO.Threads = Jobs; // Byte-identical listings at any width (0 = cores).
+  auto Report = analyzeImageProfile(*Img, Result->Data, AO);
   if (!Report)
     return fail(Report.message());
 

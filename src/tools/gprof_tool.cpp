@@ -52,6 +52,10 @@ int main(int Argc, char **Argv) {
   Opts.addOption("break-cycles", 0, "N",
                  "heuristically delete up to N cycle-closing arcs");
   Opts.addOption("sum", 's', "FILE", "write the summed profile data to FILE");
+  Opts.addOption("threads", 'j', "N",
+                 "worker threads for the analysis pipeline (1 = "
+                 "sequential, 0 = one per core); output is identical "
+                 "for every N");
   Opts.addFlag("flat-only", 0, "print only the flat profile");
   Opts.addFlag("graph-only", 0, "print only the call graph profile");
   Opts.addFlag("no-index", 0, "omit the index-by-name table");
@@ -112,6 +116,15 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     AO.AutoBreakCycleBound = static_cast<unsigned>(N);
+  }
+  if (auto Threads = Opts.getValue("threads")) {
+    unsigned long long N;
+    if (!parseUInt64(*Threads, N)) {
+      std::fprintf(stderr, "gprof: invalid --threads value '%s'\n",
+                   Threads->c_str());
+      return 1;
+    }
+    AO.Threads = static_cast<unsigned>(N);
   }
 
   auto Report = analyzeImageProfile(*Img, *Data, AO);

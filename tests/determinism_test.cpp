@@ -1,0 +1,213 @@
+//===- tests/determinism_test.cpp - Thread-count invariance of listings ---===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer's determinism contract: flat and call-graph listings are
+/// byte-identical for every AnalyzerOptions::Threads value (docs/
+/// ANALYZER.md).  Checked over the golden corpus programs and over a
+/// large synthetic profile built to stress every parallel stage — deep
+/// cycles for the level-synchronous propagation, histogram buckets that
+/// straddle routine boundaries for the routine-major sample assignment,
+/// and spontaneous callers plus address gaps for the symbolization
+/// shards and the residual reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "gmon/GmonFile.h"
+#include "runtime/Monitor.h"
+#include "support/FileUtils.h"
+#include "support/Random.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace gprof;
+
+namespace {
+
+/// The thread counts every scenario is checked at; 1 is the sequential
+/// reference, 0 means one worker per hardware thread.
+const unsigned ThreadCounts[] = {1, 2, 4, 8, 0};
+
+std::string renderListings(const ProfileReport &R) {
+  return printFlatProfile(R) + "\n" + printCallGraph(R);
+}
+
+/// Analyzes the same inputs at every thread count and expects identical
+/// listings.
+void expectThreadInvariant(const SymbolTable &Syms, const ProfileData &Data,
+                           AnalyzerOptions BaseOpts,
+                           const std::vector<StaticArc> &StaticArcs = {}) {
+  std::string Reference;
+  for (unsigned Threads : ThreadCounts) {
+    AnalyzerOptions Opts = BaseOpts;
+    Opts.Threads = Threads;
+    Analyzer An(Syms, Opts);
+    An.setStaticArcs(StaticArcs);
+    std::string Listings = renderListings(cantFail(An.analyze(Data)));
+    if (Threads == 1)
+      Reference = std::move(Listings);
+    else
+      EXPECT_EQ(Listings, Reference)
+          << "listing diverged at Threads = " << Threads;
+  }
+  ASSERT_FALSE(Reference.empty());
+}
+
+/// A synthetic profile large enough that every parallel stage actually
+/// chunks: irregular routine sizes (so fixed-size histogram buckets
+/// straddle routine boundaries and address gaps leave unattributed
+/// samples), rings of mutual recursion up to 40 deep, self calls, and
+/// spontaneous activations from outside the text range.
+struct BigProfile {
+  SymbolTable Syms;
+  ProfileData Data;
+  std::vector<StaticArc> StaticArcs;
+};
+
+BigProfile makeBigProfile(uint32_t NumFns, uint64_t Seed) {
+  BigProfile P;
+  SplitMix64 Rng(Seed);
+  std::vector<Address> Entry(NumFns);
+  std::vector<uint64_t> Size(NumFns);
+  Address Addr = 0x1000;
+  for (uint32_t I = 0; I != NumFns; ++I) {
+    Entry[I] = Addr;
+    Size[I] = 24 + Rng.nextBelow(120); // Rarely a bucket multiple.
+    P.Syms.addSymbol("fn" + std::to_string(I), Addr, Size[I]);
+    Addr += Size[I];
+    if (Rng.nextBelow(8) == 0)
+      Addr += 16 + Rng.nextBelow(48); // Gap: samples here attach to no one.
+  }
+  cantFail(P.Syms.finalize());
+  const Address HighPc = Addr;
+
+  auto Site = [&](uint32_t Fn, uint64_t K) { return Entry[Fn] + 5 + K; };
+
+  P.Data.TicksPerSecond = 100;
+  // Forward calls (the acyclic bulk of the graph).
+  for (uint32_t I = 0; I + 1 < NumFns; ++I)
+    for (uint64_t J = 0; J != 3; ++J) {
+      uint32_t To = I + 1 + static_cast<uint32_t>(Rng.nextBelow(
+                                std::min<uint64_t>(NumFns - I - 1, 97)));
+      P.Data.Arcs.push_back({Site(I, J), Entry[To], 1 + Rng.nextBelow(50)});
+    }
+  // Deep cycles: a ring of 2..40 routines every 60 ids.
+  for (uint32_t Lo = 0; Lo + 41 < NumFns; Lo += 60) {
+    uint32_t Len = 2 + static_cast<uint32_t>(Rng.nextBelow(39));
+    for (uint32_t I = 0; I != Len; ++I)
+      P.Data.Arcs.push_back({Site(Lo + I, 3),
+                             Entry[Lo + (I + 1) % Len],
+                             1 + Rng.nextBelow(9)});
+  }
+  // Self calls and spontaneous activations (call sites outside the text).
+  for (uint32_t I = 0; I < NumFns; I += 17)
+    P.Data.Arcs.push_back({Site(I, 4), Entry[I], 1 + Rng.nextBelow(5)});
+  for (uint32_t I = 0; I < NumFns; I += 23)
+    P.Data.Arcs.push_back({I % 2 ? Address(0) : HighPc + I,
+                           Entry[I], 1 + Rng.nextBelow(3)});
+  // Static-only arcs, some to otherwise-unused routines.
+  for (uint32_t I = 0; I + 7 < NumFns; I += 13)
+    P.StaticArcs.push_back({Site(I, 6), Entry[I + 7]});
+
+  // Samples: mostly inside routines, some in the gaps, bucket size 64 so
+  // most routines straddle a bucket boundary.
+  Histogram H(0x1000, HighPc, 64);
+  for (uint32_t I = 0; I != NumFns * 12; ++I)
+    H.recordPc(0x1000 + Rng.nextBelow(HighPc - 0x1000));
+  P.Data.Hist = std::move(H);
+  return P;
+}
+
+/// Compiles and profiles one corpus program under the golden_test
+/// settings, so the reference listing here is the one the golden suite
+/// pins against the pre-parallel analyzer.
+void runCorpusProgram(const std::string &Name, SymbolTable &Syms,
+                      ProfileData &Data) {
+  std::string Path = std::string(TL_CORPUS_DIR) + "/" + Name;
+  std::string Source = cantFail(readFileText(Path));
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(Source, CG);
+  Monitor Mon(Img.lowPc(), Img.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = 997;
+  VM Machine(Img, VO);
+  Machine.setHooks(&Mon);
+  cantFail(Machine.run());
+  Data = cantFail(readGmon(writeGmon(Mon.finish())));
+  Syms = SymbolTable::fromImage(Img);
+}
+
+TEST(DeterminismTest, GoldenCorpusPrimes) {
+  SymbolTable Syms;
+  ProfileData Data;
+  runCorpusProgram("primes.tl", Syms, Data);
+  expectThreadInvariant(Syms, Data, AnalyzerOptions());
+}
+
+TEST(DeterminismTest, GoldenCorpusCalculatorWithCycle) {
+  SymbolTable Syms;
+  ProfileData Data;
+  runCorpusProgram("calculator.tl", Syms, Data);
+  expectThreadInvariant(Syms, Data, AnalyzerOptions());
+}
+
+TEST(DeterminismTest, LargeSyntheticProfile) {
+  BigProfile P = makeBigProfile(3000, /*Seed=*/0xfeed);
+  expectThreadInvariant(P.Syms, P.Data, AnalyzerOptions());
+}
+
+TEST(DeterminismTest, LargeSyntheticWithStaticArcsAndCycleBreaking) {
+  BigProfile P = makeBigProfile(1500, /*Seed=*/0xbeef);
+  AnalyzerOptions Opts;
+  Opts.UseStaticArcs = true;
+  Opts.AutoBreakCycleBound = 3;
+  Opts.ExcludeTimeOf = {"fn10"};
+  expectThreadInvariant(P.Syms, P.Data, Opts, P.StaticArcs);
+}
+
+TEST(DeterminismTest, ReportInternalsMatchAcrossThreadCounts) {
+  // Beyond the listings: propagated times, cycle aggregates and listing
+  // indices must agree exactly between the sequential and pooled runs.
+  BigProfile P = makeBigProfile(800, /*Seed=*/0xabcd);
+  AnalyzerOptions Seq;
+  ProfileReport A = cantFail(Analyzer(P.Syms, Seq).analyze(P.Data));
+  AnalyzerOptions Par;
+  Par.Threads = 8;
+  ProfileReport B = cantFail(Analyzer(P.Syms, Par).analyze(P.Data));
+
+  ASSERT_EQ(A.Functions.size(), B.Functions.size());
+  for (size_t I = 0; I != A.Functions.size(); ++I) {
+    EXPECT_EQ(A.Functions[I].SelfTime, B.Functions[I].SelfTime) << I;
+    EXPECT_EQ(A.Functions[I].ChildTime, B.Functions[I].ChildTime) << I;
+    EXPECT_EQ(A.Functions[I].Calls, B.Functions[I].Calls) << I;
+    EXPECT_EQ(A.Functions[I].ListingIndex, B.Functions[I].ListingIndex) << I;
+  }
+  ASSERT_EQ(A.Cycles.size(), B.Cycles.size());
+  for (size_t I = 0; I != A.Cycles.size(); ++I) {
+    EXPECT_EQ(A.Cycles[I].SelfTime, B.Cycles[I].SelfTime) << I;
+    EXPECT_EQ(A.Cycles[I].ChildTime, B.Cycles[I].ChildTime) << I;
+    EXPECT_EQ(A.Cycles[I].Members, B.Cycles[I].Members) << I;
+  }
+  ASSERT_EQ(A.Arcs.size(), B.Arcs.size());
+  for (size_t I = 0; I != A.Arcs.size(); ++I) {
+    EXPECT_EQ(A.Arcs[I].PropSelf, B.Arcs[I].PropSelf) << I;
+    EXPECT_EQ(A.Arcs[I].PropChild, B.Arcs[I].PropChild) << I;
+  }
+  EXPECT_EQ(A.TotalTime, B.TotalTime);
+  EXPECT_EQ(A.UnattributedTime, B.UnattributedTime);
+}
+
+} // namespace

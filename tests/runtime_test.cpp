@@ -55,6 +55,25 @@ TEST(BsdArcTableTest, MultiCalleeCallSiteChains) {
   EXPECT_EQ((M[{120, 160}]), 1u);
 }
 
+TEST(BsdArcTableTest, MoveToFrontKeepsCountsExact) {
+  // The move-to-front relink must never lose or double-count an entry,
+  // whatever the hit pattern: alternate two callees (the worst case — the
+  // chain reorders on every other record), then hammer a third.
+  BsdArcTable T(100, 200);
+  for (int I = 0; I != 10; ++I) {
+    T.record(130, 150);
+    T.record(130, 160);
+  }
+  for (int I = 0; I != 5; ++I)
+    T.record(130, 170);
+  T.record(130, 150);
+  auto M = toMap(T.snapshot());
+  EXPECT_EQ((M[{130, 150}]), 11u);
+  EXPECT_EQ((M[{130, 160}]), 10u);
+  EXPECT_EQ((M[{130, 170}]), 5u);
+  EXPECT_EQ(T.snapshot().size(), 3u);
+}
+
 TEST(BsdArcTableTest, OutsideCallSitesKeptExactly) {
   BsdArcTable T(100, 200);
   T.record(0, 150);    // Spontaneous (below range).
@@ -104,6 +123,23 @@ TEST(OpenAddressingTest, GrowsAndKeepsCounts) {
     ++Ref[{From, Self}];
   }
   EXPECT_EQ(toMap(T.snapshot()), Ref);
+}
+
+TEST(OpenAddressingTest, GrowthStaysGeometric) {
+  // grow() must double from the *current* size: after ingesting N
+  // distinct arcs the table is a power of two within the 3/4 load bound,
+  // never rebuilt at its initial capacity.  A regression to fixed-size
+  // rebuilds makes large re-ingests quadratic and blows this bound.
+  constexpr size_t N = 100000;
+  OpenAddressingArcTable T(16);
+  for (size_t I = 0; I != N; ++I)
+    T.record(static_cast<Address>(I), static_cast<Address>(I * 7 + 1));
+  auto Snap = T.snapshot();
+  EXPECT_EQ(Snap.size(), N);
+  // Slots are (from, self, count) triples; capacity stays within 8/3 of
+  // the live entries (doubling at 75% load keeps load >= 37.5%).
+  size_t SlotBytes = 3 * sizeof(uint64_t);
+  EXPECT_LE(T.memoryBytes(), (N * 8 + 2) / 3 * SlotBytes);
 }
 
 TEST(StdMapArcTableTest, MatchesReference) {
