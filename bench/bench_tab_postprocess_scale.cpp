@@ -33,6 +33,7 @@
 #include "graph/Generators.h"
 #include "prof/ProfBaseline.h"
 #include "support/Random.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cmath>
@@ -135,6 +136,16 @@ std::string renderListings(const ProfileReport &R) {
   return printFlatProfile(R) + "\n" + printCallGraph(R);
 }
 
+/// Milliseconds spent in every span named \p Name.
+double spanTotalMs(const std::vector<telemetry::SpanRecord> &Spans,
+                   const char *Name) {
+  uint64_t Ns = 0;
+  for (const telemetry::SpanRecord &S : Spans)
+    if (S.Name == Name)
+      Ns += S.EndNs - S.BeginNs;
+  return static_cast<double>(Ns) / 1e6;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -207,7 +218,9 @@ int main(int argc, char **argv) {
   std::printf("\nparallel pipeline over %u routines (%zu raw arcs, "
               "%u hardware threads):\n\n",
               ScaleN, ScaleData.Arcs.size(), Cores);
-  row({"threads", "ms", "speedup", "identical"}, 12);
+  row({"threads", "ms", "speedup", "symbolize", "assign", "propagate",
+       "identical"},
+      12);
 
   BenchJson Json("postprocess_scale");
   Json.set("routines", static_cast<uint64_t>(ScaleN));
@@ -233,13 +246,31 @@ int main(int argc, char **argv) {
     if (Threads == 4)
       Ms4 = Ms;
     double Speedup = Ms > 0.0 ? BaseMs / Ms : 0.0;
+
+    // One extra instrumented run per thread count: spans are enabled only
+    // here, so the timed loop above measured the uninstrumented pipeline.
+    telemetry::Registry &Reg = telemetry::Registry::instance();
+    Reg.resetValues();
+    Reg.enableSpans(true);
+    (void)cantFail(An.analyze(ScaleData));
+    Reg.enableSpans(false);
+    std::vector<telemetry::SpanRecord> Spans = Reg.collectSpans();
+    double SymbolizeMs = spanTotalMs(Spans, "analyzer.symbolize");
+    double AssignMs = spanTotalMs(Spans, "analyzer.assign");
+    double PropagateMs = spanTotalMs(Spans, "analyzer.propagate");
+
     row({format("%u", Threads), formatFixed(Ms, 1), formatFixed(Speedup, 2),
+         formatFixed(SymbolizeMs, 1), formatFixed(AssignMs, 1),
+         formatFixed(PropagateMs, 1),
          Threads == 1 ? "-" : (AllIdentical ? "yes" : "NO")},
         12);
     Json.beginRow();
     Json.setRow("threads", static_cast<uint64_t>(Threads));
     Json.setRow("ms", Ms);
     Json.setRow("speedup", Speedup);
+    Json.setRow("symbolize_ms", SymbolizeMs);
+    Json.setRow("assign_ms", AssignMs);
+    Json.setRow("propagate_ms", PropagateMs);
   }
   Json.set("identical_listings", AllIdentical);
   Json.write();

@@ -12,6 +12,7 @@
 #include "graph/Tarjan.h"
 #include "support/Format.h"
 #include "support/Parallel.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -39,6 +40,7 @@ struct SymbolizeShard {
   std::map<std::pair<uint32_t, uint32_t>, uint64_t> Arcs;
   std::map<uint32_t, uint64_t> SelfCalls;
   std::map<uint32_t, uint64_t> Spontaneous;
+  uint64_t UnknownCallee = 0; ///< Arcs into unknown code, dropped.
 };
 
 /// Step 1: symbolizes raw arc records into function-level arcs, self
@@ -50,15 +52,19 @@ void symbolizeArcs(const std::vector<ArcRecord> &Raw, const SymbolTable &Syms,
                    std::map<std::pair<uint32_t, uint32_t>, FnArcInfo> &FnArcs,
                    std::vector<uint64_t> &SelfCalls,
                    std::vector<uint64_t> &Spontaneous) {
+  telemetry::Span Phase("analyzer.symbolize");
   std::vector<IndexChunk> Chunks = planChunks(Pool, Raw.size(), 1024);
   std::vector<SymbolizeShard> Shards(Chunks.size());
   runChunks(Pool, Chunks, [&](size_t Begin, size_t End, size_t Chunk) {
+    telemetry::Span ChunkSpan("analyzer.symbolize.chunk");
     SymbolizeShard &Shard = Shards[Chunk];
     for (size_t I = Begin; I != End; ++I) {
       const ArcRecord &R = Raw[I];
       uint32_t Callee = Syms.findContaining(R.SelfPc);
-      if (Callee == NoSymbol)
+      if (Callee == NoSymbol) {
+        ++Shard.UnknownCallee;
         continue; // Arc into unknown code; nothing to attach it to.
+      }
       uint32_t Caller = Syms.findContaining(R.FromPc);
       if (Caller == NoSymbol) {
         // "the apparent source of the arc is not a call site at all.  Such
@@ -73,7 +79,11 @@ void symbolizeArcs(const std::vector<ArcRecord> &Raw, const SymbolTable &Syms,
       Shard.Arcs[{Caller, Callee}] += R.Count;
     }
   });
+  // Counters: all data-derived sums, so reducing the shards in chunk
+  // order yields the same values at every thread count.
+  uint64_t Unknown = 0;
   for (const SymbolizeShard &Shard : Shards) {
+    Unknown += Shard.UnknownCallee;
     for (const auto &[Key, Count] : Shard.Arcs)
       FnArcs[Key].Count += Count;
     for (const auto &[Fn, Count] : Shard.SelfCalls)
@@ -81,6 +91,9 @@ void symbolizeArcs(const std::vector<ArcRecord> &Raw, const SymbolTable &Syms,
     for (const auto &[Fn, Count] : Shard.Spontaneous)
       Spontaneous[Fn] += Count;
   }
+  telemetry::counter("analyzer.symbolize.raw_records").add(Raw.size());
+  telemetry::counter("analyzer.symbolize.unknown_callee").add(Unknown);
+  telemetry::counter("analyzer.symbolize.fn_arcs").add(FnArcs.size());
 }
 
 /// Step 4: distributes histogram samples over symbols as self time,
@@ -97,10 +110,14 @@ double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
                        ThreadPool *Pool) {
   if (Hist.empty() || TicksPerSecond == 0)
     return 0.0;
+  telemetry::Span Phase("analyzer.assign");
+  telemetry::counter("analyzer.assign.hist_samples").add(Hist.totalSamples());
+  telemetry::counter("analyzer.assign.hist_buckets").add(Hist.numBuckets());
   const double SecPerSample = 1.0 / static_cast<double>(TicksPerSecond);
 
   parallelChunks(
       Pool, Syms.size(), 64, [&](size_t FnBegin, size_t FnEnd, size_t) {
+        telemetry::Span ChunkSpan("analyzer.assign.chunk");
         for (size_t I = FnBegin; I != FnEnd; ++I) {
           const Symbol &Sym = Syms.symbol(static_cast<uint32_t>(I));
           const Address SymLo = Sym.Addr;
@@ -141,6 +158,7 @@ double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
   std::vector<double> Residual(Hist.numBuckets(), 0.0);
   parallelChunks(
       Pool, Hist.numBuckets(), 256, [&](size_t BBegin, size_t BEnd, size_t) {
+        telemetry::Span ChunkSpan("analyzer.assign.residual");
         for (size_t B = BBegin; B != BEnd; ++B) {
           const uint64_t Samples = Hist.bucketCount(B);
           if (Samples == 0)
@@ -179,6 +197,8 @@ double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
 } // namespace
 
 Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
+  telemetry::Span Whole("analyzer.analyze");
+  telemetry::counter("analyzer.runs").add(1);
   // Threads == 1 runs every stage inline; otherwise the stages below
   // dispatch chunks to this pool.  Either way the output is the same,
   // byte for byte.
@@ -270,6 +290,11 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
   //--- Step 4: self times from the histogram. -----------------------------
   Report.UnattributedTime = assignSelfTimes(
       Data.Hist, Data.TicksPerSecond, Syms, Report.Functions, Pool);
+  // The unattributed gap in integer microseconds.  The double it comes
+  // from is thread-count-invariant (bucket-order reduction above), so the
+  // truncation is too.
+  telemetry::counter("analyzer.assign.unattributed_us")
+      .add(static_cast<uint64_t>(Report.UnattributedTime * 1e6));
   // -E exclusions: drop the named routines' time before totals and
   // propagation so it appears nowhere.
   for (const std::string &Name : Opts.ExcludeTimeOf) {
@@ -394,37 +419,49 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
     }
   };
 
-  if (!Pool) {
-    for (NodeId C = 0; C != NumCond; ++C)
-      PropagateCondNode(C);
-  } else {
-    // Level-synchronous schedule: a node's level is the longest chain of
-    // inter-component arcs below it, so every callee of a level-L node
-    // sits strictly below level L.  Nodes of one level propagate
-    // concurrently; a barrier separates levels.  Inter-component arcs go
-    // from higher condensed ids to lower ones, so a forward id sweep
-    // computes levels in one pass.
-    std::vector<uint32_t> Level(NumCond, 0);
-    uint32_t MaxLevel = 0;
-    for (NodeId C = 0; C != NumCond; ++C) {
-      uint32_t L = 0;
-      for (ArcId A : Cond.Dag.outArcs(C)) {
-        NodeId D = Cond.Dag.arc(A).To;
-        if (D != C)
-          L = std::max(L, Level[D] + 1);
-      }
-      Level[C] = L;
-      MaxLevel = std::max(MaxLevel, L);
+  // A node's level is the longest chain of inter-component arcs below
+  // it, so every callee of a level-L node sits strictly below level L.
+  // Inter-component arcs go from higher condensed ids to lower ones, so
+  // a forward id sweep computes levels in one pass.  Both execution paths
+  // compute the levels — the parallel path needs them for its schedule,
+  // and the telemetry DAG-depth counter must be thread-count-invariant.
+  std::vector<uint32_t> Level(NumCond, 0);
+  uint32_t MaxLevel = 0;
+  for (NodeId C = 0; C != NumCond; ++C) {
+    uint32_t L = 0;
+    for (ArcId A : Cond.Dag.outArcs(C)) {
+      NodeId D = Cond.Dag.arc(A).To;
+      if (D != C)
+        L = std::max(L, Level[D] + 1);
     }
-    std::vector<std::vector<NodeId>> Levels(MaxLevel + 1);
-    for (NodeId C = 0; C != NumCond; ++C)
-      Levels[Level[C]].push_back(C);
-    for (const std::vector<NodeId> &Nodes : Levels)
-      parallelChunks(Pool, Nodes.size(), 8,
-                     [&](size_t Begin, size_t End, size_t) {
-                       for (size_t I = Begin; I != End; ++I)
-                         PropagateCondNode(Nodes[I]);
-                     });
+    Level[C] = L;
+    MaxLevel = std::max(MaxLevel, L);
+  }
+  telemetry::counter("analyzer.propagate.dag_levels")
+      .add(NumCond == 0 ? 0 : MaxLevel + 1);
+  telemetry::counter("analyzer.propagate.cond_nodes").add(NumCond);
+  telemetry::counter("analyzer.propagate.cycles").add(Report.Cycles.size());
+  telemetry::counter("analyzer.propagate.graph_arcs").add(G.numArcs());
+
+  {
+    telemetry::Span Phase("analyzer.propagate");
+    if (!Pool) {
+      for (NodeId C = 0; C != NumCond; ++C)
+        PropagateCondNode(C);
+    } else {
+      // Level-synchronous schedule: nodes of one level propagate
+      // concurrently; a barrier separates levels.
+      std::vector<std::vector<NodeId>> Levels(MaxLevel + 1);
+      for (NodeId C = 0; C != NumCond; ++C)
+        Levels[Level[C]].push_back(C);
+      for (const std::vector<NodeId> &Nodes : Levels)
+        parallelChunks(Pool, Nodes.size(), 8,
+                       [&](size_t Begin, size_t End, size_t) {
+                         telemetry::Span ChunkSpan("analyzer.propagate.level");
+                         for (size_t I = Begin; I != End; ++I)
+                           PropagateCondNode(Nodes[I]);
+                       });
+    }
   }
   for (size_t I = 0; I != Report.Cycles.size(); ++I)
     Report.Cycles[I].ChildTime = CycleChild[I];

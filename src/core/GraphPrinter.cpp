@@ -232,7 +232,14 @@ std::string listingHeader(bool Brief) {
 
 std::string gprof::printCallGraph(const ProfileReport &Report,
                                   const GraphPrintOptions &Opts) {
-  std::string Out = listingHeader(Opts.Brief);
+  std::string Out;
+  // Overflow must be announced here, not only in the flat profile: with
+  // --graph-only this is the whole listing, and silently low call counts
+  // corrupt every propagated-time fraction below.
+  if (Report.ArcTableOverflowed)
+    Out += "warning: the arc table overflowed during collection; call "
+           "counts are lower bounds\n\n";
+  Out += listingHeader(Opts.Brief);
 
   for (const ListingEntry &E : Report.GraphOrder) {
     if (E.IsCycle) {

@@ -31,11 +31,18 @@ BsdArcTable::BsdArcTable(Address LowPc, Address HighPc,
 }
 
 void BsdArcTable::record(Address FromPc, Address SelfPc) {
-  if (Overflow)
+  // The stats counters are plain members on this single-threaded path;
+  // each is one add, well under the relaxed-atomic budget the telemetry
+  // layer allows (docs/TELEMETRY.md).
+  ++Counters.Records;
+  if (Overflow) {
+    ++Counters.Dropped;
     return; // "halt further profiling" once tos is exhausted.
+  }
 
   if (FromPc < LowPc || FromPc >= HighPc) {
     // Spontaneous/external call site: keep it exactly.
+    ++Counters.OutsideRange;
     ++Outside[{FromPc, SelfPc}];
     return;
   }
@@ -51,9 +58,12 @@ void BsdArcTable::record(Address FromPc, Address SelfPc) {
   // resolves in a single compare again.
   uint32_t Prev = 0;
   for (uint32_t I = Head; I != 0; I = Tos[I].Link) {
+    ++Counters.ChainProbes;
     if (Tos[I].SelfPc == SelfPc) {
       ++Tos[I].Count;
       if (Prev != 0) {
+        ++Counters.Collisions;
+        ++Counters.MoveToFront;
         Tos[Prev].Link = Tos[I].Link;
         Tos[I].Link = Head;
         Froms[SlotIdx] = I;
@@ -65,8 +75,12 @@ void BsdArcTable::record(Address FromPc, Address SelfPc) {
 
   if (Tos.size() > TosLimit) {
     Overflow = true;
+    ++Counters.Dropped;
     return;
   }
+  if (Head != 0)
+    ++Counters.Collisions;
+  ++Counters.NewArcs;
   uint32_t NewIdx = static_cast<uint32_t>(Tos.size());
   Tos.push_back({SelfPc, 1, Head});
   Froms[SlotIdx] = NewIdx;
@@ -94,6 +108,17 @@ void BsdArcTable::reset() {
   Tos.push_back({0, 0, 0});
   Outside.clear();
   Overflow = false;
+  Counters = ArcTableStats();
+}
+
+ArcTableStats BsdArcTable::stats() const {
+  ArcTableStats S = Counters;
+  S.Entries = Tos.size() - 1 + Outside.size();
+  S.SlotCapacity = Froms.size();
+  for (uint32_t Head : Froms)
+    if (Head != 0)
+      ++S.SlotsUsed;
+  return S;
 }
 
 size_t BsdArcTable::memoryBytes() const {
@@ -121,11 +146,17 @@ uint64_t OpenAddressingArcTable::hashPair(Address FromPc, Address SelfPc) {
 }
 
 void OpenAddressingArcTable::record(Address FromPc, Address SelfPc) {
+  ++Counters.Records;
   size_t Mask = Slots.size() - 1;
   size_t Idx = static_cast<size_t>(hashPair(FromPc, SelfPc)) & Mask;
+  bool First = true;
   while (true) {
     Slot &S = Slots[Idx];
+    ++Counters.ChainProbes;
     if (S.Count == 0) {
+      if (!First)
+        ++Counters.Collisions;
+      ++Counters.NewArcs;
       S.FromPc = FromPc;
       S.SelfPc = SelfPc;
       S.Count = 1;
@@ -134,9 +165,12 @@ void OpenAddressingArcTable::record(Address FromPc, Address SelfPc) {
       return;
     }
     if (S.FromPc == FromPc && S.SelfPc == SelfPc) {
+      if (!First)
+        ++Counters.Collisions;
       ++S.Count;
       return;
     }
+    First = false;
     Idx = (Idx + 1) & Mask;
   }
 }
@@ -169,6 +203,15 @@ std::vector<ArcRecord> OpenAddressingArcTable::snapshot() const {
 void OpenAddressingArcTable::reset() {
   std::fill(Slots.begin(), Slots.end(), Slot());
   Used = 0;
+  Counters = ArcTableStats();
+}
+
+ArcTableStats OpenAddressingArcTable::stats() const {
+  ArcTableStats S = Counters;
+  S.Entries = Used;
+  S.SlotsUsed = Used;
+  S.SlotCapacity = Slots.size();
+  return S;
 }
 
 size_t OpenAddressingArcTable::memoryBytes() const {
@@ -180,7 +223,11 @@ size_t OpenAddressingArcTable::memoryBytes() const {
 //===----------------------------------------------------------------------===//
 
 void StdMapArcTable::record(Address FromPc, Address SelfPc) {
-  ++Counts[{FromPc, SelfPc}];
+  ++Counters.Records;
+  auto [It, Inserted] = Counts.try_emplace({FromPc, SelfPc}, 0);
+  if (Inserted)
+    ++Counters.NewArcs;
+  ++It->second;
 }
 
 std::vector<ArcRecord> StdMapArcTable::snapshot() const {
@@ -191,4 +238,13 @@ std::vector<ArcRecord> StdMapArcTable::snapshot() const {
   return Arcs;
 }
 
-void StdMapArcTable::reset() { Counts.clear(); }
+void StdMapArcTable::reset() {
+  Counts.clear();
+  Counters = ArcTableStats();
+}
+
+ArcTableStats StdMapArcTable::stats() const {
+  ArcTableStats S = Counters;
+  S.Entries = Counts.size();
+  return S;
+}

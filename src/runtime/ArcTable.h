@@ -45,6 +45,26 @@
 
 namespace gprof {
 
+/// Access-pattern and occupancy statistics of an arc table.  The counting
+/// members are plain (non-atomic) integers bumped on the single-threaded
+/// record() hot path — strictly cheaper than the relaxed atomics the
+/// telemetry layer uses elsewhere — and are published to the process-wide
+/// registry by Monitor::publishTelemetry().  All values are exact and
+/// deterministic for a given call sequence.
+struct ArcTableStats {
+  uint64_t Records = 0;      ///< record() invocations.
+  uint64_t ChainProbes = 0;  ///< Key comparisons / slot inspections.
+  uint64_t Collisions = 0;   ///< Records resolved only after >1 probe.
+  uint64_t MoveToFront = 0;  ///< BSD chain promotions (hit behind head).
+  uint64_t NewArcs = 0;      ///< Distinct arcs created.
+  uint64_t OutsideRange = 0; ///< Call sites outside [LowPc, HighPc).
+  uint64_t Dropped = 0;      ///< Records discarded after overflow.
+  // Occupancy, filled by stats() at snapshot time:
+  uint64_t Entries = 0;      ///< Live distinct arcs.
+  uint64_t SlotsUsed = 0;    ///< Occupied primary slots.
+  uint64_t SlotCapacity = 0; ///< Total primary slots.
+};
+
 /// Interface of an arc-recording table.
 class ArcRecorder {
 public:
@@ -64,6 +84,10 @@ public:
   /// True if capacity was exhausted and some traversals were dropped
   /// (mcount's "tos overflow" condition).
   virtual bool overflowed() const { return false; }
+
+  /// Access-pattern counters plus current occupancy.  The base returns an
+  /// all-zero struct so alternative recorders need not instrument.
+  virtual ArcTableStats stats() const { return ArcTableStats(); }
 };
 
 /// The BSD mcount design: froms[] directly indexed by scaled call-site
@@ -84,6 +108,7 @@ public:
   std::vector<ArcRecord> snapshot() const override;
   void reset() override;
   bool overflowed() const override { return Overflow; }
+  ArcTableStats stats() const override;
 
   /// Bytes of memory held by froms[] + tos[] (for the E5 space column).
   size_t memoryBytes() const;
@@ -106,6 +131,7 @@ private:
   /// Arcs whose call site lies outside [LowPc, HighPc).
   std::map<std::pair<Address, Address>, uint64_t> Outside;
   bool Overflow = false;
+  ArcTableStats Counters;
 };
 
 /// Open-addressing table keyed on the (FromPc, SelfPc) pair.
@@ -116,6 +142,7 @@ public:
   void record(Address FromPc, Address SelfPc) override;
   std::vector<ArcRecord> snapshot() const override;
   void reset() override;
+  ArcTableStats stats() const override;
 
   size_t memoryBytes() const;
 
@@ -131,6 +158,7 @@ private:
 
   std::vector<Slot> Slots;
   size_t Used = 0;
+  ArcTableStats Counters;
 };
 
 /// std::map-based oracle (ordered, so snapshots are deterministic).
@@ -139,9 +167,11 @@ public:
   void record(Address FromPc, Address SelfPc) override;
   std::vector<ArcRecord> snapshot() const override;
   void reset() override;
+  ArcTableStats stats() const override;
 
 private:
   std::map<std::pair<Address, Address>, uint64_t> Counts;
+  ArcTableStats Counters;
 };
 
 } // namespace gprof

@@ -6,6 +6,8 @@
 
 #include "runtime/Monitor.h"
 
+#include "support/Telemetry.h"
+
 using namespace gprof;
 
 Monitor::Monitor(Address LowPc, Address HighPc, MonitorOptions Opts)
@@ -36,12 +38,34 @@ void Monitor::onCall(Address FromPc, Address SelfPc) {
 void Monitor::onTick(Address Pc) {
   if (!Running || !Opts.SampleHistogram)
     return;
+  ++HistTicks;
   Hist.recordPc(Pc);
 }
 
 void Monitor::reset() {
   Arcs->reset();
   Hist = Histogram(LowPc, HighPc, Opts.HistBucketSize);
+  HistTicks = 0;
+}
+
+void Monitor::publishTelemetry() const {
+  using telemetry::counter;
+  using telemetry::gauge;
+  ArcTableStats S = arcTableStats();
+  counter("runtime.mcount.records").set(S.Records);
+  counter("runtime.mcount.chain_probes").set(S.ChainProbes);
+  counter("runtime.mcount.collisions").set(S.Collisions);
+  counter("runtime.mcount.mtf_hits").set(S.MoveToFront);
+  counter("runtime.mcount.new_arcs").set(S.NewArcs);
+  counter("runtime.mcount.outside_range").set(S.OutsideRange);
+  counter("runtime.mcount.dropped").set(S.Dropped);
+  counter("runtime.arcs.entries").set(S.Entries);
+  counter("runtime.arcs.slots_used").set(S.SlotsUsed);
+  counter("runtime.arcs.slot_capacity").set(S.SlotCapacity);
+  counter("runtime.arcs.overflowed").set(arcTableOverflowed() ? 1 : 0);
+  counter("runtime.hist.ticks").set(HistTicks);
+  counter("runtime.hist.out_of_range").set(Hist.outOfRangeSamples());
+  counter("runtime.hist.buckets").set(Hist.numBuckets());
 }
 
 ProfileData Monitor::extract() const {

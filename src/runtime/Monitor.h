@@ -84,6 +84,17 @@ public:
   /// True if the arc table overflowed and dropped arcs.
   bool arcTableOverflowed() const { return Arcs && Arcs->overflowed(); }
 
+  /// The arc table's access-pattern and occupancy statistics.
+  ArcTableStats arcTableStats() const {
+    return Arcs ? Arcs->stats() : ArcTableStats();
+  }
+
+  /// Publishes the runtime's counters — mcount probes/collisions/
+  /// move-to-front hits, arc-table occupancy, histogram ticks — to the
+  /// process-wide telemetry registry under "runtime.*" (the
+  /// GPROF_TELEMETRY surface; see docs/TELEMETRY.md).
+  void publishTelemetry() const;
+
   const MonitorOptions &options() const { return Opts; }
 
 private:
@@ -94,6 +105,7 @@ private:
   MonitorOptions Opts;
   std::unique_ptr<ArcRecorder> Arcs;
   Histogram Hist;
+  uint64_t HistTicks = 0; ///< onTick deliveries recorded (exact).
   bool Running = true;
 };
 

@@ -7,6 +7,7 @@
 #include "store/MergeEngine.h"
 
 #include "support/Format.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -97,6 +98,7 @@ struct CursorGreater {
 /// Merges canonical, mutually compatible shards in one k-way pass.
 ProfileData kWayMerge(const std::vector<const ProfileData *> &Shards) {
   assert(!Shards.empty() && "k-way merge of nothing");
+  telemetry::Span MergeSpan("store.merge.kway");
   ProfileData Out;
   Out.TicksPerSecond = Shards.front()->TicksPerSecond;
   Out.RunCount = 0;
@@ -126,9 +128,11 @@ ProfileData kWayMerge(const std::vector<const ProfileData *> &Shards) {
     }
 
   Out.Arcs.reserve(TotalArcs);
+  uint64_t HeapPops = 0;
   while (!Heap.empty()) {
     ArcCursor Top = Heap.top();
     Heap.pop();
+    ++HeapPops;
     const ArcRecord &R = Shards[Top.Shard]->Arcs[Top.Pos];
     if (!Out.Arcs.empty() && Out.Arcs.back().FromPc == R.FromPc &&
         Out.Arcs.back().SelfPc == R.SelfPc)
@@ -140,6 +144,9 @@ ProfileData kWayMerge(const std::vector<const ProfileData *> &Shards) {
       Heap.push({Next.FromPc, Next.SelfPc, Top.Shard, Top.Pos + 1});
     }
   }
+  // A gauge, not a counter: the tree's leaf decomposition (and therefore
+  // how many pops the intermediate passes add) depends on pool width.
+  telemetry::gauge("store.merge.heap_pops").add(HeapPops);
   return Out;
 }
 
@@ -150,6 +157,14 @@ gprof::mergeProfiles(const std::vector<ProfileData> &Shards,
                      ThreadPool *Pool) {
   if (Shards.empty())
     return Error::failure("no profiles to merge");
+  telemetry::Span Phase("store.merge");
+  {
+    uint64_t InputArcs = 0;
+    for (const ProfileData &S : Shards)
+      InputArcs += S.Arcs.size();
+    telemetry::counter("store.merge.shards").add(Shards.size());
+    telemetry::counter("store.merge.input_arcs").add(InputArcs);
+  }
   for (size_t I = 1; I != Shards.size(); ++I)
     if (Error E = checkMergeCompatible(Shards.front(), Shards[I], "shard 0",
                                        format("shard %zu", I)))

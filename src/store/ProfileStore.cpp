@@ -11,6 +11,7 @@
 #include "support/BinaryStream.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 
@@ -204,14 +205,18 @@ Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
 
   std::vector<uint8_t> Bytes = writeGmon(Data);
   Sha256Digest Digest = Sha256::hash(Bytes);
-  if (const ShardInfo *Existing = findShard(Digest))
+  if (const ShardInfo *Existing = findShard(Digest)) {
+    telemetry::counter("store.put.dedup_hits").add(1);
     return Existing->Digest; // Content-addressed: already ingested.
+  }
 
   std::string Path = objectPath(Digest);
   if (Error E = createDirectories(Path.substr(0, Path.rfind('/'))))
     return E;
   if (Error E = writeFileBytes(Path, Bytes))
     return E;
+  telemetry::counter("store.put.ingested").add(1);
+  telemetry::counter("store.put.bytes_written").add(Bytes.size());
 
   ShardInfo Info;
   Info.Digest = Digest;
@@ -304,10 +309,18 @@ ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
   Result.Digest = aggregateDigest(Members);
   Result.MemberCount = Members.size();
 
+  // Cache traffic depends on what previous commands left on disk, so the
+  // hit/miss tallies are gauges (docs/TELEMETRY.md); the CLI reports them
+  // per command via MergeResult::CacheHit.  Register both up front so a
+  // --stats dump always shows the pair, zero or not.
+  telemetry::Metric &CacheHits = telemetry::gauge("store.merge.cache_hits");
+  telemetry::Metric &CacheMisses =
+      telemetry::gauge("store.merge.cache_misses");
   std::string Cached = cachePath(Result.Digest);
   if (fileExists(Cached)) {
     auto Data = readGmonFile(Cached);
     if (Data) {
+      CacheHits.add(1);
       Result.Data = Data.takeValue();
       Result.CacheHit = true;
       return Result;
@@ -315,6 +328,7 @@ ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
     // A damaged cache entry is not an error — recompute below.
     (void)Data.takeError();
   }
+  CacheMisses.add(1);
 
   std::vector<ProfileData> Inputs;
   Inputs.reserve(Members.size());
@@ -324,12 +338,15 @@ ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
       return Data.takeError();
     Inputs.push_back(Data.takeValue());
   }
+  telemetry::counter("store.merge.shards_loaded").add(Inputs.size());
   auto Merged = mergeProfiles(Inputs, Pool);
   if (!Merged)
     return Merged.takeError();
   Result.Data = Merged.takeValue();
-  if (Error E = writeGmonFile(Cached, Result.Data))
+  std::vector<uint8_t> CacheBytes = writeGmon(Result.Data);
+  if (Error E = writeFileBytes(Cached, CacheBytes))
     return E;
+  telemetry::counter("store.merge.bytes_written").add(CacheBytes.size());
   return Result;
 }
 
@@ -364,5 +381,7 @@ Expected<GcStats> ProfileStore::gc() {
       ++Stats.OrphanObjects;
     }
   }
+  telemetry::counter("store.gc.cache_files").add(Stats.CachedAggregates);
+  telemetry::counter("store.gc.orphan_objects").add(Stats.OrphanObjects);
   return Stats;
 }

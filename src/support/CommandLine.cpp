@@ -30,6 +30,14 @@ void OptionParser::addOption(const std::string &Name, char Short,
   Specs.push_back({Name, Short, /*TakesValue=*/true, Meta, Help});
 }
 
+void OptionParser::addOptionalValueOption(const std::string &Name,
+                                          const std::string &Meta,
+                                          const std::string &Help) {
+  assert(!findLong(Name) && "duplicate option name");
+  Specs.push_back({Name, /*Short=*/0, /*TakesValue=*/true, Meta, Help,
+                   /*ValueOptional=*/true});
+}
+
 const OptionParser::OptionSpec *
 OptionParser::findLong(const std::string &Name) const {
   for (const OptionSpec &S : Specs)
@@ -95,6 +103,9 @@ Error OptionParser::parse(int Argc, const char *const *Argv) {
     std::string Value;
     if (Inline) {
       Value = *Inline;
+    } else if (Spec->ValueOptional) {
+      // A bare optional-value option records an empty value and leaves
+      // the next argument alone.
     } else {
       if (I + 1 >= Argc)
         return Error::failure(
@@ -143,7 +154,7 @@ std::string OptionParser::helpText() const {
       Left += "    ";
     Left += "--" + S.Name;
     if (S.TakesValue)
-      Left += " <" + S.Meta + ">";
+      Left += S.ValueOptional ? "[=" + S.Meta + "]" : " <" + S.Meta + ">";
     Out += padRight(Left, 34) + S.Help + "\n";
   }
   return Out;

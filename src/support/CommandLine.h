@@ -41,6 +41,13 @@ public:
   void addOption(const std::string &Name, char Short, const std::string &Meta,
                  const std::string &Help);
 
+  /// Declares an option whose value is optional: "--name" records an empty
+  /// value, "--name=V" records V.  Unlike addOption, a bare spelling never
+  /// consumes the next argument (gprof's --stats[=FILE]).  No short
+  /// spelling — "-s V" would be ambiguous.
+  void addOptionalValueOption(const std::string &Name, const std::string &Meta,
+                              const std::string &Help);
+
   /// Describes the positional arguments in help text, e.g. "image gmon...".
   void setPositionalHelp(const std::string &Help) { PositionalHelp = Help; }
 
@@ -69,6 +76,7 @@ private:
     bool TakesValue;
     std::string Meta;
     std::string Help;
+    bool ValueOptional = false; ///< --name alone is legal (empty value).
   };
 
   const OptionSpec *findLong(const std::string &Name) const;

@@ -1,0 +1,183 @@
+//===- support/Telemetry.cpp - Profile the profiler ------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gprof {
+namespace telemetry {
+
+Registry::Registry() {
+  EpochNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Registry &Registry::instance() {
+  // Leaked singleton: worker threads (e.g. a ThreadPool being destroyed
+  // during static teardown) may still record into it, so it must outlive
+  // every static destructor.
+  static Registry *R = new Registry();
+  return *R;
+}
+
+Metric &Registry::metric(const std::string &Name, Kind K) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &M : Metrics)
+    if (M->Name == Name)
+      return *M;
+  Metrics.emplace_back(new Metric(Name, K));
+  return *Metrics.back();
+}
+
+std::vector<const Metric *> Registry::metrics() const {
+  std::vector<const Metric *> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out.reserve(Metrics.size());
+    for (const auto &M : Metrics)
+      Out.push_back(M.get());
+  }
+  std::sort(Out.begin(), Out.end(), [](const Metric *A, const Metric *B) {
+    return A->name() < B->name();
+  });
+  return Out;
+}
+
+void Registry::resetValues() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &M : Metrics)
+    M->Value.store(0, std::memory_order_relaxed);
+  for (auto &T : Threads) {
+    std::lock_guard<std::mutex> TLock(T->Mutex);
+    T->Spans.clear();
+  }
+}
+
+uint64_t Registry::nowNs() const {
+  uint64_t Now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return Now - EpochNs;
+}
+
+Registry::ThreadBuffer &Registry::threadBuffer() {
+  // One buffer per OS thread, created on first use and owned by the
+  // registry (it must outlive the thread: spans recorded by a pool worker
+  // are collected by the main thread after the pool is joined).
+  thread_local ThreadBuffer *Buf = nullptr;
+  if (!Buf) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Threads.emplace_back(new ThreadBuffer());
+    Buf = Threads.back().get();
+    Buf->Tid = static_cast<uint32_t>(Threads.size() - 1);
+  }
+  return *Buf;
+}
+
+void Registry::recordSpan(const char *Name, uint64_t BeginNs,
+                          uint64_t EndNs) {
+  ThreadBuffer &Buf = threadBuffer();
+  std::lock_guard<std::mutex> Lock(Buf.Mutex);
+  Buf.Spans.push_back(SpanRecord{Name, Buf.Tid, BeginNs, EndNs});
+}
+
+uint32_t Registry::currentThreadId() { return threadBuffer().Tid; }
+
+void Registry::setCurrentThreadName(const std::string &Name) {
+  ThreadBuffer &Buf = threadBuffer();
+  std::lock_guard<std::mutex> Lock(Buf.Mutex);
+  Buf.Name = Name;
+}
+
+std::vector<SpanRecord> Registry::collectSpans() const {
+  std::vector<SpanRecord> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &T : Threads) {
+      std::lock_guard<std::mutex> TLock(T->Mutex);
+      Out.insert(Out.end(), T->Spans.begin(), T->Spans.end());
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const SpanRecord &A, const SpanRecord &B) {
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              if (A.BeginNs != B.BeginNs)
+                return A.BeginNs < B.BeginNs;
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+std::vector<std::pair<uint32_t, std::string>> Registry::threadNames() const {
+  std::vector<std::pair<uint32_t, std::string>> Out;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &T : Threads) {
+    std::lock_guard<std::mutex> TLock(T->Mutex);
+    Out.emplace_back(T->Tid, T->Name.empty()
+                                 ? format("thread-%u", T->Tid)
+                                 : T->Name);
+  }
+  return Out;
+}
+
+static void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += format("\\u%04x", static_cast<unsigned>(C));
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+}
+
+std::string Registry::renderStatsJson(const std::string &Name) const {
+  std::vector<const Metric *> Sorted = metrics();
+  size_t NumSpans = collectSpans().size();
+
+  std::string Out = "{\n  \"bench\": ";
+  appendJsonString(Out, Name);
+  Out += format(",\n  \"metrics\": %zu,\n  \"spans\": %zu,\n  \"results\": [",
+                Sorted.size(), NumSpans);
+  bool First = true;
+  for (const Metric *M : Sorted) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    {\"metric\": ";
+    appendJsonString(Out, M->name());
+    Out += format(", \"kind\": \"%s\", \"value\": %llu}",
+                  M->kind() == Kind::Counter ? "counter" : "gauge",
+                  static_cast<unsigned long long>(M->value()));
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}
+
+} // namespace telemetry
+} // namespace gprof

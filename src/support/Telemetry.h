@@ -1,0 +1,205 @@
+//===- support/Telemetry.h - Profile the profiler --------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability substrate for the profiler's own pipeline: a
+/// process-wide registry of named monotonic counters and gauges, plus RAII
+/// phase spans recorded on per-thread buffers.  The paper's §3 obsesses
+/// over what the monitor costs the monitored program; this layer turns the
+/// same lens on the profiler itself — mcount hash behaviour, analyzer
+/// phase times, thread-pool utilization, store cache traffic — without
+/// ad-hoc printf.
+///
+/// Two metric kinds with different guarantees (docs/TELEMETRY.md):
+///
+///  - **Counters** are exact and data-derived: for a given input their
+///    values are identical at any thread count, because every increment is
+///    computed from the data (arc counts, histogram ticks, cycle counts),
+///    never from scheduling.  The determinism tests pin this.
+///  - **Gauges** record scheduling and environment facts — jobs queued,
+///    queue depths, worker busy time, cache hits against mutable on-disk
+///    state — and carry no cross-thread-count guarantee.
+///
+/// Spans carry wall-clock timestamps and are likewise excluded from
+/// determinism guarantees.  They are gated by a runtime flag checked once
+/// per scope, so a disabled span costs one relaxed atomic load; metric
+/// updates are relaxed atomics.  Enable spans, run the workload, then
+/// serialize with TraceWriter (Chrome trace JSON) or renderStatsJson (the
+/// flat BenchJson shape the perf tooling scrapes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_TELEMETRY_H
+#define GPROF_SUPPORT_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gprof {
+namespace telemetry {
+
+/// What a metric's value means across runs (see file comment).
+enum class Kind { Counter, Gauge };
+
+/// One named process-wide metric.  Metrics are created by the Registry,
+/// never destroyed, and updated with relaxed atomics — a reference
+/// obtained once (e.g. a function-local static) stays valid for the
+/// process lifetime, including across Registry::resetValues().
+class Metric {
+public:
+  void add(uint64_t Delta) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  void set(uint64_t V) { Value.store(V, std::memory_order_relaxed); }
+  /// Raises the value to \p V if it is larger (queue high-water marks).
+  void max(uint64_t V) {
+    uint64_t Cur = Value.load(std::memory_order_relaxed);
+    while (Cur < V &&
+           !Value.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  const std::string &name() const { return Name; }
+  Kind kind() const { return MetricKind; }
+
+private:
+  friend class Registry;
+  Metric(std::string Name, Kind K) : Name(std::move(Name)), MetricKind(K) {}
+  Metric(const Metric &) = delete;
+
+  std::string Name;
+  Kind MetricKind;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// One recorded phase span, as returned by Registry::collectSpans().
+struct SpanRecord {
+  std::string Name;
+  uint32_t Tid = 0;     ///< Telemetry thread id (see threadNames()).
+  uint64_t BeginNs = 0; ///< Monotonic ns since registry creation.
+  uint64_t EndNs = 0;
+};
+
+/// The process-wide telemetry registry.
+class Registry {
+public:
+  /// The singleton.  Never destroyed, so worker threads may record
+  /// during shutdown.
+  static Registry &instance();
+
+  /// Finds or creates the counter / gauge named \p Name.  A name keeps
+  /// the kind it was first registered with.
+  Metric &counter(const std::string &Name) {
+    return metric(Name, Kind::Counter);
+  }
+  Metric &gauge(const std::string &Name) { return metric(Name, Kind::Gauge); }
+
+  /// Every registered metric, sorted by name (deterministic output
+  /// order).  Pointers stay valid forever.
+  std::vector<const Metric *> metrics() const;
+
+  /// Zeroes every metric value and drops every recorded span.  Metric
+  /// and thread registrations (and outstanding references) survive.
+  void resetValues();
+
+  //--- Phase spans --------------------------------------------------------
+
+  /// Turns span recording on or off.  Spans check this once per scope.
+  void enableSpans(bool On) {
+    SpansOn.store(On, std::memory_order_relaxed);
+  }
+  bool spansEnabled() const {
+    return SpansOn.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic nanoseconds since the registry was created.
+  uint64_t nowNs() const;
+
+  /// Appends one finished span to the calling thread's buffer.
+  void recordSpan(const char *Name, uint64_t BeginNs, uint64_t EndNs);
+
+  /// The calling thread's telemetry id (assigned on first use).
+  uint32_t currentThreadId();
+
+  /// Names the calling thread in trace output ("main", "worker-3", ...).
+  void setCurrentThreadName(const std::string &Name);
+
+  /// Snapshot of every span recorded so far, sorted by (tid, begin).
+  std::vector<SpanRecord> collectSpans() const;
+
+  /// (tid, name) for every registered thread, in tid order.  Threads
+  /// that never set a name appear as "thread-<tid>".
+  std::vector<std::pair<uint32_t, std::string>> threadNames() const;
+
+  //--- Serialization ------------------------------------------------------
+
+  /// Flat stats JSON in the BenchJson shape (bench/BenchUtil.h): a
+  /// top-level "bench" name, scalar fields, and one "results" array with
+  /// a row per metric: {"metric": ..., "kind": "counter"|"gauge",
+  /// "value": N}.  Rows are sorted by metric name.
+  std::string renderStatsJson(const std::string &Name) const;
+
+private:
+  struct ThreadBuffer {
+    uint32_t Tid = 0;
+    std::string Name;
+    mutable std::mutex Mutex;
+    std::vector<SpanRecord> Spans;
+  };
+
+  Registry();
+  Metric &metric(const std::string &Name, Kind K);
+  ThreadBuffer &threadBuffer();
+
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<Metric>> Metrics;   ///< Guarded by Mutex.
+  std::vector<std::unique_ptr<ThreadBuffer>> Threads; ///< Guarded by Mutex.
+  std::atomic<bool> SpansOn{false};
+  uint64_t EpochNs = 0;
+};
+
+/// RAII phase span: records [construction, destruction) on the calling
+/// thread's buffer when spans are enabled.  The enabled flag is checked
+/// once, at construction; a disabled span is one relaxed load.
+class Span {
+public:
+  explicit Span(const char *Name) {
+    Registry &R = Registry::instance();
+    if (R.spansEnabled()) {
+      this->Name = Name;
+      BeginNs = R.nowNs();
+    }
+  }
+  ~Span() {
+    if (Name) {
+      Registry &R = Registry::instance();
+      R.recordSpan(Name, BeginNs, R.nowNs());
+    }
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name = nullptr;
+  uint64_t BeginNs = 0;
+};
+
+/// Shorthands for the common "look the metric up once" pattern.
+inline Metric &counter(const std::string &Name) {
+  return Registry::instance().counter(Name);
+}
+inline Metric &gauge(const std::string &Name) {
+  return Registry::instance().gauge(Name);
+}
+
+} // namespace telemetry
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_TELEMETRY_H

@@ -6,6 +6,9 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Format.h"
+#include "support/Telemetry.h"
+
 using namespace gprof;
 
 ThreadPool::ThreadPool(unsigned NumThreads) {
@@ -14,9 +17,10 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
     if (NumThreads == 0)
       NumThreads = 1;
   }
+  telemetry::gauge("threadpool.workers_spawned").add(NumThreads);
   Workers.reserve(NumThreads);
   for (unsigned I = 0; I != NumThreads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -30,10 +34,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> Job) {
+  // Jobs queued and the queue's high-water mark are scheduling facts
+  // (they depend on pool width), so they are telemetry *gauges* — see
+  // docs/TELEMETRY.md for the counter/gauge split.
+  static telemetry::Metric &JobsQueued =
+      telemetry::gauge("threadpool.jobs.queued");
+  static telemetry::Metric &MaxDepth =
+      telemetry::gauge("threadpool.queue.max_depth");
+  size_t Depth;
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     Queue.push_back(std::move(Job));
+    Depth = Queue.size();
   }
+  JobsQueued.add(1);
+  MaxDepth.max(Depth);
   WorkAvailable.notify_one();
 }
 
@@ -42,7 +57,12 @@ void ThreadPool::wait() {
   AllIdle.wait(Lock, [this] { return Queue.empty() && ActiveJobs == 0; });
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned WorkerIndex) {
+  telemetry::Registry &Reg = telemetry::Registry::instance();
+  Reg.setCurrentThreadName(format("worker-%u", WorkerIndex));
+  static telemetry::Metric &JobsExecuted =
+      telemetry::gauge("threadpool.jobs.executed");
+  static telemetry::Metric &BusyNs = telemetry::gauge("threadpool.busy_ns");
   while (true) {
     std::function<void()> Job;
     {
@@ -57,7 +77,19 @@ void ThreadPool::workerLoop() {
       Queue.pop_front();
       ++ActiveJobs;
     }
-    Job();
+    // When spans are on, each job gets a "pool.job" span on this worker's
+    // track and its wall time feeds the busy-time gauge; when off, the
+    // cost is one relaxed load plus one relaxed add per job.
+    if (Reg.spansEnabled()) {
+      uint64_t Begin = Reg.nowNs();
+      Job();
+      uint64_t End = Reg.nowNs();
+      Reg.recordSpan("pool.job", Begin, End);
+      BusyNs.add(End - Begin);
+    } else {
+      Job();
+    }
+    JobsExecuted.add(1);
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       --ActiveJobs;

@@ -62,7 +62,7 @@ public:
 
 private:
   void enqueue(std::function<void()> Job);
-  void workerLoop();
+  void workerLoop(unsigned WorkerIndex);
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;

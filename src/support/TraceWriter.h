@@ -1,0 +1,91 @@
+//===- support/TraceWriter.h - Chrome trace-event JSON export --------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes telemetry phase spans to the Chrome trace-event JSON format,
+/// loadable in `chrome://tracing` and https://ui.perfetto.dev.  The writer
+/// emits complete events (`"ph":"X"`, microsecond `ts`/`dur`) plus
+/// `thread_name` metadata so each profiler thread — "main" and every
+/// "worker-N" — gets its own track.  A minimal recursive-descent JSON
+/// validator rides along so tests and the ctest smoke target can accept or
+/// reject a trace without an external JSON library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_TRACEWRITER_H
+#define GPROF_SUPPORT_TRACEWRITER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gprof {
+
+/// Accumulates trace events and renders the `{"traceEvents": [...]}`
+/// container.
+class TraceWriter {
+public:
+  /// Names the (single) process in the trace UI.
+  void setProcessName(std::string Name) { ProcessName = std::move(Name); }
+
+  /// Names a thread track (`"ph":"M"` thread_name metadata).
+  void addThreadName(uint32_t Tid, const std::string &Name);
+
+  /// One complete event (`"ph":"X"`).  Times are nanoseconds; the JSON
+  /// carries microseconds (the format's unit) with ns precision retained
+  /// as fractional digits.
+  void addCompleteEvent(const std::string &Name, const std::string &Category,
+                        uint32_t Tid, uint64_t BeginNs, uint64_t DurNs);
+
+  size_t numEvents() const { return Events.size(); }
+
+  /// The full trace document.
+  std::string render() const;
+
+  /// Renders and writes to \p Path.
+  Error writeFile(const std::string &Path) const;
+
+  /// Builds a trace from everything the telemetry registry has collected:
+  /// one thread_name metadata event per registered thread and one complete
+  /// event per span.  Span names of the form "layer.rest" use "layer" as
+  /// the event category.
+  static TraceWriter fromTelemetry(const std::string &ProcessName);
+
+private:
+  struct Event {
+    std::string Json; ///< Pre-rendered object, no trailing comma.
+  };
+  std::string ProcessName;
+  std::vector<Event> Events;
+};
+
+/// Summary of a validated trace document.
+struct TraceStats {
+  size_t Events = 0;         ///< Elements of "traceEvents".
+  size_t CompleteEvents = 0; ///< `"ph":"X"`.
+  size_t MetaEvents = 0;     ///< `"ph":"M"`.
+  std::map<std::string, size_t> NameCounts; ///< Event name -> occurrences.
+  std::set<uint64_t> Tids;   ///< Distinct "tid" values seen.
+};
+
+/// Strict whole-document JSON syntax check (objects, arrays, strings with
+/// escapes, numbers, literals; rejects trailing garbage).  Returns the
+/// number of bytes consumed on success.
+Expected<size_t> validateJson(const std::string &Json);
+
+/// validateJson plus trace-shape checks: the document must be an object
+/// whose "traceEvents" member is an array of objects each carrying a
+/// string "ph" and "name".  Returns per-event tallies.
+Expected<TraceStats> validateTraceJson(const std::string &Json);
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_TRACEWRITER_H

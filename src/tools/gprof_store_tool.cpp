@@ -25,6 +25,7 @@
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/Telemetry.h"
 #include "vm/Image.h"
 
 #include <cstdio>
@@ -36,6 +37,21 @@ namespace {
 int fail(const std::string &Message) {
   std::fprintf(stderr, "gprof-store: %s\n", Message.c_str());
   return 1;
+}
+
+/// Declares the shared --stats flag on a subcommand parser.
+void addStatsFlag(OptionParser &Opts) {
+  Opts.addFlag("stats", 0,
+               "dump store telemetry (flat stats JSON) to stderr on exit");
+}
+
+/// Honors --stats: dumps the telemetry registry to stderr.
+void maybeDumpStats(const OptionParser &Opts) {
+  if (Opts.hasFlag("stats"))
+    std::fprintf(stderr, "%s",
+                 telemetry::Registry::instance()
+                     .renderStatsJson("gprof_store_stats")
+                     .c_str());
 }
 
 /// Hashes the image file at \p Path into a store image identity.
@@ -80,6 +96,7 @@ int cmdPut(int Argc, const char *const *Argv) {
   Opts.addOption("image", 'i', "FILE",
                  "TLX image the shards were profiled against; pins the "
                  "store to its identity");
+  addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
   if (Opts.hasFlag("help")) {
@@ -107,6 +124,7 @@ int cmdPut(int Argc, const char *const *Argv) {
       return fail(Digest.message());
     std::printf("%s %s\n", digestToHex(*Digest).c_str(), Path.c_str());
   }
+  maybeDumpStats(Opts);
   return 0;
 }
 
@@ -148,6 +166,7 @@ int cmdMerge(int Argc, const char *const *Argv) {
                  "worker threads for the merge tree (0 = one per core)");
   Opts.addOption("output", 'o', "FILE",
                  "also write the merged gmon data to FILE");
+  addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
   if (Opts.hasFlag("help")) {
@@ -182,6 +201,7 @@ int cmdMerge(int Argc, const char *const *Argv) {
                   Result->Data.Hist.totalSamples()),
               Result->Data.Arcs.size(),
               Result->CacheHit ? " [cached]" : "");
+  maybeDumpStats(Opts);
   return 0;
 }
 
@@ -197,6 +217,7 @@ int cmdReport(int Argc, const char *const *Argv) {
   Opts.addFlag("flat-only", 0, "print only the flat profile");
   Opts.addFlag("graph-only", 0, "print only the call graph profile");
   Opts.addFlag("no-index", 0, "omit the index-by-name table");
+  addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
   if (Opts.hasFlag("help")) {
@@ -223,6 +244,12 @@ int cmdReport(int Argc, const char *const *Argv) {
   auto Result = Store->merge(Members.takeValue(), &Pool);
   if (!Result)
     return fail(Result.message());
+  // Cache feedback goes to stderr so the listings on stdout stay
+  // byte-comparable against golden output.
+  std::fprintf(stderr, "gprof-store: aggregate %s over %zu shard(s) [%s]\n",
+               digestToHex(Result->Digest).substr(0, 12).c_str(),
+               Result->MemberCount,
+               Result->CacheHit ? "cache hit" : "cache miss, merged");
 
   AnalyzerOptions AO;
   AO.Threads = Jobs; // Byte-identical listings at any width (0 = cores).
@@ -243,6 +270,7 @@ int cmdReport(int Argc, const char *const *Argv) {
     std::printf("\n");
   if (!Opts.hasFlag("flat-only"))
     std::printf("%s", printCallGraph(*Report, GP).c_str());
+  maybeDumpStats(Opts);
   return 0;
 }
 
@@ -250,6 +278,7 @@ int cmdGc(int Argc, const char *const *Argv) {
   OptionParser Opts("gprof-store gc",
                     "drop cached aggregates and orphaned objects");
   Opts.setPositionalHelp("STORE");
+  addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
   if (Opts.hasFlag("help")) {
@@ -267,6 +296,7 @@ int cmdGc(int Argc, const char *const *Argv) {
     return fail(Stats.message());
   std::printf("removed %u cached aggregate(s), %u orphan object(s)\n",
               Stats->CachedAggregates, Stats->OrphanObjects);
+  maybeDumpStats(Opts);
   return 0;
 }
 

@@ -23,6 +23,8 @@
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/Telemetry.h"
+#include "support/TraceWriter.h"
 
 #include <cstdio>
 
@@ -59,6 +61,13 @@ int main(int Argc, char **Argv) {
   Opts.addFlag("flat-only", 0, "print only the flat profile");
   Opts.addFlag("graph-only", 0, "print only the call graph profile");
   Opts.addFlag("no-index", 0, "omit the index-by-name table");
+  Opts.addOptionalValueOption(
+      "stats", "FILE",
+      "write pipeline telemetry (flat stats JSON) to FILE, or to stderr "
+      "when no FILE is given");
+  Opts.addOption("trace-out", 0, "FILE",
+                 "write phase spans as Chrome trace-event JSON to FILE "
+                 "(load in chrome://tracing or Perfetto)");
 
   if (Error E = Opts.parse(Argc, Argv)) {
     std::fprintf(stderr, "gprof: %s\n", E.message().c_str());
@@ -127,6 +136,35 @@ int main(int Argc, char **Argv) {
     AO.Threads = static_cast<unsigned>(N);
   }
 
+  std::optional<std::string> StatsDest = Opts.getValue("stats");
+  std::optional<std::string> TracePath = Opts.getValue("trace-out");
+  if (TracePath)
+    telemetry::Registry::instance().enableSpans(true);
+  telemetry::Registry::instance().setCurrentThreadName("main");
+
+  // Emits the telemetry surfaces once the pipeline has run.  Returns
+  // false on I/O failure.
+  auto EmitTelemetry = [&]() -> bool {
+    if (TracePath) {
+      TraceWriter W = TraceWriter::fromTelemetry("gprof");
+      if (Error E = W.writeFile(*TracePath)) {
+        std::fprintf(stderr, "gprof: %s\n", E.message().c_str());
+        return false;
+      }
+    }
+    if (StatsDest) {
+      std::string Json =
+          telemetry::Registry::instance().renderStatsJson("gprof_stats");
+      if (StatsDest->empty() || *StatsDest == "-") {
+        std::fprintf(stderr, "%s", Json.c_str());
+      } else if (Error E = writeFileText(*StatsDest, Json)) {
+        std::fprintf(stderr, "gprof: %s\n", E.message().c_str());
+        return false;
+      }
+    }
+    return true;
+  };
+
   auto Report = analyzeImageProfile(*Img, *Data, AO);
   if (!Report) {
     std::fprintf(stderr, "gprof: %s\n", Report.message().c_str());
@@ -160,7 +198,7 @@ int main(int Argc, char **Argv) {
     }
     auto Annotated = annotateSource(*Img, *SourceText, *Data);
     std::printf("%s", printAnnotatedSource(Annotated).c_str());
-    return 0;
+    return EmitTelemetry() ? 0 : 1;
   }
 
   if (!Opts.hasFlag("graph-only")) {
@@ -177,5 +215,5 @@ int main(int Argc, char **Argv) {
                   Report->Functions[From].Name.c_str(),
                   Report->Functions[To].Name.c_str());
   }
-  return 0;
+  return EmitTelemetry() ? 0 : 1;
 }

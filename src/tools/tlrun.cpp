@@ -18,10 +18,14 @@
 #include "runtime/Monitor.h"
 #include "stackprof/StackProfiler.h"
 #include "support/CommandLine.h"
+#include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/Telemetry.h"
 #include "vm/VM.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace gprof;
 
@@ -150,6 +154,24 @@ int main(int Argc, char **Argv) {
     for (const auto &F : P.Functions)
       std::printf("%12.2f %11.2f  %s\n", F.SelfTime, F.InclusiveTime,
                   F.Name.c_str());
+  }
+
+  // GPROF_TELEMETRY=-|stderr dumps the runtime counters (mcount probe
+  // behaviour, arc-table occupancy, histogram ticks) as flat stats JSON
+  // to stderr; any other value names a file to write instead.  The knob
+  // is an env variable, not a flag, so profiled programs need no argv
+  // changes to be inspected.
+  if (const char *Dest = std::getenv("GPROF_TELEMETRY")) {
+    if (Mon)
+      Mon->publishTelemetry();
+    std::string Json =
+        telemetry::Registry::instance().renderStatsJson("tlrun_stats");
+    if (std::strcmp(Dest, "-") == 0 || std::strcmp(Dest, "stderr") == 0) {
+      std::fprintf(stderr, "%s", Json.c_str());
+    } else if (Error E = writeFileText(Dest, Json)) {
+      std::fprintf(stderr, "tlrun: %s\n", E.message().c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -135,6 +135,12 @@ TEST(FlatFormatTest, OverflowWarningShown) {
   ProfileReport R = cantFail(A.analyze(In.Data));
   std::string Out = printFlatProfile(R);
   EXPECT_NE(Out.find("arc table overflowed"), std::string::npos);
+  // The call graph listing leads with the same warning: its call counts
+  // are the numbers the overflow made lower bounds.
+  std::string Graph = printCallGraph(R);
+  EXPECT_NE(Graph.find("arc table overflowed"), std::string::npos);
+  EXPECT_LT(Graph.find("arc table overflowed"),
+            Graph.find("call graph profile"));
 }
 
 TEST(FlatFormatTest, UnattributedTimeNoted) {

@@ -33,9 +33,7 @@ using namespace gprof;
 
 namespace {
 
-/// Runs a command, capturing stdout+stderr; returns the exit code.
-int runCommand(const std::string &Command, std::string &Output) {
-  std::string Full = Command + " 2>&1";
+int runRedirected(const std::string &Full, std::string &Output) {
   std::FILE *Pipe = popen(Full.c_str(), "r");
   if (!Pipe)
     return -1;
@@ -45,6 +43,25 @@ int runCommand(const std::string &Command, std::string &Output) {
     Output.append(Buf, N);
   int Status = pclose(Pipe);
   return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// Runs a command, capturing stdout+stderr; returns the exit code.
+int runCommand(const std::string &Command, std::string &Output) {
+  return runRedirected(Command + " 2>&1", Output);
+}
+
+/// Runs a command, capturing only stdout; stderr is discarded.  Used where
+/// the output is byte-compared against golden listings, which must not see
+/// the cache-feedback and telemetry lines the store emits on stderr.
+int runCommandStdout(const std::string &Command, std::string &Output) {
+  return runRedirected(Command + " 2>/dev/null", Output);
+}
+
+/// Runs a command, capturing only stderr; stdout is discarded.  Note the
+/// redirection order: stderr must be pointed at the pipe before stdout is
+/// sent to /dev/null.
+int runCommandStderr(const std::string &Command, std::string &Output) {
+  return runRedirected(Command + " 2>&1 >/dev/null", Output);
 }
 
 std::string tempPath(const std::string &Name) {
@@ -138,6 +155,23 @@ TEST_F(StoreCliTest, PutListMergeReportGc) {
   EXPECT_EQ(Rc, 0) << Out;
   EXPECT_NE(Out.find("[cached]"), std::string::npos);
 
+  // --stats dumps the store telemetry as flat stats JSON on stderr; the
+  // cached merge counts one cache hit and no misses.
+  Rc = runCommandStderr(format("%s merge %s --stats", GPROF_STORE_PATH,
+                               StoreDir->c_str()),
+                        Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("\"bench\": \"gprof_store_stats\""), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("{\"metric\": \"store.merge.cache_hits\", "
+                     "\"kind\": \"gauge\", \"value\": 1}"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("{\"metric\": \"store.merge.cache_misses\", "
+                     "\"kind\": \"gauge\", \"value\": 0}"),
+            std::string::npos)
+      << Out;
+
   // gc: drops the cached aggregate.
   Rc = runCommand(format("%s gc %s", GPROF_STORE_PATH, StoreDir->c_str()),
                   Out);
@@ -155,18 +189,29 @@ TEST_F(StoreCliTest, ReportMatchesGoldenListings) {
   ASSERT_EQ(Rc, 0) << Out;
 
   // The store's flat profile is byte-identical to the gprof golden file.
-  Rc = runCommand(format("%s report --flat-only %s %s", GPROF_STORE_PATH,
-                         StorePath.c_str(), Img->c_str()),
-                  Out);
+  Rc = runCommandStdout(format("%s report --flat-only %s %s",
+                               GPROF_STORE_PATH, StorePath.c_str(),
+                               Img->c_str()),
+                        Out);
   ASSERT_EQ(Rc, 0) << Out;
   EXPECT_EQ(Out, golden("primes_flat.txt"));
 
   // And so is the call graph profile.
-  Rc = runCommand(format("%s report --graph-only %s %s", GPROF_STORE_PATH,
-                         StorePath.c_str(), Img->c_str()),
-                  Out);
+  Rc = runCommandStdout(format("%s report --graph-only %s %s",
+                               GPROF_STORE_PATH, StorePath.c_str(),
+                               Img->c_str()),
+                        Out);
   ASSERT_EQ(Rc, 0) << Out;
   EXPECT_EQ(Out, golden("primes_graph.txt"));
+
+  // The cache feedback lands on stderr: by now the aggregate was cached
+  // by the earlier reports, so this run announces a cache hit.
+  Rc = runCommandStderr(format("%s report --flat-only %s %s",
+                               GPROF_STORE_PATH, StorePath.c_str(),
+                               Img->c_str()),
+                        Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("[cache hit]"), std::string::npos) << Out;
   std::filesystem::remove_all(StorePath);
 }
 

@@ -1,0 +1,369 @@
+//===- tests/telemetry_test.cpp - The telemetry layer's own tests ---------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the observability substrate: registry semantics (counters,
+/// gauges, reset), span recording across thread-pool workers (the per-
+/// thread buffers run under TSan via GPROF_SANITIZE=thread), the Chrome
+/// trace writer round-tripped through its own validator, and the central
+/// promise of docs/TELEMETRY.md — every Kind::Counter value produced by
+/// the analysis pipeline is identical at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "gmon/GmonFile.h"
+#include "runtime/ArcTable.h"
+#include "runtime/Monitor.h"
+#include "support/FileUtils.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+#include "support/TraceWriter.h"
+#include "vm/CodeGen.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace gprof;
+using telemetry::Kind;
+using telemetry::Metric;
+using telemetry::Registry;
+using telemetry::SpanRecord;
+
+namespace {
+
+/// Every test shares the process-wide registry, so each starts from a
+/// clean slate: values zeroed, spans dropped, span recording off.
+void freshRegistry() {
+  Registry::instance().enableSpans(false);
+  Registry::instance().resetValues();
+}
+
+/// Snapshot of every Kind::Counter value, keyed by name.  Gauges are
+/// deliberately excluded: they record scheduling facts and carry no
+/// cross-thread-count guarantee.
+std::map<std::string, uint64_t> counterSnapshot() {
+  std::map<std::string, uint64_t> Out;
+  for (const Metric *M : Registry::instance().metrics())
+    if (M->kind() == Kind::Counter)
+      Out[M->name()] = M->value();
+  return Out;
+}
+
+TEST(TelemetryTest, CounterAndGaugeBasics) {
+  freshRegistry();
+  Metric &C = telemetry::counter("test.basics.counter");
+  C.add(3);
+  C.add(4);
+  EXPECT_EQ(C.value(), 7u);
+  // Same name, same object.
+  EXPECT_EQ(&telemetry::counter("test.basics.counter"), &C);
+  // A name keeps its first-registered kind.
+  EXPECT_EQ(Registry::instance().gauge("test.basics.counter").kind(),
+            Kind::Counter);
+
+  Metric &G = telemetry::gauge("test.basics.gauge");
+  G.set(10);
+  G.max(5); // Lower: no effect.
+  EXPECT_EQ(G.value(), 10u);
+  G.max(25);
+  EXPECT_EQ(G.value(), 25u);
+  EXPECT_EQ(G.kind(), Kind::Gauge);
+}
+
+TEST(TelemetryTest, MetricsAreSortedAndSurviveReset) {
+  freshRegistry();
+  Metric &B = telemetry::counter("test.sort.b");
+  telemetry::counter("test.sort.a").add(1);
+  B.add(2);
+
+  std::vector<const Metric *> All = Registry::instance().metrics();
+  for (size_t I = 1; I < All.size(); ++I)
+    EXPECT_LT(All[I - 1]->name(), All[I]->name());
+
+  Registry::instance().resetValues();
+  // Values are zeroed but the registration (and the reference) survives.
+  EXPECT_EQ(B.value(), 0u);
+  B.add(5);
+  EXPECT_EQ(telemetry::counter("test.sort.b").value(), 5u);
+}
+
+TEST(TelemetryTest, DisabledSpansRecordNothing) {
+  freshRegistry();
+  {
+    telemetry::Span S("test.disabled");
+    (void)S;
+  }
+  EXPECT_TRUE(Registry::instance().collectSpans().empty());
+}
+
+TEST(TelemetryTest, SpansRecordAcrossPoolThreads) {
+  // The interesting case for TSan: pool workers write their own buffers
+  // while the main thread enables/collects.
+  freshRegistry();
+  Registry::instance().enableSpans(true);
+  Registry::instance().setCurrentThreadName("main");
+  {
+    telemetry::Span Outer("test.outer");
+    ThreadPool Pool(4);
+    for (int I = 0; I != 32; ++I)
+      Pool.async([] { telemetry::Span Inner("test.inner"); });
+    Pool.wait();
+  }
+  Registry::instance().enableSpans(false);
+
+  std::vector<SpanRecord> Spans = Registry::instance().collectSpans();
+  size_t Outer = 0, Inner = 0, PoolJobs = 0;
+  for (const SpanRecord &S : Spans) {
+    EXPECT_LE(S.BeginNs, S.EndNs);
+    Outer += S.Name == "test.outer";
+    Inner += S.Name == "test.inner";
+    PoolJobs += S.Name == "pool.job"; // The pool wraps each job itself.
+  }
+  EXPECT_EQ(Outer, 1u);
+  EXPECT_EQ(Inner, 32u);
+  EXPECT_EQ(PoolJobs, 32u);
+  // Sorted by (tid, begin).
+  for (size_t I = 1; I < Spans.size(); ++I) {
+    EXPECT_LE(Spans[I - 1].Tid, Spans[I].Tid);
+    if (Spans[I - 1].Tid == Spans[I].Tid)
+      EXPECT_LE(Spans[I - 1].BeginNs, Spans[I].BeginNs);
+  }
+  // The main thread kept its name; workers registered theirs.
+  bool SawMain = false, SawWorker = false;
+  for (const auto &[Tid, Name] : Registry::instance().threadNames()) {
+    SawMain |= Name == "main";
+    SawWorker |= Name.rfind("worker-", 0) == 0;
+  }
+  EXPECT_TRUE(SawMain);
+  EXPECT_TRUE(SawWorker);
+}
+
+TEST(TelemetryTest, StatsJsonIsValidAndCarriesKinds) {
+  freshRegistry();
+  telemetry::counter("test.json.counter").add(42);
+  telemetry::gauge("test.json.gauge").set(7);
+
+  std::string Json = Registry::instance().renderStatsJson("telemetry_test");
+  auto Consumed = validateJson(Json);
+  ASSERT_TRUE(Consumed.hasValue()) << Consumed.message();
+  EXPECT_NE(Json.find("\"bench\": \"telemetry_test\""), std::string::npos);
+  EXPECT_NE(Json.find("{\"metric\": \"test.json.counter\", "
+                      "\"kind\": \"counter\", \"value\": 42}"),
+            std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("{\"metric\": \"test.json.gauge\", "
+                      "\"kind\": \"gauge\", \"value\": 7}"),
+            std::string::npos)
+      << Json;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceWriter
+//===----------------------------------------------------------------------===//
+
+TEST(TraceWriterTest, RoundTripsThroughValidator) {
+  TraceWriter W;
+  W.setProcessName("test-proc");
+  W.addThreadName(0, "main");
+  W.addThreadName(1, "worker-0");
+  // Names needing escapes must survive the round trip.
+  W.addCompleteEvent("phase \"one\"\n", "layer", 0, 1500, 2500);
+  W.addCompleteEvent("phase.two", "layer", 1, 4000, 1000);
+
+  std::string Json = W.render();
+  auto Stats = validateTraceJson(Json);
+  ASSERT_TRUE(Stats.hasValue()) << Stats.message();
+  // 2 complete + 2 thread_name + 1 process_name.
+  EXPECT_EQ(Stats->Events, 5u);
+  EXPECT_EQ(Stats->CompleteEvents, 2u);
+  EXPECT_EQ(Stats->MetaEvents, 3u);
+  EXPECT_EQ(Stats->NameCounts.at("thread_name"), 2u);
+  EXPECT_EQ(Stats->NameCounts.at("process_name"), 1u);
+  EXPECT_EQ(Stats->NameCounts.at("phase.two"), 1u);
+  EXPECT_EQ(Stats->Tids.count(0), 1u);
+  EXPECT_EQ(Stats->Tids.count(1), 1u);
+  // ns precision carried as fractional microseconds.
+  EXPECT_NE(Json.find("\"ts\":1.500"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"dur\":2.500"), std::string::npos) << Json;
+}
+
+TEST(TraceWriterTest, ValidatorRejectsMalformedDocuments) {
+  // Syntax errors.
+  EXPECT_FALSE(validateJson("{\"a\": }").hasValue());
+  EXPECT_FALSE(validateJson("{\"a\": 1} trailing").hasValue());
+  EXPECT_FALSE(validateJson("{\"a\": \"unterminated}").hasValue());
+  EXPECT_FALSE(validateJson("[1, 2,]").hasValue());
+  // Valid JSON, wrong shape.
+  EXPECT_FALSE(validateTraceJson("[1, 2]").hasValue());
+  EXPECT_FALSE(validateTraceJson("{\"notTraceEvents\": []}").hasValue());
+  EXPECT_FALSE(
+      validateTraceJson("{\"traceEvents\": [{\"ph\": \"X\"}]}").hasValue())
+      << "an event without a name must be rejected";
+  EXPECT_FALSE(
+      validateTraceJson("{\"traceEvents\": [{\"name\": \"n\"}]}").hasValue())
+      << "an event without a phase must be rejected";
+  // Minimal accepted document.
+  auto Ok = validateTraceJson(
+      "{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"n\", \"tid\": 3}]}");
+  ASSERT_TRUE(Ok.hasValue()) << Ok.message();
+  EXPECT_EQ(Ok->CompleteEvents, 1u);
+  EXPECT_EQ(Ok->Tids.count(3), 1u);
+}
+
+TEST(TraceWriterTest, FromTelemetryCarriesPerThreadTracks) {
+  freshRegistry();
+  Registry::instance().enableSpans(true);
+  Registry::instance().setCurrentThreadName("main");
+  {
+    telemetry::Span S("layer.phase");
+    ThreadPool Pool(2);
+    for (int I = 0; I != 8; ++I)
+      Pool.async([] { telemetry::Span J("layer.job"); });
+    Pool.wait();
+  }
+  Registry::instance().enableSpans(false);
+
+  TraceWriter W = TraceWriter::fromTelemetry("gprof");
+  auto Stats = validateTraceJson(W.render());
+  ASSERT_TRUE(Stats.hasValue()) << Stats.message();
+  EXPECT_EQ(Stats->NameCounts.at("layer.phase"), 1u);
+  EXPECT_EQ(Stats->NameCounts.at("layer.job"), 8u);
+  // main + at least one worker means at least two distinct tracks.
+  EXPECT_GE(Stats->Tids.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Arc-table access statistics
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, BsdArcTableStatsAreExact) {
+  BsdArcTable T(0x1000, 0x2000);
+  T.record(0x1100, 0x1200); // New arc, empty slot.
+  T.record(0x1100, 0x1200); // Hit at chain head: one probe, no collision.
+  T.record(0x1100, 0x1300); // Same site, new callee: collision + new arc.
+  T.record(0x1100, 0x1200); // Hit behind head: collision + move-to-front.
+  T.record(0x0500, 0x1200); // Call site outside [low, high): kept exactly.
+
+  ArcTableStats S = T.stats();
+  EXPECT_EQ(S.Records, 5u);
+  EXPECT_EQ(S.NewArcs, 2u);
+  EXPECT_EQ(S.OutsideRange, 1u);
+  EXPECT_EQ(S.MoveToFront, 1u);
+  EXPECT_EQ(S.Collisions, 2u);
+  EXPECT_EQ(S.ChainProbes, 4u); // 0 + 1 + 1 + 2 probes.
+  EXPECT_EQ(S.Dropped, 0u);
+  EXPECT_EQ(S.Entries, 3u); // Two chained arcs + one outside.
+  EXPECT_EQ(S.SlotsUsed, 1u);
+  EXPECT_EQ(S.SlotCapacity, 0x1000u);
+
+  T.reset();
+  EXPECT_EQ(T.stats().Records, 0u);
+  EXPECT_EQ(T.stats().Entries, 0u);
+}
+
+TEST(TelemetryTest, ArcTableStatsAgreeOnRecordsAndArcs) {
+  // All three recorders must agree on the data-derived counts for the
+  // same call sequence (probe behaviour legitimately differs).
+  BsdArcTable Bsd(0x1000, 0x2000);
+  OpenAddressingArcTable Open;
+  StdMapArcTable Map;
+  for (ArcRecorder *T :
+       std::vector<ArcRecorder *>{&Bsd, &Open, &Map}) {
+    for (int I = 0; I != 50; ++I)
+      T->record(0x1100 + (I % 5) * 8, 0x1800 + (I % 3) * 16);
+    ArcTableStats S = T->stats();
+    EXPECT_EQ(S.Records, 50u);
+    EXPECT_EQ(S.NewArcs, 15u);
+    EXPECT_EQ(S.Entries, 15u);
+  }
+}
+
+TEST(TelemetryTest, MonitorPublishesRuntimeCounters) {
+  freshRegistry();
+  MonitorOptions MO;
+  Monitor Mon(0x1000, 0x2000, MO);
+  Mon.onCall(0x1100, 0x1200);
+  Mon.onCall(0x1100, 0x1200);
+  Mon.onCall(0x1104, 0x1300);
+  Mon.onTick(0x1150);
+  Mon.onTick(0x1250);
+  Mon.publishTelemetry();
+
+  auto Counters = counterSnapshot();
+  EXPECT_EQ(Counters.at("runtime.mcount.records"), 3u);
+  EXPECT_EQ(Counters.at("runtime.mcount.new_arcs"), 2u);
+  EXPECT_EQ(Counters.at("runtime.hist.ticks"), 2u);
+  EXPECT_EQ(Counters.at("runtime.arcs.overflowed"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The determinism contract: pipeline counters are thread-count-invariant
+//===----------------------------------------------------------------------===//
+
+/// Compiles and profiles one corpus program under the golden-test
+/// settings (mirrors determinism_test.cpp).
+void runCorpusProgram(const std::string &Name, SymbolTable &Syms,
+                      ProfileData &Data) {
+  std::string Path = std::string(TL_CORPUS_DIR) + "/" + Name;
+  std::string Source = cantFail(readFileText(Path));
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(Source, CG);
+  Monitor Mon(Img.lowPc(), Img.highPc());
+  VMOptions VO;
+  VO.CyclesPerTick = 997;
+  VM Machine(Img, VO);
+  Machine.setHooks(&Mon);
+  cantFail(Machine.run());
+  Data = cantFail(readGmon(writeGmon(Mon.finish())));
+  Syms = SymbolTable::fromImage(Img);
+}
+
+/// Analyzes \p Data at 1, 2 and 8 threads and expects the full counter
+/// snapshot to be identical each time — with spans enabled, so the
+/// timing machinery cannot perturb the counts either.
+void expectCountersThreadInvariant(const SymbolTable &Syms,
+                                   const ProfileData &Data) {
+  std::map<std::string, uint64_t> Reference;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    freshRegistry();
+    Registry::instance().enableSpans(true);
+    AnalyzerOptions Opts;
+    Opts.Threads = Threads;
+    cantFail(Analyzer(Syms, Opts).analyze(Data));
+    Registry::instance().enableSpans(false);
+    std::map<std::string, uint64_t> Snap = counterSnapshot();
+    EXPECT_GT(Snap.at("analyzer.runs"), 0u);
+    EXPECT_GT(Snap.at("analyzer.symbolize.raw_records"), 0u);
+    if (Threads == 1)
+      Reference = std::move(Snap);
+    else
+      EXPECT_EQ(Snap, Reference)
+          << "counters diverged at Threads = " << Threads;
+  }
+  ASSERT_FALSE(Reference.empty());
+}
+
+TEST(TelemetryDeterminismTest, AnalyzerCountersPrimes) {
+  SymbolTable Syms;
+  ProfileData Data;
+  runCorpusProgram("primes.tl", Syms, Data);
+  expectCountersThreadInvariant(Syms, Data);
+}
+
+TEST(TelemetryDeterminismTest, AnalyzerCountersCalculatorWithCycle) {
+  SymbolTable Syms;
+  ProfileData Data;
+  runCorpusProgram("calculator.tl", Syms, Data);
+  expectCountersThreadInvariant(Syms, Data);
+}
+
+} // namespace

@@ -14,6 +14,7 @@
 #include "gmon/GmonFile.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/TraceWriter.h"
 
 #include <gtest/gtest.h>
 
@@ -272,6 +273,103 @@ TEST_F(ToolsTest, TlcDumpAst) {
   EXPECT_EQ(Rc, 0) << Out;
   EXPECT_NE(Out.find("fn middle(n)"), std::string::npos);
   EXPECT_NE(Out.find("call-direct"), std::string::npos);
+}
+
+TEST_F(ToolsTest, GprofStatsAndTraceOut) {
+  // The observability surface end to end: --stats=FILE writes the flat
+  // stats JSON, --trace-out writes a Chrome trace, and neither disturbs
+  // the listings — the parallel run with telemetry on is byte-identical
+  // to the sequential run without it.
+  std::string StatsPath = tempPath("stats.json");
+  std::string TracePath = tempPath("trace.json");
+
+  // Pad the profile with distinct synthetic call sites so the symbolize
+  // stage has enough raw records to fan out across the pool (the chunk
+  // planner wants >= 1024 records per chunk).
+  auto Padded = readGmonFile(*Gmon);
+  ASSERT_TRUE(static_cast<bool>(Padded));
+  for (uint32_t I = 0; I != 6000; ++I)
+    Padded->Arcs.push_back({0x100000 + I, 0x200000 + (I % 7), 1});
+  std::string BigGmon = tempPath("big_gmon.out");
+  cantFail(writeGmonFile(BigGmon, *Padded));
+
+  std::string Plain, Instrumented;
+  int Rc = runCommand(format("%s --threads 1 %s %s", GPROF_PATH,
+                             Img->c_str(), BigGmon.c_str()),
+                      Plain);
+  ASSERT_EQ(Rc, 0) << Plain;
+  Rc = runCommand(format("%s --threads 8 --stats=%s --trace-out %s %s %s",
+                         GPROF_PATH, StatsPath.c_str(), TracePath.c_str(),
+                         Img->c_str(), BigGmon.c_str()),
+                  Instrumented);
+  ASSERT_EQ(Rc, 0) << Instrumented;
+  EXPECT_EQ(Instrumented, Plain);
+
+  // The stats JSON parses and carries the pipeline counters.
+  auto Stats = readFileText(StatsPath);
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  ASSERT_TRUE(validateJson(*Stats).hasValue()) << *Stats;
+  EXPECT_NE(Stats->find("\"bench\": \"gprof_stats\""), std::string::npos);
+  EXPECT_NE(Stats->find("analyzer.symbolize.raw_records"),
+            std::string::npos);
+
+  // The trace parses, and every §4 phase plus per-worker pool tracks
+  // appear in it.
+  auto Trace = readFileText(TracePath);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  auto TS = validateTraceJson(*Trace);
+  ASSERT_TRUE(TS.hasValue()) << TS.message();
+  EXPECT_EQ(TS->NameCounts.at("analyzer.symbolize"), 1u);
+  EXPECT_EQ(TS->NameCounts.at("analyzer.assign"), 1u);
+  EXPECT_EQ(TS->NameCounts.at("analyzer.propagate"), 1u);
+  EXPECT_GE(TS->NameCounts.at("pool.job"), 1u);
+  EXPECT_GE(TS->Tids.size(), 2u) << "expected main + worker tracks";
+  EXPECT_NE(Trace->find("worker-0"), std::string::npos)
+      << "expected named per-worker tracks";
+  std::remove(StatsPath.c_str());
+  std::remove(TracePath.c_str());
+  std::remove(BigGmon.c_str());
+}
+
+TEST_F(ToolsTest, GprofBareStatsDumpsToStderr) {
+  std::string Out;
+  int Rc = runCommand(format("%s -b --flat-only --stats %s %s", GPROF_PATH,
+                             Img->c_str(), Gmon->c_str()),
+                      Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  // Bare --stats must not swallow the image path as its value.
+  EXPECT_NE(Out.find("cumulative"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"bench\": \"gprof_stats\""), std::string::npos)
+      << Out;
+}
+
+TEST_F(ToolsTest, TlrunTelemetryEnvKnob) {
+  std::string StatsPath = tempPath("tlrun_stats.json");
+  std::string Out;
+  int Rc = runCommand(format("GPROF_TELEMETRY=%s %s %s -q --gmon %s "
+                             "--cycles-per-tick 100",
+                             StatsPath.c_str(), TLRUN_PATH, Img->c_str(),
+                             tempPath("knob.out").c_str()),
+                      Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  auto Stats = readFileText(StatsPath);
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  ASSERT_TRUE(validateJson(*Stats).hasValue()) << *Stats;
+  EXPECT_NE(Stats->find("\"bench\": \"tlrun_stats\""), std::string::npos);
+  EXPECT_NE(Stats->find("runtime.mcount.records"), std::string::npos);
+  EXPECT_NE(Stats->find("runtime.hist.ticks"), std::string::npos);
+  std::remove(StatsPath.c_str());
+  std::remove(tempPath("knob.out").c_str());
+
+  // GPROF_TELEMETRY=- dumps to stderr instead.
+  Rc = runCommand(format("GPROF_TELEMETRY=- %s %s -q --gmon %s",
+                         TLRUN_PATH, Img->c_str(),
+                         tempPath("knob2.out").c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("\"bench\": \"tlrun_stats\""), std::string::npos)
+      << Out;
+  std::remove(tempPath("knob2.out").c_str());
 }
 
 TEST_F(ToolsTest, HelpTextsWork) {
