@@ -9,6 +9,7 @@
 #include "support/BinaryStream.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/Telemetry.h"
 
 using namespace gprof;
 
@@ -49,7 +50,33 @@ std::vector<uint8_t> gprof::writeGmon(const ProfileData &Data) {
 }
 
 Expected<ProfileData> gprof::readGmon(const std::vector<uint8_t> &Bytes) {
+  return readGmon(Bytes, GmonReadOptions{}, nullptr);
+}
+
+Expected<ProfileData> gprof::readGmon(const std::vector<uint8_t> &Bytes,
+                                      const GmonReadOptions &Opts,
+                                      GmonSalvage *Salvage) {
+  GmonSalvage LocalSalvage;
+  GmonSalvage &S = Salvage ? *Salvage : LocalSalvage;
+  S = GmonSalvage{};
   BinaryReader R(Bytes);
+
+  // Publishes the salvage tallies once the tolerant path kept a damaged
+  // file.  Counters, not gauges: the tallies derive from the bytes alone.
+  auto NoteDamage = [&S](std::string Note) {
+    S.Damaged = true;
+    if (S.Note.empty())
+      S.Note = std::move(Note);
+  };
+  auto FinishSalvaged = [&S](ProfileData Data) -> Expected<ProfileData> {
+    if (S.Damaged) {
+      telemetry::counter("gmon.read.salvaged_files").add(1);
+      telemetry::counter("gmon.read.salvaged_arcs").add(S.SalvagedArcs);
+      telemetry::counter("gmon.read.dropped_arcs").add(S.DroppedArcs);
+      telemetry::counter("gmon.read.dropped_buckets").add(S.DroppedBuckets);
+    }
+    return Data;
+  };
 
   auto MagicBytes = R.readBytes(sizeof(Magic));
   if (!MagicBytes)
@@ -102,8 +129,9 @@ Expected<ProfileData> gprof::readGmon(const std::vector<uint8_t> &Bytes) {
                static_cast<unsigned long long>(*NumBuckets)));
   // Validate the length against the bytes actually present before
   // allocating, so corrupted counts fail cleanly instead of exhausting
-  // memory.
-  if (*NumBuckets * 8 > R.remaining())
+  // memory.  Tolerant mode treats the shortfall as a torn tail instead
+  // and keeps the buckets that made it to disk.
+  if (!Opts.Tolerant && *NumBuckets * 8 > R.remaining())
     return Error::failure("gmon histogram longer than the file");
 
   if (*NumBuckets != 0) {
@@ -122,14 +150,29 @@ Expected<ProfileData> gprof::readGmon(const std::vector<uint8_t> &Bytes) {
                  static_cast<unsigned long long>(Implied)));
     Histogram H(*LowPc, *HighPc, *BucketSize);
     for (size_t I = 0; I != H.numBuckets(); ++I) {
+      if (Opts.Tolerant && R.remaining() < 8) {
+        NoteDamage(format("histogram truncated after %zu of %zu buckets",
+                          I, H.numBuckets()));
+        break;
+      }
       auto C = R.readU64();
       if (!C)
         return C.takeError();
       H.setBucketCount(I, *C);
+      ++S.SalvagedBuckets;
     }
+    S.DroppedBuckets = H.numBuckets() - S.SalvagedBuckets;
     Data.Hist = std::move(H);
+    // A cut inside the counts leaves no room for an arc table; anything
+    // left in the stream is the torn bucket, not records.
+    if (S.DroppedBuckets != 0)
+      return FinishSalvaged(std::move(Data));
   }
 
+  if (Opts.Tolerant && R.remaining() < 8) {
+    NoteDamage("arc table count truncated");
+    return FinishSalvaged(std::move(Data));
+  }
   auto NumArcs = R.readU64();
   if (!NumArcs)
     return NumArcs.takeError();
@@ -137,10 +180,17 @@ Expected<ProfileData> gprof::readGmon(const std::vector<uint8_t> &Bytes) {
     return Error::failure(
         format("gmon arc table implausibly large (%llu records)",
                static_cast<unsigned long long>(*NumArcs)));
-  if (*NumArcs * 24 > R.remaining())
-    return Error::failure("gmon arc table longer than the file");
-  Data.Arcs.reserve(static_cast<size_t>(*NumArcs));
-  for (uint64_t I = 0; I != *NumArcs; ++I) {
+  uint64_t WholeArcs = *NumArcs;
+  if (*NumArcs * 24 > R.remaining()) {
+    if (!Opts.Tolerant)
+      return Error::failure("gmon arc table longer than the file");
+    WholeArcs = R.remaining() / 24;
+    NoteDamage(format("arc table truncated after %llu of %llu records",
+                      static_cast<unsigned long long>(WholeArcs),
+                      static_cast<unsigned long long>(*NumArcs)));
+  }
+  Data.Arcs.reserve(static_cast<size_t>(WholeArcs));
+  for (uint64_t I = 0; I != WholeArcs; ++I) {
     auto FromPc = R.readU64();
     if (!FromPc)
       return FromPc.takeError();
@@ -152,39 +202,67 @@ Expected<ProfileData> gprof::readGmon(const std::vector<uint8_t> &Bytes) {
       return Count.takeError();
     Data.Arcs.push_back({*FromPc, *SelfPc, *Count});
   }
+  S.SalvagedArcs = WholeArcs;
+  S.DroppedArcs = *NumArcs - WholeArcs;
+  // The bytes after the last whole record are the torn record, not
+  // trailing junk; skip the trailing check for a truncated table.
+  if (S.DroppedArcs != 0)
+    return FinishSalvaged(std::move(Data));
 
-  if (!R.atEnd())
-    return Error::failure(
-        format("%zu trailing bytes after gmon data", R.remaining()));
-  return Data;
+  if (!R.atEnd()) {
+    if (!Opts.Tolerant)
+      return Error::failure(
+          format("%zu trailing bytes after gmon data", R.remaining()));
+    S.TrailingBytes = R.remaining();
+    NoteDamage(format("%zu trailing bytes ignored after gmon data",
+                      R.remaining()));
+  }
+  return FinishSalvaged(std::move(Data));
 }
 
 Error gprof::writeGmonFile(const std::string &Path, const ProfileData &Data) {
-  return writeFileBytes(Path, writeGmon(Data));
+  // Write-then-rename: a crash (or injected fault) mid-write leaves any
+  // previous profile at Path byte-identical instead of torn.
+  return writeFileBytesAtomic(Path, writeGmon(Data));
 }
 
 Expected<ProfileData> gprof::readGmonFile(const std::string &Path) {
+  return readGmonFile(Path, GmonReadOptions{}, nullptr);
+}
+
+Expected<ProfileData> gprof::readGmonFile(const std::string &Path,
+                                          const GmonReadOptions &Opts,
+                                          GmonSalvage *Salvage) {
   auto Bytes = readFileBytes(Path);
   if (!Bytes)
     return Bytes.takeError();
-  auto Data = readGmon(*Bytes);
+  auto Data = readGmon(*Bytes, Opts, Salvage);
   if (!Data)
     return Error::failure(Path + ": " + Data.message());
   return Data;
 }
 
 Expected<ProfileData>
-gprof::readAndSumGmonFiles(const std::vector<std::string> &Paths) {
+gprof::readAndSumGmonFiles(const std::vector<std::string> &Paths,
+                           const GmonReadOptions &Opts,
+                           std::vector<GmonFileSalvage> *Salvages) {
   if (Paths.empty())
     return Error::failure("no gmon files given");
-  auto First = readGmonFile(Paths.front());
+  auto RecordSalvage = [&](const std::string &Path, GmonSalvage &S) {
+    if (Salvages && S.Damaged)
+      Salvages->push_back({Path, std::move(S)});
+  };
+  GmonSalvage S;
+  auto First = readGmonFile(Paths.front(), Opts, &S);
   if (!First)
     return First.takeError();
+  RecordSalvage(Paths.front(), S);
   ProfileData Sum = First.takeValue();
   for (size_t I = 1; I != Paths.size(); ++I) {
-    auto Next = readGmonFile(Paths[I]);
+    auto Next = readGmonFile(Paths[I], Opts, &S);
     if (!Next)
       return Next.takeError();
+    RecordSalvage(Paths[I], S);
     // Name both sides: the accumulated sum carries the geometry of the
     // first file, so a mismatch is between Paths[I] and Paths[0].
     if (Error E = Sum.merge(*Next))

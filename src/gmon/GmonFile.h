@@ -19,7 +19,10 @@
 ///
 /// The reader validates the magic, version, and every length field, and
 /// rejects trailing garbage, so damaged files are reported rather than
-/// silently misparsed.
+/// silently misparsed.  A tolerant mode (GmonReadOptions) instead
+/// salvages every record fully serialized before a truncation point —
+/// the recovery story for profiles torn by a crash at condense time
+/// (docs/ROBUSTNESS.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,18 +41,68 @@ namespace gprof {
 /// Serializes \p Data into the gmon container format.
 std::vector<uint8_t> writeGmon(const ProfileData &Data);
 
-/// Parses a gmon container.
+/// How to treat damaged gmon bytes (docs/ROBUSTNESS.md).
+struct GmonReadOptions {
+  /// Strict mode (the default) rejects any damage.  Tolerant mode
+  /// salvages every fully-serialized record from a truncated file — a
+  /// crash tore the writer mid-stream, but the prefix is still a valid
+  /// (partial) profile — and reports what was dropped.  The fixed header
+  /// (magic through the histogram geometry, 53 bytes) is the salvage
+  /// floor: a file cut inside it carries no usable records and still
+  /// fails.  Corrupt header fields (bad magic, impossible geometry) fail
+  /// in both modes; tolerance is for truncation and trailing junk, not
+  /// for lying headers.
+  bool Tolerant = false;
+};
+
+/// What a tolerant read dropped (all zero for an intact file).
+struct GmonSalvage {
+  bool Damaged = false;        ///< Anything below is nonzero.
+  uint64_t SalvagedBuckets = 0; ///< Histogram buckets recovered intact.
+  uint64_t DroppedBuckets = 0;  ///< Buckets lost to the cut (read as 0).
+  uint64_t SalvagedArcs = 0;    ///< Arc records recovered intact.
+  uint64_t DroppedArcs = 0;     ///< Arc records lost to the cut.
+  uint64_t TrailingBytes = 0;   ///< Junk bytes ignored after the data.
+  /// Human-readable description of the damage, empty when intact.
+  std::string Note;
+};
+
+/// Parses a gmon container in strict mode.
 Expected<ProfileData> readGmon(const std::vector<uint8_t> &Bytes);
 
-/// Writes \p Data to the file at \p Path.
+/// Parses a gmon container under \p Opts.  With Opts.Tolerant, a
+/// truncated file yields the exact prefix of records serialized before
+/// the cut and \p Salvage (when non-null) reports what was dropped.
+Expected<ProfileData> readGmon(const std::vector<uint8_t> &Bytes,
+                               const GmonReadOptions &Opts,
+                               GmonSalvage *Salvage = nullptr);
+
+/// Writes \p Data to the file at \p Path via write-then-rename, so a
+/// crash mid-write never tears an existing profile.
 Error writeGmonFile(const std::string &Path, const ProfileData &Data);
 
 /// Reads the gmon file at \p Path.
 Expected<ProfileData> readGmonFile(const std::string &Path);
 
+/// Reads the gmon file at \p Path under \p Opts.
+Expected<ProfileData> readGmonFile(const std::string &Path,
+                                   const GmonReadOptions &Opts,
+                                   GmonSalvage *Salvage = nullptr);
+
+/// One damaged input of a multi-file read, for caller-side reporting.
+struct GmonFileSalvage {
+  std::string Path;
+  GmonSalvage Salvage;
+};
+
 /// Reads and sums several gmon files (gprof's "sum the data over several
-/// profiled runs").  At least one path is required.
-Expected<ProfileData> readAndSumGmonFiles(const std::vector<std::string> &Paths);
+/// profiled runs").  At least one path is required.  Under tolerant
+/// options, damaged inputs contribute their salvaged prefix and are
+/// appended to \p Salvages (when non-null).
+Expected<ProfileData>
+readAndSumGmonFiles(const std::vector<std::string> &Paths,
+                    const GmonReadOptions &Opts = {},
+                    std::vector<GmonFileSalvage> *Salvages = nullptr);
 
 } // namespace gprof
 

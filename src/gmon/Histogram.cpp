@@ -29,7 +29,19 @@ void Histogram::recordPc(Address Pc) {
 }
 
 Error Histogram::merge(const Histogram &Other) {
-  if (Counts.empty() && Other.Counts.empty()) {
+  // An empty side is not incompatible: a run that recorded arcs but no
+  // samples (program exited before the first tick) carries no histogram,
+  // and must still sum with a sampled sibling.  The empty side simply
+  // adopts the other's geometry and counts.
+  if (Other.Counts.empty()) {
+    OutOfRange += Other.OutOfRange;
+    return Error::success();
+  }
+  if (Counts.empty()) {
+    LowPc = Other.LowPc;
+    HighPc = Other.HighPc;
+    BucketSize = Other.BucketSize;
+    Counts = Other.Counts;
     OutOfRange += Other.OutOfRange;
     return Error::success();
   }
@@ -44,8 +56,8 @@ Error Histogram::merge(const Histogram &Other) {
         static_cast<unsigned long long>(Other.HighPc),
         static_cast<unsigned long long>(Other.BucketSize)));
   for (size_t I = 0; I != Counts.size(); ++I)
-    Counts[I] += Other.Counts[I];
-  OutOfRange += Other.OutOfRange;
+    Counts[I] = saturatingAdd(Counts[I], Other.Counts[I]);
+  OutOfRange = saturatingAdd(OutOfRange, Other.OutOfRange);
   return Error::success();
 }
 

@@ -28,6 +28,16 @@ namespace gprof {
 /// A code address in the profiled image's flat address space.
 using Address = uint64_t;
 
+/// Adds without wrapping: adversarial or long-aggregated counts clamp to
+/// UINT64_MAX instead of silently restarting from zero.  Saturating
+/// addition stays commutative and associative (the result is
+/// min(true sum, max) for any grouping), so the merge engine's
+/// determinism guarantee survives.
+inline uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t Sum = A + B; // Unsigned wrap is well-defined; detect it.
+  return Sum < A ? UINT64_MAX : Sum;
+}
+
 /// PC-sample histogram over a half-open address range.
 class Histogram {
 public:
@@ -43,9 +53,11 @@ public:
   /// live outside the monitored range).
   void recordPc(Address Pc);
 
-  /// Adds \p Other bucket-by-bucket.  Fails unless the ranges and bucket
-  /// sizes are identical, mirroring gprof's refusal to sum profiles from
-  /// different executables.
+  /// Adds \p Other bucket-by-bucket, saturating at UINT64_MAX.  Fails
+  /// unless the ranges and bucket sizes are identical, mirroring gprof's
+  /// refusal to sum profiles from different executables — except that an
+  /// empty side (a run with no samples) is compatible with anything and
+  /// adopts the other side's geometry.
   Error merge(const Histogram &Other);
 
   Address lowPc() const { return LowPc; }

@@ -7,17 +7,63 @@
 #include "gmon/ProfileData.h"
 
 #include "support/Format.h"
+#include "support/Telemetry.h"
 
 using namespace gprof;
 
+void ProfileData::invalidateArcIndex() const {
+  ArcIndex.clear();
+  CalleeTotals.clear();
+  IndexedArcs = 0;
+  ArcIndexValid = false;
+}
+
+void ProfileData::rebuildArcIndex() const {
+  ArcIndex.clear();
+  CalleeTotals.clear();
+  ArcIndex.reserve(Arcs.size());
+  for (size_t I = 0; I != Arcs.size(); ++I) {
+    const ArcRecord &R = Arcs[I];
+    auto [It, Fresh] = ArcIndex.try_emplace({R.FromPc, R.SelfPc}, I);
+    // Duplicate keys can exist before canonicalization; keep the first
+    // position (addArc then accumulates there, matching the historical
+    // first-match linear scan).
+    (void)It;
+    (void)Fresh;
+    CalleeTotals[R.SelfPc] =
+        saturatingAdd(CalleeTotals[R.SelfPc], R.Count);
+  }
+  IndexedArcs = Arcs.size();
+  ArcIndexValid = true;
+}
+
 void ProfileData::addArc(Address FromPc, Address SelfPc, uint64_t Count) {
-  for (ArcRecord &R : Arcs) {
-    if (R.FromPc == FromPc && R.SelfPc == SelfPc) {
-      R.Count += Count;
-      return;
+  if (!ArcIndexValid || IndexedArcs != Arcs.size())
+    rebuildArcIndex();
+  auto It = ArcIndex.find({FromPc, SelfPc});
+  if (It != ArcIndex.end()) {
+    if (Arcs[It->second].FromPc != FromPc ||
+        Arcs[It->second].SelfPc != SelfPc) {
+      // External code reordered Arcs under the index; rebuild and retry.
+      rebuildArcIndex();
+      It = ArcIndex.find({FromPc, SelfPc});
     }
   }
+  if (It != ArcIndex.end()) {
+    ArcRecord &R = Arcs[It->second];
+    if (Count > UINT64_MAX - R.Count)
+      telemetry::counter("gmon.arcs.saturated").add(1);
+    uint64_t Sum = saturatingAdd(R.Count, Count);
+    CalleeTotals[SelfPc] =
+        saturatingAdd(CalleeTotals[SelfPc], Sum - R.Count);
+    R.Count = Sum;
+    return;
+  }
   Arcs.push_back({FromPc, SelfPc, Count});
+  ArcIndex.emplace(std::pair<Address, Address>{FromPc, SelfPc},
+                   Arcs.size() - 1);
+  CalleeTotals[SelfPc] = saturatingAdd(CalleeTotals[SelfPc], Count);
+  IndexedArcs = Arcs.size();
 }
 
 Error ProfileData::merge(const ProfileData &Other) {
@@ -37,9 +83,8 @@ Error ProfileData::merge(const ProfileData &Other) {
 }
 
 uint64_t ProfileData::callsInto(Address SelfPc) const {
-  uint64_t Total = 0;
-  for (const ArcRecord &R : Arcs)
-    if (R.SelfPc == SelfPc)
-      Total += R.Count;
-  return Total;
+  if (!ArcIndexValid || IndexedArcs != Arcs.size())
+    rebuildArcIndex();
+  auto It = CalleeTotals.find(SelfPc);
+  return It == CalleeTotals.end() ? 0 : It->second;
 }

@@ -22,6 +22,8 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace gprof {
@@ -58,17 +60,53 @@ struct ProfileData {
   }
 
   /// Adds \p Count traversals for (FromPc, SelfPc), merging with an
-  /// existing record if present.  Linear scan: intended for building test
-  /// fixtures and merging, not for the hot recording path (the runtime's
-  /// ArcHashTable owns that).
+  /// existing record if present.  Amortized O(1): a lazily built hash
+  /// index over (FromPc, SelfPc) replaces the historical linear scan, so
+  /// summing M files of A arcs is O(M·A) rather than O(M·A²).  Counts
+  /// saturate at UINT64_MAX (see saturatingAdd), tallied on the
+  /// "gmon.arcs.saturated" telemetry counter.
   void addArc(Address FromPc, Address SelfPc, uint64_t Count);
 
-  /// Sums \p Other into this profile (gprof -s).  Histogram ranges and
-  /// sampling rates must match.
+  /// Sums \p Other into this profile (gprof -s).  Sampling rates must
+  /// match; histogram geometries must match unless one side is empty, in
+  /// which case the empty side adopts the other's geometry (a run that
+  /// recorded arcs but no samples is still summable).
   Error merge(const ProfileData &Other);
 
-  /// Total traversals recorded into the callee at \p SelfPc.
+  /// Total traversals recorded into the callee at \p SelfPc.  Served
+  /// from a lazily built per-callee total index, not a table scan.
   uint64_t callsInto(Address SelfPc) const;
+
+  /// Drops the lazy arc indexes.  The indexes revalidate themselves when
+  /// Arcs changes size or an entry moves, so most direct mutation of
+  /// Arcs needs no call here; call it after mutating Count values in
+  /// place on a profile that addArc or callsInto has already indexed.
+  void invalidateArcIndex() const;
+
+private:
+  struct ArcKeyHash {
+    size_t operator()(const std::pair<Address, Address> &K) const {
+      // splitmix64-style mix of the two halves.
+      uint64_t H = K.first * 0x9E3779B97F4A7C15ULL ^ K.second;
+      H ^= H >> 30;
+      H *= 0xBF58476D1CE4E5B9ULL;
+      H ^= H >> 27;
+      return static_cast<size_t>(H);
+    }
+  };
+
+  /// Lazy caches over Arcs: (from, self) -> position, and callee ->
+  /// total.  Rebuilt whenever Arcs' size disagrees with IndexedArcs or a
+  /// position lookup finds the wrong key (external code sorted or
+  /// rebuilt the table).  Copies stay consistent: positions are
+  /// positional, not pointers.
+  void rebuildArcIndex() const;
+
+  mutable std::unordered_map<std::pair<Address, Address>, size_t, ArcKeyHash>
+      ArcIndex;
+  mutable std::unordered_map<Address, uint64_t> CalleeTotals;
+  mutable size_t IndexedArcs = 0;
+  mutable bool ArcIndexValid = false;
 };
 
 } // namespace gprof

@@ -27,13 +27,15 @@ void gprof::canonicalizeProfile(ProfileData &Data) {
   for (size_t I = 0; I != Data.Arcs.size(); ++I) {
     if (Out != 0 && Data.Arcs[Out - 1].FromPc == Data.Arcs[I].FromPc &&
         Data.Arcs[Out - 1].SelfPc == Data.Arcs[I].SelfPc) {
-      Data.Arcs[Out - 1].Count += Data.Arcs[I].Count;
+      Data.Arcs[Out - 1].Count =
+          saturatingAdd(Data.Arcs[Out - 1].Count, Data.Arcs[I].Count);
     } else {
       Data.Arcs[Out] = Data.Arcs[I];
       ++Out;
     }
   }
   Data.Arcs.resize(Out);
+  Data.invalidateArcIndex();
 }
 
 bool gprof::isCanonicalProfile(const ProfileData &Data) {
@@ -56,9 +58,12 @@ Error gprof::checkMergeCompatible(const ProfileData &A, const ProfileData &B,
         NameB.c_str(), NameA.c_str(),
         static_cast<unsigned long long>(B.TicksPerSecond),
         static_cast<unsigned long long>(A.TicksPerSecond)));
-  if (A.Hist.empty() && B.Hist.empty())
+  // An empty histogram (a run that recorded arcs but exited before the
+  // first sample tick) is compatible with anything; merging adopts the
+  // non-empty side's geometry.
+  if (A.Hist.empty() || B.Hist.empty())
     return Error::success();
-  if (A.Hist.empty() != B.Hist.empty() || A.Hist.lowPc() != B.Hist.lowPc() ||
+  if (A.Hist.lowPc() != B.Hist.lowPc() ||
       A.Hist.highPc() != B.Hist.highPc() ||
       A.Hist.bucketSize() != B.Hist.bucketSize())
     return Error::failure(format(
@@ -115,8 +120,8 @@ ProfileData kWayMerge(const std::vector<const ProfileData *> &Shards) {
         Out.Hist = Histogram(S->Hist.lowPc(), S->Hist.highPc(),
                              S->Hist.bucketSize());
       for (size_t I = 0; I != S->Hist.numBuckets(); ++I)
-        Out.Hist.setBucketCount(I, Out.Hist.bucketCount(I) +
-                                       S->Hist.bucketCount(I));
+        Out.Hist.setBucketCount(I, saturatingAdd(Out.Hist.bucketCount(I),
+                                                 S->Hist.bucketCount(I)));
     }
   }
 
@@ -129,24 +134,31 @@ ProfileData kWayMerge(const std::vector<const ProfileData *> &Shards) {
 
   Out.Arcs.reserve(TotalArcs);
   uint64_t HeapPops = 0;
+  uint64_t ArcSaturations = 0;
   while (!Heap.empty()) {
     ArcCursor Top = Heap.top();
     Heap.pop();
     ++HeapPops;
     const ArcRecord &R = Shards[Top.Shard]->Arcs[Top.Pos];
     if (!Out.Arcs.empty() && Out.Arcs.back().FromPc == R.FromPc &&
-        Out.Arcs.back().SelfPc == R.SelfPc)
-      Out.Arcs.back().Count += R.Count;
-    else
+        Out.Arcs.back().SelfPc == R.SelfPc) {
+      if (R.Count > UINT64_MAX - Out.Arcs.back().Count)
+        ++ArcSaturations;
+      Out.Arcs.back().Count = saturatingAdd(Out.Arcs.back().Count, R.Count);
+    } else {
       Out.Arcs.push_back(R);
+    }
     if (Top.Pos + 1 != Shards[Top.Shard]->Arcs.size()) {
       const ArcRecord &Next = Shards[Top.Shard]->Arcs[Top.Pos + 1];
       Heap.push({Next.FromPc, Next.SelfPc, Top.Shard, Top.Pos + 1});
     }
   }
-  // A gauge, not a counter: the tree's leaf decomposition (and therefore
-  // how many pops the intermediate passes add) depends on pool width.
+  // Gauges, not counters: the tree's leaf decomposition (and therefore
+  // how many pops and partial-aggregate saturations the intermediate
+  // passes add) depends on pool width.
   telemetry::gauge("store.merge.heap_pops").add(HeapPops);
+  if (ArcSaturations != 0)
+    telemetry::gauge("store.merge.arc_saturations").add(ArcSaturations);
   return Out;
 }
 
@@ -165,10 +177,21 @@ gprof::mergeProfiles(const std::vector<ProfileData> &Shards,
     telemetry::counter("store.merge.shards").add(Shards.size());
     telemetry::counter("store.merge.input_arcs").add(InputArcs);
   }
-  for (size_t I = 1; I != Shards.size(); ++I)
-    if (Error E = checkMergeCompatible(Shards.front(), Shards[I], "shard 0",
-                                       format("shard %zu", I)))
-      return E;
+  // Validate geometry against the first shard that actually has a
+  // histogram; empty-histogram shards are compatible with anything, so
+  // blindly comparing to shard 0 would let two incompatible sampled
+  // shards slip past an unsampled shard 0.
+  size_t Ref = 0;
+  while (Ref != Shards.size() && Shards[Ref].Hist.empty())
+    ++Ref;
+  if (Ref == Shards.size())
+    Ref = 0;
+  for (size_t I = 0; I != Shards.size(); ++I)
+    if (I != Ref)
+      if (Error E = checkMergeCompatible(Shards[Ref], Shards[I],
+                                         format("shard %zu", Ref),
+                                         format("shard %zu", I)))
+        return E;
 
   std::vector<const ProfileData *> Ptrs;
   Ptrs.reserve(Shards.size());

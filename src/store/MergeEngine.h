@@ -19,9 +19,10 @@
 /// for any thread count and any shard order, so cached aggregates keyed by
 /// the shard-digest set stay valid no matter how they were produced.  That
 /// holds because every combining operation is exact integer arithmetic
-/// (bucket adds, arc-count adds, run-count adds, flag OR — all commutative
-/// and associative, including on wraparound) and the output arc table is
-/// emitted in canonical order.  No floating-point reduction ever runs here.
+/// (saturating bucket and arc-count adds, run-count adds, flag OR — all
+/// commutative and associative: a saturating sum is min(true sum, max) for
+/// any grouping) and the output arc table is emitted in canonical order.
+/// No floating-point reduction ever runs here.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,8 +46,9 @@ void canonicalizeProfile(ProfileData &Data);
 bool isCanonicalProfile(const ProfileData &Data);
 
 /// Checks that \p A and \p B may be summed (same sampling rate, same
-/// histogram geometry).  \p NameA / \p NameB label the two sides in the
-/// error message (file paths, digests, ...).
+/// histogram geometry; an empty histogram is compatible with any geometry).
+/// \p NameA / \p NameB label the two sides in the error message (file
+/// paths, digests, ...).
 Error checkMergeCompatible(const ProfileData &A, const ProfileData &B,
                            const std::string &NameA, const std::string &NameB);
 

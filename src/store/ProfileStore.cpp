@@ -9,11 +9,14 @@
 #include "gmon/GmonFile.h"
 #include "store/MergeEngine.h"
 #include "support/BinaryStream.h"
+#include "support/FaultInjection.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 using namespace gprof;
 
@@ -37,7 +40,13 @@ bool digestLess(const ShardInfo &A, const ShardInfo &B) {
 } // namespace
 
 Expected<ProfileStore> ProfileStore::open(const std::string &RootDir) {
+  return open(RootDir, StoreOptions{});
+}
+
+Expected<ProfileStore> ProfileStore::open(const std::string &RootDir,
+                                          const StoreOptions &Options) {
   ProfileStore Store;
+  Store.Options = Options;
   Store.Root = RootDir;
   while (Store.Root.size() > 1 && Store.Root.back() == '/')
     Store.Root.pop_back();
@@ -147,10 +156,23 @@ Error ProfileStore::saveIndex() const {
     W.writeU32(Info.Runs);
   }
   // Write-then-rename so a crash mid-save never leaves a torn index.
-  std::string Tmp = Root + "/index.bin.tmp";
-  if (Error E = writeFileBytes(Tmp, W.bytes()))
-    return E;
-  return renameFile(Tmp, Root + "/index.bin");
+  return retryIo(
+      [&] { return writeFileBytesAtomic(Root + "/index.bin", W.bytes()); });
+}
+
+Error ProfileStore::retryIo(const std::function<Error()> &Op) const {
+  unsigned BackoffMs = Options.RetryBackoffMs;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Error E = Op();
+    if (!E || Attempt == Options.IoRetries)
+      return E;
+    // A gauge, not a counter: how often transient faults strike depends on
+    // the environment, never on the data.
+    telemetry::gauge("store.io.retries").add(1);
+    if (BackoffMs != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+    BackoffMs *= 2;
+  }
 }
 
 Error ProfileStore::checkCompatibleWithStore(const ProfileData &Data,
@@ -158,20 +180,25 @@ Error ProfileStore::checkCompatibleWithStore(const ProfileData &Data,
                                              const std::string &Label) const {
   if (Shards.empty())
     return Error::success();
-  const ShardInfo &Key = Shards.front();
-  if (Data.TicksPerSecond != Key.Hz)
+  if (Data.TicksPerSecond != Shards.front().Hz)
     return Error::failure(format(
         "cannot ingest '%s' into store '%s': sampling rates differ "
         "(%llu vs %llu ticks/sec)",
         Label.c_str(), Root.c_str(),
         static_cast<unsigned long long>(Data.TicksPerSecond),
-        static_cast<unsigned long long>(Key.Hz)));
-  bool DataEmpty = Data.Hist.empty();
-  bool KeyEmpty = Key.NumBuckets == 0;
-  if (DataEmpty != KeyEmpty ||
-      (!DataEmpty && (Data.Hist.lowPc() != Key.LowPc ||
-                      Data.Hist.highPc() != Key.HighPc ||
-                      Data.Hist.bucketSize() != Key.BucketSize)))
+        static_cast<unsigned long long>(Shards.front().Hz)));
+  // Geometry is checked against the first shard that has a histogram: an
+  // empty histogram (a run with arcs but no samples) is compatible with
+  // anything, so an unsampled shard must not serve as the reference.
+  const ShardInfo *Key = nullptr;
+  for (const ShardInfo &S : Shards)
+    if (S.NumBuckets != 0) {
+      Key = &S;
+      break;
+    }
+  if (Key && !Data.Hist.empty() &&
+      (Data.Hist.lowPc() != Key->LowPc || Data.Hist.highPc() != Key->HighPc ||
+       Data.Hist.bucketSize() != Key->BucketSize))
     return Error::failure(format(
         "cannot ingest '%s' into store '%s': histogram ranges differ "
         "([%llu,%llu)/%llu vs [%llu,%llu)/%llu)",
@@ -179,9 +206,9 @@ Error ProfileStore::checkCompatibleWithStore(const ProfileData &Data,
         static_cast<unsigned long long>(Data.Hist.lowPc()),
         static_cast<unsigned long long>(Data.Hist.highPc()),
         static_cast<unsigned long long>(Data.Hist.bucketSize()),
-        static_cast<unsigned long long>(Key.LowPc),
-        static_cast<unsigned long long>(Key.HighPc),
-        static_cast<unsigned long long>(Key.BucketSize)));
+        static_cast<unsigned long long>(Key->LowPc),
+        static_cast<unsigned long long>(Key->HighPc),
+        static_cast<unsigned long long>(Key->BucketSize)));
   if (!isZeroDigest(ImageId)) {
     // Any shard that recorded an image identity pins the store to it.
     for (const ShardInfo &S : Shards)
@@ -199,6 +226,8 @@ Error ProfileStore::checkCompatibleWithStore(const ProfileData &Data,
 Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
                                          const Sha256Digest &ImageId,
                                          const std::string &Label) {
+  if (Error E = fault::check("store.put", Label))
+    return E;
   canonicalizeProfile(Data);
   if (Error E = checkCompatibleWithStore(Data, ImageId, Label))
     return E;
@@ -213,7 +242,9 @@ Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
   std::string Path = objectPath(Digest);
   if (Error E = createDirectories(Path.substr(0, Path.rfind('/'))))
     return E;
-  if (Error E = writeFileBytes(Path, Bytes))
+  // Atomic: a crash (or injected fault) mid-ingest must never leave a torn
+  // object under a content-addressed name.
+  if (Error E = retryIo([&] { return writeFileBytesAtomic(Path, Bytes); }))
     return E;
   telemetry::counter("store.put.ingested").add(1);
   telemetry::counter("store.put.bytes_written").add(Bytes.size());
@@ -238,7 +269,9 @@ Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
 
 Expected<Sha256Digest> ProfileStore::putFile(const std::string &GmonPath,
                                              const Sha256Digest &ImageId) {
-  auto Data = readGmonFile(GmonPath);
+  GmonReadOptions ReadOpts;
+  ReadOpts.Tolerant = Options.TolerantReads;
+  auto Data = readGmonFile(GmonPath, ReadOpts);
   if (!Data)
     return Data.takeError();
   return put(Data.takeValue(), ImageId, GmonPath);
@@ -292,6 +325,8 @@ Sha256Digest ProfileStore::aggregateDigest(std::vector<Sha256Digest> Members) {
 
 Expected<ProfileStore::MergeResult>
 ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
+  if (Error E = fault::check("store.merge", Root))
+    return E;
   if (Members.empty())
     for (const ShardInfo &S : Shards)
       Members.push_back(S.Digest);
@@ -344,21 +379,44 @@ ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
     return Merged.takeError();
   Result.Data = Merged.takeValue();
   std::vector<uint8_t> CacheBytes = writeGmon(Result.Data);
-  if (Error E = writeFileBytes(Cached, CacheBytes))
+  // Atomic: readers race with cache population, and a torn cache entry
+  // under the aggregate key would be served as a (corrupt) hit.
+  if (Error E =
+          retryIo([&] { return writeFileBytesAtomic(Cached, CacheBytes); }))
     return E;
   telemetry::counter("store.merge.bytes_written").add(CacheBytes.size());
   return Result;
 }
 
+namespace {
+
+bool hasTmpSuffix(const std::string &Name) {
+  return Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".tmp") == 0;
+}
+
+} // namespace
+
 Expected<GcStats> ProfileStore::gc() {
+  if (Error E = fault::check("store.gc", Root))
+    return E;
   GcStats Stats;
+  // Stale .tmp files are the residue of writes interrupted before their
+  // rename; atomic writers leave them only on a crash or injected fault.
+  if (fileExists(Root + "/index.bin.tmp")) {
+    if (Error E = removeFile(Root + "/index.bin.tmp"))
+      return E;
+    ++Stats.TempFiles;
+  }
   auto CacheEntries = listDirectory(Root + "/cache");
   if (!CacheEntries)
     return CacheEntries.takeError();
   for (const std::string &Name : *CacheEntries) {
     if (Error E = removeFile(Root + "/cache/" + Name))
       return E;
-    ++Stats.CachedAggregates;
+    if (hasTmpSuffix(Name))
+      ++Stats.TempFiles;
+    else
+      ++Stats.CachedAggregates;
   }
 
   auto Fans = listDirectory(Root + "/objects");
@@ -378,10 +436,14 @@ Expected<GcStats> ProfileStore::gc() {
         continue;
       if (Error E = removeFile(FanDir + "/" + Name))
         return E;
-      ++Stats.OrphanObjects;
+      if (hasTmpSuffix(Name))
+        ++Stats.TempFiles;
+      else
+        ++Stats.OrphanObjects;
     }
   }
   telemetry::counter("store.gc.cache_files").add(Stats.CachedAggregates);
   telemetry::counter("store.gc.orphan_objects").add(Stats.OrphanObjects);
+  telemetry::counter("store.gc.temp_files").add(Stats.TempFiles);
   return Stats;
 }

@@ -35,6 +35,7 @@
 #include "support/Sha256.h"
 #include "support/ThreadPool.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,21 @@ struct ShardInfo {
 struct GcStats {
   unsigned CachedAggregates = 0; ///< Cache entries removed.
   unsigned OrphanObjects = 0;    ///< Object files not named by the index.
+  unsigned TempFiles = 0;        ///< Stale .tmp files from interrupted writes.
+};
+
+/// Behavioral knobs for an open store.
+struct StoreOptions {
+  /// Salvage truncated gmon inputs on putFile() instead of rejecting them
+  /// (gmon/GmonFile.h tolerant mode).  Damaged-input details land on the
+  /// gmon.read.* telemetry counters.
+  bool TolerantReads = false;
+  /// Extra attempts after a failed store I/O operation (0 = fail fast).
+  /// Retries target transient faults — NFS hiccups, AV interference — and
+  /// each attempt doubles the backoff below.
+  unsigned IoRetries = 2;
+  /// Sleep before the first retry, in milliseconds; doubles per attempt.
+  unsigned RetryBackoffMs = 1;
 };
 
 /// An open profile repository rooted at one directory.
@@ -69,6 +85,11 @@ public:
 
   /// Opens (creating if needed) the store rooted at \p RootDir.
   static Expected<ProfileStore> open(const std::string &RootDir);
+  /// Same, with explicit behavior knobs.
+  static Expected<ProfileStore> open(const std::string &RootDir,
+                                     const StoreOptions &Options);
+
+  const StoreOptions &options() const { return Options; }
 
   const std::string &rootDir() const { return Root; }
 
@@ -127,8 +148,12 @@ private:
   Error checkCompatibleWithStore(const ProfileData &Data,
                                  const Sha256Digest &ImageId,
                                  const std::string &Label) const;
+  /// Runs \p Op, retrying per Options on failure (bounded attempts,
+  /// doubling backoff).  Returns the last attempt's error.
+  Error retryIo(const std::function<Error()> &Op) const;
 
   std::string Root;
+  StoreOptions Options;
   std::vector<ShardInfo> Shards; ///< Sorted by digest.
 };
 

@@ -1,0 +1,165 @@
+//===- support/FaultInjection.cpp -----------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Format.h"
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+using namespace gprof;
+
+namespace {
+
+struct PointState {
+  uint64_t Nth = 0;   ///< 1-based first failing call; 0 = disarmed.
+  uint64_t Count = 0; ///< Consecutive failures; 0 = all calls from Nth.
+  uint64_t Calls = 0; ///< Calls observed since arming.
+  uint64_t Fired = 0; ///< Failures injected since arming.
+};
+
+struct Registry {
+  std::mutex Mutex;
+  std::map<std::string, PointState> Points;
+};
+
+Registry &registry() {
+  // Leaked like the telemetry registry so checks during shutdown stay safe.
+  static Registry *R = new Registry;
+  return *R;
+}
+
+/// Count of armed points; lets an unarmed check() skip the lock.
+std::atomic<uint64_t> ArmedPoints{0};
+
+/// Splits "point:nth[:count]" into its fields.  Returns false on any
+/// malformed piece.
+bool parseEntry(const std::string &Entry, std::string &Point, uint64_t &Nth,
+                uint64_t &Count) {
+  size_t C1 = Entry.find(':');
+  if (C1 == std::string::npos || C1 == 0)
+    return false;
+  Point = Entry.substr(0, C1);
+  size_t C2 = Entry.find(':', C1 + 1);
+  std::string NthStr = Entry.substr(
+      C1 + 1, C2 == std::string::npos ? std::string::npos : C2 - C1 - 1);
+  unsigned long long V;
+  if (!parseUInt64(NthStr, V) || V == 0)
+    return false;
+  Nth = V;
+  Count = 1;
+  if (C2 != std::string::npos) {
+    if (!parseUInt64(Entry.substr(C2 + 1), V))
+      return false;
+    Count = V;
+  }
+  return true;
+}
+
+void loadEnvOnce() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    const char *Spec = std::getenv("GPROF_FAULT");
+    if (!Spec || !*Spec)
+      return;
+    if (Error E = fault::armFromSpec(Spec)) {
+      std::fprintf(stderr, "warning: ignoring GPROF_FAULT: %s\n",
+                   E.message().c_str());
+    }
+  });
+}
+
+} // namespace
+
+void fault::arm(const std::string &Point, uint64_t Nth, uint64_t Count) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  PointState &S = R.Points[Point];
+  if (S.Nth == 0 && Nth != 0)
+    ArmedPoints.fetch_add(1, std::memory_order_relaxed);
+  S = PointState{Nth, Count, 0, 0};
+}
+
+void fault::disarmAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Points.clear();
+  ArmedPoints.store(0, std::memory_order_relaxed);
+}
+
+Error fault::armFromSpec(const std::string &Spec) {
+  // Validate every entry before arming any, so a bad spec arms nothing.
+  struct Parsed {
+    std::string Point;
+    uint64_t Nth, Count;
+  };
+  std::vector<Parsed> Entries;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Entry = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (!Entry.empty()) {
+      Parsed P;
+      if (!parseEntry(Entry, P.Point, P.Nth, P.Count))
+        return Error::failure(format(
+            "bad fault spec '%s' (expected point:nth[:count], nth >= 1)",
+            Entry.c_str()));
+      Entries.push_back(std::move(P));
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  for (const Parsed &P : Entries)
+    arm(P.Point, P.Nth, P.Count);
+  return Error::success();
+}
+
+Error fault::check(const char *Point, const std::string &Detail) {
+  loadEnvOnce();
+  if (ArmedPoints.load(std::memory_order_relaxed) == 0)
+    return Error::success();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Points.find(Point);
+  if (It == R.Points.end() || It->second.Nth == 0)
+    return Error::success();
+  PointState &S = It->second;
+  ++S.Calls;
+  if (S.Calls < S.Nth || (S.Count != 0 && S.Calls >= S.Nth + S.Count))
+    return Error::success();
+  ++S.Fired;
+  telemetry::counter("fault.injected").add(1);
+  return Error::failure(format("injected fault at %s on call %llu (%s)",
+                               Point,
+                               static_cast<unsigned long long>(S.Calls),
+                               Detail.c_str()));
+}
+
+uint64_t fault::callCount(const std::string &Point) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Points.find(Point);
+  return It == R.Points.end() ? 0 : It->second.Calls;
+}
+
+uint64_t fault::firedCount(const std::string &Point) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Points.find(Point);
+  return It == R.Points.end() ? 0 : It->second.Fired;
+}
+
+bool fault::anyArmed() {
+  return ArmedPoints.load(std::memory_order_relaxed) != 0;
+}

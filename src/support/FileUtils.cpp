@@ -6,6 +6,7 @@
 
 #include "support/FileUtils.h"
 
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -24,14 +25,29 @@ struct FileHandle {
     if (F)
       std::fclose(F);
   }
+  /// Closes eagerly, reporting the flush-on-close result (a buffered
+  /// write error surfaces here, not at fwrite).
+  bool close() {
+    std::FILE *Old = F;
+    F = nullptr;
+    return Old == nullptr || std::fclose(Old) == 0;
+  }
   FileHandle(const FileHandle &) = delete;
   FileHandle &operator=(const FileHandle &) = delete;
   std::FILE *F;
 };
 
+/// Best-effort deletion that never reports (failure-path cleanup).
+void removeQuietly(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::remove(Path, EC);
+}
+
 } // namespace
 
 Expected<std::vector<uint8_t>> gprof::readFileBytes(const std::string &Path) {
+  if (Error E = fault::check("file.read", Path))
+    return E;
   FileHandle FH(std::fopen(Path.c_str(), "rb"));
   if (!FH.F)
     return Error::failure(format("cannot open '%s' for reading",
@@ -59,6 +75,8 @@ Expected<std::string> gprof::readFileText(const std::string &Path) {
 
 Error gprof::writeFileBytes(const std::string &Path,
                             const std::vector<uint8_t> &Bytes) {
+  if (Error E = fault::check("file.write", Path))
+    return E;
   FileHandle FH(std::fopen(Path.c_str(), "wb"));
   if (!FH.F)
     return Error::failure(format("cannot open '%s' for writing",
@@ -66,12 +84,28 @@ Error gprof::writeFileBytes(const std::string &Path,
   if (!Bytes.empty() &&
       std::fwrite(Bytes.data(), 1, Bytes.size(), FH.F) != Bytes.size())
     return Error::failure(format("write error on '%s'", Path.c_str()));
+  if (!FH.close())
+    return Error::failure(format("write error on '%s'", Path.c_str()));
   return Error::success();
 }
 
 Error gprof::writeFileText(const std::string &Path, const std::string &Text) {
   std::vector<uint8_t> Bytes(Text.begin(), Text.end());
   return writeFileBytes(Path, Bytes);
+}
+
+Error gprof::writeFileBytesAtomic(const std::string &Path,
+                                  const std::vector<uint8_t> &Bytes) {
+  std::string Tmp = Path + ".tmp";
+  if (Error E = writeFileBytes(Tmp, Bytes)) {
+    removeQuietly(Tmp);
+    return E;
+  }
+  if (Error E = renameFile(Tmp, Path)) {
+    removeQuietly(Tmp);
+    return E;
+  }
+  return Error::success();
 }
 
 bool gprof::fileExists(const std::string &Path) {
@@ -112,6 +146,8 @@ Error gprof::removeFile(const std::string &Path) {
 }
 
 Error gprof::renameFile(const std::string &From, const std::string &To) {
+  if (Error E = fault::check("file.rename", From + " -> " + To))
+    return E;
   std::error_code EC;
   std::filesystem::rename(From, To, EC);
   if (EC)

@@ -21,12 +21,21 @@ Expected<std::vector<uint8_t>> readFileBytes(const std::string &Path);
 /// Reads the entire file at \p Path as text.
 Expected<std::string> readFileText(const std::string &Path);
 
-/// Writes \p Bytes to \p Path, replacing any existing file.
+/// Writes \p Bytes to \p Path, replacing any existing file.  A failure
+/// mid-write can leave a torn file at \p Path; profile artifacts should
+/// use writeFileBytesAtomic instead.
 Error writeFileBytes(const std::string &Path,
                      const std::vector<uint8_t> &Bytes);
 
 /// Writes \p Text to \p Path, replacing any existing file.
 Error writeFileText(const std::string &Path, const std::string &Text);
+
+/// Crash-safe replacement write: writes \p Bytes to "<Path>.tmp", then
+/// renames over \p Path.  On any failure the temporary is removed and the
+/// previous contents of \p Path survive byte-identical — a reader never
+/// observes a torn file (docs/ROBUSTNESS.md).
+Error writeFileBytesAtomic(const std::string &Path,
+                           const std::vector<uint8_t> &Bytes);
 
 /// True if a regular file exists at \p Path.
 bool fileExists(const std::string &Path);

@@ -96,6 +96,9 @@ int cmdPut(int Argc, const char *const *Argv) {
   Opts.addOption("image", 'i', "FILE",
                  "TLX image the shards were profiled against; pins the "
                  "store to its identity");
+  Opts.addFlag("tolerant", 0,
+               "salvage whole records from truncated gmon files instead of "
+               "rejecting them");
   addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
@@ -114,7 +117,9 @@ int cmdPut(int Argc, const char *const *Argv) {
     ImageId = *Id;
   }
 
-  auto Store = ProfileStore::open(Opts.positional().front());
+  StoreOptions StoreOpts;
+  StoreOpts.TolerantReads = Opts.hasFlag("tolerant");
+  auto Store = ProfileStore::open(Opts.positional().front(), StoreOpts);
   if (!Store)
     return fail(Store.message());
   for (size_t I = 1; I < Opts.positional().size(); ++I) {
@@ -294,8 +299,10 @@ int cmdGc(int Argc, const char *const *Argv) {
   auto Stats = Store->gc();
   if (!Stats)
     return fail(Stats.message());
-  std::printf("removed %u cached aggregate(s), %u orphan object(s)\n",
-              Stats->CachedAggregates, Stats->OrphanObjects);
+  std::printf("removed %u cached aggregate(s), %u orphan object(s), "
+              "%u stale temp file(s)\n",
+              Stats->CachedAggregates, Stats->OrphanObjects,
+              Stats->TempFiles);
   maybeDumpStats(Opts);
   return 0;
 }

@@ -54,6 +54,9 @@ int main(int Argc, char **Argv) {
   Opts.addOption("break-cycles", 0, "N",
                  "heuristically delete up to N cycle-closing arcs");
   Opts.addOption("sum", 's', "FILE", "write the summed profile data to FILE");
+  Opts.addFlag("tolerant", 0,
+               "salvage whole records from truncated gmon files instead of "
+               "rejecting them (damage summary goes to stderr)");
   Opts.addOption("threads", 'j', "N",
                  "worker threads for the analysis pipeline (1 = "
                  "sequential, 0 = one per core); output is identical "
@@ -92,11 +95,24 @@ int main(int Argc, char **Argv) {
                                      Opts.positional().end());
   if (GmonPaths.empty())
     GmonPaths.push_back("gmon.out");
-  auto Data = readAndSumGmonFiles(GmonPaths);
+  GmonReadOptions ReadOpts;
+  ReadOpts.Tolerant = Opts.hasFlag("tolerant");
+  std::vector<GmonFileSalvage> Salvages;
+  auto Data = readAndSumGmonFiles(GmonPaths, ReadOpts,
+                                  ReadOpts.Tolerant ? &Salvages : nullptr);
   if (!Data) {
     std::fprintf(stderr, "gprof: %s\n", Data.message().c_str());
     return 1;
   }
+  for (const GmonFileSalvage &S : Salvages)
+    std::fprintf(stderr,
+                 "gprof: %s: damaged (%s); salvaged %llu bucket(s) and "
+                 "%llu arc(s), dropped %llu bucket(s) and %llu arc(s)\n",
+                 S.Path.c_str(), S.Salvage.Note.c_str(),
+                 static_cast<unsigned long long>(S.Salvage.SalvagedBuckets),
+                 static_cast<unsigned long long>(S.Salvage.SalvagedArcs),
+                 static_cast<unsigned long long>(S.Salvage.DroppedBuckets),
+                 static_cast<unsigned long long>(S.Salvage.DroppedArcs));
 
   if (auto SumPath = Opts.getValue("sum")) {
     if (Error E = writeGmonFile(*SumPath, *Data)) {

@@ -1,0 +1,620 @@
+//===- tests/fault_test.cpp - Crash-safe profile I/O ----------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safety tests (docs/ROBUSTNESS.md): the fault-injection registry
+/// itself, atomic write-then-rename under injected faults, the tolerant
+/// gmon reader over a deterministic truncation/mutation corpus, and a
+/// fault sweep over every store I/O path asserting that a failed operation
+/// never leaves a torn artifact behind.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gmon/GmonFile.h"
+#include "store/ProfileStore.h"
+#include "support/FaultInjection.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+using namespace gprof;
+
+namespace {
+
+/// Every fixture disarms on teardown so a failing test cannot poison the
+/// process-wide registry for its successors.
+class FaultFixture : public ::testing::Test {
+protected:
+  void SetUp() override { fault::disarmAll(); }
+  void TearDown() override { fault::disarmAll(); }
+};
+
+class FaultInjectionTest : public FaultFixture {};
+class AtomicWriteTest : public FaultFixture {};
+class FaultCorpusTest : public FaultFixture {};
+class StoreFaultTest : public FaultFixture {};
+
+/// A fresh directory under the test temp dir, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string &Name)
+      : Path(testing::TempDir() + "/gprof_fault_" + Name) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+  std::string Path;
+};
+
+/// Reference profile with a fully known serialization:  8 histogram
+/// buckets with counts 1..8 and 5 arcs with distinct fields, so every
+/// truncation point has a computable salvage prefix.
+ProfileData makeRefData() {
+  ProfileData D;
+  D.TicksPerSecond = 100;
+  D.RunCount = 3;
+  D.Hist = Histogram(0, 64, 8);
+  for (uint64_t B = 0; B != 8; ++B)
+    for (uint64_t K = 0; K != B + 1; ++K)
+      D.Hist.recordPc(B * 8);
+  D.addArc(0x10, 0x100, 1);
+  D.addArc(0x20, 0x100, 2);
+  D.addArc(0x30, 0x200, 3);
+  D.addArc(0x40, 0x200, 4);
+  D.addArc(0x50, 0x300, 5);
+  return D;
+}
+
+// Serialized layout of makeRefData() (docs/FORMATS.md): the fixed header
+// runs through the histogram geometry, then counts, then narcs, then
+// 24-byte arc records.
+constexpr size_t HeaderSize = 53;
+constexpr size_t NumBuckets = 8;
+constexpr size_t NumArcs = 5;
+constexpr size_t CountsEnd = HeaderSize + 8 * NumBuckets;
+constexpr size_t ArcsStart = CountsEnd + 8;
+constexpr size_t TotalSize = ArcsStart + 24 * NumArcs;
+
+/// Snapshot of every regular file under \p Root, path -> bytes.
+std::map<std::string, std::vector<uint8_t>>
+snapshotTree(const std::string &Root) {
+  std::map<std::string, std::vector<uint8_t>> Snap;
+  for (const auto &Entry :
+       std::filesystem::recursive_directory_iterator(Root))
+    if (Entry.is_regular_file())
+      Snap[Entry.path().string()] =
+          cantFail(readFileBytes(Entry.path().string()));
+  return Snap;
+}
+
+/// True if any file under \p Root has a ".tmp" suffix.
+bool anyTmpFile(const std::string &Root) {
+  for (const auto &Entry :
+       std::filesystem::recursive_directory_iterator(Root))
+    if (Entry.path().extension() == ".tmp")
+      return true;
+  return false;
+}
+
+ProfileData makeStoreShard(uint64_t Seed) {
+  ProfileData D;
+  D.TicksPerSecond = 60;
+  D.Hist = Histogram(0x1000, 0x1100, 8);
+  D.Hist.recordPc(0x1000 + (Seed % 32) * 8);
+  D.addArc(0x1000 + Seed * 8, 0x1040, 1 + Seed);
+  return D;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fault-injection registry
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjectionTest, FiresExactlyTheNthCall) {
+  fault::arm("test.point", 3);
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.point", "a")));
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.point", "b")));
+  Error E = fault::check("test.point", "c");
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("test.point"), std::string::npos);
+  EXPECT_NE(E.message().find("call 3"), std::string::npos);
+  EXPECT_NE(E.message().find("(c)"), std::string::npos);
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.point", "d")));
+  EXPECT_EQ(fault::callCount("test.point"), 4u);
+  EXPECT_EQ(fault::firedCount("test.point"), 1u);
+}
+
+TEST_F(FaultInjectionTest, CountWindowFailsConsecutiveCalls) {
+  fault::arm("test.window", 2, 2);
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.window", "")));
+  EXPECT_TRUE(static_cast<bool>(fault::check("test.window", "")));
+  EXPECT_TRUE(static_cast<bool>(fault::check("test.window", "")));
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.window", "")));
+  EXPECT_EQ(fault::firedCount("test.window"), 2u);
+}
+
+TEST_F(FaultInjectionTest, CountZeroFailsForever) {
+  fault::arm("test.forever", 2, 0);
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.forever", "")));
+  for (int I = 0; I != 5; ++I)
+    EXPECT_TRUE(static_cast<bool>(fault::check("test.forever", "")));
+}
+
+TEST_F(FaultInjectionTest, UnarmedPointsNeverFire) {
+  EXPECT_FALSE(fault::anyArmed());
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.unarmed", "")));
+  fault::arm("test.other", 1);
+  EXPECT_TRUE(fault::anyArmed());
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.unarmed", "")));
+  fault::disarmAll();
+  EXPECT_FALSE(fault::anyArmed());
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.other", "")));
+}
+
+TEST_F(FaultInjectionTest, RearmReplacesScheduleAndCounters) {
+  fault::arm("test.rearm", 1);
+  EXPECT_TRUE(static_cast<bool>(fault::check("test.rearm", "")));
+  fault::arm("test.rearm", 2);
+  EXPECT_EQ(fault::callCount("test.rearm"), 0u);
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.rearm", "")));
+  EXPECT_TRUE(static_cast<bool>(fault::check("test.rearm", "")));
+}
+
+TEST_F(FaultInjectionTest, SpecParsesEntries) {
+  cantFail(fault::armFromSpec("test.a:1,test.b:2:3"));
+  EXPECT_TRUE(static_cast<bool>(fault::check("test.a", "")));
+  EXPECT_FALSE(static_cast<bool>(fault::check("test.b", "")));
+  EXPECT_TRUE(static_cast<bool>(fault::check("test.b", "")));
+}
+
+TEST_F(FaultInjectionTest, BadSpecArmsNothing) {
+  for (const char *Bad : {"nocolon", ":1", "p:zero", "p:0", "p:1:x",
+                          "test.ok:1,broken"}) {
+    Error E = fault::armFromSpec(Bad);
+    EXPECT_TRUE(static_cast<bool>(E)) << Bad;
+    EXPECT_FALSE(fault::anyArmed()) << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic writes under injected faults
+//===----------------------------------------------------------------------===//
+
+TEST_F(AtomicWriteTest, WriteFaultLeavesOriginalByteIdentical) {
+  TempDir Dir("atomic_write");
+  std::string Path = Dir.Path + "/artifact.bin";
+  std::vector<uint8_t> Old{1, 2, 3, 4};
+  cantFail(writeFileBytesAtomic(Path, Old));
+
+  fault::arm("file.write", 1, 0);
+  Error E = writeFileBytesAtomic(Path, {9, 9, 9});
+  ASSERT_TRUE(static_cast<bool>(E));
+  fault::disarmAll();
+
+  EXPECT_EQ(cantFail(readFileBytes(Path)), Old);
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, RenameFaultLeavesOriginalAndNoTmp) {
+  TempDir Dir("atomic_rename");
+  std::string Path = Dir.Path + "/artifact.bin";
+  std::vector<uint8_t> Old{5, 6, 7};
+  cantFail(writeFileBytesAtomic(Path, Old));
+
+  fault::arm("file.rename", 1, 0);
+  Error E = writeFileBytesAtomic(Path, {8, 8});
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("file.rename"), std::string::npos);
+  fault::disarmAll();
+
+  EXPECT_EQ(cantFail(readFileBytes(Path)), Old);
+  // The failed commit must not leave its temporary behind either.
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, ReadFaultPropagates) {
+  TempDir Dir("read_fault");
+  std::string Path = Dir.Path + "/artifact.bin";
+  cantFail(writeFileBytesAtomic(Path, {1}));
+  fault::arm("file.read", 1);
+  auto Bytes = readFileBytes(Path);
+  EXPECT_FALSE(static_cast<bool>(Bytes));
+  EXPECT_NE(Bytes.message().find(Path), std::string::npos);
+  (void)Bytes.takeError();
+}
+
+TEST_F(AtomicWriteTest, CrashMidGmonWriteKeepsPriorProfile) {
+  TempDir Dir("gmon_crash");
+  std::string Path = Dir.Path + "/gmon.out";
+  ProfileData Old = makeRefData();
+  cantFail(writeGmonFile(Path, Old));
+  std::vector<uint8_t> OldBytes = cantFail(readFileBytes(Path));
+
+  ProfileData New = makeRefData();
+  New.addArc(0x60, 0x400, 6);
+  for (const char *Point : {"file.write", "file.rename"}) {
+    fault::arm(Point, 1, 0);
+    Error E = writeGmonFile(Path, New);
+    ASSERT_TRUE(static_cast<bool>(E)) << Point;
+    fault::disarmAll();
+    // The previous profile survives byte-identical and still parses.
+    EXPECT_EQ(cantFail(readFileBytes(Path)), OldBytes) << Point;
+    EXPECT_FALSE(fileExists(Path + ".tmp")) << Point;
+    auto Back = readGmonFile(Path);
+    ASSERT_TRUE(static_cast<bool>(Back)) << Point;
+    EXPECT_EQ(Back->Arcs.size(), NumArcs) << Point;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Truncation and mutation corpus
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultCorpusTest, TruncationEveryCutPoint) {
+  ProfileData Ref = makeRefData();
+  std::vector<uint8_t> Bytes = writeGmon(Ref);
+  ASSERT_EQ(Bytes.size(), TotalSize);
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+
+  for (size_t Cut = 0; Cut != Bytes.size(); ++Cut) {
+    std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + Cut);
+
+    // Strict mode rejects every proper prefix.
+    auto Strict = readGmon(Short);
+    EXPECT_FALSE(static_cast<bool>(Strict)) << "strict cut at " << Cut;
+    (void)Strict.takeError();
+
+    GmonSalvage S;
+    auto Back = readGmon(Short, Tol, &S);
+    if (Cut < HeaderSize) {
+      // Below the salvage floor there are no usable records.
+      EXPECT_FALSE(static_cast<bool>(Back)) << "tolerant cut at " << Cut;
+      (void)Back.takeError();
+      continue;
+    }
+    ASSERT_TRUE(static_cast<bool>(Back)) << "tolerant cut at " << Cut;
+    EXPECT_TRUE(S.Damaged) << Cut;
+    EXPECT_FALSE(S.Note.empty()) << Cut;
+    EXPECT_EQ(Back->TicksPerSecond, Ref.TicksPerSecond) << Cut;
+    EXPECT_EQ(Back->RunCount, Ref.RunCount) << Cut;
+
+    if (Cut < CountsEnd) {
+      // Cut inside the bucket counts: whole buckets survive, the torn
+      // bucket and everything after it reads as zero, no arcs.
+      size_t Whole = (Cut - HeaderSize) / 8;
+      EXPECT_EQ(S.SalvagedBuckets, Whole) << Cut;
+      EXPECT_EQ(S.DroppedBuckets, NumBuckets - Whole) << Cut;
+      ASSERT_EQ(Back->Hist.numBuckets(), NumBuckets) << Cut;
+      for (size_t B = 0; B != NumBuckets; ++B)
+        EXPECT_EQ(Back->Hist.bucketCount(B), B < Whole ? B + 1 : 0u)
+            << "cut " << Cut << " bucket " << B;
+      EXPECT_TRUE(Back->Arcs.empty()) << Cut;
+    } else if (Cut < ArcsStart) {
+      // Cut inside the arc-count field: full histogram, no arcs.
+      EXPECT_EQ(S.SalvagedBuckets, NumBuckets) << Cut;
+      EXPECT_EQ(S.DroppedBuckets, 0u) << Cut;
+      EXPECT_NE(S.Note.find("arc table count"), std::string::npos) << Cut;
+      EXPECT_TRUE(Back->Arcs.empty()) << Cut;
+    } else {
+      // Cut inside the arc records: the exact prefix of whole records.
+      size_t Whole = (Cut - ArcsStart) / 24;
+      EXPECT_EQ(S.SalvagedArcs, Whole) << Cut;
+      EXPECT_EQ(S.DroppedArcs, NumArcs - Whole) << Cut;
+      for (size_t B = 0; B != NumBuckets; ++B)
+        EXPECT_EQ(Back->Hist.bucketCount(B), B + 1) << Cut;
+      ASSERT_EQ(Back->Arcs.size(), Whole) << Cut;
+      for (size_t A = 0; A != Whole; ++A) {
+        EXPECT_EQ(Back->Arcs[A].FromPc, Ref.Arcs[A].FromPc) << Cut;
+        EXPECT_EQ(Back->Arcs[A].SelfPc, Ref.Arcs[A].SelfPc) << Cut;
+        EXPECT_EQ(Back->Arcs[A].Count, Ref.Arcs[A].Count) << Cut;
+      }
+    }
+  }
+}
+
+TEST_F(FaultCorpusTest, TolerantIntactFileReportsNoDamage) {
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+  GmonSalvage S;
+  auto Back = readGmon(writeGmon(makeRefData()), Tol, &S);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_FALSE(S.Damaged);
+  EXPECT_TRUE(S.Note.empty());
+  EXPECT_EQ(S.SalvagedArcs, NumArcs);
+  EXPECT_EQ(S.DroppedArcs, 0u);
+}
+
+TEST_F(FaultCorpusTest, TolerantAcceptsTrailingJunk) {
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+  auto Bytes = writeGmon(makeRefData());
+  Bytes.insert(Bytes.end(), 17, 0xEE);
+  GmonSalvage S;
+  auto Back = readGmon(Bytes, Tol, &S);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_TRUE(S.Damaged);
+  EXPECT_EQ(S.TrailingBytes, 17u);
+  EXPECT_EQ(Back->Arcs.size(), NumArcs);
+  EXPECT_EQ(S.SalvagedArcs, NumArcs);
+  EXPECT_EQ(S.DroppedArcs, 0u);
+}
+
+TEST_F(FaultCorpusTest, TolerantStillRejectsLyingHeaders) {
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+  auto Valid = writeGmon(makeRefData());
+
+  auto ExpectReject = [&](std::vector<uint8_t> Bytes, const char *What) {
+    auto Back = readGmon(Bytes, Tol);
+    EXPECT_FALSE(static_cast<bool>(Back)) << What;
+    (void)Back.takeError();
+  };
+
+  auto BadMagic = Valid;
+  BadMagic[0] = 'X';
+  ExpectReject(BadMagic, "magic");
+  auto BadVersion = Valid;
+  BadVersion[4] = 42;
+  ExpectReject(BadVersion, "version");
+  auto BadNbuckets = Valid;
+  BadNbuckets[45] = 0xFF; // nbuckets no longer matches the address range.
+  ExpectReject(BadNbuckets, "nbuckets");
+}
+
+TEST_F(FaultCorpusTest, ByteMutationNeverCrashesEitherMode) {
+  // Single-byte corruption at every offset, three flip patterns each.
+  // Any outcome (reject, salvage, or a still-valid parse) is acceptable;
+  // what this drives — under ASan/UBSan in sanitizer builds — is that no
+  // mutation can crash, overflow, or leak in either reader mode.
+  auto Bytes = writeGmon(makeRefData());
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    for (uint8_t Flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xFF}}) {
+      auto Mutated = Bytes;
+      Mutated[I] ^= Flip;
+      auto Strict = readGmon(Mutated);
+      if (!Strict)
+        (void)Strict.takeError();
+      GmonSalvage S;
+      auto Tolerant = readGmon(Mutated, Tol, &S);
+      if (!Tolerant)
+        (void)Tolerant.takeError();
+    }
+  }
+}
+
+TEST_F(FaultCorpusTest, TolerantSummingReportsDamagedInputs) {
+  TempDir Dir("tolerant_sum");
+  std::string Intact = Dir.Path + "/intact.out";
+  std::string Torn = Dir.Path + "/torn.out";
+  ProfileData Ref = makeRefData();
+  cantFail(writeGmonFile(Intact, Ref));
+  auto Bytes = writeGmon(Ref);
+  // Cut after the third arc record.
+  Bytes.resize(ArcsStart + 3 * 24 + 7);
+  cantFail(writeFileBytes(Torn, Bytes));
+
+  // Strict summing rejects the torn file and names it.
+  auto Strict = readAndSumGmonFiles({Intact, Torn});
+  ASSERT_FALSE(static_cast<bool>(Strict));
+  EXPECT_NE(Strict.message().find(Torn), std::string::npos);
+  (void)Strict.takeError();
+
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+  std::vector<GmonFileSalvage> Salvages;
+  auto Sum = readAndSumGmonFiles({Intact, Torn}, Tol, &Salvages);
+  ASSERT_TRUE(static_cast<bool>(Sum));
+  ASSERT_EQ(Salvages.size(), 1u);
+  EXPECT_EQ(Salvages[0].Path, Torn);
+  EXPECT_EQ(Salvages[0].Salvage.SalvagedArcs, 3u);
+  EXPECT_EQ(Salvages[0].Salvage.DroppedArcs, 2u);
+  // Intact contributes all 5 arcs; the torn file its first 3.
+  EXPECT_EQ(Sum->callsInto(0x100), 2 * (1 + 2));
+  EXPECT_EQ(Sum->callsInto(0x200), 2 * 3 + 4u);
+  EXPECT_EQ(Sum->callsInto(0x300), 5u);
+  EXPECT_EQ(Sum->RunCount, 2 * Ref.RunCount);
+}
+
+//===----------------------------------------------------------------------===//
+// Store fault sweep: a failed operation never leaves a torn artifact
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreFaultTest, PutFaultSweepLeavesPriorArtifactsIntact) {
+  TempDir Dir("put_sweep");
+  std::string Root = Dir.Path + "/store";
+  StoreOptions NoRetry;
+  NoRetry.IoRetries = 0;
+  std::string Input = Dir.Path + "/incoming.gmon";
+  cantFail(writeGmonFile(Input, makeStoreShard(3)));
+  {
+    auto Store = ProfileStore::open(Root, NoRetry);
+    ASSERT_TRUE(static_cast<bool>(Store));
+    cantFail(Store->put(makeStoreShard(1)).takeError());
+    cantFail(Store->put(makeStoreShard(2)).takeError());
+  }
+  auto Before = snapshotTree(Root);
+
+  // One case per (point, call depth) that a single ingest reaches: put
+  // checks store.put once, writes twice (object, then index) and renames
+  // twice; putFile reads the incoming gmon once.  Every case must fail the
+  // ingest and leave all prior artifacts byte-identical.
+  struct SweepCase {
+    const char *Point;
+    uint64_t Nth;
+    bool ViaFile;
+  };
+  const SweepCase Cases[] = {
+      {"store.put", 1, false},   {"file.read", 1, true},
+      {"file.write", 1, false},  {"file.write", 2, false},
+      {"file.rename", 1, false}, {"file.rename", 2, false},
+  };
+  for (const SweepCase &C : Cases) {
+    auto Store = ProfileStore::open(Root, NoRetry);
+    ASSERT_TRUE(static_cast<bool>(Store)) << C.Point;
+    fault::arm(C.Point, C.Nth, 0);
+    Error E = C.ViaFile ? Store->putFile(Input).takeError()
+                        : Store->put(makeStoreShard(3)).takeError();
+    EXPECT_TRUE(static_cast<bool>(E)) << C.Point << " nth " << C.Nth;
+    fault::disarmAll();
+
+    // Every prior artifact survives byte-identical, and the failed write
+    // leaves no temporary behind.
+    for (const auto &[Path, Bytes] : Before)
+      EXPECT_EQ(cantFail(readFileBytes(Path)), Bytes)
+          << C.Point << " nth " << C.Nth << ": " << Path;
+    EXPECT_FALSE(anyTmpFile(Root)) << C.Point << " nth " << C.Nth;
+
+    // An object that landed before a later fault is complete (never torn)
+    // and unindexed; gc from a fresh handle restores the reference tree.
+    auto Fresh = ProfileStore::open(Root, NoRetry);
+    ASSERT_TRUE(static_cast<bool>(Fresh)) << C.Point;
+    cantFail(Fresh->gc().takeError());
+    EXPECT_EQ(snapshotTree(Root), Before) << C.Point << " nth " << C.Nth;
+  }
+}
+
+TEST_F(StoreFaultTest, MergeFaultSweepLeavesStoreIntact) {
+  TempDir Dir("merge_sweep");
+  std::string Root = Dir.Path + "/store";
+  StoreOptions NoRetry;
+  NoRetry.IoRetries = 0;
+  auto Store = ProfileStore::open(Root, NoRetry);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  cantFail(Store->put(makeStoreShard(1)).takeError());
+  cantFail(Store->put(makeStoreShard(2)).takeError());
+  auto Before = snapshotTree(Root);
+
+  // A cache-miss merge checks store.merge once, reads one object per
+  // member shard, then writes and renames the cache entry once each.
+  struct SweepCase {
+    const char *Point;
+    uint64_t Nth;
+  };
+  const SweepCase Cases[] = {
+      {"store.merge", 1}, {"file.read", 1},   {"file.read", 2},
+      {"file.write", 1},  {"file.rename", 1},
+  };
+  for (const SweepCase &C : Cases) {
+    fault::arm(C.Point, C.Nth, 0);
+    auto Result = Store->merge({});
+    EXPECT_FALSE(static_cast<bool>(Result)) << C.Point << " nth " << C.Nth;
+    (void)Result.takeError();
+    fault::disarmAll();
+    // The failed merge changes nothing: no torn cache entry under the
+    // aggregate key, no temporary, every prior artifact byte-identical.
+    EXPECT_FALSE(anyTmpFile(Root)) << C.Point << " nth " << C.Nth;
+    EXPECT_EQ(snapshotTree(Root), Before) << C.Point << " nth " << C.Nth;
+  }
+
+  // Unarmed, the same merge succeeds and its cache entry parses cleanly.
+  auto Result = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Result));
+  auto Cached = readGmonFile(Store->cachePath(Result->Digest));
+  ASSERT_TRUE(static_cast<bool>(Cached));
+  EXPECT_EQ(writeGmon(*Cached), writeGmon(Result->Data));
+}
+
+TEST_F(StoreFaultTest, GcFaultFailsWithoutSweeping) {
+  TempDir Dir("gc_fault");
+  std::string Root = Dir.Path + "/store";
+  auto Store = ProfileStore::open(Root);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  cantFail(Store->put(makeStoreShard(1)).takeError());
+  cantFail(Store->merge({}).takeError()); // Populate the cache.
+  auto Before = snapshotTree(Root);
+
+  fault::arm("store.gc", 1);
+  auto Stats = Store->gc();
+  EXPECT_FALSE(static_cast<bool>(Stats));
+  (void)Stats.takeError();
+  fault::disarmAll();
+  EXPECT_EQ(snapshotTree(Root), Before);
+}
+
+TEST_F(StoreFaultTest, RetrySurvivesTransientWriteFault) {
+  TempDir Dir("retry");
+  std::string Root = Dir.Path + "/store";
+  StoreOptions Opts;
+  Opts.IoRetries = 1;
+  Opts.RetryBackoffMs = 0;
+  auto Store = ProfileStore::open(Root, Opts);
+  ASSERT_TRUE(static_cast<bool>(Store));
+
+  // One transient fault on the first write: the retry succeeds and the
+  // ingest completes as if nothing happened.
+  fault::arm("file.write", 1); // Count 1: only the first call fails.
+  auto Digest = Store->put(makeStoreShard(7));
+  uint64_t Fired = fault::firedCount("file.write");
+  fault::disarmAll();
+  ASSERT_TRUE(static_cast<bool>(Digest));
+  EXPECT_EQ(Fired, 1u); // The fault really struck; the retry absorbed it.
+  auto Loaded = Store->loadShard(*Digest);
+  ASSERT_TRUE(static_cast<bool>(Loaded));
+  EXPECT_EQ(Loaded->Arcs.size(), 1u);
+
+  // With retries disabled the same fault is fatal.
+  StoreOptions NoRetry;
+  NoRetry.IoRetries = 0;
+  auto Store2 = ProfileStore::open(Root + "2", NoRetry);
+  ASSERT_TRUE(static_cast<bool>(Store2));
+  fault::arm("file.write", 1);
+  auto Failed = Store2->put(makeStoreShard(7));
+  EXPECT_FALSE(static_cast<bool>(Failed));
+  (void)Failed.takeError();
+}
+
+TEST_F(StoreFaultTest, GcSweepsStaleTempFiles) {
+  TempDir Dir("tmp_sweep");
+  std::string Root = Dir.Path + "/store";
+  auto Store = ProfileStore::open(Root);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  cantFail(Store->put(makeStoreShard(1)).takeError());
+  // Plant the residue an interrupted writer (pre-rename crash) leaves.
+  cantFail(writeFileText(Root + "/index.bin.tmp", "torn"));
+  cantFail(writeFileText(Root + "/cache/deadbeef.gmon.tmp", "torn"));
+
+  auto Stats = Store->gc();
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_EQ(Stats->TempFiles, 2u);
+  EXPECT_FALSE(anyTmpFile(Root));
+  // The shard object and index survive.
+  EXPECT_TRUE(fileExists(Root + "/index.bin"));
+  EXPECT_TRUE(fileExists(Store->objectPath(Store->shards().front().Digest)));
+}
+
+TEST_F(StoreFaultTest, TolerantStoreIngestsTruncatedShard) {
+  TempDir Dir("tolerant_put");
+  std::string Torn = Dir.Path + "/torn.out";
+  auto Bytes = writeGmon(makeRefData());
+  Bytes.resize(ArcsStart + 2 * 24); // Keep two whole arc records.
+  cantFail(writeFileBytes(Torn, Bytes));
+
+  // Strict store: rejected.
+  auto Strict = ProfileStore::open(Dir.Path + "/strict");
+  ASSERT_TRUE(static_cast<bool>(Strict));
+  auto Rejected = Strict->putFile(Torn);
+  EXPECT_FALSE(static_cast<bool>(Rejected));
+  (void)Rejected.takeError();
+
+  // Tolerant store: the salvaged prefix is ingested.
+  StoreOptions Tol;
+  Tol.TolerantReads = true;
+  auto Store = ProfileStore::open(Dir.Path + "/tolerant", Tol);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  auto Digest = Store->putFile(Torn);
+  ASSERT_TRUE(static_cast<bool>(Digest));
+  auto Loaded = Store->loadShard(*Digest);
+  ASSERT_TRUE(static_cast<bool>(Loaded));
+  EXPECT_EQ(Loaded->Arcs.size(), 2u);
+  EXPECT_EQ(Loaded->Hist.totalSamples(), makeRefData().Hist.totalSamples());
+}

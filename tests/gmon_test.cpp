@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 using namespace gprof;
@@ -91,6 +93,47 @@ TEST(HistogramTest, EmptyMergesWithEmpty) {
   EXPECT_TRUE(A.empty());
 }
 
+TEST(HistogramTest, EmptySideAdoptsOtherGeometry) {
+  // Regression: an empty histogram (a run with no samples) used to be
+  // rejected as incompatible with a sampled sibling.
+  Histogram Sampled(0, 100, 10);
+  Sampled.recordPc(5);
+  Sampled.recordPc(95);
+  Sampled.recordPc(1000); // Out of range.
+
+  Histogram Empty;
+  cantFail(Empty.merge(Sampled));
+  EXPECT_EQ(Empty.lowPc(), 0u);
+  EXPECT_EQ(Empty.highPc(), 100u);
+  EXPECT_EQ(Empty.bucketSize(), 10u);
+  EXPECT_EQ(Empty.counts(), Sampled.counts());
+  EXPECT_EQ(Empty.outOfRangeSamples(), 1u);
+
+  // The other direction: merging an empty side changes nothing.
+  Histogram Unsampled;
+  Unsampled.recordPc(7); // Empty histogram: counted as out-of-range.
+  cantFail(Sampled.merge(Unsampled));
+  EXPECT_EQ(Sampled.totalSamples(), 2u);
+  EXPECT_EQ(Sampled.outOfRangeSamples(), 2u);
+}
+
+TEST(HistogramTest, SaturatingAddClampsAtMax) {
+  EXPECT_EQ(saturatingAdd(2, 3), 5u);
+  EXPECT_EQ(saturatingAdd(UINT64_MAX - 1, 1), UINT64_MAX);
+  EXPECT_EQ(saturatingAdd(UINT64_MAX, 1), UINT64_MAX);
+  EXPECT_EQ(saturatingAdd(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(saturatingAdd(0, 0), 0u);
+}
+
+TEST(HistogramTest, MergeSaturatesInsteadOfWrapping) {
+  Histogram A(0, 10, 10), B(0, 10, 10);
+  A.setBucketCount(0, UINT64_MAX - 1);
+  B.setBucketCount(0, 5);
+  cantFail(A.merge(B));
+  // Regression: this used to wrap to 3 and silently restart the count.
+  EXPECT_EQ(A.bucketCount(0), UINT64_MAX);
+}
+
 //===----------------------------------------------------------------------===//
 // ProfileData
 //===----------------------------------------------------------------------===//
@@ -123,6 +166,117 @@ TEST(ProfileDataTest, MergeSumsRunsAndArcs) {
   EXPECT_EQ(A.callsInto(6), 10u);
   EXPECT_EQ(A.callsInto(9), 1u);
   EXPECT_TRUE(A.ArcTableOverflowed);
+}
+
+TEST(ProfileDataTest, MergeAdoptsHistogramFromSampledSide) {
+  // Regression: a run that recorded arcs but exited before the first
+  // sample tick has no histogram and must still sum with a sampled run.
+  ProfileData Unsampled;
+  Unsampled.addArc(5, 6, 7);
+  ProfileData Sampled;
+  Sampled.Hist = Histogram(0, 100, 1);
+  Sampled.Hist.recordPc(3);
+  Sampled.addArc(5, 6, 1);
+
+  ProfileData A = Unsampled;
+  cantFail(A.merge(Sampled));
+  EXPECT_EQ(A.Hist.totalSamples(), 1u);
+  EXPECT_EQ(A.Hist.highPc(), 100u);
+  EXPECT_EQ(A.callsInto(6), 8u);
+  EXPECT_EQ(A.RunCount, 2u);
+
+  ProfileData B = Sampled;
+  cantFail(B.merge(Unsampled));
+  EXPECT_EQ(B.Hist.totalSamples(), 1u);
+  EXPECT_EQ(B.callsInto(6), 8u);
+}
+
+TEST(ProfileDataTest, AddArcSaturatesInsteadOfWrapping) {
+  ProfileData D;
+  D.addArc(1, 2, UINT64_MAX - 3);
+  D.addArc(1, 2, 10);
+  ASSERT_EQ(D.Arcs.size(), 1u);
+  EXPECT_EQ(D.Arcs[0].Count, UINT64_MAX);
+  EXPECT_EQ(D.callsInto(2), UINT64_MAX);
+  // A second saturating add stays clamped.
+  D.addArc(1, 2, 1);
+  EXPECT_EQ(D.Arcs[0].Count, UINT64_MAX);
+}
+
+TEST(ProfileDataTest, ArcIndexSurvivesExternalMutation) {
+  // The lazy index must revalidate after external code sorts or rewrites
+  // the arc table directly.
+  ProfileData D;
+  D.addArc(30, 3, 1);
+  D.addArc(20, 2, 1);
+  D.addArc(10, 1, 1);
+  EXPECT_EQ(D.callsInto(2), 1u); // Builds the index.
+  std::sort(D.Arcs.begin(), D.Arcs.end(),
+            [](const ArcRecord &A, const ArcRecord &B) {
+              return A.FromPc < B.FromPc;
+            });
+  D.addArc(30, 3, 5); // Positional lookup detects the move and rebuilds.
+  ASSERT_EQ(D.Arcs.size(), 3u);
+  EXPECT_EQ(D.callsInto(3), 6u);
+  EXPECT_EQ(D.callsInto(2), 1u);
+  // In-place Count mutation needs the documented explicit invalidation.
+  D.Arcs[0].Count = 100;
+  D.invalidateArcIndex();
+  EXPECT_EQ(D.callsInto(D.Arcs[0].SelfPc), 100u);
+}
+
+TEST(ProfileDataTest, AddArcIndexBeatsLinearScan) {
+  // The historical addArc scanned the table linearly, making M-file
+  // summing O(M·A²).  Sum the same synthetic files through a faithful
+  // copy of the old scan and through the indexed addArc: identical output,
+  // and the index must win by a wide margin (the acceptance bar is 10x).
+  constexpr size_t Files = 20, ArcsPerFile = 4000;
+  std::vector<ArcRecord> FileArcs;
+  FileArcs.reserve(ArcsPerFile);
+  SplitMix64 Rng(99);
+  for (size_t I = 0; I != ArcsPerFile; ++I)
+    FileArcs.push_back({Rng.next() | 1, Rng.next() | 1, 1 + (I % 7)});
+
+  auto Clock = [] {
+    return std::chrono::steady_clock::now();
+  };
+
+  auto LinearStart = Clock();
+  std::vector<ArcRecord> Reference;
+  for (size_t F = 0; F != Files; ++F)
+    for (const ArcRecord &R : FileArcs) {
+      bool Found = false;
+      for (ArcRecord &Existing : Reference)
+        if (Existing.FromPc == R.FromPc && Existing.SelfPc == R.SelfPc) {
+          Existing.Count += R.Count;
+          Found = true;
+          break;
+        }
+      if (!Found)
+        Reference.push_back(R);
+    }
+  auto LinearNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock() - LinearStart)
+                      .count();
+
+  auto IndexedStart = Clock();
+  ProfileData D;
+  for (size_t F = 0; F != Files; ++F)
+    for (const ArcRecord &R : FileArcs)
+      D.addArc(R.FromPc, R.SelfPc, R.Count);
+  auto IndexedNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Clock() - IndexedStart)
+                       .count();
+
+  // Byte-identical result: same records in the same first-seen order.
+  ASSERT_EQ(D.Arcs.size(), Reference.size());
+  for (size_t I = 0; I != Reference.size(); ++I) {
+    EXPECT_EQ(D.Arcs[I].FromPc, Reference[I].FromPc) << I;
+    EXPECT_EQ(D.Arcs[I].SelfPc, Reference[I].SelfPc) << I;
+    EXPECT_EQ(D.Arcs[I].Count, Reference[I].Count) << I;
+  }
+  EXPECT_GT(LinearNs, IndexedNs * 10)
+      << "linear " << LinearNs << "ns vs indexed " << IndexedNs << "ns";
 }
 
 TEST(ProfileDataTest, MergeRejectsDifferentRates) {

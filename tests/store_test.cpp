@@ -236,6 +236,48 @@ TEST(MergeEngineTest, EmptyInputFails) {
   (void)Merged.takeError();
 }
 
+TEST(MergeEngineTest, EmptyHistogramShardAdoptsGeometry) {
+  // Regression: a shard that recorded arcs but no samples used to be
+  // rejected as incompatible; it must merge and adopt the sampled
+  // geometry.
+  std::vector<ProfileData> Shards = makeShards(3, 70);
+  Shards[1].Hist = Histogram(); // Arcs only, no samples.
+  uint64_t ExpectedSamples =
+      Shards[0].Hist.totalSamples() + Shards[2].Hist.totalSamples();
+  cantFail(checkMergeCompatible(Shards[0], Shards[1], "a", "b"));
+  cantFail(checkMergeCompatible(Shards[1], Shards[0], "b", "a"));
+  auto Merged = mergeProfiles(Shards);
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  EXPECT_EQ(Merged->Hist.lowPc(), Shards[0].Hist.lowPc());
+  EXPECT_EQ(Merged->Hist.totalSamples(), ExpectedSamples);
+  EXPECT_EQ(Merged->RunCount, 3u);
+}
+
+TEST(MergeEngineTest, IncompatibleSampledShardsRejectedPastEmptyFirst) {
+  // Regression: validation compared everything to shard 0, so an
+  // unsampled shard 0 let two incompatible sampled shards slip through.
+  std::vector<ProfileData> Shards = makeShards(3, 71);
+  Shards[0].Hist = Histogram(); // Empty reference decoy.
+  Shards[2].Hist = Histogram(0, 0x800, 8); // Clashes with shard 1.
+  auto Merged = mergeProfiles(Shards);
+  ASSERT_FALSE(static_cast<bool>(Merged));
+  EXPECT_NE(Merged.message().find("histogram ranges"), std::string::npos);
+  (void)Merged.takeError();
+}
+
+TEST(MergeEngineTest, ArcCountsSaturateInsteadOfWrapping) {
+  std::vector<ProfileData> Shards = makeShards(2, 72);
+  // Force the same canonical-leading arc to near-max in both shards.
+  ArcRecord Lead{1, 1, UINT64_MAX - 10};
+  Shards[0].Arcs.insert(Shards[0].Arcs.begin(), Lead);
+  Shards[1].Arcs.insert(Shards[1].Arcs.begin(), Lead);
+  auto Merged = mergeProfiles(Shards);
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  ASSERT_FALSE(Merged->Arcs.empty());
+  EXPECT_EQ(Merged->Arcs.front().FromPc, 1u);
+  EXPECT_EQ(Merged->Arcs.front().Count, UINT64_MAX);
+}
+
 //===----------------------------------------------------------------------===//
 // ProfileStore
 //===----------------------------------------------------------------------===//
@@ -318,6 +360,37 @@ TEST(ProfileStoreTest, RejectsIncompatibleIngest) {
   ASSERT_FALSE(static_cast<bool>(R2));
   EXPECT_NE(R2.message().find("histogram ranges"), std::string::npos);
   (void)R2.takeError();
+}
+
+TEST(ProfileStoreTest, UnsampledShardsIngestAndMerge) {
+  // Regression: an arcs-only shard (no histogram) used to be rejected by
+  // ingest compatibility, and an unsampled first shard disabled geometry
+  // validation for everything after it.
+  TempStoreDir Dir("unsampled");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+
+  ProfileData NoSamples;
+  NoSamples.TicksPerSecond = 60;
+  NoSamples.addArc(0x1000, 0x1040, 9);
+  cantFail(Store->put(NoSamples).takeError());
+
+  // A sampled shard joins the unsampled one...
+  cantFail(Store->put(makeShard(1)).takeError());
+  // ... and pins the geometry: a clashing sampled shard is still rejected
+  // no matter where the unsampled shard sorts in the index.
+  ProfileData Clash = makeShard(2);
+  Clash.Hist = Histogram(0, 0x100, 4);
+  auto R = Store->put(Clash);
+  ASSERT_FALSE(static_cast<bool>(R));
+  (void)R.takeError();
+
+  auto Merged = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  EXPECT_EQ(Merged->Data.RunCount, 2u);
+  EXPECT_EQ(Merged->Data.Hist.totalSamples(),
+            makeShard(1).Hist.totalSamples());
+  EXPECT_EQ(Merged->Data.callsInto(0x1040), 9u);
 }
 
 TEST(ProfileStoreTest, PinsImageIdentity) {
