@@ -9,6 +9,8 @@
 #include "support/Format.h"
 #include "support/Telemetry.h"
 
+#include <algorithm>
+
 using namespace gprof;
 
 void ProfileData::invalidateArcIndex() const {
@@ -80,6 +82,27 @@ Error ProfileData::merge(const ProfileData &Other) {
   RunCount += Other.RunCount;
   ArcTableOverflowed = ArcTableOverflowed || Other.ArcTableOverflowed;
   return Error::success();
+}
+
+void ProfileData::canonicalizeArcs() {
+  std::sort(Arcs.begin(), Arcs.end(),
+            [](const ArcRecord &A, const ArcRecord &B) {
+              return A.FromPc != B.FromPc ? A.FromPc < B.FromPc
+                                          : A.SelfPc < B.SelfPc;
+            });
+  // Coalesce duplicates in place (a profile built by direct Arcs
+  // mutation rather than addArc can hold several records per key).
+  size_t Out = 0;
+  for (size_t I = 0; I != Arcs.size(); ++I) {
+    if (Out != 0 && Arcs[Out - 1].FromPc == Arcs[I].FromPc &&
+        Arcs[Out - 1].SelfPc == Arcs[I].SelfPc) {
+      Arcs[Out - 1].Count = saturatingAdd(Arcs[Out - 1].Count, Arcs[I].Count);
+      continue;
+    }
+    Arcs[Out++] = Arcs[I];
+  }
+  Arcs.resize(Out);
+  invalidateArcIndex();
 }
 
 uint64_t ProfileData::callsInto(Address SelfPc) const {

@@ -77,6 +77,15 @@ struct ProfileData {
   /// from a lazily built per-callee total index, not a table scan.
   uint64_t callsInto(Address SelfPc) const;
 
+  /// Puts Arcs into canonical form: duplicate (FromPc, SelfPc) records
+  /// are coalesced (saturating) and the table is sorted by (FromPc,
+  /// SelfPc).  Two profiles holding the same logical arc multiset then
+  /// serialize to identical bytes regardless of the order their arcs
+  /// were discovered in — the property Monitor::extract() relies on to
+  /// make a merged multi-thread snapshot byte-identical to a
+  /// single-thread run of the same call sequence (docs/RUNTIME_MT.md).
+  void canonicalizeArcs();
+
   /// Drops the lazy arc indexes.  The indexes revalidate themselves when
   /// Arcs changes size or an entry moves, so most direct mutation of
   /// Arcs needs no call here; call it after mutating Count values in

@@ -31,9 +31,10 @@ BsdArcTable::BsdArcTable(Address LowPc, Address HighPc,
 }
 
 void BsdArcTable::record(Address FromPc, Address SelfPc) {
-  // The stats counters are plain members on this single-threaded path;
-  // each is one add, well under the relaxed-atomic budget the telemetry
-  // layer allows (docs/TELEMETRY.md).
+  // The stats counters are plain members: this table is owned by a single
+  // thread (Monitor registers one recorder per profiled thread), so each
+  // bump is one non-atomic add, well under the relaxed-atomic budget the
+  // telemetry layer allows (docs/TELEMETRY.md, docs/RUNTIME_MT.md).
   ++Counters.Records;
   if (Overflow) {
     ++Counters.Dropped;

@@ -46,11 +46,16 @@
 namespace gprof {
 
 /// Access-pattern and occupancy statistics of an arc table.  The counting
-/// members are plain (non-atomic) integers bumped on the single-threaded
-/// record() hot path — strictly cheaper than the relaxed atomics the
-/// telemetry layer uses elsewhere — and are published to the process-wide
-/// registry by Monitor::publishTelemetry().  All values are exact and
-/// deterministic for a given call sequence.
+/// members are plain (non-atomic) integers bumped on the record() hot
+/// path — strictly cheaper than the relaxed atomics the telemetry layer
+/// uses elsewhere.  That stays safe in a multithreaded target because
+/// each recorder (and so each stats block) is owned by exactly one
+/// thread: Monitor's registry hands every profiled thread its own
+/// ArcRecorder, and Monitor::publishTelemetry() sums the per-thread
+/// blocks field-wise at snapshot time (a commutative fold, so the totals
+/// are deterministic whatever order threads registered in; see
+/// docs/RUNTIME_MT.md).  All values are exact and deterministic for a
+/// given per-thread call sequence.
 struct ArcTableStats {
   uint64_t Records = 0;      ///< record() invocations.
   uint64_t ChainProbes = 0;  ///< Key comparisons / slot inspections.

@@ -10,10 +10,26 @@
 
 using namespace gprof;
 
+namespace {
+/// Source of never-reused Monitor identities for the thread-local caches.
+std::atomic<uint64_t> NextMonitorId{1};
+} // namespace
+
+thread_local uint64_t Monitor::CachedMonitorId = 0;
+thread_local Monitor::ThreadState *Monitor::CachedState = nullptr;
+
 Monitor::Monitor(Address LowPc, Address HighPc, MonitorOptions Opts)
     : LowPc(LowPc), HighPc(HighPc), Opts(Opts),
-      Hist(LowPc, HighPc, Opts.HistBucketSize) {
-  Arcs = makeTable();
+      MonitorId(NextMonitorId.fetch_add(1, std::memory_order_relaxed)) {}
+
+Monitor::~Monitor() {
+  // Invalidate this thread's cache if it points into us.  Other threads'
+  // caches go stale harmlessly: MonitorIds are never reused, so a stale
+  // entry can never match a live Monitor.
+  if (CachedMonitorId == MonitorId) {
+    CachedMonitorId = 0;
+    CachedState = nullptr;
+  }
 }
 
 std::unique_ptr<ArcRecorder> Monitor::makeTable() const {
@@ -29,29 +45,106 @@ std::unique_ptr<ArcRecorder> Monitor::makeTable() const {
   return nullptr;
 }
 
+Monitor::ThreadState &Monitor::self() {
+  // One comparison against a thread-local on the hot path; everything
+  // past it is this thread's private state.
+  if (CachedMonitorId == MonitorId)
+    return *CachedState;
+  return registerThisThread();
+}
+
+Monitor::ThreadState &Monitor::registerThisThread() {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  ThreadState *&Slot = ByThread[std::this_thread::get_id()];
+  if (!Slot) {
+    auto State = std::make_unique<ThreadState>();
+    State->Arcs = makeTable();
+    State->Hist = Histogram(LowPc, HighPc, Opts.HistBucketSize);
+    Slot = State.get();
+    Threads.push_back(std::move(State));
+  }
+  CachedMonitorId = MonitorId;
+  CachedState = Slot;
+  return *Slot;
+}
+
 void Monitor::onCall(Address FromPc, Address SelfPc) {
-  if (!Running || !Opts.RecordArcs)
+  if (!Running.load(std::memory_order_relaxed) || !Opts.RecordArcs)
     return;
-  Arcs->record(FromPc, SelfPc);
+  self().Arcs->record(FromPc, SelfPc);
 }
 
 void Monitor::onTick(Address Pc) {
-  if (!Running || !Opts.SampleHistogram)
+  if (!Running.load(std::memory_order_relaxed) || !Opts.SampleHistogram)
     return;
-  ++HistTicks;
-  Hist.recordPc(Pc);
+  ThreadState &S = self();
+  ++S.HistTicks;
+  S.Hist.recordPc(Pc);
 }
 
 void Monitor::reset() {
-  Arcs->reset();
-  Hist = Histogram(LowPc, HighPc, Opts.HistBucketSize);
-  HistTicks = 0;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &T : Threads) {
+    T->Arcs->reset();
+    T->Hist = Histogram(LowPc, HighPc, Opts.HistBucketSize);
+    T->HistTicks = 0;
+  }
+}
+
+bool Monitor::arcTableOverflowed() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &T : Threads)
+    if (T->Arcs->overflowed())
+      return true;
+  return false;
+}
+
+ArcTableStats Monitor::arcTableStats() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  ArcTableStats Sum;
+  for (const auto &T : Threads) {
+    ArcTableStats S = T->Arcs->stats();
+    Sum.Records += S.Records;
+    Sum.ChainProbes += S.ChainProbes;
+    Sum.Collisions += S.Collisions;
+    Sum.MoveToFront += S.MoveToFront;
+    Sum.NewArcs += S.NewArcs;
+    Sum.OutsideRange += S.OutsideRange;
+    Sum.Dropped += S.Dropped;
+    Sum.Entries += S.Entries;
+    Sum.SlotsUsed += S.SlotsUsed;
+    Sum.SlotCapacity += S.SlotCapacity;
+  }
+  return Sum;
+}
+
+std::vector<ArcTableStats> Monitor::perThreadArcStats() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  std::vector<ArcTableStats> Out;
+  Out.reserve(Threads.size());
+  for (const auto &T : Threads)
+    Out.push_back(T->Arcs->stats());
+  return Out;
+}
+
+size_t Monitor::registeredThreads() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  return Threads.size();
 }
 
 void Monitor::publishTelemetry() const {
   using telemetry::counter;
-  using telemetry::gauge;
   ArcTableStats S = arcTableStats();
+  uint64_t Ticks = 0, OutOfRange = 0;
+  size_t NumThreads;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    NumThreads = Threads.size();
+    for (const auto &T : Threads) {
+      Ticks += T->HistTicks;
+      OutOfRange += T->Hist.outOfRangeSamples();
+    }
+  }
   counter("runtime.mcount.records").set(S.Records);
   counter("runtime.mcount.chain_probes").set(S.ChainProbes);
   counter("runtime.mcount.collisions").set(S.Collisions);
@@ -63,17 +156,35 @@ void Monitor::publishTelemetry() const {
   counter("runtime.arcs.slots_used").set(S.SlotsUsed);
   counter("runtime.arcs.slot_capacity").set(S.SlotCapacity);
   counter("runtime.arcs.overflowed").set(arcTableOverflowed() ? 1 : 0);
-  counter("runtime.hist.ticks").set(HistTicks);
-  counter("runtime.hist.out_of_range").set(Hist.outOfRangeSamples());
-  counter("runtime.hist.buckets").set(Hist.numBuckets());
+  counter("runtime.hist.ticks").set(Ticks);
+  counter("runtime.hist.out_of_range").set(OutOfRange);
+  counter("runtime.hist.buckets")
+      .set(Histogram(LowPc, HighPc, Opts.HistBucketSize).numBuckets());
+  counter("runtime.threads.registered").set(NumThreads);
 }
 
 ProfileData Monitor::extract() const {
   ProfileData Data;
-  Data.Hist = Hist;
-  Data.Arcs = Arcs->snapshot();
+  Data.Hist = Histogram(LowPc, HighPc, Opts.HistBucketSize);
   Data.TicksPerSecond = Opts.TicksPerSecond;
   Data.RunCount = 1;
-  Data.ArcTableOverflowed = Arcs->overflowed();
+  bool Overflow = false;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    for (const auto &T : Threads) {
+      for (const ArcRecord &R : T->Arcs->snapshot())
+        Data.addArc(R.FromPc, R.SelfPc, R.Count);
+      // Geometries are identical by construction, so the merge cannot
+      // fail.
+      cantFail(Data.Hist.merge(T->Hist));
+      Overflow = Overflow || T->Arcs->overflowed();
+    }
+  }
+  Data.ArcTableOverflowed = Overflow;
+  // Canonical arc order: the serialized snapshot depends only on the
+  // logical arc multiset, not on which thread discovered which arc first
+  // or on any recorder's internal layout (the determinism contract,
+  // docs/RUNTIME_MT.md).
+  Data.canonicalizeArcs();
   return Data;
 }

@@ -23,6 +23,14 @@
 ///    queue depths, worker busy time, cache hits against mutable on-disk
 ///    state — and carry no cross-thread-count guarantee.
 ///
+/// The hottest instrumented path — mcount's per-record stats — does not
+/// even pay the relaxed atomics: each profiled thread bumps plain
+/// counters in its own ArcTableStats block (one recorder per thread,
+/// docs/RUNTIME_MT.md), and Monitor::publishTelemetry() folds the
+/// per-thread blocks field-wise into the registry's `runtime.*` counters
+/// at snapshot time.  The fold is a commutative sum, so the published
+/// totals keep the counter determinism guarantee at every thread count.
+///
 /// Spans carry wall-clock timestamps and are likewise excluded from
 /// determinism guarantees.  They are gated by a runtime flag checked once
 /// per scope, so a disabled span costs one relaxed atomic load; metric

@@ -9,7 +9,10 @@
 /// (or --force-monitor is given), a Monitor gathers arcs and PC samples
 /// during execution and condenses them to a gmon file at exit — the
 /// paper's "gather profiling data in memory during program execution and
-/// ... condense it to a file as the profiled program exits".
+/// ... condense it to a file as the profiled program exits".  With
+/// --threads N the image runs on N interpreter threads sharing that one
+/// monitor, and the written profile is the canonical merge of every
+/// thread's tables (docs/RUNTIME_MT.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +24,7 @@
 #include "support/FileUtils.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
+#include "vm/ParallelRun.h"
 #include "vm/VM.h"
 
 #include <cstdio>
@@ -41,6 +45,9 @@ int main(int Argc, char **Argv) {
                  "histogram bucket granularity in addresses (default 1)");
   Opts.addOption("table", 't', "KIND",
                  "arc table: bsd, open, or map (default bsd)");
+  Opts.addOption("threads", 'T', "N",
+                 "run N interpreter threads over the image, sharing one "
+                 "monitor (default 1)");
   Opts.addFlag("no-sample", 0, "disable the PC sample histogram");
   Opts.addFlag("no-arcs", 0, "disable call graph arc recording");
   Opts.addFlag("force-monitor", 0,
@@ -109,6 +116,13 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  uint64_t ThreadCount = ParseU64("threads", 1);
+  if (ThreadCount > 1 && Opts.hasFlag("stack")) {
+    std::fprintf(stderr, "tlrun: --stack is single-threaded; it cannot be "
+                         "combined with --threads\n");
+    return 1;
+  }
+
   std::unique_ptr<Monitor> Mon;
   std::unique_ptr<StackSampleProfiler> StackProf;
   if (Opts.hasFlag("stack")) {
@@ -119,22 +133,52 @@ int main(int Argc, char **Argv) {
     Machine.setHooks(Mon.get());
   }
 
-  auto Result = Machine.run();
-  if (!Result) {
-    std::fprintf(stderr, "tlrun: %s\n", Result.message().c_str());
-    return 1;
-  }
+  if (ThreadCount > 1) {
+    // The concurrent workload: every thread runs the image's entry
+    // function on its own VM, all feeding the one shared Monitor.
+    auto Results =
+        runOnThreads(*Img, VO, Mon.get(),
+                     static_cast<unsigned>(ThreadCount));
+    if (!Results) {
+      std::fprintf(stderr, "tlrun: %s\n", Results.message().c_str());
+      return 1;
+    }
+    uint64_t Instructions = 0, Cycles = 0, Ticks = 0;
+    for (size_t T = 0; T != Results->size(); ++T) {
+      const RunResult &R = (*Results)[T];
+      if (!Opts.hasFlag("quiet"))
+        for (int64_t V : R.Printed)
+          std::printf("[thread %zu] %lld\n", T, static_cast<long long>(V));
+      Instructions += R.Instructions;
+      Cycles += R.Cycles;
+      Ticks += R.Ticks;
+    }
+    std::fprintf(stderr,
+                 "tlrun: %llu threads, exit value %lld, %llu instructions, "
+                 "%llu cycles, %llu ticks\n",
+                 static_cast<unsigned long long>(ThreadCount),
+                 static_cast<long long>(Results->front().ExitValue),
+                 static_cast<unsigned long long>(Instructions),
+                 static_cast<unsigned long long>(Cycles),
+                 static_cast<unsigned long long>(Ticks));
+  } else {
+    auto Result = Machine.run();
+    if (!Result) {
+      std::fprintf(stderr, "tlrun: %s\n", Result.message().c_str());
+      return 1;
+    }
 
-  if (!Opts.hasFlag("quiet"))
-    for (int64_t V : Result->Printed)
-      std::printf("%lld\n", static_cast<long long>(V));
-  std::fprintf(stderr,
-               "tlrun: exit value %lld, %llu instructions, %llu cycles, "
-               "%llu ticks\n",
-               static_cast<long long>(Result->ExitValue),
-               static_cast<unsigned long long>(Result->Instructions),
-               static_cast<unsigned long long>(Result->Cycles),
-               static_cast<unsigned long long>(Result->Ticks));
+    if (!Opts.hasFlag("quiet"))
+      for (int64_t V : Result->Printed)
+        std::printf("%lld\n", static_cast<long long>(V));
+    std::fprintf(stderr,
+                 "tlrun: exit value %lld, %llu instructions, %llu cycles, "
+                 "%llu ticks\n",
+                 static_cast<long long>(Result->ExitValue),
+                 static_cast<unsigned long long>(Result->Instructions),
+                 static_cast<unsigned long long>(Result->Cycles),
+                 static_cast<unsigned long long>(Result->Ticks));
+  }
 
   if (Mon) {
     std::string GmonPath = Opts.getValue("gmon").value_or("gmon.out");

@@ -1,0 +1,54 @@
+//===- vm/ParallelRun.cpp --------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ParallelRun.h"
+
+#include <optional>
+#include <thread>
+
+using namespace gprof;
+
+Expected<std::vector<RunResult>>
+gprof::runOnThreads(const Image &Img, const VMOptions &Opts,
+                    ProfileHooks *Hooks, unsigned ThreadCount) {
+  if (ThreadCount == 0)
+    return Error::failure("runOnThreads: thread count must be nonzero");
+
+  // Thread 0 could run inline, but keeping every worker a real thread
+  // makes the 1-thread case exercise the same registration path as N.
+  std::vector<std::optional<Expected<RunResult>>> Results(ThreadCount);
+  std::vector<std::thread> Workers;
+  Workers.reserve(ThreadCount);
+  for (unsigned T = 0; T != ThreadCount; ++T)
+    Workers.emplace_back([&, T] {
+      VM Machine(Img, Opts);
+      Machine.setHooks(Hooks);
+      Results[T].emplace(Machine.run());
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  // Every failure must be consumed (Error asserts on unchecked drops);
+  // the lowest-indexed one is the one reported.
+  std::optional<Error> FirstErr;
+  std::vector<RunResult> Out;
+  Out.reserve(ThreadCount);
+  for (unsigned T = 0; T != ThreadCount; ++T) {
+    Expected<RunResult> &R = *Results[T];
+    if (R) {
+      Out.push_back(std::move(*R));
+      continue;
+    }
+    Error E = R.takeError();
+    if (!FirstErr)
+      FirstErr.emplace(std::move(E));
+    else
+      (void)static_cast<bool>(E);
+  }
+  if (FirstErr)
+    return std::move(*FirstErr);
+  return Out;
+}

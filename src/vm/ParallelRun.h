@@ -1,0 +1,41 @@
+//===- vm/ParallelRun.h - Run one image on several interpreter threads ----===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent-workload driver: N interpreter threads, each with its
+/// own VM (stack, globals, data memory, virtual clock) over one shared
+/// read-only Image, all delivering profiling events to one shared
+/// ProfileHooks.  This is the multithreaded target program the paper's
+/// single-threaded runtime could not profile; with the thread-aware
+/// Monitor each thread's events land in that thread's private tables and
+/// the merged snapshot equals a serialized single-thread run of the same
+/// work (docs/RUNTIME_MT.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_VM_PARALLELRUN_H
+#define GPROF_VM_PARALLELRUN_H
+
+#include "vm/VM.h"
+
+#include <vector>
+
+namespace gprof {
+
+/// Runs \p Img's entry function to completion on \p ThreadCount threads,
+/// each on a private VM configured with \p Opts and hooked to \p Hooks
+/// (which must be thread-safe or null; Monitor is).  Per-thread results
+/// are returned in thread-index order, so the aggregate is deterministic
+/// even though the interleaving is not.  If any thread traps, the
+/// lowest-indexed failure is returned.
+Expected<std::vector<RunResult>> runOnThreads(const Image &Img,
+                                              const VMOptions &Opts,
+                                              ProfileHooks *Hooks,
+                                              unsigned ThreadCount);
+
+} // namespace gprof
+
+#endif // GPROF_VM_PARALLELRUN_H

@@ -96,6 +96,12 @@ Expected<RunResult> VM::execute(const FuncInfo &Entry,
   // Synthetic outermost frame: the return address 0 lies outside the code
   // segment, so the entry function's incoming arc symbolizes to no caller
   // and is classified spontaneous (paper §3.1).
+  // A corrupt image can declare fewer frame slots than parameters; the
+  // argument copy below must not write past the frame.
+  if (Entry.NumSlots < Args.size())
+    return trap(Entry.Addr,
+                format("entry '%s' declares %u frame slots for %zu arguments",
+                       Entry.Name.c_str(), Entry.NumSlots, Args.size()));
   Frames.push_back({/*ReturnAddr=*/0, /*LocalBase=*/0, /*StackBase=*/0,
                     &Entry});
   Locals.resize(Entry.NumSlots, 0);
@@ -310,6 +316,11 @@ Expected<RunResult> VM::execute(const FuncInfo &Entry,
         return trap(InsnPc,
                     format("call to '%s' with %u arguments; it takes %u",
                            Callee->Name.c_str(), Argc, Callee->NumParams));
+      if (Callee->NumSlots < Argc)
+        return trap(InsnPc,
+                    format("call to '%s' whose frame declares %u slots for "
+                           "%u parameters",
+                           Callee->Name.c_str(), Callee->NumSlots, Argc));
       if (Frames.size() >= Opts.MaxCallDepth)
         return trap(InsnPc, "call stack overflow");
 

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gmon/GmonFile.h"
+#include "runtime/Monitor.h"
 #include "store/ProfileStore.h"
 #include "support/FaultInjection.h"
 #include "support/FileUtils.h"
@@ -23,6 +24,7 @@
 
 #include <filesystem>
 #include <map>
+#include <thread>
 
 using namespace gprof;
 
@@ -251,6 +253,57 @@ TEST_F(AtomicWriteTest, CrashMidGmonWriteKeepsPriorProfile) {
     ASSERT_TRUE(static_cast<bool>(Back)) << Point;
     EXPECT_EQ(Back->Arcs.size(), NumArcs) << Point;
   }
+}
+
+TEST_F(AtomicWriteTest, MultiThreadSnapshotWriteFaultLeavesNoTornGmon) {
+  // The thread-aware runtime meets the crash-safe writer: a snapshot
+  // merged from several threads goes through the same atomic
+  // write-then-rename path as any profile artifact, so an injected
+  // file.write fault mid-condense must leave the previous gmon.out
+  // byte-identical and no temporary behind (docs/RUNTIME_MT.md).
+  TempDir Dir("mt_snapshot");
+  std::string Path = Dir.Path + "/gmon.out";
+
+  constexpr Address Lo = 0x1000, Hi = 0x2000;
+  Monitor Mon(Lo, Hi);
+  auto FeedFromThreads = [&Mon] {
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T != 4; ++T)
+      Workers.emplace_back([&Mon, T] {
+        for (Address I = 0; I != 500; ++I) {
+          Mon.onCall(Lo + (I * 7 + T) % (Hi - Lo), Lo + (I % 16) * 64);
+          Mon.onTick(Lo + (I * 13 + T) % (Hi - Lo));
+        }
+      });
+    for (std::thread &W : Workers)
+      W.join();
+  };
+
+  FeedFromThreads();
+  cantFail(writeGmonFile(Path, Mon.finish()));
+  std::vector<uint8_t> OldBytes = cantFail(readFileBytes(Path));
+
+  // More concurrent data arrives; the next condense hits a write fault.
+  FeedFromThreads();
+  fault::arm("file.write", 1, 0);
+  Error E = writeGmonFile(Path, Mon.finish());
+  ASSERT_TRUE(static_cast<bool>(E));
+  fault::disarmAll();
+  EXPECT_EQ(cantFail(readFileBytes(Path)), OldBytes);
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+  // The surviving file still parses as the first snapshot.
+  EXPECT_EQ(writeGmon(cantFail(readGmonFile(Path))), OldBytes);
+
+  // With the fault gone the doubled snapshot commits cleanly.
+  cantFail(writeGmonFile(Path, Mon.finish()));
+  ProfileData Back = cantFail(readGmonFile(Path));
+  ProfileData First = cantFail(readGmon(OldBytes));
+  uint64_t FirstTotal = 0, BackTotal = 0;
+  for (const ArcRecord &R : First.Arcs)
+    FirstTotal += R.Count;
+  for (const ArcRecord &R : Back.Arcs)
+    BackTotal += R.Count;
+  EXPECT_EQ(BackTotal, 2 * FirstTotal);
 }
 
 //===----------------------------------------------------------------------===//

@@ -13,15 +13,23 @@
 ///  - Scaling the histogram (summing a run with itself) scales every
 ///    time by the same constant and preserves all orderings.
 ///  - Renaming routines permutes labels but not numbers.
+///  - Splitting a recorded call sequence across k profiled threads
+///    (k ∈ {1,2,4,8}) leaves the merged snapshot digest unchanged — the
+///    thread-aware runtime's determinism contract (docs/RUNTIME_MT.md).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Analyzer.h"
 #include "core/SyntheticProfile.h"
+#include "gmon/GmonFile.h"
 #include "graph/Generators.h"
+#include "runtime/Monitor.h"
 #include "support/Random.h"
+#include "support/Sha256.h"
 
 #include <gtest/gtest.h>
+
+#include <thread>
 
 using namespace gprof;
 
@@ -134,3 +142,71 @@ TEST_P(MetamorphicTest, DeletingAllArcsOfACallerIsolatesIt) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
                          testing::Range<uint64_t>(0, 10));
+
+//===----------------------------------------------------------------------===//
+// Thread-split invariance of the runtime snapshot
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// SHA-256 of the serialized snapshot — the canonical identity of a
+/// profile's logical content.
+std::string snapshotDigest(const Monitor &Mon) {
+  return digestToHex(Sha256::hash(writeGmon(Mon.extract())));
+}
+
+} // namespace
+
+class ThreadSplitMetamorphicTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThreadSplitMetamorphicTest, SplittingAcrossThreadsPreservesDigest) {
+  constexpr Address Lo = 0x1000, Hi = 0x3000;
+  // A mixed stream of arc traversals and PC ticks.
+  SplitMix64 Rng(GetParam() * 977 + 5);
+  struct Ev {
+    bool IsCall;
+    Address A, B;
+  };
+  std::vector<Ev> Stream;
+  for (int I = 0; I != 24000; ++I) {
+    Address A = Lo + Rng.nextBelow(Hi - Lo);
+    if (Rng.nextBool(0.3))
+      Stream.push_back({false, A, 0});
+    else
+      Stream.push_back({true, A, Lo + Rng.nextBelow(128) * 64});
+  }
+
+  for (ArcTableKind Kind : {ArcTableKind::Bsd, ArcTableKind::OpenAddressing,
+                            ArcTableKind::StdMap}) {
+    MonitorOptions MO;
+    MO.TableKind = Kind;
+    std::string Reference;
+    for (unsigned K : {1u, 2u, 4u, 8u}) {
+      Monitor Mon(Lo, Hi, MO);
+      // Round-robin split preserving per-thread order; each part replays
+      // on its own thread.
+      std::vector<std::thread> Workers;
+      for (unsigned T = 0; T != K; ++T)
+        Workers.emplace_back([&, T] {
+          for (size_t I = T; I < Stream.size(); I += K) {
+            if (Stream[I].IsCall)
+              Mon.onCall(Stream[I].A, Stream[I].B);
+            else
+              Mon.onTick(Stream[I].A);
+          }
+        });
+      for (std::thread &W : Workers)
+        W.join();
+      std::string Digest = snapshotDigest(Mon);
+      if (K == 1)
+        Reference = Digest;
+      else
+        EXPECT_EQ(Digest, Reference)
+            << "table kind " << static_cast<int>(Kind) << ", k=" << K;
+    }
+    ASSERT_FALSE(Reference.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadSplitMetamorphicTest,
+                         testing::Range<uint64_t>(0, 4));

@@ -1,0 +1,379 @@
+//===- tests/runtime_mt_test.cpp - Thread-aware runtime stress tests ------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Oracle-checked concurrent stress tests for the thread-aware monitor
+/// (docs/RUNTIME_MT.md).  N threads replay disjoint and overlapping
+/// (call, tick) streams against their per-thread recorders; the merged
+/// snapshot must serialize byte-identical to a single-thread oracle fed
+/// the union sequence, for every ArcRecorder implementation.  Also covers
+/// the per-thread moncontrol semantics (control/reset/extract fan-out),
+/// the deterministic per-thread stats fold, and overflow propagation.
+///
+/// The whole file is written to be TSan-clean: threads are joined before
+/// every snapshot, so the only intentionally-concurrent state is the
+/// registry and the per-thread tables themselves (the gprof_mt_smoke
+/// target runs this under GPROF_SANITIZE=thread).
+///
+//===----------------------------------------------------------------------===//
+
+#include "gmon/GmonFile.h"
+#include "runtime/ArcTable.h"
+#include "runtime/Monitor.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace gprof;
+
+namespace {
+
+constexpr Address LowPc = 0x1000;
+constexpr Address HighPc = 0x2000;
+
+/// One profiling event: an arc traversal or a clock tick.
+struct Event {
+  bool IsCall;
+  Address A; ///< FromPc for calls, sampled PC for ticks.
+  Address B; ///< SelfPc for calls, unused for ticks.
+};
+
+/// A reproducible stream of mostly-call events over [Lo, Hi).
+std::vector<Event> makeStream(uint64_t Seed, size_t Count, Address Lo,
+                              Address Hi) {
+  SplitMix64 Rng(Seed);
+  std::vector<Event> Stream;
+  Stream.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    if (Rng.nextBool(0.25)) {
+      Stream.push_back({false, Lo + Rng.nextBelow(Hi - Lo), 0});
+    } else {
+      // A handful of callees so BSD chains and move-to-front engage.
+      Address From = Lo + Rng.nextBelow(Hi - Lo);
+      Address Self = Lo + Rng.nextBelow(64) * ((Hi - Lo) / 64);
+      Stream.push_back({true, From, Self});
+    }
+  }
+  return Stream;
+}
+
+void replay(Monitor &Mon, const std::vector<Event> &Stream) {
+  for (const Event &E : Stream) {
+    if (E.IsCall)
+      Mon.onCall(E.A, E.B);
+    else
+      Mon.onTick(E.A);
+  }
+}
+
+/// Splits \p Stream round-robin into \p K subsequences (order preserved
+/// within each).
+std::vector<std::vector<Event>> split(const std::vector<Event> &Stream,
+                                      unsigned K) {
+  std::vector<std::vector<Event>> Parts(K);
+  for (size_t I = 0; I != Stream.size(); ++I)
+    Parts[I % K].push_back(Stream[I]);
+  return Parts;
+}
+
+/// Replays each part on its own thread against the shared \p Mon and
+/// joins them all.
+void replayThreaded(Monitor &Mon,
+                    const std::vector<std::vector<Event>> &Parts) {
+  std::vector<std::thread> Workers;
+  Workers.reserve(Parts.size());
+  for (const auto &Part : Parts)
+    Workers.emplace_back([&Mon, &Part] { replay(Mon, Part); });
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+std::vector<uint8_t> snapshotBytes(const Monitor &Mon) {
+  return writeGmon(Mon.extract());
+}
+
+MonitorOptions optsFor(ArcTableKind Kind) {
+  MonitorOptions MO;
+  MO.TableKind = Kind;
+  return MO;
+}
+
+const char *kindName(ArcTableKind Kind) {
+  switch (Kind) {
+  case ArcTableKind::Bsd:
+    return "bsd";
+  case ArcTableKind::OpenAddressing:
+    return "open";
+  case ArcTableKind::StdMap:
+    return "map";
+  }
+  return "?";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Byte-identical merge vs the single-thread oracle
+//===----------------------------------------------------------------------===//
+
+class MtMergeTest : public testing::TestWithParam<ArcTableKind> {};
+
+TEST_P(MtMergeTest, OverlappingStreamsMergeByteIdentical) {
+  // All threads draw from the same sites, so per-thread tables hold
+  // overlapping arcs that must coalesce in the merge.
+  std::vector<Event> Union = makeStream(7, 40000, LowPc, HighPc);
+  Monitor Oracle(LowPc, HighPc, optsFor(ArcTableKind::StdMap));
+  replay(Oracle, Union);
+  std::vector<uint8_t> Expected = snapshotBytes(Oracle);
+
+  for (unsigned K : {1u, 2u, 4u, 8u}) {
+    Monitor Mon(LowPc, HighPc, optsFor(GetParam()));
+    replayThreaded(Mon, split(Union, K));
+    EXPECT_EQ(snapshotBytes(Mon), Expected)
+        << kindName(GetParam()) << " with " << K << " threads";
+    EXPECT_EQ(Mon.registeredThreads(), K);
+  }
+}
+
+TEST_P(MtMergeTest, DisjointStreamsMergeByteIdentical) {
+  // Each thread owns a disjoint slice of the address space; the union
+  // sequence interleaves them round-robin.
+  constexpr unsigned K = 4;
+  std::vector<std::vector<Event>> Parts;
+  for (unsigned T = 0; T != K; ++T) {
+    Address Lo = LowPc + T * 0x400;
+    Parts.push_back(makeStream(100 + T, 10000, Lo, Lo + 0x400));
+  }
+  std::vector<Event> Union;
+  for (size_t I = 0; I != 10000; ++I)
+    for (unsigned T = 0; T != K; ++T)
+      Union.push_back(Parts[T][I]);
+
+  Monitor Oracle(LowPc, HighPc, optsFor(ArcTableKind::StdMap));
+  replay(Oracle, Union);
+
+  Monitor Mon(LowPc, HighPc, optsFor(GetParam()));
+  replayThreaded(Mon, Parts);
+  EXPECT_EQ(snapshotBytes(Mon), snapshotBytes(Oracle));
+}
+
+TEST_P(MtMergeTest, HighContentionSmallKeySet) {
+  // 8 threads hammer 16 arcs: maximal overlap, the worst case for any
+  // accidentally-shared recorder state.  Total counts must be exact.
+  constexpr unsigned K = 8;
+  constexpr size_t PerThread = 25000;
+  std::vector<std::vector<Event>> Parts(K);
+  for (unsigned T = 0; T != K; ++T) {
+    SplitMix64 Rng(T);
+    for (size_t I = 0; I != PerThread; ++I) {
+      Address From = LowPc + Rng.nextBelow(4) * 0x10;
+      Address Self = LowPc + Rng.nextBelow(4) * 0x100;
+      Parts[T].push_back({true, From, Self});
+    }
+  }
+  Monitor Mon(LowPc, HighPc, optsFor(GetParam()));
+  replayThreaded(Mon, Parts);
+
+  ProfileData Data = Mon.extract();
+  uint64_t Total = 0;
+  for (const ArcRecord &R : Data.Arcs)
+    Total += R.Count;
+  EXPECT_EQ(Total, static_cast<uint64_t>(K) * PerThread);
+  EXPECT_LE(Data.Arcs.size(), 16u);
+  EXPECT_EQ(Mon.arcTableStats().Records,
+            static_cast<uint64_t>(K) * PerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecorders, MtMergeTest,
+                         testing::Values(ArcTableKind::Bsd,
+                                         ArcTableKind::OpenAddressing,
+                                         ArcTableKind::StdMap),
+                         [](const auto &Info) {
+                           return std::string(kindName(Info.param));
+                         });
+
+TEST(MtMergeRawOracleTest, MatchesStdMapArcTableFedUnionSequence) {
+  // The satellite's literal oracle: a bare StdMapArcTable fed the union
+  // sequence, assembled into a canonical ProfileData by hand, must
+  // serialize to the same bytes as the threaded monitor's snapshot.
+  std::vector<Event> Union = makeStream(42, 30000, LowPc, HighPc);
+
+  StdMapArcTable OracleTable;
+  Histogram OracleHist(LowPc, HighPc, 1);
+  uint64_t Ticks = 0;
+  for (const Event &E : Union) {
+    if (E.IsCall) {
+      OracleTable.record(E.A, E.B);
+    } else {
+      OracleHist.recordPc(E.A);
+      ++Ticks;
+    }
+  }
+  ProfileData Expected;
+  Expected.Hist = OracleHist;
+  for (const ArcRecord &R : OracleTable.snapshot())
+    Expected.addArc(R.FromPc, R.SelfPc, R.Count);
+  Expected.canonicalizeArcs();
+  ASSERT_GT(Ticks, 0u);
+
+  for (ArcTableKind Kind : {ArcTableKind::Bsd, ArcTableKind::OpenAddressing,
+                            ArcTableKind::StdMap}) {
+    Monitor Mon(LowPc, HighPc, optsFor(Kind));
+    replayThreaded(Mon, split(Union, 6));
+    EXPECT_EQ(writeGmon(Mon.extract()), writeGmon(Expected))
+        << kindName(Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-thread moncontrol semantics
+//===----------------------------------------------------------------------===//
+
+TEST(MtControlTest, ControlOffSilencesEveryThread) {
+  std::vector<Event> Stream = makeStream(9, 8000, LowPc, HighPc);
+  Monitor Mon(LowPc, HighPc);
+  replayThreaded(Mon, split(Stream, 4));
+  std::vector<uint8_t> Before = snapshotBytes(Mon);
+
+  Mon.control(false);
+  replayThreaded(Mon, split(Stream, 4));
+  EXPECT_EQ(snapshotBytes(Mon), Before)
+      << "events recorded while profiling was off";
+
+  Mon.control(true);
+  replayThreaded(Mon, split(Stream, 4));
+  ProfileData Doubled = Mon.extract();
+  uint64_t Total = 0;
+  for (const ArcRecord &R : Doubled.Arcs)
+    Total += R.Count;
+  ProfileData First = cantFail(readGmon(Before));
+  uint64_t FirstTotal = 0;
+  for (const ArcRecord &R : First.Arcs)
+    FirstTotal += R.Count;
+  EXPECT_EQ(Total, 2 * FirstTotal);
+}
+
+TEST(MtControlTest, ResetClearsEveryRegisteredThread) {
+  std::vector<Event> Stream = makeStream(11, 6000, LowPc, HighPc);
+  Monitor Mon(LowPc, HighPc);
+  replayThreaded(Mon, split(Stream, 4));
+  ASSERT_EQ(Mon.registeredThreads(), 4u);
+  ASSERT_FALSE(Mon.extract().Arcs.empty());
+
+  Mon.reset();
+  ProfileData Cleared = Mon.extract();
+  EXPECT_TRUE(Cleared.Arcs.empty());
+  EXPECT_EQ(Cleared.Hist.totalSamples(), 0u);
+  // Threads stay registered (their recorders are reset, not destroyed) so
+  // live thread-local caches never dangle.
+  EXPECT_EQ(Mon.registeredThreads(), 4u);
+  EXPECT_EQ(Mon.arcTableStats().Records, 0u);
+}
+
+TEST(MtControlTest, ExtractDoesNotDisturbThreadedCollection) {
+  std::vector<Event> Stream = makeStream(13, 6000, LowPc, HighPc);
+  Monitor Mon(LowPc, HighPc);
+  replayThreaded(Mon, split(Stream, 3));
+  ProfileData First = Mon.extract();
+  replayThreaded(Mon, split(Stream, 3));
+  ProfileData Second = Mon.extract();
+  uint64_t FirstTotal = 0, SecondTotal = 0;
+  for (const ArcRecord &R : First.Arcs)
+    FirstTotal += R.Count;
+  for (const ArcRecord &R : Second.Arcs)
+    SecondTotal += R.Count;
+  ASSERT_GT(FirstTotal, 0u);
+  EXPECT_EQ(SecondTotal, 2 * FirstTotal);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry behaviour and stats aggregation
+//===----------------------------------------------------------------------===//
+
+TEST(MtRegistryTest, SameThreadReusesItsState) {
+  Monitor Mon(LowPc, HighPc);
+  Mon.onCall(LowPc + 1, LowPc + 2);
+  Mon.onCall(LowPc + 1, LowPc + 2);
+  EXPECT_EQ(Mon.registeredThreads(), 1u);
+  EXPECT_EQ(Mon.arcTableStats().Records, 2u);
+}
+
+TEST(MtRegistryTest, AlternatingMonitorsOnOneThreadStayIndependent) {
+  // Alternating between two monitors thrashes the thread-local cache
+  // (each switch takes the slow registration path); the data must still
+  // land in the right monitor.
+  Monitor A(LowPc, HighPc);
+  Monitor B(LowPc, HighPc);
+  for (int I = 0; I != 100; ++I) {
+    A.onCall(LowPc + 1, LowPc + 2);
+    B.onCall(LowPc + 3, LowPc + 4);
+    B.onCall(LowPc + 3, LowPc + 4);
+  }
+  EXPECT_EQ(A.arcTableStats().Records, 100u);
+  EXPECT_EQ(B.arcTableStats().Records, 200u);
+  EXPECT_EQ(A.registeredThreads(), 1u);
+  EXPECT_EQ(B.registeredThreads(), 1u);
+}
+
+TEST(MtRegistryTest, PerThreadStatsSumToAggregate) {
+  std::vector<Event> Stream = makeStream(17, 20000, LowPc, HighPc);
+  Monitor Mon(LowPc, HighPc);
+  replayThreaded(Mon, split(Stream, 5));
+
+  std::vector<ArcTableStats> Per = Mon.perThreadArcStats();
+  ASSERT_EQ(Per.size(), 5u);
+  uint64_t Records = 0, NewArcs = 0, Probes = 0;
+  for (const ArcTableStats &S : Per) {
+    Records += S.Records;
+    NewArcs += S.NewArcs;
+    Probes += S.ChainProbes;
+  }
+  ArcTableStats Sum = Mon.arcTableStats();
+  EXPECT_EQ(Sum.Records, Records);
+  EXPECT_EQ(Sum.NewArcs, NewArcs);
+  EXPECT_EQ(Sum.ChainProbes, Probes);
+
+  uint64_t Calls = 0;
+  for (const Event &E : Stream)
+    Calls += E.IsCall;
+  EXPECT_EQ(Sum.Records, Calls);
+}
+
+TEST(MtRegistryTest, OverflowOnOneThreadPropagates) {
+  MonitorOptions MO;
+  MO.TosLimit = 4; // Per-thread budget.
+  Monitor Mon(LowPc, HighPc, MO);
+
+  std::vector<std::vector<Event>> Parts(3);
+  // Thread 0 exhausts its table; the others stay tiny.
+  for (Address I = 0; I != 100; ++I)
+    Parts[0].push_back({true, LowPc + I, LowPc + I * 8});
+  Parts[1].push_back({true, LowPc + 1, LowPc + 2});
+  Parts[2].push_back({true, LowPc + 3, LowPc + 4});
+  replayThreaded(Mon, Parts);
+
+  EXPECT_TRUE(Mon.arcTableOverflowed());
+  EXPECT_TRUE(Mon.extract().ArcTableOverflowed);
+  EXPECT_GT(Mon.arcTableStats().Dropped, 0u);
+}
+
+TEST(MtRegistryTest, HistogramTicksSumAcrossThreads) {
+  constexpr unsigned K = 4;
+  constexpr size_t TicksPerThread = 5000;
+  std::vector<std::vector<Event>> Parts(K);
+  for (unsigned T = 0; T != K; ++T) {
+    SplitMix64 Rng(T + 50);
+    for (size_t I = 0; I != TicksPerThread; ++I)
+      Parts[T].push_back({false, LowPc + Rng.nextBelow(HighPc - LowPc), 0});
+  }
+  Monitor Mon(LowPc, HighPc);
+  replayThreaded(Mon, Parts);
+  EXPECT_EQ(Mon.extract().Hist.totalSamples(),
+            static_cast<uint64_t>(K) * TicksPerThread);
+}
