@@ -1,0 +1,200 @@
+//===- bench/bench_tab_ingest.cpp - Daemon ingest throughput --------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the continuous-profiling daemon's ingest path end to end:
+/// clients connect to a live `gprof-store serve` instance over its UNIX
+/// socket and push distinct gmon shards, at 1, 4, and 16 concurrent
+/// clients.  Reports sustained shards/sec and the p50/p95 per-push
+/// latency, and checks the correctness contract that throughput must not
+/// bend: every pushed shard lands in the store exactly once regardless of
+/// client count (docs/SERVE.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "gmon/GmonFile.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "store/ProfileStore.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace gprof;
+using namespace gprof::bench;
+
+namespace {
+
+/// One synthetic shard: common geometry, seed-dependent samples and arcs,
+/// serialized to the gmon container bytes a pusher would upload.
+std::vector<uint8_t> makeShardBytes(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  ProfileData D;
+  D.TicksPerSecond = 60;
+  D.Hist = Histogram(0x1000, 0x11000, 4);
+  for (int I = 0; I != 512; ++I)
+    D.Hist.recordPc(0x1000 + Rng.nextBelow(0x10000));
+  for (int I = 0; I != 400; ++I)
+    D.addArc(0x1000 + Rng.nextBelow(2048) * 16,
+             0x1000 + Rng.nextBelow(256) * 256, 1 + Rng.nextBelow(50));
+  return writeGmon(D);
+}
+
+double percentile(std::vector<double> Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(Q * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+struct RoundResult {
+  double ShardsPerSec = 0.0;
+  double P50Ms = 0.0;
+  double P95Ms = 0.0;
+  size_t StoredShards = 0;
+  bool AllSucceeded = false;
+};
+
+/// One measured round: \p Clients concurrent pushers splitting \p Pushes
+/// distinct shards over a fresh daemon + store.
+RoundResult runRound(unsigned Clients, size_t Pushes,
+                     const std::vector<std::vector<uint8_t>> &Shards) {
+  std::string Tag = format("ingest_%d_c%u", getpid(), Clients);
+  std::string StoreRoot = std::filesystem::temp_directory_path().string() +
+                          "/gprof_bench_" + Tag;
+  std::string SocketPath = StoreRoot + ".sock";
+  std::filesystem::remove_all(StoreRoot);
+
+  serve::ServeOptions SO;
+  SO.Workers = 8;
+  SO.MaxQueuedConnections = 16;
+  auto Server = serve::ServeServer::create(StoreRoot, SocketPath, SO);
+  if (!Server) {
+    std::printf("  (daemon failed to start: %s)\n",
+                Server.message().c_str());
+    return {};
+  }
+  cantFail((*Server)->start());
+
+  std::mutex LatencyMutex;
+  std::vector<double> Latencies;
+  std::atomic<unsigned> Failures{0};
+  auto WallStart = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C)
+    Threads.emplace_back([&, C] {
+      serve::ServeClient Client(SocketPath);
+      std::vector<double> Mine;
+      for (size_t I = C; I < Pushes; I += Clients) {
+        auto Start = std::chrono::steady_clock::now();
+        auto Digest = Client.putShard(Shards[I]);
+        auto End = std::chrono::steady_clock::now();
+        if (!Digest) {
+          (void)Digest.takeError();
+          Failures.fetch_add(1);
+          continue;
+        }
+        Mine.push_back(
+            std::chrono::duration<double, std::milli>(End - Start).count());
+      }
+      std::lock_guard<std::mutex> Lock(LatencyMutex);
+      Latencies.insert(Latencies.end(), Mine.begin(), Mine.end());
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
+  (*Server)->stop();
+
+  RoundResult R;
+  R.AllSucceeded = Failures.load() == 0;
+  R.StoredShards = (*Server)->store().shards().size();
+  R.ShardsPerSec = WallMs > 0 ? double(Latencies.size()) * 1000.0 / WallMs
+                              : 0.0;
+  std::sort(Latencies.begin(), Latencies.end());
+  R.P50Ms = percentile(Latencies, 0.50);
+  R.P95Ms = percentile(Latencies, 0.95);
+  std::filesystem::remove_all(StoreRoot);
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // --smoke: one small round per client count, for the ctest hook that
+  // keeps this bench and its JSON emission from rotting.
+  bool Smoke = Argc > 1 && std::strcmp(Argv[1], "--smoke") == 0;
+  const size_t Pushes = Smoke ? 12 : 96;
+
+  banner("T-ingest (new)",
+         "continuous-profiling daemon ingest: concurrent clients pushing "
+         "shards over the serve socket");
+
+  std::vector<std::vector<uint8_t>> Shards;
+  Shards.reserve(Pushes);
+  size_t TotalBytes = 0;
+  for (size_t I = 0; I != Pushes; ++I) {
+    Shards.push_back(makeShardBytes(0xFEED + I));
+    TotalBytes += Shards.back().size();
+  }
+  std::printf("\n%zu distinct shards, %zu bytes total, daemon at 8 "
+              "workers\n\n",
+              Shards.size(), TotalBytes);
+
+  row({"clients", "shards/sec", "p50 ms", "p95 ms", "stored"}, 12);
+
+  BenchJson Json("ingest");
+  Json.set("shards", uint64_t(Pushes));
+  Json.set("workers", uint64_t(8));
+  Json.set("smoke", Smoke);
+
+  bool AllStored = true, AllSucceeded = true;
+  double SoloRate = 0.0, BestRate = 0.0;
+  for (unsigned Clients : {1u, 4u, 16u}) {
+    RoundResult R = runRound(Clients, Pushes, Shards);
+    AllStored = AllStored && R.StoredShards == Pushes;
+    AllSucceeded = AllSucceeded && R.AllSucceeded;
+    if (Clients == 1)
+      SoloRate = R.ShardsPerSec;
+    BestRate = std::max(BestRate, R.ShardsPerSec);
+    row({format("%u", Clients), format("%.0f", R.ShardsPerSec),
+         format("%.2f", R.P50Ms), format("%.2f", R.P95Ms),
+         format("%zu", R.StoredShards)},
+        12);
+    Json.beginRow();
+    Json.setRow("clients", uint64_t(Clients));
+    Json.setRow("shards_per_sec", R.ShardsPerSec);
+    Json.setRow("p50_ms", R.P50Ms);
+    Json.setRow("p95_ms", R.P95Ms);
+    Json.setRow("stored_shards", uint64_t(R.StoredShards));
+  }
+
+  std::printf("\nchecks:\n");
+  bool Ok = true;
+  Ok &= check(AllSucceeded, "every push was acknowledged with a digest");
+  Ok &= check(AllStored,
+              "every distinct shard landed in the store exactly once at "
+              "every client count");
+  Ok &= check(SoloRate > 0.0 && BestRate > 0.0,
+              "the daemon sustained nonzero ingest throughput");
+  Json.set("solo_shards_per_sec", SoloRate);
+  Json.set("best_shards_per_sec", BestRate);
+  Json.write();
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+//===- serve/Client.h - Client side of the ingestion daemon ---------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet-side half of continuous profiling: a small client that pushes
+/// gmon shards to a `gprof-store serve` daemon and runs report/list/ping
+/// queries against it.  `tlrun --push` uses it at exit so every profiled
+/// run becomes an ingestion client, and `gprof-store push/query` exposes
+/// the same calls from the CLI.
+///
+/// Transient failures — connection refused, the daemon's RETRY
+/// backpressure answer, a dropped connection — are retried with the same
+/// bounded doubling backoff as StoreOptions::IoRetries; an ERROR response
+/// from the daemon is a definitive answer and is returned immediately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SERVE_CLIENT_H
+#define GPROF_SERVE_CLIENT_H
+
+#include "gmon/ProfileData.h"
+#include "serve/Connection.h"
+#include "serve/Protocol.h"
+#include "store/ProfileStore.h"
+#include "support/Error.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gprof {
+namespace serve {
+
+/// Client behavior knobs, mirroring the store's I/O retry shape.
+struct ClientOptions {
+  /// Extra attempts after a transient failure (0 = fail fast).
+  unsigned Retries = 2;
+  /// Sleep before the first retry, in milliseconds; doubles per attempt.
+  unsigned RetryBackoffMs = 1;
+  /// How long to wait for the daemon's response to one request.
+  int ResponseTimeoutMs = 30000;
+};
+
+/// A connection-caching client for one daemon endpoint.  Not thread-safe;
+/// concurrent pushers each use their own client (one connection maps to
+/// one daemon worker).
+class ServeClient {
+public:
+  explicit ServeClient(std::string SocketPath, ClientOptions Opts = {})
+      : Path(std::move(SocketPath)), Opts(Opts) {}
+
+  /// Liveness probe.
+  Error ping();
+
+  /// Uploads one gmon container; returns the store's content digest.
+  Expected<Sha256Digest> putShard(const std::vector<uint8_t> &GmonBytes,
+                                  const Sha256Digest &ImageId = {});
+
+  /// Serializes and uploads in-memory profile data.
+  Expected<Sha256Digest> putProfile(const ProfileData &Data,
+                                    const Sha256Digest &ImageId = {});
+
+  /// Fetches the daemon's shard index.
+  Expected<std::vector<ShardInfo>> list();
+
+  /// Runs a report query; returns the listing text, byte-identical to
+  /// `gprof-store report` with the same flags over the same shards.
+  Expected<std::string> queryReport(const QueryReportRequest &Req);
+
+  /// Drops the cached connection (the next request reconnects).
+  void disconnect();
+
+private:
+  /// One request/response exchange with transient-failure retry.
+  Expected<Frame> roundTrip(MsgType Type,
+                            const std::vector<uint8_t> &Payload);
+  /// A single attempt over the cached (or a fresh) connection.
+  Expected<Frame> attempt(MsgType Type, const std::vector<uint8_t> &Payload);
+
+  std::string Path;
+  ClientOptions Opts;
+  std::optional<Connection> Conn;
+};
+
+} // namespace serve
+} // namespace gprof
+
+#endif // GPROF_SERVE_CLIENT_H

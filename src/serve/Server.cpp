@@ -1,0 +1,231 @@
+//===- serve/Server.cpp ---------------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "gmon/GmonFile.h"
+#include "support/Format.h"
+#include "support/Telemetry.h"
+#include "vm/Image.h"
+
+#include <memory>
+
+using namespace gprof;
+using namespace gprof::serve;
+
+Expected<std::unique_ptr<ServeServer>>
+ServeServer::create(const std::string &StoreRoot,
+                    const std::string &SocketPath, const ServeOptions &Opts) {
+  auto Store = ProfileStore::open(StoreRoot, Opts.Store);
+  if (!Store)
+    return Store.takeError();
+  auto Listener = UnixListener::listenOn(SocketPath);
+  if (!Listener)
+    return Listener.takeError();
+  return std::unique_ptr<ServeServer>(new ServeServer(
+      Store.takeValue(), std::move(*Listener), Opts));
+}
+
+Error ServeServer::start() {
+  if (Started.exchange(true))
+    return Error::success();
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return Error::success();
+}
+
+void ServeServer::stop() {
+  if (!Started.load())
+    return;
+  if (Stop.exchange(true))
+    return;
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  // In-flight connections observe the stop flag within one poll interval
+  // and unwind; wait for every admitted one to finish.
+  Pool.wait();
+  Listener.close();
+}
+
+void ServeServer::acceptLoop() {
+  telemetry::Registry::instance().setCurrentThreadName("serve-accept");
+  // Request counts are workload-derived, but how connections and
+  // rejections interleave depends on client scheduling — gauges, like the
+  // thread pool's own job metrics (docs/TELEMETRY.md).
+  telemetry::Metric &Accepted = telemetry::gauge("serve.connections.accepted");
+  telemetry::Metric &Rejected = telemetry::gauge("serve.connections.rejected");
+  telemetry::Metric &Depth = telemetry::gauge("serve.queue.depth");
+  telemetry::Metric &DepthPeak = telemetry::gauge("serve.queue.peak");
+
+  const unsigned Capacity =
+      (Opts.Workers ? Opts.Workers : 1) + Opts.MaxQueuedConnections;
+  while (!Stop.load(std::memory_order_relaxed)) {
+    auto Ready = Listener.waitReadable(Opts.AcceptPollMs);
+    if (!Ready) {
+      (void)Ready.takeError(); // Listener gone; nothing left to accept.
+      break;
+    }
+    if (!*Ready)
+      continue;
+    auto Sock = Listener.accept();
+    if (!Sock) {
+      (void)Sock.takeError(); // Transient accept failure; keep serving.
+      continue;
+    }
+
+    ConnectionOptions CO;
+    CO.IdleTimeoutMs = Opts.IdleTimeoutMs;
+    CO.StopFlag = &Stop;
+    // shared_ptr because ThreadPool jobs are std::function (copyable).
+    auto Conn =
+        std::make_shared<Connection>(std::move(*Sock), CO);
+
+    unsigned Admitted = Active.load(std::memory_order_relaxed);
+    if (Admitted >= Capacity) {
+      // Bounded queue, explicit backpressure: tell the client to back off
+      // rather than buffering unboundedly or hanging it.
+      Rejected.add(1);
+      (void)Conn->writeRetry(format(
+          "server at capacity (%u connections); retry with backoff",
+          Capacity));
+      continue; // Conn closes as the shared_ptr drops.
+    }
+    Active.fetch_add(1, std::memory_order_relaxed);
+    Accepted.add(1);
+    Depth.set(Active.load(std::memory_order_relaxed));
+    DepthPeak.max(Active.load(std::memory_order_relaxed));
+    // Metric references stay valid for the process lifetime, so the
+    // pointer may outlive this loop (jobs drain after it exits).
+    Pool.async([this, Conn, DepthMetric = &Depth] {
+      serveConnection(*Conn);
+      Conn->close();
+      Active.fetch_sub(1, std::memory_order_relaxed);
+      DepthMetric->set(Active.load(std::memory_order_relaxed));
+    });
+  }
+}
+
+void ServeServer::serveConnection(Connection &Conn) {
+  telemetry::Span ConnSpan("serve.connection");
+  while (!Stop.load(std::memory_order_relaxed)) {
+    auto Request = Conn.readFrame();
+    if (!Request) {
+      // Damaged stream or dead peer: the conversation is over, the daemon
+      // is not.  A mid-upload disconnect lands here.
+      telemetry::gauge("serve.connections.aborted").add(1);
+      (void)Request.takeError();
+      return;
+    }
+    if (!*Request)
+      return; // Clean end of conversation.
+    if (!dispatch(Conn, **Request))
+      return;
+  }
+}
+
+bool ServeServer::dispatch(Connection &Conn, const Frame &Request) {
+  telemetry::Span RequestSpan("serve.request");
+  telemetry::counter(std::string("serve.request.") +
+                     msgTypeName(Request.Type))
+      .add(1);
+
+  Error E = Error::success();
+  switch (Request.Type) {
+  case MsgType::Ping:
+    E = Conn.writeFrame(MsgType::Ok, {});
+    break;
+  case MsgType::PutShard:
+    E = handlePut(Conn, Request);
+    break;
+  case MsgType::List:
+    E = handleList(Conn);
+    break;
+  case MsgType::QueryReport:
+    E = handleQuery(Conn, Request);
+    break;
+  default:
+    // A response type in the request position: the peer is
+    // desynchronized; answer once and abandon the stream.
+    (void)Conn.writeError(format("unexpected %s frame in request position",
+                                 msgTypeName(Request.Type)));
+    return false;
+  }
+  if (E) {
+    // The response could not be written (peer vanished mid-reply).
+    telemetry::gauge("serve.response.write_failures").add(1);
+    (void)E.message();
+    return false;
+  }
+  return true;
+}
+
+Error ServeServer::handlePut(Connection &Conn, const Frame &Request) {
+  auto Req = decodePutShard(Request.Payload);
+  if (!Req)
+    return Conn.writeError(Req.message());
+  telemetry::counter("serve.put.bytes_received").add(Req->GmonBytes.size());
+
+  GmonReadOptions ReadOpts;
+  ReadOpts.Tolerant = Store.options().TolerantReads;
+  auto Data = readGmon(Req->GmonBytes, ReadOpts);
+  if (!Data)
+    return Conn.writeError("uploaded shard rejected: " + Data.message());
+  auto Digest = Store.put(Data.takeValue(), Req->ImageId, "pushed shard");
+  if (!Digest) {
+    telemetry::gauge("serve.put.failures").add(1);
+    return Conn.writeError(Digest.message());
+  }
+  return Conn.writeFrame(MsgType::Ok, encodeDigest(*Digest));
+}
+
+Error ServeServer::handleList(Connection &Conn) {
+  return Conn.writeFrame(MsgType::Ok,
+                         encodeShardList(Store.shardsSnapshot()));
+}
+
+Error ServeServer::handleQuery(Connection &Conn, const Frame &Request) {
+  auto Req = decodeQueryReport(Request.Payload);
+  if (!Req)
+    return Conn.writeError(Req.message());
+
+  auto Img = Image::loadFromFile(Req->ImagePath);
+  if (!Img)
+    return Conn.writeError(Img.message());
+  // Sequential merge: a worker thread must not fan subtasks back onto the
+  // pool it runs on (the subtasks could deadlock behind other
+  // connection-lifetime jobs), and the merged bytes are identical either
+  // way.
+  auto Merged = Store.merge(Req->Members, /*Pool=*/nullptr);
+  if (!Merged)
+    return Conn.writeError(Merged.message());
+
+  AnalyzerOptions AO;
+  AO.Threads = 1;
+  auto Report = analyzeImageProfile(*Img, Merged->Data, AO);
+  if (!Report)
+    return Conn.writeError(Report.message());
+
+  // Assemble exactly what `gprof-store report` prints on stdout, so a
+  // daemon-side report is byte-identical to the offline one.
+  FlatPrintOptions FP;
+  FP.ShowZeroUsage = Req->Flags.ShowZero;
+  FP.Brief = Req->Flags.Brief;
+  GraphPrintOptions GP;
+  GP.Brief = Req->Flags.Brief;
+  GP.PrintIndex = !Req->Flags.NoIndex;
+
+  std::string Text;
+  if (!Req->Flags.GraphOnly)
+    Text += printFlatProfile(*Report, FP);
+  if (!Req->Flags.FlatOnly && !Req->Flags.GraphOnly)
+    Text += "\n";
+  if (!Req->Flags.FlatOnly)
+    Text += printCallGraph(*Report, GP);
+  telemetry::counter("serve.query.bytes_sent").add(Text.size());
+  return Conn.writeFrame(MsgType::Ok, encodeText(Text));
+}

@@ -229,6 +229,11 @@ Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
   if (Error E = fault::check("store.put", Label))
     return E;
   canonicalizeProfile(Data);
+  // Single-writer section: compatibility check, dedup lookup, object
+  // write, index insert, and the index.bin write-then-rename must not
+  // interleave with another thread's put — two racing rewrites would each
+  // persist an index missing the other's shard.
+  std::lock_guard<std::mutex> Lock(*IngestMutex);
   if (Error E = checkCompatibleWithStore(Data, ImageId, Label))
     return E;
 
@@ -277,9 +282,15 @@ Expected<Sha256Digest> ProfileStore::putFile(const std::string &GmonPath,
   return put(Data.takeValue(), ImageId, GmonPath);
 }
 
+std::vector<ShardInfo> ProfileStore::shardsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(*IngestMutex);
+  return Shards;
+}
+
 Expected<ShardInfo> ProfileStore::resolve(const std::string &HexPrefix) const {
   if (HexPrefix.empty())
     return Error::failure("empty shard digest");
+  std::lock_guard<std::mutex> Lock(*IngestMutex);
   const ShardInfo *Match = nullptr;
   for (const ShardInfo &S : Shards) {
     std::string Hex = digestToHex(S.Digest);
@@ -327,18 +338,23 @@ Expected<ProfileStore::MergeResult>
 ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
   if (Error E = fault::check("store.merge", Root))
     return E;
-  if (Members.empty())
-    for (const ShardInfo &S : Shards)
-      Members.push_back(S.Digest);
-  if (Members.empty())
-    return Error::failure(format("store '%s' is empty", Root.c_str()));
-  std::sort(Members.begin(), Members.end());
-  Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
-  for (const Sha256Digest &D : Members)
-    if (!findShard(D))
-      return Error::failure(format("no shard %s in store '%s'",
-                                   digestToHex(D).substr(0, 12).c_str(),
-                                   Root.c_str()));
+  {
+    // Index reads race with concurrent put() in the daemon; the heavy
+    // merge below runs outside the lock over immutable object files.
+    std::lock_guard<std::mutex> Lock(*IngestMutex);
+    if (Members.empty())
+      for (const ShardInfo &S : Shards)
+        Members.push_back(S.Digest);
+    if (Members.empty())
+      return Error::failure(format("store '%s' is empty", Root.c_str()));
+    std::sort(Members.begin(), Members.end());
+    Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
+    for (const Sha256Digest &D : Members)
+      if (!findShard(D))
+        return Error::failure(format("no shard %s in store '%s'",
+                                     digestToHex(D).substr(0, 12).c_str(),
+                                     Root.c_str()));
+  }
 
   MergeResult Result;
   Result.Digest = aggregateDigest(Members);
@@ -399,6 +415,9 @@ bool hasTmpSuffix(const std::string &Name) {
 Expected<GcStats> ProfileStore::gc() {
   if (Error E = fault::check("store.gc", Root))
     return E;
+  // Sweeps consult the index (findShard) and delete files concurrent
+  // put() may be about to name; hold the ingest lock for the whole sweep.
+  std::lock_guard<std::mutex> Lock(*IngestMutex);
   GcStats Stats;
   // Stale .tmp files are the residue of writes interrupted before their
   // rename; atomic writers leave them only on a crash or injected fault.

@@ -36,6 +36,8 @@
 #include "support/ThreadPool.h"
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -93,8 +95,14 @@ public:
 
   const std::string &rootDir() const { return Root; }
 
-  /// Every ingested shard, sorted by ascending digest.
+  /// Every ingested shard, sorted by ascending digest.  Borrowing view
+  /// for single-threaded callers; concurrent readers (daemon workers
+  /// racing with put) must use shardsSnapshot().
   const std::vector<ShardInfo> &shards() const { return Shards; }
+
+  /// A copy of the index taken under the ingest lock — safe against
+  /// concurrent put() from other threads sharing this store.
+  std::vector<ShardInfo> shardsSnapshot() const;
 
   /// Ingests one profile: canonicalizes, validates compatibility against
   /// the shards already present, writes the object, and updates the index.
@@ -155,6 +163,14 @@ private:
   std::string Root;
   StoreOptions Options;
   std::vector<ShardInfo> Shards; ///< Sorted by digest.
+  /// Single-writer lock over Shards and the index.bin write-then-rename:
+  /// simultaneous put() calls from daemon worker threads must not
+  /// interleave the rewrite and drop each other's entries.  Held by put,
+  /// gc, and every index read that can race with them.  shared_ptr keeps
+  /// the store movable (ProfileStore travels through Expected by value);
+  /// cross-process writers still need external coordination — the serve
+  /// daemon is the single writer for its root.
+  std::shared_ptr<std::mutex> IngestMutex = std::make_shared<std::mutex>();
 };
 
 } // namespace gprof

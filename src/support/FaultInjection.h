@@ -26,6 +26,10 @@
 ///   store.put    ProfileStore::put entry
 ///   store.merge  ProfileStore::merge entry
 ///   store.gc     ProfileStore::gc entry
+///   sock.connect Socket UnixSocket::connectTo
+///   sock.accept  Socket UnixListener::accept
+///   sock.read    Socket UnixSocket::recvSome (daemon + client frame reads)
+///   sock.write   Socket UnixSocket::sendAll (daemon + client frame writes)
 ///
 //===----------------------------------------------------------------------===//
 

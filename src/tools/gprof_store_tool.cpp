@@ -15,12 +15,20 @@
 /// accumulate across runs and machines, and any subset can be turned into
 /// a profile listing on demand.
 ///
+/// The continuous-profiling commands move shards over a local socket
+/// instead of a shared filesystem: `serve` runs the long-lived ingestion
+/// daemon (src/serve/Server.h), and `push`/`query` are its CLI clients —
+/// the same protocol `tlrun --push` speaks at profile-write time
+/// (docs/SERVE.md).
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Analyzer.h"
 #include "core/FlatPrinter.h"
 #include "core/GraphPrinter.h"
 #include "gmon/GmonFile.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
 #include "store/ProfileStore.h"
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
@@ -28,7 +36,11 @@
 #include "support/Telemetry.h"
 #include "vm/Image.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <thread>
 
 using namespace gprof;
 
@@ -279,6 +291,228 @@ int cmdReport(int Argc, const char *const *Argv) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Continuous-profiling commands (docs/SERVE.md)
+//===----------------------------------------------------------------------===//
+
+/// SIGINT/SIGTERM land here; the serve loop polls it.
+volatile std::sig_atomic_t ServeInterrupted = 0;
+
+void handleServeSignal(int) { ServeInterrupted = 1; }
+
+/// Parses a small numeric option with a default; false on malformed input.
+bool parseUnsigned(const OptionParser &Opts, const char *Name,
+                   unsigned Default, unsigned Max, unsigned &Out) {
+  Out = Default;
+  auto V = Opts.getValue(Name);
+  if (!V)
+    return true;
+  unsigned long long N;
+  if (!parseUInt64(*V, N) || N > Max)
+    return false;
+  Out = static_cast<unsigned>(N);
+  return true;
+}
+
+int cmdServe(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store serve",
+                    "run the continuous-profiling ingestion daemon");
+  Opts.setPositionalHelp("STORE");
+  Opts.addOption("socket", 's', "PATH",
+                 "UNIX socket path to listen on (required)");
+  Opts.addOption("jobs", 'j', "N",
+                 "worker threads = connections served concurrently "
+                 "(default 8)");
+  Opts.addOption("queue", 0, "N",
+                 "admitted connections allowed to wait beyond the busy "
+                 "workers before RETRY (default 8)");
+  Opts.addOption("idle-timeout", 0, "MS",
+                 "drop a connection idle for MS milliseconds "
+                 "(default 30000)");
+  Opts.addFlag("tolerant", 0,
+               "salvage whole records from truncated uploads instead of "
+               "rejecting them");
+  addStatsFlag(Opts);
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() != 1)
+    return fail("expected exactly one store path");
+  auto SocketPath = Opts.getValue("socket");
+  if (!SocketPath)
+    return fail("serve requires --socket PATH");
+
+  serve::ServeOptions SO;
+  unsigned IdleMs;
+  if (!parseUnsigned(Opts, "jobs", 8, 1024, SO.Workers) ||
+      SO.Workers == 0)
+    return fail("invalid --jobs value");
+  if (!parseUnsigned(Opts, "queue", 8, 4096, SO.MaxQueuedConnections))
+    return fail("invalid --queue value");
+  if (!parseUnsigned(Opts, "idle-timeout", 30000, 3600000, IdleMs))
+    return fail("invalid --idle-timeout value");
+  SO.IdleTimeoutMs = static_cast<int>(IdleMs);
+  SO.Store.TolerantReads = Opts.hasFlag("tolerant");
+
+  auto Server = serve::ServeServer::create(Opts.positional().front(),
+                                           *SocketPath, SO);
+  if (!Server)
+    return fail(Server.message());
+  if (Error E = (*Server)->start())
+    return fail(E.message());
+  std::fprintf(stderr,
+               "gprof-store: serving store '%s' on '%s' "
+               "(%u workers, queue %u)\n",
+               Opts.positional().front().c_str(), SocketPath->c_str(),
+               SO.Workers, SO.MaxQueuedConnections);
+
+  std::signal(SIGINT, handleServeSignal);
+  std::signal(SIGTERM, handleServeSignal);
+  while (!ServeInterrupted)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::fprintf(stderr, "gprof-store: shutting down\n");
+  (*Server)->stop();
+  std::fprintf(stderr, "gprof-store: %zu shard(s) in store\n",
+               (*Server)->store().shards().size());
+  maybeDumpStats(Opts);
+  return 0;
+}
+
+int cmdPush(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store push",
+                    "upload gmon shards to a serve daemon");
+  Opts.setPositionalHelp("SOCKET gmon.out ...");
+  Opts.addOption("image", 'i', "FILE",
+                 "TLX image the shards were profiled against; pins the "
+                 "store to its identity");
+  Opts.addOption("retries", 0, "N",
+                 "extra attempts after a transient failure (default 2)");
+  addStatsFlag(Opts);
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() < 2)
+    return fail("expected a socket path and at least one gmon file");
+
+  Sha256Digest ImageId{};
+  if (auto ImagePath = Opts.getValue("image")) {
+    auto Id = imageIdForFile(*ImagePath);
+    if (!Id)
+      return fail(Id.message());
+    ImageId = *Id;
+  }
+  serve::ClientOptions CO;
+  if (!parseUnsigned(Opts, "retries", 2, 1000, CO.Retries))
+    return fail("invalid --retries value");
+
+  serve::ServeClient Client(Opts.positional().front(), CO);
+  for (size_t I = 1; I < Opts.positional().size(); ++I) {
+    const std::string &Path = Opts.positional()[I];
+    auto Bytes = readFileBytes(Path);
+    if (!Bytes)
+      return fail(Bytes.message());
+    auto Digest = Client.putShard(*Bytes, ImageId);
+    if (!Digest)
+      return fail(Digest.message());
+    std::printf("%s %s\n", digestToHex(*Digest).c_str(), Path.c_str());
+  }
+  maybeDumpStats(Opts);
+  return 0;
+}
+
+int cmdQuery(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store query",
+                    "fetch gprof listings from a serve daemon");
+  Opts.setPositionalHelp("SOCKET image.tlx [DIGEST-PREFIX ...]");
+  Opts.addFlag("brief", 'b', "suppress field descriptions");
+  Opts.addFlag("zero", 'z', "show zero-time zero-call routines as rows");
+  Opts.addFlag("flat-only", 0, "print only the flat profile");
+  Opts.addFlag("graph-only", 0, "print only the call graph profile");
+  Opts.addFlag("no-index", 0, "omit the index-by-name table");
+  Opts.addFlag("list", 'l', "list the daemon's shards instead of reporting");
+  Opts.addOption("retries", 0, "N",
+                 "extra attempts after a transient failure (default 2)");
+  addStatsFlag(Opts);
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  serve::ClientOptions CO;
+  if (!parseUnsigned(Opts, "retries", 2, 1000, CO.Retries))
+    return fail("invalid --retries value");
+  if (Opts.positional().empty())
+    return fail("expected a socket path");
+  serve::ServeClient Client(Opts.positional().front(), CO);
+
+  if (Opts.hasFlag("list")) {
+    auto Shards = Client.list();
+    if (!Shards)
+      return fail(Shards.message());
+    std::printf("%-12s %6s %10s %10s %8s %s\n", "digest", "runs", "samples",
+                "arcs", "hz", "image");
+    for (const ShardInfo &S : *Shards)
+      std::printf("%-12s %6u %10llu %10llu %8llu %s\n",
+                  digestToHex(S.Digest).substr(0, 12).c_str(), S.Runs,
+                  static_cast<unsigned long long>(S.TotalSamples),
+                  static_cast<unsigned long long>(S.NumArcs),
+                  static_cast<unsigned long long>(S.Hz),
+                  S.ImageId == Sha256Digest{}
+                      ? "-"
+                      : digestToHex(S.ImageId).substr(0, 12).c_str());
+    std::printf("%zu shard(s)\n", Shards->size());
+    maybeDumpStats(Opts);
+    return 0;
+  }
+
+  if (Opts.positional().size() < 2)
+    return fail("expected a socket path and an image path");
+  serve::QueryReportRequest Req;
+  Req.ImagePath = Opts.positional()[1];
+  Req.Flags.FlatOnly = Opts.hasFlag("flat-only");
+  Req.Flags.GraphOnly = Opts.hasFlag("graph-only");
+  Req.Flags.Brief = Opts.hasFlag("brief");
+  Req.Flags.NoIndex = Opts.hasFlag("no-index");
+  Req.Flags.ShowZero = Opts.hasFlag("zero");
+
+  // Digest prefixes resolve client-side against the daemon's index, with
+  // the same uniqueness rules as ProfileStore::resolve.
+  if (Opts.positional().size() > 2) {
+    auto Shards = Client.list();
+    if (!Shards)
+      return fail(Shards.message());
+    for (size_t I = 2; I < Opts.positional().size(); ++I) {
+      const std::string &Prefix = Opts.positional()[I];
+      const ShardInfo *Match = nullptr;
+      for (const ShardInfo &S : *Shards) {
+        if (digestToHex(S.Digest).compare(0, Prefix.size(), Prefix) != 0)
+          continue;
+        if (Match)
+          return fail(format("shard digest '%s' is ambiguous",
+                             Prefix.c_str()));
+        Match = &S;
+      }
+      if (!Match)
+        return fail(format("no shard matches digest '%s'", Prefix.c_str()));
+      Req.Members.push_back(Match->Digest);
+    }
+  }
+
+  auto Text = Client.queryReport(Req);
+  if (!Text)
+    return fail(Text.message());
+  std::fputs(Text->c_str(), stdout);
+  maybeDumpStats(Opts);
+  return 0;
+}
+
 int cmdGc(int Argc, const char *const *Argv) {
   OptionParser Opts("gprof-store gc",
                     "drop cached aggregates and orphaned objects");
@@ -315,7 +549,10 @@ void printUsage() {
       "  list STORE                    show the shard index\n"
       "  merge STORE [DIGEST ...]      aggregate shards (all by default)\n"
       "  report STORE IMG [DIGEST ...] gprof listings for an aggregate\n"
-      "  gc STORE                      sweep caches and orphaned objects\n\n"
+      "  gc STORE                      sweep caches and orphaned objects\n"
+      "  serve STORE --socket PATH     run the ingestion daemon\n"
+      "  push SOCKET gmon.out ...      upload shards to a daemon\n"
+      "  query SOCKET IMG [DIGEST ...] fetch listings from a daemon\n\n"
       "Run 'gprof-store <command> --help' for per-command options.\n");
 }
 
@@ -344,6 +581,12 @@ int main(int Argc, char **Argv) {
     return cmdReport(SubArgc, SubArgv);
   if (Command == "gc")
     return cmdGc(SubArgc, SubArgv);
+  if (Command == "serve")
+    return cmdServe(SubArgc, SubArgv);
+  if (Command == "push")
+    return cmdPush(SubArgc, SubArgv);
+  if (Command == "query")
+    return cmdQuery(SubArgc, SubArgv);
   std::fprintf(stderr, "gprof-store: unknown command '%s'\n",
                Command.c_str());
   printUsage();

@@ -12,17 +12,21 @@
 /// ... condense it to a file as the profiled program exits".  With
 /// --threads N the image runs on N interpreter threads sharing that one
 /// monitor, and the written profile is the canonical merge of every
-/// thread's tables (docs/RUNTIME_MT.md).
+/// thread's tables (docs/RUNTIME_MT.md).  With --push SOCKET the same
+/// condensed profile is also uploaded to a `gprof-store serve` daemon,
+/// turning every run into a continuous-profiling sample (docs/SERVE.md).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/SymbolTable.h"
 #include "gmon/GmonFile.h"
 #include "runtime/Monitor.h"
+#include "serve/Client.h"
 #include "stackprof/StackProfiler.h"
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/Sha256.h"
 #include "support/Telemetry.h"
 #include "vm/ParallelRun.h"
 #include "vm/VM.h"
@@ -55,6 +59,9 @@ int main(int Argc, char **Argv) {
   Opts.addFlag("stack", 's',
                "use complete-call-stack sampling instead of the gprof "
                "monitor and print exact self/inclusive times");
+  Opts.addOption("push", 'p', "SOCKET",
+                 "also upload the profile to the gprof-store serve daemon "
+                 "listening on SOCKET");
   Opts.addFlag("quiet", 'q', "suppress printed program output");
 
   if (Error E = Opts.parse(Argc, Argv)) {
@@ -181,12 +188,35 @@ int main(int Argc, char **Argv) {
   }
 
   if (Mon) {
+    ProfileData Prof = Mon->finish();
     std::string GmonPath = Opts.getValue("gmon").value_or("gmon.out");
-    if (Error E = writeGmonFile(GmonPath, Mon->finish())) {
+    if (Error E = writeGmonFile(GmonPath, Prof)) {
       std::fprintf(stderr, "tlrun: %s\n", E.message().c_str());
       return 1;
     }
     std::fprintf(stderr, "tlrun: profile written to %s\n", GmonPath.c_str());
+
+    // Continuous profiling: push the same condensed profile to the serve
+    // daemon.  Transient failures (daemon at capacity, socket hiccups)
+    // are retried with bounded backoff inside the client; a daemon that
+    // stays unreachable is a clean nonzero exit, never a crash — the
+    // on-disk gmon file above is already safe either way.
+    if (auto Endpoint = Opts.getValue("push")) {
+      auto ImageBytes = readFileBytes(Opts.positional().front());
+      if (!ImageBytes) {
+        std::fprintf(stderr, "tlrun: %s\n", ImageBytes.message().c_str());
+        return 1;
+      }
+      serve::ServeClient Client(*Endpoint);
+      auto Digest = Client.putProfile(Prof, Sha256::hash(*ImageBytes));
+      if (!Digest) {
+        std::fprintf(stderr, "tlrun: push to '%s' failed: %s\n",
+                     Endpoint->c_str(), Digest.message().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "tlrun: profile pushed as %s\n",
+                   digestToHex(*Digest).substr(0, 12).c_str());
+    }
   }
 
   if (StackProf) {

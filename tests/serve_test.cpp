@@ -1,0 +1,710 @@
+//===- tests/serve_test.cpp - Continuous-profiling daemon tests -----------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests for the ingestion service (src/serve/): frame codec
+/// robustness against truncation and byte mutation, the daemon's
+/// ping/put/list/query round trip, byte-identity of daemon-side reports
+/// against offline `gprof-store report` after 16 concurrent pushers,
+/// bounded-queue backpressure, survival of garbage streams and mid-upload
+/// disconnects, fault-injected socket and index failures leaving the store
+/// tree untouched, and the `gprof-store serve` / `tlrun --push` CLI loop
+/// (docs/SERVE.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/FlatPrinter.h"
+#include "core/GraphPrinter.h"
+#include "gmon/GmonFile.h"
+#include "runtime/Monitor.h"
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "store/ProfileStore.h"
+#include "support/FaultInjection.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+#include "support/Sha256.h"
+#include "support/Socket.h"
+#include "support/Telemetry.h"
+#include "vm/CodeGen.h"
+#include "vm/Image.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace gprof;
+using namespace gprof::serve;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  // Per-process paths: ctest runs each test case as its own process, so a
+  // shared fixed path would race under parallel test execution.
+  return testing::TempDir() + format("/gprof_serve_%d_%s", getpid(),
+                                     Name.c_str());
+}
+
+int runRedirected(const std::string &Full, std::string &Output) {
+  std::FILE *Pipe = popen(Full.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  Output.clear();
+  char Buf[4096];
+  while (size_t N = std::fread(Buf, 1, sizeof(Buf), Pipe))
+    Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// Runs a command, capturing stdout+stderr; returns the exit code.
+int runCommand(const std::string &Command, std::string &Output) {
+  return runRedirected(Command + " 2>&1", Output);
+}
+
+/// Runs a command, capturing only stdout (for byte comparisons that must
+/// not see stderr feedback lines).
+int runCommandStdout(const std::string &Command, std::string &Output) {
+  return runRedirected(Command + " 2>/dev/null", Output);
+}
+
+/// Every regular file under \p Root, as relative path -> contents.  Used
+/// to prove a failed upload left the store tree byte-identical.
+std::map<std::string, std::vector<uint8_t>>
+snapshotTree(const std::string &Root) {
+  std::map<std::string, std::vector<uint8_t>> Tree;
+  for (const auto &Entry :
+       std::filesystem::recursive_directory_iterator(Root)) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::string Rel =
+        std::filesystem::relative(Entry.path(), Root).string();
+    Tree[Rel] = cantFail(readFileBytes(Entry.path().string()));
+  }
+  return Tree;
+}
+
+/// Pings \p SocketPath until the daemon answers, failing after ~5s.
+testing::AssertionResult waitForDaemon(const std::string &SocketPath) {
+  ClientOptions CO;
+  CO.Retries = 0;
+  CO.RetryBackoffMs = 0;
+  for (int I = 0; I != 100; ++I) {
+    ServeClient Probe(SocketPath, CO);
+    Error E = Probe.ping();
+    if (!E)
+      return testing::AssertionSuccess();
+    (void)E.message();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return testing::AssertionFailure() << "daemon never came up at "
+                                     << SocketPath;
+}
+
+/// Fixture: compiles the TL primes example with profiling once and
+/// profiles it under four different tick rates, yielding four distinct but
+/// mutually compatible gmon shards plus the image they belong to.
+class ServeTest : public testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    ImgPath = new std::string(tempPath("primes.tlx"));
+    std::string Source =
+        cantFail(readFileText(std::string(TL_CORPUS_DIR) + "/primes.tl"));
+    CodeGenOptions CG;
+    CG.EnableProfiling = true;
+    Image Compiled = compileTLOrDie(Source, CG);
+    cantFail(Compiled.saveToFile(*ImgPath));
+    ImageId = new Sha256Digest(
+        Sha256::hash(cantFail(readFileBytes(*ImgPath))));
+
+    Shards = new std::vector<std::vector<uint8_t>>();
+    for (uint64_t CyclesPerTick : {997, 1009, 4001, 9973}) {
+      Monitor Mon(Compiled.lowPc(), Compiled.highPc());
+      VMOptions VO;
+      VO.CyclesPerTick = CyclesPerTick;
+      VM Machine(Compiled, VO);
+      Machine.setHooks(&Mon);
+      cantFail(Machine.run());
+      Shards->push_back(writeGmon(Mon.finish()));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(ImgPath->c_str());
+    delete ImgPath;
+    delete ImageId;
+    delete Shards;
+  }
+
+  /// One running daemon over a fresh store, torn down with the test.
+  struct Daemon {
+    Daemon(const std::string &Name, const ServeOptions &Opts = {}) {
+      StoreRoot = tempPath(Name + "_store");
+      SocketPath = tempPath(Name + ".sock");
+      std::filesystem::remove_all(StoreRoot);
+      Server = cantFail(ServeServer::create(StoreRoot, SocketPath, Opts));
+      cantFail(Server->start());
+    }
+    ~Daemon() {
+      Server->stop();
+      std::filesystem::remove_all(StoreRoot);
+    }
+    std::string StoreRoot;
+    std::string SocketPath;
+    std::unique_ptr<ServeServer> Server;
+  };
+
+  static std::string *ImgPath;
+  static Sha256Digest *ImageId;
+  static std::vector<std::vector<uint8_t>> *Shards;
+};
+
+std::string *ServeTest::ImgPath = nullptr;
+Sha256Digest *ServeTest::ImageId = nullptr;
+std::vector<std::vector<uint8_t>> *ServeTest::Shards = nullptr;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol codecs
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, FrameHeaderRoundTripAndValidation) {
+  std::vector<uint8_t> Header =
+      encodeFrameHeader(MsgType::PutShard, 12345);
+  ASSERT_EQ(Header.size(), FrameHeaderSize);
+  MsgType Type;
+  auto Length = decodeFrameHeader(Header.data(), Type);
+  ASSERT_TRUE(static_cast<bool>(Length));
+  EXPECT_EQ(*Length, 12345u);
+  EXPECT_EQ(Type, MsgType::PutShard);
+
+  // Bad magic.
+  std::vector<uint8_t> Bad = Header;
+  Bad[0] = 'X';
+  auto BadMagic = decodeFrameHeader(Bad.data(), Type);
+  ASSERT_FALSE(static_cast<bool>(BadMagic));
+  EXPECT_NE(BadMagic.message().find("magic"), std::string::npos);
+
+  // Unknown type.
+  Bad = Header;
+  Bad[4] = 99;
+  auto BadType = decodeFrameHeader(Bad.data(), Type);
+  ASSERT_FALSE(static_cast<bool>(BadType));
+  EXPECT_NE(BadType.message().find("unknown frame type"), std::string::npos);
+
+  // Oversized length field.
+  Bad = encodeFrameHeader(MsgType::PutShard, MaxFramePayload + 1);
+  auto TooBig = decodeFrameHeader(Bad.data(), Type);
+  ASSERT_FALSE(static_cast<bool>(TooBig));
+  EXPECT_NE(TooBig.message().find("exceeds"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, PayloadCodecsRoundTrip) {
+  PutShardRequest Put;
+  Put.ImageId.fill(7);
+  Put.GmonBytes = {1, 2, 3, 4, 5};
+  auto PutBack = decodePutShard(encodePutShard(Put));
+  ASSERT_TRUE(static_cast<bool>(PutBack));
+  EXPECT_EQ(PutBack->ImageId, Put.ImageId);
+  EXPECT_EQ(PutBack->GmonBytes, Put.GmonBytes);
+
+  QueryReportRequest Query;
+  Query.ImagePath = "some/image.tlx";
+  Query.Flags.GraphOnly = true;
+  Query.Flags.Brief = true;
+  Query.Members.resize(3);
+  Query.Members[1].fill(9);
+  auto QueryBack = decodeQueryReport(encodeQueryReport(Query));
+  ASSERT_TRUE(static_cast<bool>(QueryBack));
+  EXPECT_EQ(QueryBack->ImagePath, Query.ImagePath);
+  EXPECT_TRUE(QueryBack->Flags.GraphOnly);
+  EXPECT_TRUE(QueryBack->Flags.Brief);
+  EXPECT_FALSE(QueryBack->Flags.FlatOnly);
+  EXPECT_EQ(QueryBack->Members, Query.Members);
+
+  std::vector<ShardInfo> List(2);
+  List[0].Digest.fill(1);
+  List[0].Hz = 60;
+  List[0].NumArcs = 5;
+  List[1].Digest.fill(2);
+  List[1].Runs = 3;
+  auto ListBack = decodeShardList(encodeShardList(List));
+  ASSERT_TRUE(static_cast<bool>(ListBack));
+  ASSERT_EQ(ListBack->size(), 2u);
+  EXPECT_EQ((*ListBack)[0].Digest, List[0].Digest);
+  EXPECT_EQ((*ListBack)[0].Hz, 60u);
+  EXPECT_EQ((*ListBack)[1].Runs, 3u);
+}
+
+TEST(ServeProtocolTest, DecodersSurviveTruncationAndMutation) {
+  // Build valid payloads, then feed the decoders every truncation and a
+  // sweep of single-byte corruptions.  The claim is "error or a different
+  // value, never a crash or over-read".
+  PutShardRequest Put;
+  Put.GmonBytes = {1, 2, 3};
+  std::vector<ShardInfo> List(2);
+  QueryReportRequest Query;
+  Query.ImagePath = "x.tlx";
+  Query.Members.resize(2);
+
+  const std::vector<std::vector<uint8_t>> Payloads = {
+      encodePutShard(Put), encodeShardList(List),
+      encodeQueryReport(Query)};
+  auto Exercise = [](const std::vector<uint8_t> &Bytes) {
+    auto P = decodePutShard(Bytes);
+    if (!P)
+      (void)P.takeError();
+    auto L = decodeShardList(Bytes);
+    if (!L)
+      (void)L.takeError();
+    auto Q = decodeQueryReport(Bytes);
+    if (!Q)
+      (void)Q.takeError();
+    auto D = decodeDigest(Bytes);
+    if (!D)
+      (void)D.takeError();
+  };
+
+  for (const auto &Valid : Payloads) {
+    for (size_t Cut = 0; Cut != Valid.size(); ++Cut)
+      Exercise(std::vector<uint8_t>(Valid.begin(), Valid.begin() + Cut));
+    for (size_t I = 0; I != Valid.size(); ++I) {
+      std::vector<uint8_t> Mutated = Valid;
+      Mutated[I] ^= 0xFF;
+      Exercise(Mutated);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon round trips
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, PingPutListQueryRoundTrip) {
+  Daemon D("roundtrip");
+  ServeClient Client(D.SocketPath);
+  cantFail(Client.ping());
+
+  // put: content-addressed and idempotent, like `gprof-store put`.
+  Sha256Digest Digest =
+      cantFail(Client.putShard(Shards->front(), *ImageId));
+  EXPECT_EQ(cantFail(Client.putShard(Shards->front(), *ImageId)), Digest);
+
+  auto Listed = Client.list();
+  ASSERT_TRUE(static_cast<bool>(Listed));
+  ASSERT_EQ(Listed->size(), 1u);
+  EXPECT_EQ(Listed->front().Digest, Digest);
+  EXPECT_EQ(Listed->front().ImageId, *ImageId);
+  EXPECT_EQ(Listed->front().Runs, 1u);
+
+  // query: full report over the one shard, and a flat-only one
+  // restricted to an explicit member digest.
+  QueryReportRequest Req;
+  Req.ImagePath = *ImgPath;
+  auto Full = Client.queryReport(Req);
+  ASSERT_TRUE(static_cast<bool>(Full));
+  EXPECT_NE(Full->find("flat profile"), std::string::npos);
+  Req.Flags.FlatOnly = true;
+  Req.Members = {Digest};
+  auto Flat = Client.queryReport(Req);
+  ASSERT_TRUE(static_cast<bool>(Flat));
+  EXPECT_EQ(Full->compare(0, Flat->size(), *Flat), 0)
+      << "flat-only must be a prefix of the full report";
+
+  // Request telemetry accumulated under the serve.request.* counters.
+  std::string Stats =
+      telemetry::Registry::instance().renderStatsJson("serve_stats");
+  EXPECT_NE(Stats.find("serve.request.put_shard"), std::string::npos);
+  EXPECT_NE(Stats.find("serve.request.query_report"), std::string::npos);
+
+  // The store on disk is a plain profile store: reopening it offline
+  // sees the pushed shard.
+  Client.disconnect();
+  D.Server->stop();
+  auto Store = ProfileStore::open(D.StoreRoot);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  ASSERT_EQ(Store->shards().size(), 1u);
+  EXPECT_EQ(Store->shards().front().Digest, Digest);
+}
+
+TEST_F(ServeTest, DaemonReportMatchesOfflineAfterConcurrentPush) {
+  // The acceptance bar: 16 concurrent clients push interleaved uploads,
+  // and the daemon's report answer is byte-identical to what
+  // `gprof-store report` computes offline over the resulting store.
+  ServeOptions SO;
+  SO.Workers = 8;
+  SO.MaxQueuedConnections = 8;
+  Daemon D("concurrent", SO);
+
+  constexpr unsigned NumClients = 16;
+  constexpr unsigned PushesPerClient = 4;
+  std::mutex DigestsMutex;
+  std::set<Sha256Digest> Digests;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumClients; ++T)
+    Threads.emplace_back([&, T] {
+      // One client (= one connection = one daemon worker) per thread,
+      // each pushing the shard variants in a different rotation so
+      // uploads interleave.
+      ServeClient Client(D.SocketPath);
+      for (unsigned I = 0; I != PushesPerClient; ++I) {
+        const auto &Bytes = (*Shards)[(T + I) % Shards->size()];
+        auto Digest = Client.putShard(Bytes, *ImageId);
+        if (!Digest) {
+          (void)Digest.takeError();
+          Failures.fetch_add(1);
+          continue;
+        }
+        std::lock_guard<std::mutex> Lock(DigestsMutex);
+        Digests.insert(*Digest);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  ASSERT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Digests.size(), Shards->size())
+      << "distinct tick rates must land as distinct shards";
+
+  ServeClient Client(D.SocketPath);
+  QueryReportRequest Req;
+  Req.ImagePath = *ImgPath;
+  std::string DaemonText = cantFail(Client.queryReport(Req));
+  Client.disconnect();
+  D.Server->stop();
+
+  // Offline reference: same store, same flags, the exact assembly
+  // `gprof-store report` prints to stdout.
+  auto Store = ProfileStore::open(D.StoreRoot);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  ASSERT_EQ(Store->shards().size(), Digests.size());
+  auto Merged = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  // 64 uploads collapsed into one run per distinct shard.
+  EXPECT_EQ(Merged->Data.RunCount, Digests.size());
+  auto Img = Image::loadFromFile(*ImgPath);
+  ASSERT_TRUE(static_cast<bool>(Img));
+  AnalyzerOptions AO;
+  AO.Threads = 1;
+  auto Report = analyzeImageProfile(*Img, Merged->Data, AO);
+  ASSERT_TRUE(static_cast<bool>(Report));
+  std::string Offline = printFlatProfile(*Report, FlatPrintOptions{});
+  Offline += "\n";
+  Offline += printCallGraph(*Report, GraphPrintOptions{});
+  EXPECT_EQ(DaemonText, Offline);
+}
+
+TEST_F(ServeTest, BackpressureAnswersRetryAtCapacity) {
+  // Workers=1, queue=0: one connection in service is the whole capacity.
+  // The connection-per-worker model makes this deterministic — an idle
+  // open connection occupies the only slot.
+  ServeOptions SO;
+  SO.Workers = 1;
+  SO.MaxQueuedConnections = 0;
+  Daemon D("backpressure", SO);
+
+  ServeClient Occupant(D.SocketPath);
+  cantFail(Occupant.ping()); // Now admitted and held open.
+
+  ClientOptions FailFast;
+  FailFast.Retries = 0;
+  FailFast.RetryBackoffMs = 0;
+  ServeClient Rejected(D.SocketPath, FailFast);
+  Error E = Rejected.ping();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("capacity"), std::string::npos);
+
+  // Freeing the slot lets the next client (with retry budget) through.
+  Occupant.disconnect();
+  ClientOptions Retrying;
+  Retrying.Retries = 50;
+  Retrying.RetryBackoffMs = 1;
+  ServeClient Eventually(D.SocketPath, Retrying);
+  cantFail(Eventually.ping());
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, SurvivesGarbageStreamsAndMidUploadDisconnect) {
+  Daemon D("robust");
+
+  // A clean upload first: it pins the store's geometry, so mutated
+  // frames that still parse as gmon data but disagree on sampling rate
+  // or histogram shape are rejected at ingest validation.
+  {
+    ServeClient Seed(D.SocketPath);
+    cantFail(Seed.putShard(Shards->front(), *ImageId));
+  }
+
+  // A peer that is not speaking the protocol at all.
+  {
+    UnixSocket Raw = cantFail(UnixSocket::connectTo(D.SocketPath));
+    std::vector<uint8_t> Junk(FrameHeaderSize, 'X');
+    cantFail(Raw.sendAll(Junk.data(), Junk.size()));
+  }
+  // A header promising an oversized payload.
+  {
+    UnixSocket Raw = cantFail(UnixSocket::connectTo(D.SocketPath));
+    std::vector<uint8_t> Header =
+        encodeFrameHeader(MsgType::PutShard, MaxFramePayload + 1);
+    cantFail(Raw.sendAll(Header.data(), Header.size()));
+  }
+  // A client that vanishes mid-upload: header promises 100 bytes, only
+  // 10 arrive before the close.
+  {
+    UnixSocket Raw = cantFail(UnixSocket::connectTo(D.SocketPath));
+    std::vector<uint8_t> Header = encodeFrameHeader(MsgType::PutShard, 100);
+    cantFail(Raw.sendAll(Header.data(), Header.size()));
+    std::vector<uint8_t> Partial(10, 1);
+    cantFail(Raw.sendAll(Partial.data(), Partial.size()));
+  }
+  // Byte-mutated frames at assorted offsets (magic, type, length, image
+  // id, gmon bytes), one fresh connection each.
+  {
+    PutShardRequest Put;
+    Put.GmonBytes = Shards->front();
+    std::vector<uint8_t> Payload = encodePutShard(Put);
+    std::vector<uint8_t> Valid =
+        encodeFrameHeader(MsgType::PutShard, Payload.size());
+    Valid.insert(Valid.end(), Payload.begin(), Payload.end());
+    for (size_t Offset : {size_t(0), size_t(4), size_t(5),
+                          FrameHeaderSize, FrameHeaderSize + 40,
+                          Valid.size() - 1}) {
+      std::vector<uint8_t> Mutated = Valid;
+      Mutated[Offset] ^= 0xFF;
+      UnixSocket Raw = cantFail(UnixSocket::connectTo(D.SocketPath));
+      // The server may close mid-send on header damage; that is the
+      // client's problem, not the daemon's.
+      Error E = Raw.sendAll(Mutated.data(), Mutated.size());
+      if (E)
+        (void)E.message();
+    }
+  }
+
+  // Through all of that the daemon still answers, still deduplicates,
+  // and every shard it holds is loadable — nothing torn or unparseable
+  // landed in the store.
+  ClientOptions Retrying;
+  Retrying.Retries = 10;
+  ServeClient Client(D.SocketPath, Retrying);
+  cantFail(Client.ping());
+  Sha256Digest Seeded = cantFail(Client.putShard(Shards->front(), *ImageId));
+  auto Listed = cantFail(Client.list());
+  EXPECT_GE(Listed.size(), 1u);
+  bool SeedPresent = false;
+  for (const ShardInfo &S : Listed)
+    SeedPresent |= S.Digest == Seeded;
+  EXPECT_TRUE(SeedPresent);
+
+  Client.disconnect();
+  D.Server->stop();
+  auto Reopened = ProfileStore::open(D.StoreRoot);
+  ASSERT_TRUE(static_cast<bool>(Reopened));
+  ASSERT_EQ(Reopened->shards().size(), Listed.size());
+  for (const ShardInfo &S : Reopened->shards())
+    cantFail(Reopened->loadShard(S.Digest));
+
+  // gc sweeps temp files stranded by interrupted writes.
+  cantFail(writeFileText(D.StoreRoot + "/index.bin.tmp", "stranded"));
+  cantFail(createDirectories(D.StoreRoot + "/objects/zz"));
+  cantFail(writeFileText(D.StoreRoot + "/objects/zz/upload.gmon.tmp", "x"));
+  auto Store = ProfileStore::open(D.StoreRoot);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  auto Stats = Store->gc();
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_EQ(Stats->TempFiles, 2u);
+}
+
+TEST_F(ServeTest, UnreachableDaemonFailsCleanly) {
+  ClientOptions FailFast;
+  FailFast.Retries = 0;
+  FailFast.RetryBackoffMs = 0;
+  std::string Nowhere = tempPath("nowhere.sock");
+  ServeClient Client(Nowhere, FailFast);
+  Error E = Client.ping();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_FALSE(E.message().empty());
+  auto Push = Client.putShard(Shards->front());
+  ASSERT_FALSE(static_cast<bool>(Push));
+  (void)Push.takeError();
+}
+
+TEST_F(ServeTest, FaultInjectedFailuresLeaveStoreIntact) {
+  // Fault points are process-global; never leak an armed one past this
+  // test, even through an ASSERT bailout.
+  struct DisarmGuard {
+    ~DisarmGuard() { fault::disarmAll(); }
+  } Disarm;
+  Daemon D("faults");
+  ServeClient Client(D.SocketPath);
+  cantFail(Client.putShard(Shards->front(), *ImageId));
+  Client.disconnect();
+  auto Before = snapshotTree(D.StoreRoot);
+
+  // Index-layer fault: the daemon's put fails at entry; the client gets
+  // a definitive ERROR and the tree is byte-identical to before the
+  // upload started.
+  fault::arm("store.put", 1, 0);
+  {
+    ServeClient Pusher(D.SocketPath);
+    auto Push = Pusher.putShard((*Shards)[1], *ImageId);
+    ASSERT_FALSE(static_cast<bool>(Push));
+    EXPECT_NE(Push.message().find("daemon at"), std::string::npos);
+  }
+  fault::disarmAll();
+  EXPECT_EQ(snapshotTree(D.StoreRoot), Before);
+
+  // Socket-layer faults: every client write fails, then the connect
+  // itself fails.  No bytes reach the daemon; nothing changes on disk.
+  fault::arm("sock.write", 1, 0);
+  {
+    ClientOptions FailFast;
+    FailFast.Retries = 0;
+    FailFast.RetryBackoffMs = 0;
+    ServeClient Pusher(D.SocketPath, FailFast);
+    auto Push = Pusher.putShard((*Shards)[1], *ImageId);
+    ASSERT_FALSE(static_cast<bool>(Push));
+    (void)Push.takeError();
+  }
+  fault::disarmAll();
+  fault::arm("sock.connect", 1, 1);
+  {
+    ClientOptions FailFast;
+    FailFast.Retries = 0;
+    FailFast.RetryBackoffMs = 0;
+    ServeClient Pusher(D.SocketPath, FailFast);
+    auto Push = Pusher.putShard((*Shards)[1], *ImageId);
+    ASSERT_FALSE(static_cast<bool>(Push));
+    (void)Push.takeError();
+  }
+  fault::disarmAll();
+  EXPECT_EQ(snapshotTree(D.StoreRoot), Before);
+
+  // With one more retry than injected connect faults, the push recovers
+  // — the client's bounded backoff mirrors StoreOptions::IoRetries.
+  fault::arm("sock.connect", 1, 1);
+  {
+    ClientOptions OneRetry;
+    OneRetry.Retries = 1;
+    OneRetry.RetryBackoffMs = 1;
+    ServeClient Pusher(D.SocketPath, OneRetry);
+    cantFail(Pusher.putShard((*Shards)[1], *ImageId));
+  }
+  fault::disarmAll();
+  EXPECT_NE(snapshotTree(D.StoreRoot), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// CLI loop: gprof-store serve / push / query and tlrun --push
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, CliServePushQueryAndTlrunPush) {
+  std::string StoreRoot = tempPath("cli_store");
+  std::string SocketPath = tempPath("cli.sock");
+  std::string GmonPath = tempPath("cli_gmon.out");
+  std::filesystem::remove_all(StoreRoot);
+
+  // Start the daemon as a real process, like an operator would.
+  std::string Out;
+  int Rc = runCommand(format("%s serve %s --socket %s >/dev/null 2>&1 "
+                             "& echo $!",
+                             GPROF_STORE_PATH, StoreRoot.c_str(),
+                             SocketPath.c_str()),
+                      Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  pid_t DaemonPid = static_cast<pid_t>(std::stol(Out));
+  ASSERT_GT(DaemonPid, 0);
+  struct KillGuard {
+    pid_t Pid;
+    ~KillGuard() { ::kill(Pid, SIGKILL); }
+  } Guard{DaemonPid};
+  ASSERT_TRUE(waitForDaemon(SocketPath));
+
+  // tlrun --push: the profiled run lands its shard in the daemon and
+  // still writes the local gmon file.
+  Rc = runCommand(format("%s --quiet --gmon %s --push %s %s", TLRUN_PATH,
+                         GmonPath.c_str(), SocketPath.c_str(),
+                         ImgPath->c_str()),
+                  Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("profile pushed"), std::string::npos) << Out;
+  EXPECT_TRUE(fileExists(GmonPath));
+
+  // gprof-store push: CLI upload of an existing gmon file.
+  Rc = runCommand(format("%s push %s --image %s %s", GPROF_STORE_PATH,
+                         SocketPath.c_str(), ImgPath->c_str(),
+                         GmonPath.c_str()),
+                  Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  ASSERT_GE(Out.size(), 64u);
+  std::string Digest = Out.substr(0, 64);
+
+  // gprof-store query --list shows what the daemon holds.
+  Rc = runCommand(format("%s query %s --list", GPROF_STORE_PATH,
+                         SocketPath.c_str()),
+                  Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find(Digest.substr(0, 12)), std::string::npos) << Out;
+
+  // The daemon-side report is byte-identical to the offline CLI report
+  // over the same store.
+  std::string ViaDaemon, Offline;
+  Rc = runCommandStdout(format("%s query %s %s --flat-only",
+                               GPROF_STORE_PATH, SocketPath.c_str(),
+                               ImgPath->c_str()),
+                        ViaDaemon);
+  ASSERT_EQ(Rc, 0) << ViaDaemon;
+
+  // Clean daemon shutdown on SIGTERM, releasing the socket and store.
+  ASSERT_EQ(::kill(DaemonPid, SIGTERM), 0);
+  for (int I = 0; I != 100 && fileExists(SocketPath); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(fileExists(SocketPath)) << "daemon did not shut down";
+
+  Rc = runCommandStdout(format("%s report --flat-only %s %s",
+                               GPROF_STORE_PATH, StoreRoot.c_str(),
+                               ImgPath->c_str()),
+                        Offline);
+  ASSERT_EQ(Rc, 0) << Offline;
+  EXPECT_EQ(ViaDaemon, Offline);
+
+  // Unreachable daemon: tlrun --push is a clean nonzero exit with a
+  // diagnostic, and so is gprof-store push.
+  std::string Nowhere = tempPath("cli_nowhere.sock");
+  Rc = runCommand(format("%s --quiet --gmon %s --push %s %s", TLRUN_PATH,
+                         GmonPath.c_str(), Nowhere.c_str(),
+                         ImgPath->c_str()),
+                  Out);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("push to"), std::string::npos) << Out;
+  Rc = runCommand(format("%s push %s %s --retries 0", GPROF_STORE_PATH,
+                         Nowhere.c_str(), GmonPath.c_str()),
+                  Out);
+  EXPECT_NE(Rc, 0);
+
+  std::filesystem::remove_all(StoreRoot);
+  std::remove(GmonPath.c_str());
+}

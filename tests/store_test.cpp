@@ -25,8 +25,11 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <string>
+#include <thread>
 
 using namespace gprof;
 
@@ -542,4 +545,80 @@ TEST(ProfileStoreTest, MergeOfEmptyStoreFails) {
   auto Merged = Store->merge({});
   EXPECT_FALSE(static_cast<bool>(Merged));
   (void)Merged.takeError();
+}
+
+TEST(ProfileStoreTest, ConcurrentPutsKeepIndexConsistent) {
+  // Regression for the serve daemon's ingest path: N worker threads
+  // put() into one shared store must not interleave the index.bin
+  // rewrite and drop each other's entries (the single-writer ingest
+  // lock in store/ProfileStore.h).
+  TempStoreDir Dir("concurrent_puts");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned PutsPerThread = 4;
+  std::vector<ProfileData> Shards =
+      makeShards(NumThreads * PutsPerThread, /*Seed=*/400);
+
+  std::mutex DigestsMutex;
+  std::set<Sha256Digest> Digests;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != PutsPerThread; ++I) {
+        auto Digest = Store->put(Shards[T * PutsPerThread + I]);
+        if (!Digest) {
+          (void)Digest.takeError();
+          Failures.fetch_add(1);
+          continue;
+        }
+        std::lock_guard<std::mutex> Lock(DigestsMutex);
+        Digests.insert(*Digest);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  ASSERT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Digests.size(), size_t(NumThreads) * PutsPerThread);
+  EXPECT_EQ(Store->shards().size(), Digests.size());
+
+  // The persisted index saw every entry too: a reopened store agrees.
+  auto Reopened = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Reopened));
+  ASSERT_EQ(Reopened->shards().size(), Digests.size());
+  for (const ShardInfo &S : Reopened->shards())
+    EXPECT_EQ(Digests.count(S.Digest), 1u) << digestToHex(S.Digest);
+}
+
+TEST(ProfileStoreTest, ConcurrentIdenticalPutsDeduplicate) {
+  // The racing-dedup shape: every thread ingests the same shard, and the
+  // store must end up with exactly one copy of it.
+  TempStoreDir Dir("concurrent_dedup");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+
+  ProfileData Shard = makeShard(77);
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 8; ++T)
+    Threads.emplace_back([&] {
+      for (unsigned I = 0; I != 4; ++I) {
+        auto Digest = Store->put(Shard);
+        if (!Digest) {
+          (void)Digest.takeError();
+          Failures.fetch_add(1);
+        }
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Store->shards().size(), 1u);
+  auto Reopened = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Reopened));
+  EXPECT_EQ(Reopened->shards().size(), 1u);
 }
