@@ -24,12 +24,21 @@
 /// for the perf-tracking tooling.  Run with --smoke for a single
 /// quick iteration (the ctest smoke target).
 ///
+/// A third section guards the read-path overhaul (docs/READPATH.md): it
+/// times the flat-resolver symbolize phase against a bench-local replica
+/// of the pre-overhaul path (AoS upper_bound per endpoint, std::map
+/// accumulation per arc) over a 100k-routine corpus, emits
+/// symbolize_ns_per_record for both into the same JSON, and FAILs if the
+/// speedup regresses below its floor — the same shape as the mcount-cost
+/// guard, and run from ctest via the smoke target so it cannot rot.
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "core/Analyzer.h"
 #include "core/FlatPrinter.h"
 #include "core/GraphPrinter.h"
+#include "gmon/GmonFile.h"
 #include "graph/Generators.h"
 #include "prof/ProfBaseline.h"
 #include "support/Random.h"
@@ -39,7 +48,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <thread>
+#include <utility>
 #include <vector>
 
 using namespace gprof;
@@ -144,6 +155,84 @@ double spanTotalMs(const std::vector<telemetry::SpanRecord> &Spans,
     if (S.Name == Name)
       Ns += S.EndNs - S.BeginNs;
   return static_cast<double>(Ns) / 1e6;
+}
+
+/// Builds the symbolize-throughput corpus: \p N routines and \p Records
+/// raw arc records landing on random call sites, with a few percent of
+/// spontaneous callers and unknown callees mixed in so every branch of
+/// the symbolize loop pays its real cost.
+void makeSymbolizeCorpus(uint32_t N, size_t Records, SymbolTable &Syms,
+                         ProfileData &Data) {
+  for (uint32_t I = 0; I != N; ++I)
+    Syms.addSymbol(format("fn%06u", I), Base + I * FuncSize, FuncSize);
+  cantFail(Syms.finalize());
+
+  const Address Hi = Base + static_cast<Address>(N) * FuncSize;
+  SplitMix64 Rng(0x5EEDC0DE);
+  Data.TicksPerSecond = 60;
+  Data.Arcs.reserve(Records);
+  for (size_t R = 0; R != Records; ++R) {
+    const uint64_t Roll = Rng.nextBelow(100);
+    const Address FromPc =
+        Roll < 3 ? 0 // spontaneous: no routine contains PC 0
+                 : Base + Rng.nextBelow(N) * FuncSize + 1 +
+                       Rng.nextBelow(FuncSize - 1);
+    const Address SelfPc = Roll >= 97
+                               ? Hi + 0x100 + Rng.nextBelow(64) // unknown
+                               : Base + Rng.nextBelow(N) * FuncSize;
+    Data.Arcs.push_back({FromPc, SelfPc, 1 + Rng.nextBelow(8)});
+  }
+  Histogram H(Base, Hi, FuncSize);
+  for (uint32_t I = 0; I < N; I += 3)
+    H.recordPc(Base + I * FuncSize + 1);
+  Data.Hist = std::move(H);
+}
+
+/// What both symbolize paths must agree on.
+struct LegacySymbolizeResult {
+  uint64_t FnArcs = 0;
+  uint64_t UnknownCallee = 0;
+};
+
+/// Bench-local replica of the pre-overhaul symbolize path: an AoS
+/// upper_bound over 40-byte Symbol objects for every arc endpoint and
+/// node-based std::map accumulation per distinct arc — exactly the
+/// per-probe cache misses and per-arc heap nodes the flat resolver and
+/// the packed-key arena accumulator were built to remove
+/// (docs/READPATH.md).  Kept here, not in the library, so the bench
+/// always compares against the historical cost model even as the real
+/// code moves on.
+LegacySymbolizeResult legacySymbolize(const std::vector<Symbol> &AoS,
+                                      const std::vector<ArcRecord> &Raw) {
+  auto Find = [&](Address Pc) -> uint32_t {
+    auto It = std::upper_bound(
+        AoS.begin(), AoS.end(), Pc,
+        [](Address P, const Symbol &S) { return P < S.Addr; });
+    if (It == AoS.begin())
+      return NoSymbol;
+    const size_t I = static_cast<size_t>(It - AoS.begin()) - 1;
+    return Pc < AoS[I].Addr + AoS[I].Size ? static_cast<uint32_t>(I)
+                                          : NoSymbol;
+  };
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> Arcs;
+  std::map<uint32_t, uint64_t> SelfCalls, Spontaneous;
+  LegacySymbolizeResult Out;
+  for (const ArcRecord &R : Raw) {
+    const uint32_t Callee = Find(R.SelfPc);
+    if (Callee == NoSymbol) {
+      ++Out.UnknownCallee;
+      continue;
+    }
+    const uint32_t Caller = Find(R.FromPc);
+    if (Caller == NoSymbol)
+      Spontaneous[Callee] += R.Count;
+    else if (Caller == Callee)
+      SelfCalls[Callee] += R.Count;
+    else
+      Arcs[{Caller, Callee}] += R.Count;
+  }
+  Out.FnArcs = Arcs.size();
+  return Out;
 }
 
 } // namespace
@@ -273,6 +362,101 @@ int main(int argc, char **argv) {
     Json.setRow("propagate_ms", PropagateMs);
   }
   Json.set("identical_listings", AllIdentical);
+
+  //--- Symbolize throughput: flat resolver vs the pre-overhaul path. ------
+  const uint32_t SymN = Smoke ? 20000u : 100000u;
+  const size_t SymRecords = Smoke ? 200000u : 2000000u;
+  SymbolTable SymSyms;
+  ProfileData SymData;
+  makeSymbolizeCorpus(SymN, SymRecords, SymSyms, SymData);
+
+  std::printf("\nsymbolize throughput over %u routines, %zu raw records\n"
+              "(legacy = AoS upper_bound + std::map accumulation, the "
+              "pre-overhaul path):\n\n",
+              SymN, SymData.Arcs.size());
+  row({"path", "ms", "ns/record", "fn arcs"}, 14);
+
+  std::vector<Symbol> AoS;
+  AoS.reserve(SymSyms.size());
+  for (uint32_t I = 0; I != SymSyms.size(); ++I)
+    AoS.push_back(SymSyms.symbol(I));
+  LegacySymbolizeResult Legacy;
+  double LegacyMs =
+      timeMs([&] { Legacy = legacySymbolize(AoS, SymData.Arcs); }, Reps);
+
+  // The real path, read off the analyzer.symbolize span of a sequential
+  // instrumented run (best of Reps, mirroring timeMs).
+  telemetry::Registry &Reg = telemetry::Registry::instance();
+  double FlatMs = 1e300;
+  uint64_t FlatFnArcs = 0, FlatUnknown = 0;
+  {
+    AnalyzerOptions AO;
+    AO.Threads = 1;
+    Analyzer An(SymSyms, AO);
+    for (int R = 0; R != Reps; ++R) {
+      Reg.resetValues();
+      Reg.enableSpans(true);
+      (void)cantFail(An.analyze(SymData));
+      Reg.enableSpans(false);
+      FlatMs = std::min(FlatMs,
+                        spanTotalMs(Reg.collectSpans(), "analyzer.symbolize"));
+      FlatFnArcs = telemetry::counter("analyzer.symbolize.fn_arcs").value();
+      FlatUnknown =
+          telemetry::counter("analyzer.symbolize.unknown_callee").value();
+    }
+  }
+
+  const double RecordCount = static_cast<double>(SymData.Arcs.size());
+  const double LegacyNs = LegacyMs * 1e6 / RecordCount;
+  const double FlatNs = FlatMs * 1e6 / RecordCount;
+  const double SymSpeedup = FlatMs > 0.0 ? LegacyMs / FlatMs : 0.0;
+  const bool SymAgree =
+      Legacy.FnArcs == FlatFnArcs && Legacy.UnknownCallee == FlatUnknown;
+
+  row({"legacy", formatFixed(LegacyMs, 1), formatFixed(LegacyNs, 1),
+       format("%llu", static_cast<unsigned long long>(Legacy.FnArcs))},
+      14);
+  row({"flat", formatFixed(FlatMs, 1), formatFixed(FlatNs, 1),
+       format("%llu", static_cast<unsigned long long>(FlatFnArcs))},
+      14);
+  std::printf("\n  symbolize speedup: %.1fx\n", SymSpeedup);
+
+  Json.set("symbolize_routines", static_cast<uint64_t>(SymN));
+  Json.set("symbolize_records",
+           static_cast<uint64_t>(SymData.Arcs.size()));
+  Json.set("symbolize_speedup", SymSpeedup);
+  Json.beginRow();
+  Json.setRow("mode", std::string("symbolize_legacy"));
+  Json.setRow("symbolize_ns_per_record", LegacyNs);
+  Json.beginRow();
+  Json.setRow("mode", std::string("symbolize_flat"));
+  Json.setRow("symbolize_ns_per_record", FlatNs);
+
+  //--- Read path: zero-copy mmap parse vs the stream-copy reference. ------
+  const std::string GmonPath = "bench_readpath_corpus.gmon";
+  bool ReadersAgree = false;
+  double MmapMs = 0.0, StreamMs = 0.0;
+  if (Error E = writeGmonFile(GmonPath, SymData)) {
+    std::printf("  (read-path section skipped: %s)\n", E.message().c_str());
+  } else {
+    ProfileData MmapRead, StreamRead;
+    MmapMs = timeMs([&] { MmapRead = cantFail(readGmonFile(GmonPath)); },
+                    Reps);
+    StreamMs = timeMs(
+        [&] {
+          std::vector<uint8_t> Bytes = cantFail(readFileBytes(GmonPath));
+          StreamRead = cantFail(readGmonReference(Bytes));
+        },
+        Reps);
+    ReadersAgree = writeGmon(MmapRead) == writeGmon(StreamRead);
+    std::remove(GmonPath.c_str());
+    std::printf("\nread path over the same corpus on disk: mmap %.1f ms, "
+                "stream+copy %.1f ms (%.2fx)\n",
+                MmapMs, StreamMs, MmapMs > 0.0 ? StreamMs / MmapMs : 0.0);
+    Json.set("read_mmap_ms", MmapMs);
+    Json.set("read_stream_ms", StreamMs);
+  }
+
   Json.write();
 
   std::printf("\nchecks against the paper:\n");
@@ -282,6 +466,21 @@ int main(int argc, char **argv) {
               "routines");
   Ok &= check(AllIdentical,
               "listings are byte-identical at 1/2/4/8 analysis threads");
+  Ok &= check(SymAgree,
+              "flat symbolize agrees with the legacy replica (fn arcs and "
+              "unknown callees)");
+  Ok &= check(ReadersAgree,
+              "mmap read path reproduces the stream reference "
+              "byte-for-byte");
+  // The read-path overhaul's no-regression gate (same shape as the
+  // mcount-cost guard): smoke runs get a relaxed floor because the corpus
+  // is 10x smaller and ctest hosts are noisy; full runs must hold the
+  // docs/READPATH.md claim.
+  const double SymGate = Smoke ? 2.0 : 5.0;
+  Ok &= check(SymSpeedup >= SymGate,
+              format("flat symbolize is >= %.1fx the legacy path at %u "
+                     "routines (measured %.1fx)",
+                     SymGate, SymN, SymSpeedup));
   if (Cores >= 4 && !Smoke)
     Ok &= check(Ms4 * 2.0 <= BaseMs,
                 "4-thread pipeline is at least 2x the sequential speed");

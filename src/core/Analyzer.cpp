@@ -10,13 +10,13 @@
 #include "graph/CycleCollapse.h"
 #include "graph/FeedbackArcs.h"
 #include "graph/Tarjan.h"
+#include "support/Arena.h"
 #include "support/Format.h"
 #include "support/Parallel.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 
 using namespace gprof;
@@ -26,30 +26,118 @@ Analyzer::Analyzer(SymbolTable Syms, AnalyzerOptions Opts)
 
 namespace {
 
-/// A symbolized function-level arc accumulated from raw records.
-struct FnArcInfo {
-  uint64_t Count = 0;
-  bool Static = false;
+/// A symbolized function-level arc.  The analyzer keeps these in a flat
+/// vector sorted by (From, To) — the same iteration order the historical
+/// std::map gave, without a heap node and three pointer chases per arc.
+struct FnArc {
+  uint32_t From;
+  uint32_t To;
+  uint64_t Count;
+  bool Static;
+};
+
+bool fnArcKeyLess(const FnArc &A, std::pair<uint32_t, uint32_t> K) {
+  return A.From != K.first ? A.From < K.first : A.To < K.second;
+}
+
+/// Shard-local arc accumulator for parallel symbolization: an
+/// open-addressing table over the packed key (Caller << 32) | Callee,
+/// with slab storage from an Arena.  One table carries all three arc
+/// categories — Caller == NoSymbol packs spontaneous activations,
+/// Caller == Callee packs self calls — so the per-record hot path is one
+/// probe and one add, with no per-arc heap allocation (the historical
+/// std::map shards paid a node allocation per distinct key plus a
+/// red-black rebalance per insert).  Growth re-probes into a fresh,
+/// larger slab from the same arena; everything is released at once when
+/// the shard dies.
+class PackedArcAccum {
+public:
+  static uint64_t packKey(uint32_t Caller, uint32_t Callee) {
+    return (static_cast<uint64_t>(Caller) << 32) | Callee;
+  }
+
+  void add(uint32_t Caller, uint32_t Callee, uint64_t Count) {
+    if (Used * 2 >= Cap)
+      grow();
+    const uint64_t Key = packKey(Caller, Callee);
+    Slot &S = Slots[probe(Key)];
+    if (S.Key == EmptyKey) {
+      S.Key = Key;
+      S.Count = Count;
+      ++Used;
+      return;
+    }
+    S.Count += Count;
+  }
+
+  size_t size() const { return Used; }
+
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t I = 0; I != Cap; ++I)
+      if (Slots[I].Key != EmptyKey)
+        F(Slots[I].Key, Slots[I].Count);
+  }
+
+private:
+  struct Slot {
+    uint64_t Key;
+    uint64_t Count;
+  };
+  /// Caller and Callee are both NoSymbol only for an arc into unknown
+  /// code, which is dropped before accumulation — so all-ones is free to
+  /// mark an empty slot.
+  static constexpr uint64_t EmptyKey = ~0ull;
+
+  size_t probe(uint64_t Key) const {
+    // splitmix64-style finalizer spreads the packed halves.
+    uint64_t H = Key * 0x9E3779B97F4A7C15ULL;
+    H ^= H >> 30;
+    H *= 0xBF58476D1CE4E5B9ULL;
+    H ^= H >> 27;
+    size_t I = static_cast<size_t>(H) & (Cap - 1);
+    while (Slots[I].Key != EmptyKey && Slots[I].Key != Key)
+      I = (I + 1) & (Cap - 1);
+    return I;
+  }
+
+  void grow() {
+    const size_t NewCap = Cap == 0 ? 1024 : Cap * 2;
+    Slot *OldSlots = Slots;
+    const size_t OldCap = Cap;
+    Slots = Mem.allocateArray<Slot>(NewCap);
+    Cap = NewCap;
+    for (size_t I = 0; I != NewCap; ++I)
+      Slots[I].Key = EmptyKey;
+    for (size_t I = 0; I != OldCap; ++I)
+      if (OldSlots[I].Key != EmptyKey)
+        Slots[probe(OldSlots[I].Key)] = OldSlots[I];
+  }
+
+  Arena Mem;
+  Slot *Slots = nullptr;
+  size_t Cap = 0;
+  size_t Used = 0;
 };
 
 /// Chunk-local accumulators for parallel arc symbolization.  Every count
-/// is an integer, so reducing the shards in chunk index order yields
-/// totals independent of the chunk decomposition (and therefore of the
-/// thread count).
+/// is an integer, so the sorted reduction below yields totals independent
+/// of the chunk decomposition (and therefore of the thread count).
 struct SymbolizeShard {
-  std::map<std::pair<uint32_t, uint32_t>, uint64_t> Arcs;
-  std::map<uint32_t, uint64_t> SelfCalls;
-  std::map<uint32_t, uint64_t> Spontaneous;
+  PackedArcAccum Accum;
   uint64_t UnknownCallee = 0; ///< Arcs into unknown code, dropped.
 };
 
 /// Step 1: symbolizes raw arc records into function-level arcs, self
 /// calls and spontaneous activations.  Raw records shard across workers;
-/// each worker resolves call sites against the sorted symbol table and
-/// accumulates shard-locally.
+/// each worker resolves call sites against the flat resolver and
+/// accumulates shard-locally.  The reduction gathers every shard's
+/// (packed key, count) pairs, sorts them, and coalesces equal keys —
+/// unsigned sums are order-independent, so the result matches the
+/// sequential accumulation at every thread count, and walking the sorted
+/// keys emits FnArcs in exactly the (From, To) order the historical
+/// std::map iterated in.
 void symbolizeArcs(const std::vector<ArcRecord> &Raw, const SymbolTable &Syms,
-                   ThreadPool *Pool,
-                   std::map<std::pair<uint32_t, uint32_t>, FnArcInfo> &FnArcs,
+                   ThreadPool *Pool, std::vector<FnArc> &FnArcs,
                    std::vector<uint64_t> &SelfCalls,
                    std::vector<uint64_t> &Spontaneous) {
   telemetry::Span Phase("analyzer.symbolize");
@@ -65,31 +153,41 @@ void symbolizeArcs(const std::vector<ArcRecord> &Raw, const SymbolTable &Syms,
         ++Shard.UnknownCallee;
         continue; // Arc into unknown code; nothing to attach it to.
       }
+      // "the apparent source of the arc is not a call site at all.  Such
+      // anomalous invocations are declared 'spontaneous'" (§3.1) —
+      // Caller == NoSymbol packs them into the same table.
       uint32_t Caller = Syms.findContaining(R.FromPc);
-      if (Caller == NoSymbol) {
-        // "the apparent source of the arc is not a call site at all.  Such
-        // anomalous invocations are declared 'spontaneous'" (§3.1).
-        Shard.Spontaneous[Callee] += R.Count;
-        continue;
-      }
-      if (Caller == Callee) {
-        Shard.SelfCalls[Callee] += R.Count;
-        continue;
-      }
-      Shard.Arcs[{Caller, Callee}] += R.Count;
+      Shard.Accum.add(Caller, Callee, R.Count);
     }
   });
-  // Counters: all data-derived sums, so reducing the shards in chunk
-  // order yields the same values at every thread count.
+  // Counters: all data-derived sums, so the sorted reduction yields the
+  // same values at every thread count.
   uint64_t Unknown = 0;
+  size_t TotalSlots = 0;
   for (const SymbolizeShard &Shard : Shards) {
     Unknown += Shard.UnknownCallee;
-    for (const auto &[Key, Count] : Shard.Arcs)
-      FnArcs[Key].Count += Count;
-    for (const auto &[Fn, Count] : Shard.SelfCalls)
-      SelfCalls[Fn] += Count;
-    for (const auto &[Fn, Count] : Shard.Spontaneous)
-      Spontaneous[Fn] += Count;
+    TotalSlots += Shard.Accum.size();
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> Pairs;
+  Pairs.reserve(TotalSlots);
+  for (const SymbolizeShard &Shard : Shards)
+    Shard.Accum.forEach([&](uint64_t Key, uint64_t Count) {
+      Pairs.emplace_back(Key, Count);
+    });
+  std::sort(Pairs.begin(), Pairs.end());
+  for (size_t I = 0; I != Pairs.size();) {
+    const uint64_t Key = Pairs[I].first;
+    uint64_t Sum = 0;
+    for (; I != Pairs.size() && Pairs[I].first == Key; ++I)
+      Sum += Pairs[I].second;
+    const uint32_t Caller = static_cast<uint32_t>(Key >> 32);
+    const uint32_t Callee = static_cast<uint32_t>(Key);
+    if (Caller == NoSymbol)
+      Spontaneous[Callee] += Sum;
+    else if (Caller == Callee)
+      SelfCalls[Callee] += Sum;
+    else
+      FnArcs.push_back({Caller, Callee, Sum, /*Static=*/false});
   }
   telemetry::counter("analyzer.symbolize.raw_records").add(Raw.size());
   telemetry::counter("analyzer.symbolize.unknown_callee").add(Unknown);
@@ -115,29 +213,42 @@ double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
   telemetry::counter("analyzer.assign.hist_buckets").add(Hist.numBuckets());
   const double SecPerSample = 1.0 / static_cast<double>(TicksPerSecond);
 
+  // Batched routine-major sweep over flat arrays: symbol bounds come from
+  // the resolver's SoA vectors and bucket counts from the histogram's
+  // contiguous array, so the inner loop touches three dense arrays
+  // instead of striding over Symbol objects through checked accessors.
+  // The floating-point accumulation expression and order are exactly the
+  // historical ones — only the loads got cheaper — which is what keeps
+  // the listings byte-identical (docs/ANALYZER.md).
+  const std::vector<Address> &SymStarts = Syms.starts();
+  const std::vector<Address> &SymEnds = Syms.ends();
+  const std::vector<uint64_t> &Counts = Hist.counts();
+  const Address HistLo = Hist.lowPc();
+  const Address HistHi = Hist.highPc();
+  const uint64_t BSize = Hist.bucketSize();
+  const size_t NBuckets = Hist.numBuckets();
+
   parallelChunks(
       Pool, Syms.size(), 64, [&](size_t FnBegin, size_t FnEnd, size_t) {
         telemetry::Span ChunkSpan("analyzer.assign.chunk");
         for (size_t I = FnBegin; I != FnEnd; ++I) {
-          const Symbol &Sym = Syms.symbol(static_cast<uint32_t>(I));
-          const Address SymLo = Sym.Addr;
-          const Address SymHi = Sym.Addr + Sym.Size;
-          if (SymHi <= SymLo || SymHi <= Hist.lowPc() ||
-              SymLo >= Hist.highPc())
+          const Address SymLo = SymStarts[I];
+          const Address SymHi = SymEnds[I];
+          if (SymHi <= SymLo || SymHi <= HistLo || SymLo >= HistHi)
             continue;
-          size_t B = SymLo > Hist.lowPc()
-                         ? static_cast<size_t>((SymLo - Hist.lowPc()) /
-                                               Hist.bucketSize())
+          size_t B = SymLo > HistLo
+                         ? static_cast<size_t>((SymLo - HistLo) / BSize)
                          : 0;
           double Self = Entries[I].SelfTime;
-          for (; B < Hist.numBuckets(); ++B) {
-            const Address Start = Hist.bucketStart(B);
+          for (; B < NBuckets; ++B) {
+            const Address Start = HistLo + static_cast<Address>(B) * BSize;
             if (Start >= SymHi)
               break;
-            const uint64_t Samples = Hist.bucketCount(B);
+            const uint64_t Samples = Counts[B];
             if (Samples == 0)
               continue;
-            const Address End = Hist.bucketEnd(B);
+            Address End = Start + BSize;
+            End = End < HistHi ? End : HistHi;
             Address OverlapLo = std::max(SymLo, Start);
             Address OverlapHi = std::min(SymHi, End);
             if (OverlapHi <= OverlapLo)
@@ -155,16 +266,17 @@ double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
   // The unattributed remainder of each bucket.  Workers fill disjoint
   // slots of Residual; the final sum runs on one thread in bucket order,
   // skipping unsampled buckets exactly as the bucket-major walk did.
-  std::vector<double> Residual(Hist.numBuckets(), 0.0);
+  std::vector<double> Residual(NBuckets, 0.0);
   parallelChunks(
-      Pool, Hist.numBuckets(), 256, [&](size_t BBegin, size_t BEnd, size_t) {
+      Pool, NBuckets, 256, [&](size_t BBegin, size_t BEnd, size_t) {
         telemetry::Span ChunkSpan("analyzer.assign.residual");
         for (size_t B = BBegin; B != BEnd; ++B) {
-          const uint64_t Samples = Hist.bucketCount(B);
+          const uint64_t Samples = Counts[B];
           if (Samples == 0)
             continue;
-          const Address Start = Hist.bucketStart(B);
-          const Address End = Hist.bucketEnd(B);
+          const Address Start = HistLo + static_cast<Address>(B) * BSize;
+          Address End = Start + BSize;
+          End = End < HistHi ? End : HistHi;
           const double BucketSeconds =
               static_cast<double>(Samples) * SecPerSample;
           const double BucketLen = static_cast<double>(End - Start);
@@ -173,11 +285,10 @@ double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
           if (S == NoSymbol)
             S = Syms.findFirstAtOrAfter(Start);
           for (uint32_t I = S; I != NoSymbol && I < Syms.size(); ++I) {
-            const Symbol &Sym = Syms.symbol(I);
-            if (Sym.Addr >= End)
+            if (SymStarts[I] >= End)
               break;
-            Address OverlapLo = std::max(Sym.Addr, Start);
-            Address OverlapHi = std::min(Sym.Addr + Sym.Size, End);
+            Address OverlapLo = std::max(SymStarts[I], Start);
+            Address OverlapHi = std::min(SymEnds[I], End);
             if (OverlapHi <= OverlapLo)
               continue;
             Attributed += BucketSeconds *
@@ -222,10 +333,21 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
   }
 
   //--- Step 1: symbolize raw arcs into function-level arcs. --------------
-  std::map<std::pair<uint32_t, uint32_t>, FnArcInfo> FnArcs;
+  std::vector<FnArc> FnArcs; // Sorted by (From, To) throughout.
   std::vector<uint64_t> SelfCalls(NumFns, 0);
   std::vector<uint64_t> Spontaneous(NumFns, 0);
   symbolizeArcs(Data.Arcs, Syms, Pool, FnArcs, SelfCalls, Spontaneous);
+
+  // Binary-search lookup into the sorted arc vector; erases are O(n) but
+  // only run for the handful of -k / cycle-break arcs.
+  auto FindFnArc = [&FnArcs](uint32_t From, uint32_t To) {
+    auto It = std::lower_bound(FnArcs.begin(), FnArcs.end(),
+                               std::pair<uint32_t, uint32_t>{From, To},
+                               fnArcKeyLess);
+    if (It != FnArcs.end() && It->From == From && It->To == To)
+      return It;
+    return FnArcs.end();
+  };
 
   //--- Step 2a: delete the arcs named by -k options. ----------------------
   for (const auto &[FromName, ToName] : Opts.DeleteArcs) {
@@ -239,7 +361,7 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
       SelfCalls[From] = 0;
       continue;
     }
-    auto It = FnArcs.find({From, To});
+    auto It = FindFnArc(From, To);
     if (It != FnArcs.end())
       FnArcs.erase(It);
     Report.RemovedArcs.push_back({From, To});
@@ -247,23 +369,41 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
 
   //--- Step 3: add static arcs with count zero (-c). ----------------------
   if (Opts.UseStaticArcs) {
+    // Batch insert: collect the statically discovered pairs absent from
+    // the dynamic table, sort and de-duplicate them, then merge the two
+    // sorted runs — the vector stays sorted without per-arc shifting.
+    std::vector<FnArc> Extra;
     for (const StaticArc &SA : StaticArcs) {
       uint32_t Caller = Syms.findContaining(SA.CallSitePc);
       uint32_t Callee = Syms.findContaining(SA.TargetPc);
       if (Caller == NoSymbol || Callee == NoSymbol || Caller == Callee)
         continue;
-      auto [It, Inserted] = FnArcs.try_emplace({Caller, Callee});
-      if (Inserted)
-        It->second.Static = true;
+      if (FindFnArc(Caller, Callee) == FnArcs.end())
+        Extra.push_back({Caller, Callee, 0, /*Static=*/true});
     }
+    std::sort(Extra.begin(), Extra.end(), [](const FnArc &A, const FnArc &B) {
+      return A.From != B.From ? A.From < B.From : A.To < B.To;
+    });
+    Extra.erase(std::unique(Extra.begin(), Extra.end(),
+                            [](const FnArc &A, const FnArc &B) {
+                              return A.From == B.From && A.To == B.To;
+                            }),
+                Extra.end());
+    const size_t Mid = FnArcs.size();
+    FnArcs.insert(FnArcs.end(), Extra.begin(), Extra.end());
+    std::inplace_merge(FnArcs.begin(), FnArcs.begin() + Mid, FnArcs.end(),
+                       [](const FnArc &A, const FnArc &B) {
+                         return A.From != B.From ? A.From < B.From
+                                                 : A.To < B.To;
+                       });
   }
 
   //--- Build the function-level graph. ------------------------------------
   CallGraph G;
   for (uint32_t I = 0; I != NumFns; ++I)
     G.addNode(Syms.symbol(I).Name);
-  for (const auto &[Key, Info] : FnArcs)
-    G.addArc(Key.first, Key.second, Info.Count, Info.Static);
+  for (const FnArc &A : FnArcs)
+    G.addArc(A.From, A.To, A.Count, A.Static);
 
   //--- Step 2b: the cycle-breaking heuristic (bounded). -------------------
   if (Opts.AutoBreakCycleBound != 0) {
@@ -273,7 +413,9 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
       for (ArcId A : FAS.RemovedArcs) {
         const Arc &Edge = G.arc(A);
         Report.RemovedArcs.push_back({Edge.From, Edge.To});
-        FnArcs.erase({Edge.From, Edge.To});
+        auto It = FindFnArc(Edge.From, Edge.To);
+        if (It != FnArcs.end())
+          FnArcs.erase(It);
       }
       G = removeArcs(G, FAS.RemovedArcs);
     }

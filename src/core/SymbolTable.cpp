@@ -7,14 +7,105 @@
 #include "core/SymbolTable.h"
 
 #include "support/Format.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 
 using namespace gprof;
 
+namespace {
+
+/// A slot denser than this abandons the direct map: the bounded scan
+/// after the one-load floor lookup must stay short, or the map is worse
+/// than the binary search it replaces.
+constexpr uint32_t MaxSlotPopulation = 64;
+
+} // namespace
+
+SymbolTable::SymbolTable(const SymbolTable &Other)
+    : Symbols(Other.Symbols), Finalized(Other.Finalized),
+      Starts(Other.Starts), Ends(Other.Ends), Direct(Other.Direct),
+      DirectShift(Other.DirectShift) {
+  // The name index views the arena, so it cannot be copied structurally;
+  // re-intern from the (already address-sorted) symbols.
+  for (uint32_t I = 0; I != Symbols.size(); ++I) {
+    const std::string &Name = Symbols[I].Name;
+    NameIndex.try_emplace(
+        std::string_view(NameArena.internBytes(Name.data(), Name.size()),
+                         Name.size()),
+        I);
+  }
+}
+
+SymbolTable &SymbolTable::operator=(const SymbolTable &Other) {
+  if (this != &Other)
+    *this = SymbolTable(Other);
+  return *this;
+}
+
 void SymbolTable::addSymbol(std::string Name, Address Addr, uint64_t Size) {
   assert(!Finalized && "adding symbols after finalize()");
   Symbols.push_back({std::move(Name), Addr, Size});
+}
+
+void SymbolTable::buildResolver() {
+  const size_t N = Symbols.size();
+  Starts.resize(N);
+  Ends.resize(N);
+  for (size_t I = 0; I != N; ++I) {
+    Starts[I] = Symbols[I].Addr;
+    Ends[I] = Symbols[I].Addr + Symbols[I].Size;
+  }
+
+  NameIndex.clear();
+  NameIndex.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    const std::string &Name = Symbols[I].Name;
+    // try_emplace keeps the first index, preserving the historical
+    // "first symbol in address order" answer for duplicate names.
+    NameIndex.try_emplace(
+        std::string_view(NameArena.internBytes(Name.data(), Name.size()),
+                         Name.size()),
+        I);
+  }
+
+  // Direct map: budget ~4 slots per symbol, shift chosen to fit.  One
+  // walk fills every slot with the floor index at its first address; a
+  // second tally abandons the map if any slot is too crowded (a sparse
+  // table with one far-away outlier would otherwise degrade lookups to a
+  // long linear scan).
+  Direct.clear();
+  DirectShift = 0;
+  if (N >= 2) {
+    const Address Base = Starts[0];
+    const Address Span = Starts[N - 1] - Base;
+    const uint64_t Budget = std::max<uint64_t>(1024, 4 * N);
+    unsigned Shift = 0;
+    while (Shift < 63 && (Span >> Shift) >= Budget)
+      ++Shift;
+    const size_t Slots = static_cast<size_t>((Span >> Shift) + 1);
+    std::vector<uint32_t> Population(Slots, 0);
+    bool TooDense = false;
+    for (size_t I = 0; I != N && !TooDense; ++I)
+      TooDense = ++Population[(Starts[I] - Base) >> Shift] > MaxSlotPopulation;
+    if (!TooDense) {
+      Direct.resize(Slots);
+      DirectShift = Shift;
+      uint32_t I = 0;
+      for (size_t S = 0; S != Slots; ++S) {
+        const Address SlotStart = Base + (static_cast<Address>(S) << Shift);
+        while (I + 1 < N && Starts[I + 1] <= SlotStart)
+          ++I;
+        Direct[S] = I;
+      }
+    }
+  }
+
+  // Data-derived tallies (thread-count invariant by construction).
+  telemetry::counter("symtab.finalize.symbols").add(N);
+  telemetry::counter("symtab.finalize.direct_slots").add(Direct.size());
+  telemetry::counter("symtab.finalize.name_bytes")
+      .add(NameArena.bytesAllocated());
 }
 
 Error SymbolTable::finalize() {
@@ -28,6 +119,7 @@ Error SymbolTable::finalize() {
           format("symbols '%s' and '%s' overlap", Prev.Name.c_str(),
                  Cur.Name.c_str()));
   }
+  buildResolver();
   Finalized = true;
   return Error::success();
 }
@@ -40,41 +132,24 @@ SymbolTable SymbolTable::fromImage(const Image &Img) {
   return Table;
 }
 
-uint32_t SymbolTable::findContaining(Address Pc) const {
-  assert(Finalized && "lookup before finalize()");
-  auto It = std::upper_bound(
-      Symbols.begin(), Symbols.end(), Pc,
-      [](Address A, const Symbol &S) { return A < S.Addr; });
-  if (It == Symbols.begin())
-    return NoSymbol;
-  --It;
-  if (Pc < It->Addr + It->Size)
-    return static_cast<uint32_t>(It - Symbols.begin());
-  return NoSymbol;
-}
-
 uint32_t SymbolTable::findAt(Address Pc) const {
   uint32_t I = findContaining(Pc);
-  if (I != NoSymbol && Symbols[I].Addr == Pc)
+  if (I != NoSymbol && Starts[I] == Pc)
     return I;
   return NoSymbol;
 }
 
 uint32_t SymbolTable::findFirstAtOrAfter(Address Pc) const {
   assert(Finalized && "lookup before finalize()");
-  auto It = std::lower_bound(
-      Symbols.begin(), Symbols.end(), Pc,
-      [](const Symbol &S, Address A) { return S.Addr < A; });
-  if (It == Symbols.end())
+  auto It = std::lower_bound(Starts.begin(), Starts.end(), Pc);
+  if (It == Starts.end())
     return NoSymbol;
-  return static_cast<uint32_t>(It - Symbols.begin());
+  return static_cast<uint32_t>(It - Starts.begin());
 }
 
 uint32_t SymbolTable::findByName(const std::string &Name) const {
-  for (uint32_t I = 0; I != Symbols.size(); ++I)
-    if (Symbols[I].Name == Name)
-      return I;
-  return NoSymbol;
+  auto It = NameIndex.find(std::string_view(Name));
+  return It == NameIndex.end() ? NoSymbol : It->second;
 }
 
 Address SymbolTable::lowPc() const {

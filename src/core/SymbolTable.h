@@ -10,16 +10,29 @@
 /// the callee routine, and the source symbolizes to the caller — or to no
 /// routine at all, in which case the activation is "spontaneous".
 ///
+/// Symbolization dominates the §4 post-processing wall time (one
+/// findContaining per arc endpoint, millions of them for a store
+/// aggregate), so finalize() freezes the table into a flat
+/// structure-of-arrays resolver: sorted entry/end address arrays walked
+/// with a branch-light lower bound, an interned name index for -k/-E
+/// lookups, and — when the address space is dense, as the VM's always is —
+/// a direct-mapped PC→index cache that answers most lookups with one load
+/// and a short bounded scan (docs/READPATH.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPROF_CORE_SYMBOLTABLE_H
 #define GPROF_CORE_SYMBOLTABLE_H
 
 #include "gmon/Histogram.h"
+#include "support/Arena.h"
 #include "support/Error.h"
 #include "vm/Image.h"
 
+#include <cassert>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace gprof {
@@ -37,20 +50,65 @@ inline constexpr uint32_t NoSymbol = ~static_cast<uint32_t>(0);
 /// An address-sorted, non-overlapping table of routine symbols.
 class SymbolTable {
 public:
+  SymbolTable() = default;
+  /// Copying re-interns the name index into a fresh arena; the flat
+  /// address arrays copy as plain vectors.
+  SymbolTable(const SymbolTable &Other);
+  SymbolTable &operator=(const SymbolTable &Other);
+  SymbolTable(SymbolTable &&) = default;
+  SymbolTable &operator=(SymbolTable &&) = default;
+
   /// Adds a symbol; call finalize() after the last one.
   void addSymbol(std::string Name, Address Addr, uint64_t Size);
 
-  /// Sorts by address and validates that no two symbols overlap.
+  /// Sorts by address, validates that no two symbols overlap, and builds
+  /// the flat resolver (SoA address arrays, name index, direct map).
   Error finalize();
 
   /// Builds the table from a VM image's function table.
   static SymbolTable fromImage(const Image &Img);
 
   size_t size() const { return Symbols.size(); }
-  const Symbol &symbol(uint32_t I) const { return Symbols.at(I); }
+  /// Unchecked in release builds: indices come from this table's own
+  /// find* results or a loop bounded by size(), both in range by
+  /// construction — a bounds throw here only ever hid a caller bug while
+  /// taxing the hot paths that sit on top of this accessor.
+  const Symbol &symbol(uint32_t I) const {
+    assert(I < Symbols.size() && "symbol index out of range");
+    return Symbols[I];
+  }
 
   /// Index of the symbol whose range contains \p Pc, or NoSymbol.
-  uint32_t findContaining(Address Pc) const;
+  uint32_t findContaining(Address Pc) const {
+    assert(Finalized && "lookup before finalize()");
+    const size_t N = Starts.size();
+    if (N == 0 || Pc < Starts[0])
+      return NoSymbol;
+    size_t I;
+    if (!Direct.empty()) {
+      // Dense path: one load gives the floor index at the slot start;
+      // the scan past it is bounded by the slot's population (≤
+      // MaxSlotPopulation, enforced at build time).
+      size_t Slot = (Pc - Starts[0]) >> DirectShift;
+      I = Slot < Direct.size() ? Direct[Slot] : N - 1;
+      while (I + 1 < N && Starts[I + 1] <= Pc)
+        ++I;
+    } else {
+      // Branch-light lower bound: greatest I with Starts[I] <= Pc.  The
+      // loop body is a compare plus two conditional updates — no
+      // unpredictable branch per probe.
+      const Address *Base = Starts.data();
+      size_t Len = N;
+      while (Len > 1) {
+        const size_t Half = Len >> 1;
+        const bool Right = Base[Half] <= Pc;
+        Base = Right ? Base + Half : Base;
+        Len = Right ? Len - Half : Half;
+      }
+      I = static_cast<size_t>(Base - Starts.data());
+    }
+    return Pc < Ends[I] ? static_cast<uint32_t>(I) : NoSymbol;
+  }
 
   /// Index of the symbol whose entry address is exactly \p Pc, or
   /// NoSymbol.
@@ -62,16 +120,44 @@ public:
   /// linear scan.
   uint32_t findFirstAtOrAfter(Address Pc) const;
 
-  /// Index of the first symbol named \p Name, or NoSymbol.
+  /// Index of the first symbol (in address order) named \p Name, or
+  /// NoSymbol.  Served by the interned name index built at finalize().
   uint32_t findByName(const std::string &Name) const;
 
   /// Lowest symbol start / highest symbol end (0/0 when empty).
   Address lowPc() const;
   Address highPc() const;
 
+  /// The flat resolver arrays (valid after finalize()): entry address and
+  /// one-past-end address of symbol I.  Hot loops — histogram sample
+  /// assignment — iterate these directly instead of going through the
+  /// Symbol objects.
+  const std::vector<Address> &starts() const { return Starts; }
+  const std::vector<Address> &ends() const { return Ends; }
+
 private:
+  void buildResolver();
+
   std::vector<Symbol> Symbols;
   bool Finalized = false;
+
+  /// SoA mirror of (Symbols[I].Addr, Symbols[I].Addr + Size): two dense
+  /// Address arrays keep a binary-search probe to one cache line instead
+  /// of striding over 40-byte Symbol objects.
+  std::vector<Address> Starts;
+  std::vector<Address> Ends;
+
+  /// Direct-mapped PC→index cache: Direct[(Pc - Starts[0]) >> DirectShift]
+  /// is the greatest index whose entry address is <= the slot's first
+  /// address.  Built only when no slot holds more than MaxSlotPopulation
+  /// symbol starts (always true for the VM's dense text); empty otherwise.
+  std::vector<uint32_t> Direct;
+  unsigned DirectShift = 0;
+
+  /// Interned name→index map: keys view into NameArena (one allocation
+  /// pool, no per-key string), value is the first index in address order.
+  Arena NameArena;
+  std::unordered_map<std::string_view, uint32_t> NameIndex;
 };
 
 } // namespace gprof

@@ -77,6 +77,25 @@ Expected<ProfileData> readGmon(const std::vector<uint8_t> &Bytes,
                                const GmonReadOptions &Opts,
                                GmonSalvage *Salvage = nullptr);
 
+/// In-place parse over a borrowed byte span — the zero-copy entry point:
+/// records are decoded directly out of the caller's bytes (typically a
+/// support/MappedFile view) with no intermediate buffer.  All readGmon
+/// overloads route here; errors, salvage tallies, and the resulting
+/// ProfileData are identical to readGmonReference by contract
+/// (docs/READPATH.md), pinned by the differential corpus test.
+Expected<ProfileData> readGmon(const uint8_t *Data, size_t Size,
+                               const GmonReadOptions &Opts = {},
+                               GmonSalvage *Salvage = nullptr);
+
+/// The original BinaryStream-based reader, kept as the reference
+/// implementation for differential testing: tests/readpath_test.cpp runs
+/// the whole corrupted-gmon corpus through both readers and requires
+/// bit-identical results, so salvage semantics can never drift between
+/// them.  Production code should call readGmon.
+Expected<ProfileData> readGmonReference(const std::vector<uint8_t> &Bytes,
+                                        const GmonReadOptions &Opts = {},
+                                        GmonSalvage *Salvage = nullptr);
+
 /// Writes \p Data to the file at \p Path via write-then-rename, so a
 /// crash mid-write never tears an existing profile.
 Error writeGmonFile(const std::string &Path, const ProfileData &Data);

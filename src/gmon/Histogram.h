@@ -20,6 +20,7 @@
 
 #include "support/Error.h"
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -66,8 +67,17 @@ public:
   bool empty() const { return Counts.empty(); }
   size_t numBuckets() const { return Counts.size(); }
 
-  uint64_t bucketCount(size_t I) const { return Counts.at(I); }
-  void setBucketCount(size_t I, uint64_t V) { Counts.at(I) = V; }
+  /// Unchecked in release builds (asserted in debug): bucket indices come
+  /// from loops bounded by numBuckets(), and the .at() bounds check sat on
+  /// the sample-assignment hot path (docs/READPATH.md).
+  uint64_t bucketCount(size_t I) const {
+    assert(I < Counts.size() && "bucket index out of range");
+    return Counts[I];
+  }
+  void setBucketCount(size_t I, uint64_t V) {
+    assert(I < Counts.size() && "bucket index out of range");
+    Counts[I] = V;
+  }
 
   /// Start address of bucket \p I.
   Address bucketStart(size_t I) const {

@@ -13,27 +13,104 @@
 
 using namespace gprof;
 
+namespace {
+
+/// splitmix64-style mix of the two key halves; also used (with Self == 0)
+/// for the callee table.
+inline uint64_t mixArcKey(Address FromPc, Address SelfPc) {
+  uint64_t H = FromPc * 0x9E3779B97F4A7C15ULL ^ SelfPc;
+  H ^= H >> 30;
+  H *= 0xBF58476D1CE4E5B9ULL;
+  H ^= H >> 27;
+  return H;
+}
+
+/// Smallest power of two >= max(16, N).
+inline size_t tableCapacityFor(size_t N) {
+  size_t Cap = 16;
+  while (Cap < N)
+    Cap <<= 1;
+  return Cap;
+}
+
+} // namespace
+
+size_t ProfileData::arcProbe(Address FromPc, Address SelfPc) const {
+  const size_t Mask = ArcSlots.size() - 1;
+  size_t I = static_cast<size_t>(mixArcKey(FromPc, SelfPc)) & Mask;
+  while (true) {
+    const ArcSlot &S = ArcSlots[I];
+    if (S.PosPlus1 == 0 || (S.FromPc == FromPc && S.SelfPc == SelfPc))
+      return I;
+    I = (I + 1) & Mask;
+  }
+}
+
+size_t ProfileData::calleeProbe(Address SelfPc) const {
+  const size_t Mask = CalleeSlots.size() - 1;
+  size_t I = static_cast<size_t>(mixArcKey(SelfPc, 0)) & Mask;
+  while (true) {
+    const CalleeSlot &S = CalleeSlots[I];
+    if (!S.Used || S.SelfPc == SelfPc)
+      return I;
+    I = (I + 1) & Mask;
+  }
+}
+
+void ProfileData::growArcSlots() const {
+  std::vector<ArcSlot> Old = std::move(ArcSlots);
+  ArcSlots.assign(Old.size() * 2, ArcSlot{0, 0, 0});
+  for (const ArcSlot &S : Old)
+    if (S.PosPlus1 != 0)
+      ArcSlots[arcProbe(S.FromPc, S.SelfPc)] = S;
+}
+
+void ProfileData::growCalleeSlots() const {
+  std::vector<CalleeSlot> Old = std::move(CalleeSlots);
+  CalleeSlots.assign(Old.size() * 2, CalleeSlot{0, 0, false});
+  for (const CalleeSlot &S : Old)
+    if (S.Used)
+      CalleeSlots[calleeProbe(S.SelfPc)] = S;
+}
+
+void ProfileData::calleeAdd(Address SelfPc, uint64_t Delta) const {
+  if (CalleeSlotsUsed * 2 >= CalleeSlots.size())
+    growCalleeSlots();
+  CalleeSlot &S = CalleeSlots[calleeProbe(SelfPc)];
+  if (!S.Used) {
+    S = {SelfPc, Delta, true};
+    ++CalleeSlotsUsed;
+    return;
+  }
+  S.Total = saturatingAdd(S.Total, Delta);
+}
+
 void ProfileData::invalidateArcIndex() const {
-  ArcIndex.clear();
-  CalleeTotals.clear();
+  ArcSlots.clear();
+  CalleeSlots.clear();
+  ArcSlotsUsed = 0;
+  CalleeSlotsUsed = 0;
   IndexedArcs = 0;
   ArcIndexValid = false;
 }
 
 void ProfileData::rebuildArcIndex() const {
-  ArcIndex.clear();
-  CalleeTotals.clear();
-  ArcIndex.reserve(Arcs.size());
+  ArcSlots.assign(tableCapacityFor(Arcs.size() * 2), ArcSlot{0, 0, 0});
+  CalleeSlots.assign(tableCapacityFor(Arcs.size() * 2),
+                     CalleeSlot{0, 0, false});
+  ArcSlotsUsed = 0;
+  CalleeSlotsUsed = 0;
   for (size_t I = 0; I != Arcs.size(); ++I) {
     const ArcRecord &R = Arcs[I];
-    auto [It, Fresh] = ArcIndex.try_emplace({R.FromPc, R.SelfPc}, I);
+    ArcSlot &S = ArcSlots[arcProbe(R.FromPc, R.SelfPc)];
     // Duplicate keys can exist before canonicalization; keep the first
     // position (addArc then accumulates there, matching the historical
     // first-match linear scan).
-    (void)It;
-    (void)Fresh;
-    CalleeTotals[R.SelfPc] =
-        saturatingAdd(CalleeTotals[R.SelfPc], R.Count);
+    if (S.PosPlus1 == 0) {
+      S = {R.FromPc, R.SelfPc, I + 1};
+      ++ArcSlotsUsed;
+    }
+    calleeAdd(R.SelfPc, R.Count);
   }
   IndexedArcs = Arcs.size();
   ArcIndexValid = true;
@@ -42,29 +119,32 @@ void ProfileData::rebuildArcIndex() const {
 void ProfileData::addArc(Address FromPc, Address SelfPc, uint64_t Count) {
   if (!ArcIndexValid || IndexedArcs != Arcs.size())
     rebuildArcIndex();
-  auto It = ArcIndex.find({FromPc, SelfPc});
-  if (It != ArcIndex.end()) {
-    if (Arcs[It->second].FromPc != FromPc ||
-        Arcs[It->second].SelfPc != SelfPc) {
+  size_t Slot = arcProbe(FromPc, SelfPc);
+  if (ArcSlots[Slot].PosPlus1 != 0) {
+    size_t Pos = ArcSlots[Slot].PosPlus1 - 1;
+    if (Arcs[Pos].FromPc != FromPc || Arcs[Pos].SelfPc != SelfPc) {
       // External code reordered Arcs under the index; rebuild and retry.
       rebuildArcIndex();
-      It = ArcIndex.find({FromPc, SelfPc});
+      Slot = arcProbe(FromPc, SelfPc);
     }
   }
-  if (It != ArcIndex.end()) {
-    ArcRecord &R = Arcs[It->second];
+  if (ArcSlots[Slot].PosPlus1 != 0) {
+    ArcRecord &R = Arcs[ArcSlots[Slot].PosPlus1 - 1];
     if (Count > UINT64_MAX - R.Count)
       telemetry::counter("gmon.arcs.saturated").add(1);
     uint64_t Sum = saturatingAdd(R.Count, Count);
-    CalleeTotals[SelfPc] =
-        saturatingAdd(CalleeTotals[SelfPc], Sum - R.Count);
+    calleeAdd(SelfPc, Sum - R.Count);
     R.Count = Sum;
     return;
   }
   Arcs.push_back({FromPc, SelfPc, Count});
-  ArcIndex.emplace(std::pair<Address, Address>{FromPc, SelfPc},
-                   Arcs.size() - 1);
-  CalleeTotals[SelfPc] = saturatingAdd(CalleeTotals[SelfPc], Count);
+  if (ArcSlotsUsed * 2 >= ArcSlots.size()) {
+    growArcSlots();
+    Slot = arcProbe(FromPc, SelfPc);
+  }
+  ArcSlots[Slot] = {FromPc, SelfPc, Arcs.size()};
+  ++ArcSlotsUsed;
+  calleeAdd(SelfPc, Count);
   IndexedArcs = Arcs.size();
 }
 
@@ -108,6 +188,8 @@ void ProfileData::canonicalizeArcs() {
 uint64_t ProfileData::callsInto(Address SelfPc) const {
   if (!ArcIndexValid || IndexedArcs != Arcs.size())
     rebuildArcIndex();
-  auto It = CalleeTotals.find(SelfPc);
-  return It == CalleeTotals.end() ? 0 : It->second;
+  if (CalleeSlots.empty())
+    return 0;
+  const CalleeSlot &S = CalleeSlots[calleeProbe(SelfPc)];
+  return S.Used ? S.Total : 0;
 }

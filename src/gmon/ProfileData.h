@@ -22,8 +22,6 @@
 #include "support/Error.h"
 
 #include <cstdint>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 namespace gprof {
@@ -93,15 +91,18 @@ struct ProfileData {
   void invalidateArcIndex() const;
 
 private:
-  struct ArcKeyHash {
-    size_t operator()(const std::pair<Address, Address> &K) const {
-      // splitmix64-style mix of the two halves.
-      uint64_t H = K.first * 0x9E3779B97F4A7C15ULL ^ K.second;
-      H ^= H >> 30;
-      H *= 0xBF58476D1CE4E5B9ULL;
-      H ^= H >> 27;
-      return static_cast<size_t>(H);
-    }
+  /// One slot of the open-addressing (from, self) -> position table.
+  /// PosPlus1 == 0 marks an empty slot, so a zeroed table is valid.
+  struct ArcSlot {
+    Address FromPc;
+    Address SelfPc;
+    size_t PosPlus1;
+  };
+  /// One slot of the open-addressing callee -> total table.
+  struct CalleeSlot {
+    Address SelfPc;
+    uint64_t Total;
+    bool Used;
   };
 
   /// Lazy caches over Arcs: (from, self) -> position, and callee ->
@@ -109,11 +110,27 @@ private:
   /// position lookup finds the wrong key (external code sorted or
   /// rebuilt the table).  Copies stay consistent: positions are
   /// positional, not pointers.
+  ///
+  /// Both are flat open-addressing tables (power-of-two capacity, linear
+  /// probe, ≤50% load) rather than node-based unordered_maps: summing a
+  /// store's worth of arcs through addArc used to pay one heap node plus
+  /// a pointer chase per arc; now a probe is one or two contiguous loads
+  /// and a miss inserts with zero allocation (docs/READPATH.md).
   void rebuildArcIndex() const;
+  /// Slot index holding (FromPc, SelfPc), or the empty slot where it
+  /// would be inserted.  Capacity must be nonzero.
+  size_t arcProbe(Address FromPc, Address SelfPc) const;
+  size_t calleeProbe(Address SelfPc) const;
+  /// Doubles the respective table when its load factor reaches 1/2.
+  void growArcSlots() const;
+  void growCalleeSlots() const;
+  /// Adds \p Delta (saturating) to the callee total for \p SelfPc.
+  void calleeAdd(Address SelfPc, uint64_t Delta) const;
 
-  mutable std::unordered_map<std::pair<Address, Address>, size_t, ArcKeyHash>
-      ArcIndex;
-  mutable std::unordered_map<Address, uint64_t> CalleeTotals;
+  mutable std::vector<ArcSlot> ArcSlots;
+  mutable std::vector<CalleeSlot> CalleeSlots;
+  mutable size_t ArcSlotsUsed = 0;
+  mutable size_t CalleeSlotsUsed = 0;
   mutable size_t IndexedArcs = 0;
   mutable bool ArcIndexValid = false;
 };

@@ -12,6 +12,7 @@
 #include "support/FaultInjection.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/MappedFile.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -81,10 +82,12 @@ Error ProfileStore::loadIndex() {
   std::string Path = Root + "/index.bin";
   if (!fileExists(Path))
     return Error::success(); // Fresh store.
-  auto Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.takeError();
-  BinaryReader R(*Bytes);
+  // Parse straight out of the mapping; every record copies into Shards,
+  // so the view only needs to live for the duration of this call.
+  auto Map = MappedFile::open(Path);
+  if (!Map)
+    return Map.takeError();
+  BinaryReader R(Map->data(), Map->size());
 
   auto Magic = R.readBytes(sizeof(IndexMagic));
   if (!Magic)
@@ -310,13 +313,15 @@ Expected<ShardInfo> ProfileStore::resolve(const std::string &HexPrefix) const {
 Expected<ProfileData>
 ProfileStore::loadShard(const Sha256Digest &Digest) const {
   std::string Path = objectPath(Digest);
-  auto Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.takeError();
+  // Hash and parse the object in place out of one mapping: the digest
+  // check and the gmon decode both read the same view, no copy between.
+  auto Map = MappedFile::open(Path);
+  if (!Map)
+    return Map.takeError();
   // The slot name promises the content; verify before trusting it.
-  if (Sha256::hash(*Bytes) != Digest)
+  if (Sha256::hash(Map->data(), Map->size()) != Digest)
     return Error::failure(Path + ": object bytes do not match their digest");
-  auto Data = readGmon(*Bytes);
+  auto Data = readGmon(Map->data(), Map->size());
   if (!Data)
     return Error::failure(Path + ": " + Data.message());
   return Data;

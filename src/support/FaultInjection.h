@@ -20,7 +20,11 @@
 /// Nth on".  When nothing is armed a check is one relaxed atomic load.
 ///
 /// Fault points wired in today:
-///   file.read    FileUtils readFileBytes (and everything above it)
+///   file.read    FileUtils readFileBytes and MappedFile::open (and
+///                everything above them — the gate is shared so one arm
+///                covers both the copying and the zero-copy read paths)
+///   file.mmap    MappedFile::open, between open and map: a map-layer
+///                failure surfaces as a clean error, never a crash
 ///   file.write   FileUtils writeFileBytes / writeFileBytesAtomic
 ///   file.rename  FileUtils renameFile (atomic-write commit step)
 ///   store.put    ProfileStore::put entry

@@ -1,0 +1,113 @@
+//===- support/MappedFile.cpp ---------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MappedFile.h"
+
+#include "support/FaultInjection.h"
+#include "support/Format.h"
+#include "support/Telemetry.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace gprof;
+
+namespace {
+
+/// RAII file descriptor for the open/fstat/mmap sequence.
+struct FdHandle {
+  explicit FdHandle(int Fd) : Fd(Fd) {}
+  ~FdHandle() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  FdHandle(const FdHandle &) = delete;
+  FdHandle &operator=(const FdHandle &) = delete;
+  int Fd;
+};
+
+/// Reads the remainder of \p Fd into \p Out (the mmap fallback).  The
+/// descriptor is at offset zero and \p Hint sizes the reserve.
+Error readAll(int Fd, const std::string &Path, size_t Hint,
+              std::vector<uint8_t> &Out) {
+  Out.clear();
+  Out.reserve(Hint);
+  uint8_t Buf[64 * 1024];
+  while (true) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Error::failure(format("read error on '%s'", Path.c_str()));
+    }
+    if (N == 0)
+      return Error::success();
+    Out.insert(Out.end(), Buf, Buf + N);
+  }
+}
+
+} // namespace
+
+void MappedFile::reset() {
+  if (Mapping)
+    ::munmap(Mapping, MapLength);
+  Mapping = nullptr;
+  MapLength = 0;
+  Data = nullptr;
+  Size = 0;
+  Fallback.clear();
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+Expected<MappedFile> MappedFile::open(const std::string &Path,
+                                      bool ForceReadFallback) {
+  // Shared gate with readFileBytes: arming file.read keeps failing every
+  // profile read even after callers moved to the zero-copy path.
+  if (Error E = fault::check("file.read", Path))
+    return E;
+  FdHandle FH(::open(Path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (FH.Fd < 0)
+    return Error::failure(format("cannot open '%s' for reading",
+                                 Path.c_str()));
+  struct stat St;
+  if (::fstat(FH.Fd, &St) != 0)
+    return Error::failure(format("cannot stat '%s'", Path.c_str()));
+
+  // A map-layer fault surfaces as a clean error, not a fallback: a real
+  // SIGBUS-prone mapping would fail mid-parse, so tests that arm this
+  // point pin the whole-open error path instead.
+  if (Error E = fault::check("file.mmap", Path))
+    return E;
+
+  MappedFile MF;
+  const size_t FileSize = static_cast<size_t>(St.st_size);
+  if (!ForceReadFallback && S_ISREG(St.st_mode) && FileSize != 0) {
+    void *Base = ::mmap(nullptr, FileSize, PROT_READ, MAP_PRIVATE, FH.Fd, 0);
+    if (Base != MAP_FAILED) {
+      MF.Mapping = Base;
+      MF.MapLength = FileSize;
+      MF.Data = static_cast<const uint8_t *>(Base);
+      MF.Size = FileSize;
+      return MF;
+    }
+    // mmap declined (unusual filesystem); fall through to read().
+  }
+  // How often the mapper degrades to copying depends on the platform and
+  // filesystem, never on the profile data — a gauge, not a counter
+  // (docs/TELEMETRY.md).
+  telemetry::gauge("file.mmap.fallback_reads").add(1);
+  if (Error E = readAll(FH.Fd, Path, FileSize, MF.Fallback))
+    return E;
+  MF.Data = MF.Fallback.data();
+  MF.Size = MF.Fallback.size();
+  return MF;
+}

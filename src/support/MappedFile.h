@@ -1,0 +1,92 @@
+//===- support/MappedFile.h - Zero-copy whole-file views -----------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A read-only view of an entire file, mmap'd when the platform allows it
+/// and read into an owned buffer otherwise (empty files, filesystems
+/// without mmap, injected map faults in tests).  Either way the caller
+/// sees one stable (data, size) span for the lifetime of the object, so
+/// parsers can view records directly out of the file instead of copying
+/// it through readFileBytes first — the gmon read path and the store's
+/// index/object loads parse in place on top of this (docs/READPATH.md).
+///
+/// Fault points (docs/ROBUSTNESS.md):
+///   file.read   fired on open, shared with readFileBytes, so
+///               GPROF_FAULT=file.read keeps covering every read path
+///               after the zero-copy switch;
+///   file.mmap   fired between open and map, modelling a map-layer
+///               failure (ENOMEM, SIGBUS-prone media) that must surface
+///               as a clean error, never a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_MAPPEDFILE_H
+#define GPROF_SUPPORT_MAPPEDFILE_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// An immutable byte span over one file's entire contents.
+class MappedFile {
+public:
+  /// An empty, unmapped view (so Expected<MappedFile> can default-build).
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile &&Other) noexcept { moveFrom(std::move(Other)); }
+  MappedFile &operator=(MappedFile &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      moveFrom(std::move(Other));
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+
+  /// Opens and maps the file at \p Path.  Falls back to an owned read()
+  /// buffer when mmap is unavailable for the file (e.g. it is empty);
+  /// \p ForceReadFallback takes the fallback unconditionally, so tests
+  /// can pin both paths to identical semantics.
+  static Expected<MappedFile> open(const std::string &Path,
+                                   bool ForceReadFallback = false);
+
+  const uint8_t *data() const { return Data; }
+  size_t size() const { return Size; }
+
+  /// True when the view is an actual mapping (false: owned buffer).
+  bool isMapped() const { return Mapping != nullptr; }
+
+private:
+  void reset();
+  void moveFrom(MappedFile &&Other) {
+    Data = Other.Data;
+    Size = Other.Size;
+    Mapping = Other.Mapping;
+    MapLength = Other.MapLength;
+    Fallback = std::move(Other.Fallback);
+    Other.Data = nullptr;
+    Other.Size = 0;
+    Other.Mapping = nullptr;
+    Other.MapLength = 0;
+  }
+
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+  void *Mapping = nullptr; ///< mmap base, null for the fallback buffer.
+  size_t MapLength = 0;    ///< mmap'd length (munmap needs it).
+  std::vector<uint8_t> Fallback;
+};
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_MAPPEDFILE_H

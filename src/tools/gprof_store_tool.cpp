@@ -33,6 +33,7 @@
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/MappedFile.h"
 #include "support/Telemetry.h"
 #include "vm/Image.h"
 
@@ -68,10 +69,11 @@ void maybeDumpStats(const OptionParser &Opts) {
 
 /// Hashes the image file at \p Path into a store image identity.
 Expected<Sha256Digest> imageIdForFile(const std::string &Path) {
-  auto Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.takeError();
-  return Sha256::hash(*Bytes);
+  // Hash straight out of the mapping; no copy of the image bytes.
+  auto Map = MappedFile::open(Path);
+  if (!Map)
+    return Map.takeError();
+  return Sha256::hash(Map->data(), Map->size());
 }
 
 /// Parses --jobs into a worker count (0 = hardware threads).

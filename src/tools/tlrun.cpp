@@ -26,6 +26,7 @@
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/MappedFile.h"
 #include "support/Sha256.h"
 #include "support/Telemetry.h"
 #include "vm/ParallelRun.h"
@@ -202,13 +203,15 @@ int main(int Argc, char **Argv) {
     // stays unreachable is a clean nonzero exit, never a crash — the
     // on-disk gmon file above is already safe either way.
     if (auto Endpoint = Opts.getValue("push")) {
-      auto ImageBytes = readFileBytes(Opts.positional().front());
-      if (!ImageBytes) {
-        std::fprintf(stderr, "tlrun: %s\n", ImageBytes.message().c_str());
+      // Identity hash straight out of the mapping, no image-sized copy.
+      auto ImageMap = MappedFile::open(Opts.positional().front());
+      if (!ImageMap) {
+        std::fprintf(stderr, "tlrun: %s\n", ImageMap.message().c_str());
         return 1;
       }
       serve::ServeClient Client(*Endpoint);
-      auto Digest = Client.putProfile(Prof, Sha256::hash(*ImageBytes));
+      auto Digest = Client.putProfile(
+          Prof, Sha256::hash(ImageMap->data(), ImageMap->size()));
       if (!Digest) {
         std::fprintf(stderr, "tlrun: push to '%s' failed: %s\n",
                      Endpoint->c_str(), Digest.message().c_str());

@@ -9,6 +9,7 @@
 #include "support/BinaryStream.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/MappedFile.h"
 
 #include <algorithm>
 
@@ -89,7 +90,11 @@ uint32_t Image::lineForPc(Address Pc) const {
 }
 
 Expected<Image> Image::deserialize(const std::vector<uint8_t> &Bytes) {
-  BinaryReader R(Bytes);
+  return deserialize(Bytes.data(), Bytes.size());
+}
+
+Expected<Image> Image::deserialize(const uint8_t *Data, size_t Size) {
+  BinaryReader R(Data, Size);
   auto MagicBytes = R.readBytes(sizeof(Magic));
   if (!MagicBytes)
     return MagicBytes.takeError();
@@ -209,10 +214,12 @@ Error Image::saveToFile(const std::string &Path) const {
 }
 
 Expected<Image> Image::loadFromFile(const std::string &Path) {
-  auto Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.takeError();
-  auto Img = deserialize(*Bytes);
+  // Deserialize straight out of the mapping; the string/byte fields copy
+  // into the Image, so nothing outlives the view.
+  auto Map = MappedFile::open(Path);
+  if (!Map)
+    return Map.takeError();
+  auto Img = deserialize(Map->data(), Map->size());
   if (!Img)
     return Error::failure(Path + ": " + Img.message());
   return Img;

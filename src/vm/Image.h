@@ -85,8 +85,11 @@ struct Image {
   /// Serializes to the TLX container format.
   std::vector<uint8_t> serialize() const;
 
-  /// Parses a TLX container, validating structure.
+  /// Parses a TLX container, validating structure.  The span form parses
+  /// in place (e.g. out of a MappedFile view); every field copies into
+  /// the Image, so the bytes only need to outlive the call.
   static Expected<Image> deserialize(const std::vector<uint8_t> &Bytes);
+  static Expected<Image> deserialize(const uint8_t *Data, size_t Size);
 
   /// Convenience file wrappers.
   Error saveToFile(const std::string &Path) const;
