@@ -21,10 +21,12 @@
 #include "serve/Server.h"
 #include "store/ProfileStore.h"
 #include "support/Random.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -55,17 +57,29 @@ std::vector<uint8_t> makeShardBytes(uint64_t Seed) {
   return writeGmon(D);
 }
 
+/// Nearest-rank (ceiling) percentile — the same order statistic
+/// HistogramSnapshot::percentile selects, so the daemon/client agreement
+/// check compares like with like: per request the daemon's handling
+/// interval is a subset of the client's round trip, and pairwise
+/// dominance carries over to matched order statistics.
 double percentile(std::vector<double> Sorted, double Q) {
   if (Sorted.empty())
     return 0.0;
-  size_t Idx = static_cast<size_t>(Q * double(Sorted.size() - 1) + 0.5);
-  return Sorted[std::min(Idx, Sorted.size() - 1)];
+  size_t Rank = static_cast<size_t>(std::ceil(Q * double(Sorted.size())));
+  Rank = std::max<size_t>(Rank, 1);
+  return Sorted[std::min(Rank - 1, Sorted.size() - 1)];
 }
 
 struct RoundResult {
   double ShardsPerSec = 0.0;
   double P50Ms = 0.0;
   double P95Ms = 0.0;
+  /// Daemon-side request handling latency, from the
+  /// serve.request.latency.put_shard histogram (bucket upper bounds, so
+  /// quantized up by at most 2x).
+  double DaemonP50Ms = 0.0;
+  double DaemonP95Ms = 0.0;
+  uint64_t DaemonCount = 0;
   size_t StoredShards = 0;
   bool AllSucceeded = false;
 };
@@ -79,6 +93,11 @@ RoundResult runRound(unsigned Clients, size_t Pushes,
                           "/gprof_bench_" + Tag;
   std::string SocketPath = StoreRoot + ".sock";
   std::filesystem::remove_all(StoreRoot);
+
+  // The daemon is in-process, so the telemetry registry is shared with
+  // previous rounds; zero it so the latency histogram covers only this
+  // round's pushes.
+  telemetry::Registry::instance().resetValues();
 
   serve::ServeOptions SO;
   SO.Workers = 8;
@@ -130,6 +149,15 @@ RoundResult runRound(unsigned Clients, size_t Pushes,
   std::sort(Latencies.begin(), Latencies.end());
   R.P50Ms = percentile(Latencies, 0.50);
   R.P95Ms = percentile(Latencies, 0.95);
+
+  // The daemon's own view of the same requests, minus socket transport
+  // and client-side framing.
+  telemetry::HistogramSnapshot Daemon =
+      telemetry::histogram("serve.request.latency.put_shard").snapshot();
+  R.DaemonCount = Daemon.count();
+  R.DaemonP50Ms = double(Daemon.percentile(0.50)) / 1e6;
+  R.DaemonP95Ms = double(Daemon.percentile(0.95)) / 1e6;
+
   std::filesystem::remove_all(StoreRoot);
   return R;
 }
@@ -157,7 +185,9 @@ int main(int Argc, char **Argv) {
               "workers\n\n",
               Shards.size(), TotalBytes);
 
-  row({"clients", "shards/sec", "p50 ms", "p95 ms", "stored"}, 12);
+  row({"clients", "shards/sec", "p50 ms", "p95 ms", "daemon p50", "daemon p95",
+       "stored"},
+      12);
 
   BenchJson Json("ingest");
   Json.set("shards", uint64_t(Pushes));
@@ -165,6 +195,7 @@ int main(int Argc, char **Argv) {
   Json.set("smoke", Smoke);
 
   bool AllStored = true, AllSucceeded = true;
+  bool DaemonCounted = true, DaemonAgrees = true;
   double SoloRate = 0.0, BestRate = 0.0;
   for (unsigned Clients : {1u, 4u, 16u}) {
     RoundResult R = runRound(Clients, Pushes, Shards);
@@ -173,8 +204,16 @@ int main(int Argc, char **Argv) {
     if (Clients == 1)
       SoloRate = R.ShardsPerSec;
     BestRate = std::max(BestRate, R.ShardsPerSec);
+    // One-sided agreement: daemon handling is a strict subset of the
+    // client round-trip, and log-2 bucket upper bounds inflate the
+    // daemon's quantiles by at most 2x, so daemon <= 2x client (+eps
+    // for sub-bucket jitter) must hold; the other direction need not.
+    DaemonCounted = DaemonCounted && R.DaemonCount == Pushes;
+    DaemonAgrees = DaemonAgrees && R.DaemonP50Ms <= 2.0 * R.P50Ms + 0.5 &&
+                   R.DaemonP95Ms <= 2.0 * R.P95Ms + 0.5;
     row({format("%u", Clients), format("%.0f", R.ShardsPerSec),
          format("%.2f", R.P50Ms), format("%.2f", R.P95Ms),
+         format("%.2f", R.DaemonP50Ms), format("%.2f", R.DaemonP95Ms),
          format("%zu", R.StoredShards)},
         12);
     Json.beginRow();
@@ -182,6 +221,9 @@ int main(int Argc, char **Argv) {
     Json.setRow("shards_per_sec", R.ShardsPerSec);
     Json.setRow("p50_ms", R.P50Ms);
     Json.setRow("p95_ms", R.P95Ms);
+    Json.setRow("daemon_p50_ms", R.DaemonP50Ms);
+    Json.setRow("daemon_p95_ms", R.DaemonP95Ms);
+    Json.setRow("daemon_count", R.DaemonCount);
     Json.setRow("stored_shards", uint64_t(R.StoredShards));
   }
 
@@ -193,6 +235,11 @@ int main(int Argc, char **Argv) {
               "every client count");
   Ok &= check(SoloRate > 0.0 && BestRate > 0.0,
               "the daemon sustained nonzero ingest throughput");
+  Ok &= check(DaemonCounted,
+              "the daemon-side latency histogram counted every push");
+  Ok &= check(DaemonAgrees,
+              "daemon-side p50/p95 agree with the client view (within the "
+              "2x histogram bucket bound)");
   Json.set("solo_shards_per_sec", SoloRate);
   Json.set("best_shards_per_sec", BestRate);
   Json.write();

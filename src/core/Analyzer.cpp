@@ -141,6 +141,8 @@ void symbolizeArcs(const std::vector<ArcRecord> &Raw, const SymbolTable &Syms,
                    std::vector<uint64_t> &SelfCalls,
                    std::vector<uint64_t> &Spontaneous) {
   telemetry::Span Phase("analyzer.symbolize");
+  telemetry::ScopedDuration Timer(
+      telemetry::histogram("analyzer.phase.latency.symbolize"));
   std::vector<IndexChunk> Chunks = planChunks(Pool, Raw.size(), 1024);
   std::vector<SymbolizeShard> Shards(Chunks.size());
   runChunks(Pool, Chunks, [&](size_t Begin, size_t End, size_t Chunk) {
@@ -209,6 +211,8 @@ double assignSelfTimes(const Histogram &Hist, uint64_t TicksPerSecond,
   if (Hist.empty() || TicksPerSecond == 0)
     return 0.0;
   telemetry::Span Phase("analyzer.assign");
+  telemetry::ScopedDuration Timer(
+      telemetry::histogram("analyzer.phase.latency.assign"));
   telemetry::counter("analyzer.assign.hist_samples").add(Hist.totalSamples());
   telemetry::counter("analyzer.assign.hist_buckets").add(Hist.numBuckets());
   const double SecPerSample = 1.0 / static_cast<double>(TicksPerSecond);
@@ -587,6 +591,8 @@ Expected<ProfileReport> Analyzer::analyze(const ProfileData &Data) const {
 
   {
     telemetry::Span Phase("analyzer.propagate");
+    telemetry::ScopedDuration Timer(
+        telemetry::histogram("analyzer.phase.latency.propagate"));
     if (!Pool) {
       for (NodeId C = 0; C != NumCond; ++C)
         PropagateCondNode(C);

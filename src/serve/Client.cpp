@@ -26,6 +26,12 @@ Expected<Frame> ServeClient::attempt(MsgType Type,
     CO.IdleTimeoutMs = Opts.ResponseTimeoutMs;
     Conn.emplace(std::move(*Sock), CO);
   }
+  // When tracing, time the whole exchange and stamp the span with the
+  // request id the daemon echoes back, so a client-side track lines up
+  // with the daemon's per-request track in a merged view.
+  telemetry::Registry &R = telemetry::Registry::instance();
+  const bool Tracing = R.spansEnabled();
+  const uint64_t BeginNs = Tracing ? R.nowNs() : 0;
   if (Error E = Conn->writeFrame(Type, Payload))
     return E;
   auto Response = Conn->readFrame();
@@ -35,6 +41,9 @@ Expected<Frame> ServeClient::attempt(MsgType Type,
     return Error::failure(format("daemon at '%s' closed the connection "
                                  "without answering",
                                  Path.c_str()));
+  if (Tracing)
+    R.recordSpan(("serve.client." + msgTypeName(Type)).c_str(), BeginNs,
+                 R.nowNs(), (**Response).ReqId);
   return std::move(**Response);
 }
 
@@ -61,7 +70,7 @@ Expected<Frame> ServeClient::roundTrip(MsgType Type,
         return Error::failure(format("daemon at '%s' answered with an "
                                      "unexpected %s frame",
                                      Path.c_str(),
-                                     msgTypeName(Response->Type)));
+                                     msgTypeName(Response->Type).c_str()));
       }
     }
     // Transient failure: connect/send/recv error or RETRY backpressure.
@@ -122,6 +131,13 @@ Expected<std::string> ServeClient::queryReport(const QueryReportRequest &Req) {
   if (!Response)
     return Response.takeError();
   return decodeText(Response->Payload);
+}
+
+Expected<StatsResponse> ServeClient::queryStats(const QueryStatsRequest &Req) {
+  auto Response = roundTrip(MsgType::QueryStats, encodeQueryStats(Req));
+  if (!Response)
+    return Response.takeError();
+  return decodeStatsResponse(Response->Payload);
 }
 
 void ServeClient::disconnect() {

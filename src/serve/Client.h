@@ -70,6 +70,11 @@ public:
   /// `gprof-store report` with the same flags over the same shards.
   Expected<std::string> queryReport(const QueryReportRequest &Req);
 
+  /// Fetches the daemon's live stats JSON and event tail (QUERY_STATS).
+  /// Pass the previous response's LastSeq as Req.SinceSeq to tail
+  /// incrementally.
+  Expected<StatsResponse> queryStats(const QueryStatsRequest &Req);
+
   /// Drops the cached connection (the next request reconnects).
   void disconnect();
 

@@ -58,7 +58,7 @@ Expected<std::optional<Frame>> Connection::readFrame() {
     return std::optional<Frame>{};
 
   Frame F;
-  auto Length = decodeFrameHeader(Header, F.Type);
+  auto Length = decodeFrameHeader(Header, F.Type, F.ReqId);
   if (!Length)
     return Length.takeError();
   F.Payload.resize(static_cast<size_t>(*Length));
@@ -77,7 +77,8 @@ Error Connection::writeFrame(MsgType Type,
                                  Payload.size(),
                                  static_cast<unsigned long long>(
                                      MaxFramePayload)));
-  std::vector<uint8_t> Header = encodeFrameHeader(Type, Payload.size());
+  std::vector<uint8_t> Header =
+      encodeFrameHeader(Type, Payload.size(), OutgoingReqId);
   if (Error E = Sock.sendAll(Header.data(), Header.size()))
     return E;
   if (!Payload.empty())

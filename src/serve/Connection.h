@@ -52,8 +52,15 @@ public:
   /// type, oversized payload, timeout, or shutdown is an Error.
   Expected<std::optional<Frame>> readFrame();
 
-  /// Writes one whole frame (header + payload).
+  /// Writes one whole frame (header + payload), stamped with the current
+  /// outgoing request id (see setOutgoingRequestId).
   Error writeFrame(MsgType Type, const std::vector<uint8_t> &Payload);
+
+  /// Sets the request id written into subsequent outgoing frame headers.
+  /// The daemon sets this to the dispatched request's id before handling
+  /// it, so every response (OK, ERROR, even a partial-failure path)
+  /// echoes the id; clients leave it 0.
+  void setOutgoingRequestId(uint64_t Id) { OutgoingReqId = Id; }
 
   /// Convenience responses.
   Error writeError(const std::string &Message) {
@@ -73,6 +80,7 @@ private:
 
   UnixSocket Sock;
   ConnectionOptions Opts;
+  uint64_t OutgoingReqId = 0;
 };
 
 } // namespace serve

@@ -16,7 +16,7 @@ using namespace gprof::serve;
 
 bool serve::isRequestType(uint8_t Type) {
   return Type >= static_cast<uint8_t>(MsgType::Ping) &&
-         Type <= static_cast<uint8_t>(MsgType::QueryReport);
+         Type <= static_cast<uint8_t>(MsgType::QueryStats);
 }
 
 bool serve::isResponseType(uint8_t Type) {
@@ -24,7 +24,7 @@ bool serve::isResponseType(uint8_t Type) {
          Type <= static_cast<uint8_t>(MsgType::Retry);
 }
 
-const char *serve::msgTypeName(MsgType Type) {
+std::string serve::msgTypeName(MsgType Type) {
   switch (Type) {
   case MsgType::Ping:
     return "ping";
@@ -34,6 +34,8 @@ const char *serve::msgTypeName(MsgType Type) {
     return "list";
   case MsgType::QueryReport:
     return "query_report";
+  case MsgType::QueryStats:
+    return "query_stats";
   case MsgType::Ok:
     return "ok";
   case MsgType::Err:
@@ -41,21 +43,23 @@ const char *serve::msgTypeName(MsgType Type) {
   case MsgType::Retry:
     return "retry";
   }
-  return "unknown";
+  return format("unknown(%u)", static_cast<unsigned>(Type));
 }
 
 std::vector<uint8_t> serve::encodeFrameHeader(MsgType Type,
-                                              uint64_t PayloadSize) {
+                                              uint64_t PayloadSize,
+                                              uint64_t ReqId) {
   BinaryWriter W;
   W.writeBytes(reinterpret_cast<const uint8_t *>(FrameMagic),
                sizeof(FrameMagic));
   W.writeU8(static_cast<uint8_t>(Type));
+  W.writeU64(ReqId);
   W.writeU64(PayloadSize);
   return W.takeBytes();
 }
 
 Expected<uint64_t> serve::decodeFrameHeader(const uint8_t *Header,
-                                            MsgType &Type) {
+                                            MsgType &Type, uint64_t &ReqId) {
   BinaryReader R(Header, FrameHeaderSize);
   auto Magic = R.readBytes(sizeof(FrameMagic));
   if (!Magic)
@@ -68,6 +72,9 @@ Expected<uint64_t> serve::decodeFrameHeader(const uint8_t *Header,
     return RawType.takeError();
   if (!isRequestType(*RawType) && !isResponseType(*RawType))
     return Error::failure(format("unknown frame type %u", *RawType));
+  auto Id = R.readU64();
+  if (!Id)
+    return Id.takeError();
   auto Length = R.readU64();
   if (!Length)
     return Length.takeError();
@@ -78,6 +85,7 @@ Expected<uint64_t> serve::decodeFrameHeader(const uint8_t *Header,
                                  static_cast<unsigned long long>(
                                      MaxFramePayload)));
   Type = static_cast<MsgType>(*RawType);
+  ReqId = *Id;
   return *Length;
 }
 
@@ -181,6 +189,62 @@ serve::decodeQueryReport(const std::vector<uint8_t> &Payload) {
                                  "payload",
                                  R.remaining()));
   return Req;
+}
+
+//===----------------------------------------------------------------------===//
+// QUERY_STATS
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> serve::encodeQueryStats(const QueryStatsRequest &Req) {
+  BinaryWriter W;
+  W.writeU64(Req.SinceSeq);
+  W.writeString(Req.Filter);
+  return W.takeBytes();
+}
+
+Expected<QueryStatsRequest>
+serve::decodeQueryStats(const std::vector<uint8_t> &Payload) {
+  BinaryReader R(Payload);
+  QueryStatsRequest Req;
+  auto Since = R.readU64();
+  if (!Since)
+    return Since.takeError();
+  Req.SinceSeq = *Since;
+  auto Filter = R.readString();
+  if (!Filter)
+    return Error::failure("query_stats payload truncated inside the metric "
+                          "filter");
+  Req.Filter = std::move(*Filter);
+  if (!R.atEnd())
+    return Error::failure(format("%zu trailing bytes after query_stats "
+                                 "payload",
+                                 R.remaining()));
+  return Req;
+}
+
+std::vector<uint8_t> serve::encodeStatsResponse(const StatsResponse &Resp) {
+  BinaryWriter W;
+  W.writeU64(Resp.LastSeq);
+  W.writeString(Resp.StatsJson);
+  return W.takeBytes();
+}
+
+Expected<StatsResponse>
+serve::decodeStatsResponse(const std::vector<uint8_t> &Payload) {
+  BinaryReader R(Payload);
+  StatsResponse Resp;
+  auto LastSeq = R.readU64();
+  if (!LastSeq)
+    return LastSeq.takeError();
+  Resp.LastSeq = *LastSeq;
+  auto Json = R.readString();
+  if (!Json)
+    return Error::failure("stats response truncated inside the stats JSON");
+  Resp.StatsJson = std::move(*Json);
+  if (!R.atEnd())
+    return Error::failure(format("%zu trailing bytes after stats response",
+                                 R.remaining()));
+  return Resp;
 }
 
 //===----------------------------------------------------------------------===//

@@ -15,14 +15,18 @@
 ///
 ///   magic   "GSRV"       4 bytes
 ///   type    u8           MsgType below
+///   id      u64          request id (0 in requests; the daemon assigns
+///                        one per dispatched request and echoes it in the
+///                        response, for cross-process trace correlation)
 ///   length  u64          payload bytes following (<= MaxFramePayload)
 ///   payload bytes[length]
 ///
 /// Requests: PING (empty), PUT_SHARD (image id + gmon container bytes),
 /// LIST (empty), QUERY_REPORT (image path + listing flags + member
-/// digests).  Responses: OK (payload per request), ERROR (diagnostic
-/// string), RETRY (backpressure — the server is at capacity; the payload
-/// is a human-readable hint and the client should back off and retry).
+/// digests), QUERY_STATS (event-tail cursor + metric filter).  Responses:
+/// OK (payload per request), ERROR (diagnostic string), RETRY
+/// (backpressure — the server is at capacity; the payload is a
+/// human-readable hint and the client should back off and retry).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,8 +48,8 @@ namespace serve {
 /// abandoned rather than resynchronized.
 constexpr char FrameMagic[4] = {'G', 'S', 'R', 'V'};
 
-/// Bytes of header preceding every payload: magic + type + length.
-constexpr size_t FrameHeaderSize = sizeof(FrameMagic) + 1 + 8;
+/// Bytes of header preceding every payload: magic + type + id + length.
+constexpr size_t FrameHeaderSize = sizeof(FrameMagic) + 1 + 8 + 8;
 
 /// Hard cap on one frame's payload, guarding server allocation against a
 /// corrupt or hostile length field.  Large enough for any realistic gmon
@@ -63,6 +67,7 @@ enum class MsgType : uint8_t {
   PutShard = 2,    ///< Upload one gmon shard; OK payload is its digest.
   List = 3,        ///< Fetch the shard index; OK payload is ShardInfo rows.
   QueryReport = 4, ///< Merge + analyze + print; OK payload is the listing.
+  QueryStats = 5,  ///< Live telemetry + event tail; no store lock taken.
   Ok = 16,         ///< Success response.
   Err = 17,        ///< Failure response; payload is the diagnostic.
   Retry = 18,      ///< Backpressure response; payload is a retry hint.
@@ -72,20 +77,24 @@ enum class MsgType : uint8_t {
 bool isRequestType(uint8_t Type);
 /// True for the response range of MsgType.
 bool isResponseType(uint8_t Type);
-/// Stable lowercase name ("put_shard", "ok", ...) for telemetry and logs.
-const char *msgTypeName(MsgType Type);
+/// Stable lowercase name ("put_shard", "ok", ...) for telemetry and
+/// logs; out-of-range values render as "unknown(N)".
+std::string msgTypeName(MsgType Type);
 
 /// One decoded frame.
 struct Frame {
   MsgType Type = MsgType::Ping;
+  uint64_t ReqId = 0; ///< 0 in requests; daemon-assigned in responses.
   std::vector<uint8_t> Payload;
 };
 
-/// Renders the 13-byte header for a frame of \p PayloadSize bytes.
-std::vector<uint8_t> encodeFrameHeader(MsgType Type, uint64_t PayloadSize);
+/// Renders the header for a frame of \p PayloadSize bytes.
+std::vector<uint8_t> encodeFrameHeader(MsgType Type, uint64_t PayloadSize,
+                                       uint64_t ReqId = 0);
 
 /// Parses and validates a frame header; returns the payload length.
-Expected<uint64_t> decodeFrameHeader(const uint8_t *Header, MsgType &Type);
+Expected<uint64_t> decodeFrameHeader(const uint8_t *Header, MsgType &Type,
+                                     uint64_t &ReqId);
 
 //===----------------------------------------------------------------------===//
 // Payload codecs
@@ -126,6 +135,32 @@ struct QueryReportRequest {
 std::vector<uint8_t> encodeQueryReport(const QueryReportRequest &Req);
 Expected<QueryReportRequest>
 decodeQueryReport(const std::vector<uint8_t> &Payload);
+
+/// QUERY_STATS request.  \p SinceSeq is an event-tail cursor: only events
+/// with a larger sequence number are returned, so `stats --watch` passes
+/// the previous response's LastSeq back and gets an incremental tail.
+/// \p Filter keeps only metrics whose name starts with the prefix (empty
+/// keeps everything; events are never filtered).
+struct QueryStatsRequest {
+  uint64_t SinceSeq = 0;
+  std::string Filter;
+};
+
+std::vector<uint8_t> encodeQueryStats(const QueryStatsRequest &Req);
+Expected<QueryStatsRequest>
+decodeQueryStats(const std::vector<uint8_t> &Payload);
+
+/// QUERY_STATS OK payload: the daemon's live stats JSON (renderStatsJson
+/// shape plus uptime/build/pid scalars and an "events" array) and the
+/// sequence number to resume the event tail from.
+struct StatsResponse {
+  std::string StatsJson;
+  uint64_t LastSeq = 0;
+};
+
+std::vector<uint8_t> encodeStatsResponse(const StatsResponse &Resp);
+Expected<StatsResponse>
+decodeStatsResponse(const std::vector<uint8_t> &Payload);
 
 /// LIST OK payload: the server's ShardInfo rows, in index (digest) order.
 std::vector<uint8_t> encodeShardList(const std::vector<ShardInfo> &Shards);

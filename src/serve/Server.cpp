@@ -10,14 +10,23 @@
 #include "core/FlatPrinter.h"
 #include "core/GraphPrinter.h"
 #include "gmon/GmonFile.h"
+#include "support/EventLog.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
 #include "vm/Image.h"
 
+#include <algorithm>
 #include <memory>
+#include <unistd.h>
 
 using namespace gprof;
 using namespace gprof::serve;
+
+ServeServer::ServeServer(ProfileStore Store, UnixListener Listener,
+                         ServeOptions Opts)
+    : Store(std::move(Store)), Listener(std::move(Listener)), Opts(Opts),
+      Pool(Opts.Workers ? Opts.Workers : 1),
+      StartNs(telemetry::Registry::instance().nowNs()) {}
 
 Expected<std::unique_ptr<ServeServer>>
 ServeServer::create(const std::string &StoreRoot,
@@ -35,6 +44,10 @@ ServeServer::create(const std::string &StoreRoot,
 Error ServeServer::start() {
   if (Started.exchange(true))
     return Error::success();
+  EventLog::instance().emit(
+      "serve.start", jsonStringField("socket", Listener.path()) + ", " +
+                         jsonIntField("workers", Opts.Workers) + ", " +
+                         jsonIntField("queue", Opts.MaxQueuedConnections));
   AcceptThread = std::thread([this] { acceptLoop(); });
   return Error::success();
 }
@@ -50,6 +63,9 @@ void ServeServer::stop() {
   // and unwind; wait for every admitted one to finish.
   Pool.wait();
   Listener.close();
+  EventLog::instance().emit(
+      "serve.stop",
+      jsonIntField("requests", NextRequestId.load(std::memory_order_relaxed)));
 }
 
 void ServeServer::acceptLoop() {
@@ -90,13 +106,19 @@ void ServeServer::acceptLoop() {
       // Bounded queue, explicit backpressure: tell the client to back off
       // rather than buffering unboundedly or hanging it.
       Rejected.add(1);
+      EventLog::instance().emit("connection.rejected",
+                                jsonIntField("capacity", Capacity));
       (void)Conn->writeRetry(format(
           "server at capacity (%u connections); retry with backoff",
           Capacity));
+      EventLog::instance().emit("retry.issued",
+                                jsonIntField("capacity", Capacity));
       continue; // Conn closes as the shared_ptr drops.
     }
     Active.fetch_add(1, std::memory_order_relaxed);
     Accepted.add(1);
+    EventLog::instance().emit("connection.accepted",
+                              jsonIntField("active", Admitted + 1));
     Depth.set(Active.load(std::memory_order_relaxed));
     DepthPeak.max(Active.load(std::memory_order_relaxed));
     // Metric references stay valid for the process lifetime, so the
@@ -129,32 +151,60 @@ void ServeServer::serveConnection(Connection &Conn) {
 }
 
 bool ServeServer::dispatch(Connection &Conn, const Frame &Request) {
-  telemetry::Span RequestSpan("serve.request");
-  telemetry::counter(std::string("serve.request.") +
-                     msgTypeName(Request.Type))
-      .add(1);
+  telemetry::Registry &R = telemetry::Registry::instance();
+  // One monotonic id per dispatched request.  The scope tags every span
+  // the handler records on this thread (store.merge, analyzer.* — the
+  // handlers run their work sequentially on the serving worker, so the
+  // thread-local id reaches all of it), and the connection echoes the id
+  // in every response header for client-side correlation.
+  const uint64_t ReqId = NextRequestId.fetch_add(1, std::memory_order_relaxed)
+                         + 1;
+  telemetry::RequestIdScope IdScope(ReqId);
+  Conn.setOutgoingRequestId(ReqId);
+  const std::string Name = msgTypeName(Request.Type);
+  const uint64_t BeginNs = R.nowNs();
 
   Error E = Error::success();
-  switch (Request.Type) {
-  case MsgType::Ping:
-    E = Conn.writeFrame(MsgType::Ok, {});
-    break;
-  case MsgType::PutShard:
-    E = handlePut(Conn, Request);
-    break;
-  case MsgType::List:
-    E = handleList(Conn);
-    break;
-  case MsgType::QueryReport:
-    E = handleQuery(Conn, Request);
-    break;
-  default:
-    // A response type in the request position: the peer is
-    // desynchronized; answer once and abandon the stream.
-    (void)Conn.writeError(format("unexpected %s frame in request position",
-                                 msgTypeName(Request.Type)));
-    return false;
+  bool Desynchronized = false;
+  {
+    telemetry::Span RequestSpan("serve.request");
+    telemetry::counter("serve.request." + Name).add(1);
+    switch (Request.Type) {
+    case MsgType::Ping:
+      E = Conn.writeFrame(MsgType::Ok, {});
+      break;
+    case MsgType::PutShard:
+      E = handlePut(Conn, Request);
+      break;
+    case MsgType::List:
+      E = handleList(Conn);
+      break;
+    case MsgType::QueryReport:
+      E = handleQuery(Conn, Request);
+      break;
+    case MsgType::QueryStats:
+      E = handleStats(Conn, Request);
+      break;
+    default:
+      // A response type in the request position: the peer is
+      // desynchronized; answer once and abandon the stream.
+      (void)Conn.writeError(format("unexpected %s frame in request position",
+                                   Name.c_str()));
+      Desynchronized = true;
+    }
   }
+
+  const uint64_t DurNs = R.nowNs() - BeginNs;
+  R.histogram("serve.request.latency." + Name).record(DurNs);
+  if (Opts.SlowRequestMs >= 0 &&
+      DurNs >= uint64_t(Opts.SlowRequestMs) * 1000000u)
+    EventLog::instance().emit(
+        "request.slow", jsonStringField("type", Name) + ", " +
+                            jsonIntField("ms", DurNs / 1000000u) + ", " +
+                            jsonIntField("request", ReqId));
+
+  if (Desynchronized)
+    return false;
   if (E) {
     // The response could not be written (peer vanished mid-reply).
     telemetry::gauge("serve.response.write_failures").add(1);
@@ -162,6 +212,37 @@ bool ServeServer::dispatch(Connection &Conn, const Frame &Request) {
     return false;
   }
   return true;
+}
+
+Error ServeServer::handleStats(Connection &Conn, const Frame &Request) {
+  auto Req = decodeQueryStats(Request.Payload);
+  if (!Req)
+    return Conn.writeError(Req.message());
+
+  telemetry::Registry &R = telemetry::Registry::instance();
+  EventLog &Log = EventLog::instance();
+  std::vector<LogEvent> Events = Log.since(Req->SinceSeq);
+
+  telemetry::Registry::StatsRenderOptions RO;
+  RO.MetricPrefix = Req->Filter;
+  RO.ExtraFields.emplace_back(
+      "uptime_ns", format("%llu", static_cast<unsigned long long>(
+                                      R.nowNs() - StartNs)));
+  RO.ExtraFields.emplace_back("pid", format("%ld", long(getpid())));
+  std::string Build;
+  telemetry::appendJsonString(Build, "gprof-store serve (GSRV rev 2, "
+                                     "built " __DATE__ ")");
+  RO.ExtraFields.emplace_back("build", Build);
+  RO.ExtraFields.emplace_back("events", EventLog::renderArray(Events));
+
+  StatsResponse Resp;
+  Resp.StatsJson = R.renderStatsJson("gprof_store_serve", RO);
+  // Resume the tail after the newest event we returned; when nothing new
+  // arrived, hold the cursor so dropped-from-ring history is not re-sent.
+  Resp.LastSeq =
+      Events.empty() ? std::max(Req->SinceSeq, Log.lastSeq())
+                     : Events.back().Seq;
+  return Conn.writeFrame(MsgType::Ok, encodeStatsResponse(Resp));
 }
 
 Error ServeServer::handlePut(Connection &Conn, const Frame &Request) {

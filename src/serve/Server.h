@@ -55,6 +55,9 @@ struct ServeOptions {
   int AcceptPollMs = 100;
   /// Per-connection idle timeout (serve/Connection.h).
   int IdleTimeoutMs = 30000;
+  /// Requests slower than this are reported to the event log
+  /// ("request.slow"); negative disables the check.
+  int SlowRequestMs = 1000;
   /// Store behavior (tolerant reads, I/O retry budget).
   StoreOptions Store;
 };
@@ -88,9 +91,7 @@ public:
   ProfileStore &store() { return Store; }
 
 private:
-  ServeServer(ProfileStore Store, UnixListener Listener, ServeOptions Opts)
-      : Store(std::move(Store)), Listener(std::move(Listener)),
-        Opts(Opts), Pool(Opts.Workers ? Opts.Workers : 1) {}
+  ServeServer(ProfileStore Store, UnixListener Listener, ServeOptions Opts);
 
   void acceptLoop();
   void serveConnection(Connection &Conn);
@@ -101,6 +102,10 @@ private:
   Error handlePut(Connection &Conn, const Frame &Request);
   Error handleList(Connection &Conn);
   Error handleQuery(Connection &Conn, const Frame &Request);
+  /// Answers QUERY_STATS from the telemetry registry and event log only —
+  /// never takes the store's ingest lock, so stats stay responsive while
+  /// a heavy merge holds it.
+  Error handleStats(Connection &Conn, const Frame &Request);
 
   ProfileStore Store;
   UnixListener Listener;
@@ -111,6 +116,10 @@ private:
   std::atomic<bool> Started{false};
   /// Connections admitted (queued + in service).
   std::atomic<unsigned> Active{0};
+  /// Monotonic request-id source; ids are per-process, never reused.
+  std::atomic<uint64_t> NextRequestId{0};
+  /// Registry timestamp at construction, for QUERY_STATS uptime.
+  uint64_t StartNs = 0;
 };
 
 } // namespace serve

@@ -9,6 +9,7 @@
 #include "gmon/GmonFile.h"
 #include "store/MergeEngine.h"
 #include "support/BinaryStream.h"
+#include "support/EventLog.h"
 #include "support/FaultInjection.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
@@ -229,6 +230,9 @@ Error ProfileStore::checkCompatibleWithStore(const ProfileData &Data,
 Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
                                          const Sha256Digest &ImageId,
                                          const std::string &Label) {
+  static telemetry::DurationHistogram &Latency =
+      telemetry::histogram("store.put.latency");
+  telemetry::ScopedDuration Timer(Latency);
   if (Error E = fault::check("store.put", Label))
     return E;
   canonicalizeProfile(Data);
@@ -341,6 +345,9 @@ Sha256Digest ProfileStore::aggregateDigest(std::vector<Sha256Digest> Members) {
 
 Expected<ProfileStore::MergeResult>
 ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
+  static telemetry::DurationHistogram &Latency =
+      telemetry::histogram("store.merge.latency");
+  telemetry::ScopedDuration Timer(Latency);
   if (Error E = fault::check("store.merge", Root))
     return E;
   {
@@ -469,5 +476,9 @@ Expected<GcStats> ProfileStore::gc() {
   telemetry::counter("store.gc.cache_files").add(Stats.CachedAggregates);
   telemetry::counter("store.gc.orphan_objects").add(Stats.OrphanObjects);
   telemetry::counter("store.gc.temp_files").add(Stats.TempFiles);
+  EventLog::instance().emit(
+      "gc.sweep", jsonIntField("cached", Stats.CachedAggregates) + ", " +
+                      jsonIntField("orphans", Stats.OrphanObjects) + ", " +
+                      jsonIntField("temp", Stats.TempFiles));
   return Stats;
 }

@@ -1,0 +1,130 @@
+//===- support/EventLog.cpp - Structured service event log -----------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+#include "support/Format.h"
+#include "support/Telemetry.h"
+
+namespace gprof {
+
+std::string LogEvent::toJson() const {
+  std::string Out = format("{\"seq\": %llu, \"t_ns\": %llu, \"event\": ",
+                           static_cast<unsigned long long>(Seq),
+                           static_cast<unsigned long long>(TimeNs));
+  telemetry::appendJsonString(Out, Type);
+  if (!Fields.empty()) {
+    Out += ", ";
+    Out += Fields;
+  }
+  Out += '}';
+  return Out;
+}
+
+EventLog &EventLog::instance() {
+  static EventLog *L = new EventLog();
+  return *L;
+}
+
+void EventLog::emit(const std::string &Type, const std::string &Fields) {
+  LogEvent E;
+  E.TimeNs = telemetry::Registry::instance().nowNs();
+  E.Type = Type;
+  E.Fields = Fields;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  E.Seq = NextSeq++;
+  if (Sink) {
+    // One fputs per line keeps concurrent emitters' lines whole; flush
+    // so a tail -f (or a crash) sees every event that was emitted.
+    std::string Line = E.toJson() + "\n";
+    std::fputs(Line.c_str(), Sink);
+    std::fflush(Sink);
+  }
+  Ring.push_back(std::move(E));
+  while (Ring.size() > Capacity)
+    Ring.pop_front();
+}
+
+std::vector<LogEvent> EventLog::since(uint64_t AfterSeq) const {
+  std::vector<LogEvent> Out;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const LogEvent &E : Ring)
+    if (E.Seq > AfterSeq)
+      Out.push_back(E);
+  return Out;
+}
+
+uint64_t EventLog::lastSeq() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return NextSeq - 1;
+}
+
+size_t EventLog::capacity() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Capacity;
+}
+
+void EventLog::setCapacity(size_t Events) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Capacity = Events ? Events : 1;
+  while (Ring.size() > Capacity)
+    Ring.pop_front();
+}
+
+Error EventLog::setSinkFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "a");
+  if (!F)
+    return Error::failure(
+        format("cannot open event log file '%s' for append", Path.c_str()));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Sink)
+    std::fclose(Sink);
+  Sink = F;
+  return Error::success();
+}
+
+void EventLog::closeSink() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Sink) {
+    std::fclose(Sink);
+    Sink = nullptr;
+  }
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Ring.clear();
+}
+
+std::string EventLog::renderArray(const std::vector<LogEvent> &Events) {
+  std::string Out = "[";
+  bool First = true;
+  for (const LogEvent &E : Events) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += E.toJson();
+  }
+  Out += ']';
+  return Out;
+}
+
+std::string jsonStringField(const std::string &Key, const std::string &Value) {
+  std::string Out;
+  telemetry::appendJsonString(Out, Key);
+  Out += ": ";
+  telemetry::appendJsonString(Out, Value);
+  return Out;
+}
+
+std::string jsonIntField(const std::string &Key, uint64_t Value) {
+  std::string Out;
+  telemetry::appendJsonString(Out, Key);
+  Out += format(": %llu", static_cast<unsigned long long>(Value));
+  return Out;
+}
+
+} // namespace gprof

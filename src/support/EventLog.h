@@ -1,0 +1,101 @@
+//===- support/EventLog.h - Structured service event log -------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded in-memory ring of timestamped structured events, the
+/// narrative companion to the telemetry registry's numbers: counters say
+/// *how many* connections were rejected, the event log says *when* and
+/// *why*.  The serve daemon emits admission decisions, RETRY
+/// backpressure, fired fault points, slow requests and gc sweeps into it;
+/// QUERY_STATS drains the ring incrementally (by sequence number) so
+/// `gprof-store stats --watch` doubles as a live tail.
+///
+/// Events render as JSONL: one `{"seq": N, "t_ns": N, "event": "...",
+/// ...fields}` object per line.  An optional file sink (`--log-file`)
+/// appends each line as a single write under the log's mutex, so lines
+/// from concurrent emitters never interleave.
+///
+/// Like the telemetry registry, the log is a leaked process-wide
+/// singleton: worker threads may emit during shutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_SUPPORT_EVENTLOG_H
+#define GPROF_SUPPORT_EVENTLOG_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gprof {
+
+/// One logged event.  Fields is raw JSON members text ("\"k\": v, ...",
+/// possibly empty), pre-rendered by the emitter with the jsonField
+/// helpers below.
+struct LogEvent {
+  uint64_t Seq = 0;    ///< 1-based, strictly increasing per process.
+  uint64_t TimeNs = 0; ///< telemetry::Registry::nowNs() at emit time.
+  std::string Type;    ///< "connection.accepted", "gc.sweep", ...
+  std::string Fields;
+
+  /// Renders the event as one JSON object.
+  std::string toJson() const;
+};
+
+class EventLog {
+public:
+  /// The singleton (leaked, like telemetry::Registry::instance()).
+  static EventLog &instance();
+
+  /// Appends one event to the ring (dropping the oldest event when the
+  /// ring is full) and to the file sink when one is open.
+  void emit(const std::string &Type, const std::string &Fields = "");
+
+  /// Every retained event with Seq > AfterSeq, oldest first.
+  std::vector<LogEvent> since(uint64_t AfterSeq) const;
+
+  /// Sequence number of the most recent event ever emitted (0 when none
+  /// has been) — counts events the ring has already dropped.
+  uint64_t lastSeq() const;
+
+  size_t capacity() const;
+  void setCapacity(size_t Events);
+
+  /// Opens \p Path in append mode and mirrors every subsequent event
+  /// into it, one JSON line per event.
+  Error setSinkFile(const std::string &Path);
+  void closeSink();
+
+  /// Drops all retained events (sequence numbering continues; the sink
+  /// stays open).  For tests.
+  void clear();
+
+  /// Renders events as a JSON array (no trailing newline).
+  static std::string renderArray(const std::vector<LogEvent> &Events);
+
+private:
+  EventLog() = default;
+  EventLog(const EventLog &) = delete;
+
+  mutable std::mutex Mutex;
+  std::deque<LogEvent> Ring; ///< Guarded by Mutex, oldest at front.
+  size_t Capacity = 256;     ///< Guarded by Mutex.
+  uint64_t NextSeq = 1;      ///< Guarded by Mutex.
+  std::FILE *Sink = nullptr; ///< Guarded by Mutex.
+};
+
+/// Helpers for building LogEvent::Fields: one JSON member, escaped.
+std::string jsonStringField(const std::string &Key, const std::string &Value);
+std::string jsonIntField(const std::string &Key, uint64_t Value);
+
+} // namespace gprof
+
+#endif // GPROF_SUPPORT_EVENTLOG_H

@@ -6,6 +6,7 @@
 
 #include "support/FaultInjection.h"
 
+#include "support/EventLog.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
 
@@ -140,6 +141,9 @@ Error fault::check(const char *Point, const std::string &Detail) {
     return Error::success();
   ++S.Fired;
   telemetry::counter("fault.injected").add(1);
+  EventLog::instance().emit("fault.fired",
+                            jsonStringField("point", Point) + ", " +
+                                jsonIntField("call", S.Calls));
   return Error::failure(format("injected fault at %s on call %llu (%s)",
                                Point,
                                static_cast<unsigned long long>(S.Calls),

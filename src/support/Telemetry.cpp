@@ -6,10 +6,14 @@
 
 #include "support/Telemetry.h"
 
+#include "support/CommandLine.h"
+#include "support/FileUtils.h"
 #include "support/Format.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 
 namespace gprof {
 namespace telemetry {
@@ -38,6 +42,49 @@ Metric &Registry::metric(const std::string &Name, Kind K) {
   return *Metrics.back();
 }
 
+uint64_t HistogramSnapshot::percentile(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0;
+  // The rank is 1-based: p50 of 4 samples is the 2nd in sorted order.
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Q * double(Total)));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t Cumulative = 0;
+  for (size_t B = 0; B < HistogramBucketCount; ++B) {
+    Cumulative += Counts[B];
+    if (Cumulative >= Rank)
+      return DurationHistogram::bucketUpperBound(B);
+  }
+  return DurationHistogram::bucketUpperBound(HistogramBucketCount - 1);
+}
+
+DurationHistogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &H : Histograms)
+    if (H->Name == Name)
+      return *H;
+  Histograms.emplace_back(new DurationHistogram(Name));
+  return *Histograms.back();
+}
+
+std::vector<const DurationHistogram *> Registry::histograms() const {
+  std::vector<const DurationHistogram *> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out.reserve(Histograms.size());
+    for (const auto &H : Histograms)
+      Out.push_back(H.get());
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const DurationHistogram *A, const DurationHistogram *B) {
+              return A->name() < B->name();
+            });
+  return Out;
+}
+
 std::vector<const Metric *> Registry::metrics() const {
   std::vector<const Metric *> Out;
   {
@@ -56,6 +103,11 @@ void Registry::resetValues() {
   std::lock_guard<std::mutex> Lock(Mutex);
   for (auto &M : Metrics)
     M->Value.store(0, std::memory_order_relaxed);
+  for (auto &H : Histograms) {
+    for (auto &B : H->Buckets)
+      B.store(0, std::memory_order_relaxed);
+    H->Sum.store(0, std::memory_order_relaxed);
+  }
   for (auto &T : Threads) {
     std::lock_guard<std::mutex> TLock(T->Mutex);
     T->Spans.clear();
@@ -84,11 +136,24 @@ Registry::ThreadBuffer &Registry::threadBuffer() {
   return *Buf;
 }
 
+// The request id the serving thread is currently working under.  Plain
+// thread-local (not in the registry) so reading it is a single TLS load.
+static thread_local uint64_t CurrentReqId = 0;
+
+uint64_t Registry::currentRequestId() { return CurrentReqId; }
+
+void Registry::setCurrentRequestId(uint64_t Id) { CurrentReqId = Id; }
+
 void Registry::recordSpan(const char *Name, uint64_t BeginNs,
                           uint64_t EndNs) {
+  recordSpan(Name, BeginNs, EndNs, CurrentReqId);
+}
+
+void Registry::recordSpan(const char *Name, uint64_t BeginNs, uint64_t EndNs,
+                          uint64_t ReqId) {
   ThreadBuffer &Buf = threadBuffer();
   std::lock_guard<std::mutex> Lock(Buf.Mutex);
-  Buf.Spans.push_back(SpanRecord{Name, Buf.Tid, BeginNs, EndNs});
+  Buf.Spans.push_back(SpanRecord{Name, Buf.Tid, BeginNs, EndNs, ReqId});
 }
 
 uint32_t Registry::currentThreadId() { return threadBuffer().Tid; }
@@ -131,7 +196,7 @@ std::vector<std::pair<uint32_t, std::string>> Registry::threadNames() const {
   return Out;
 }
 
-static void appendJsonString(std::string &Out, const std::string &S) {
+void appendJsonString(std::string &Out, const std::string &S) {
   Out += '"';
   for (char C : S) {
     switch (C) {
@@ -157,14 +222,35 @@ static void appendJsonString(std::string &Out, const std::string &S) {
   Out += '"';
 }
 
-std::string Registry::renderStatsJson(const std::string &Name) const {
+static bool hasPrefix(const std::string &Name, const std::string &Prefix) {
+  return Prefix.empty() || Name.rfind(Prefix, 0) == 0;
+}
+
+std::string Registry::renderStatsJson(const std::string &Name,
+                                      const StatsRenderOptions &Opts) const {
   std::vector<const Metric *> Sorted = metrics();
+  std::vector<const DurationHistogram *> Histos = histograms();
   size_t NumSpans = collectSpans().size();
+  if (!Opts.MetricPrefix.empty()) {
+    std::erase_if(Sorted, [&](const Metric *M) {
+      return !hasPrefix(M->name(), Opts.MetricPrefix);
+    });
+    std::erase_if(Histos, [&](const DurationHistogram *H) {
+      return !hasPrefix(H->name(), Opts.MetricPrefix);
+    });
+  }
 
   std::string Out = "{\n  \"bench\": ";
   appendJsonString(Out, Name);
-  Out += format(",\n  \"metrics\": %zu,\n  \"spans\": %zu,\n  \"results\": [",
-                Sorted.size(), NumSpans);
+  Out += format(",\n  \"metrics\": %zu,\n  \"spans\": %zu,\n"
+                "  \"histograms\": %zu,",
+                Sorted.size(), NumSpans, Histos.size());
+  for (const auto &[Key, RawValue] : Opts.ExtraFields) {
+    Out += "\n  ";
+    appendJsonString(Out, Key);
+    Out += ": " + RawValue + ",";
+  }
+  Out += "\n  \"results\": [";
   bool First = true;
   for (const Metric *M : Sorted) {
     Out += First ? "\n" : ",\n";
@@ -175,8 +261,43 @@ std::string Registry::renderStatsJson(const std::string &Name) const {
                   M->kind() == Kind::Counter ? "counter" : "gauge",
                   static_cast<unsigned long long>(M->value()));
   }
+  for (const DurationHistogram *H : Histos) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    HistogramSnapshot S = H->snapshot();
+    Out += "    {\"metric\": ";
+    appendJsonString(Out, H->name());
+    Out += format(", \"kind\": \"histogram\", \"count\": %llu, "
+                  "\"sum\": %llu, \"p50\": %llu, \"p95\": %llu, "
+                  "\"p99\": %llu}",
+                  static_cast<unsigned long long>(S.count()),
+                  static_cast<unsigned long long>(S.Sum),
+                  static_cast<unsigned long long>(S.percentile(0.50)),
+                  static_cast<unsigned long long>(S.percentile(0.95)),
+                  static_cast<unsigned long long>(S.percentile(0.99)));
+  }
   Out += "\n  ]\n}\n";
   return Out;
+}
+
+void addStatsOption(OptionParser &Opts) {
+  Opts.addOptionalValueOption(
+      "stats", "FILE",
+      "write telemetry (flat stats JSON) to FILE, or to stderr when no "
+      "FILE is given");
+}
+
+Error emitStatsIfRequested(const OptionParser &Opts,
+                           const std::string &BenchName) {
+  std::optional<std::string> Dest = Opts.getValue("stats");
+  if (!Dest)
+    return Error::success();
+  std::string Json = Registry::instance().renderStatsJson(BenchName);
+  if (Dest->empty() || *Dest == "-") {
+    std::fputs(Json.c_str(), stderr);
+    return Error::success();
+  }
+  return writeFileText(*Dest, Json);
 }
 
 } // namespace telemetry

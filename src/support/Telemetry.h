@@ -13,7 +13,7 @@
 /// phase times, thread-pool utilization, store cache traffic — without
 /// ad-hoc printf.
 ///
-/// Two metric kinds with different guarantees (docs/TELEMETRY.md):
+/// Three metric kinds with different guarantees (docs/TELEMETRY.md):
 ///
 ///  - **Counters** are exact and data-derived: for a given input their
 ///    values are identical at any thread count, because every increment is
@@ -22,6 +22,12 @@
 ///  - **Gauges** record scheduling and environment facts — jobs queued,
 ///    queue depths, worker busy time, cache hits against mutable on-disk
 ///    state — and carry no cross-thread-count guarantee.
+///  - **Histograms** (DurationHistogram) are distributions of measured
+///    durations: fixed log-scale buckets, lock-free relaxed recording,
+///    deterministic snapshot/merge and exact bucket-boundary percentiles.
+///    The *values* are wall-clock facts, so histograms sit on the gauge
+///    side of the determinism contract — only their bucket layout and
+///    snapshot arithmetic are deterministic, never the recorded times.
 ///
 /// The hottest instrumented path — mcount's per-record stats — does not
 /// even pay the relaxed atomics: each profiled thread bumps plain
@@ -43,18 +49,25 @@
 #ifndef GPROF_SUPPORT_TELEMETRY_H
 #define GPROF_SUPPORT_TELEMETRY_H
 
+#include "support/Error.h"
+
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gprof {
+
+class OptionParser;
+
 namespace telemetry {
 
 /// What a metric's value means across runs (see file comment).
-enum class Kind { Counter, Gauge };
+enum class Kind { Counter, Gauge, Histogram };
 
 /// One named process-wide metric.  Metrics are created by the Registry,
 /// never destroyed, and updated with relaxed atomics — a reference
@@ -87,12 +100,91 @@ private:
   std::atomic<uint64_t> Value{0};
 };
 
+/// Number of log-scale histogram buckets.  Bucket 0 holds the value 0;
+/// bucket B (1 <= B < 63) holds values whose bit width is B, i.e. the
+/// range [2^(B-1), 2^B - 1]; the last bucket absorbs everything wider.
+constexpr size_t HistogramBucketCount = 64;
+
+/// A deterministic, mergeable copy of a histogram's state.  Merging is a
+/// field-wise sum — commutative and associative, so folding per-thread
+/// snapshots in any order yields identical results.  Percentiles are
+/// exact functions of the bucket counts: the reported value is the upper
+/// bound of the bucket containing the requested rank.
+struct HistogramSnapshot {
+  std::array<uint64_t, HistogramBucketCount> Counts{};
+  uint64_t Sum = 0;
+
+  uint64_t count() const {
+    uint64_t Total = 0;
+    for (uint64_t C : Counts)
+      Total += C;
+    return Total;
+  }
+  /// Upper bound of the bucket holding the rank ceil(Q * count()),
+  /// Q in (0, 1].  Returns 0 on an empty histogram.
+  uint64_t percentile(double Q) const;
+  void merge(const HistogramSnapshot &Other) {
+    for (size_t B = 0; B < HistogramBucketCount; ++B)
+      Counts[B] += Other.Counts[B];
+    Sum += Other.Sum;
+  }
+};
+
+/// A fixed-bucket log-scale duration histogram: the registry's third
+/// metric kind.  record() is lock-free (two relaxed fetch_adds), so it is
+/// safe on request-handling paths; it is still deliberately kept off the
+/// mcount hot path, which stays on plain per-thread counters.  Like
+/// Metric, histograms are created by the Registry and never destroyed.
+class DurationHistogram {
+public:
+  void record(uint64_t Value) {
+    Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+  }
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot S;
+    for (size_t B = 0; B < HistogramBucketCount; ++B)
+      S.Counts[B] = Buckets[B].load(std::memory_order_relaxed);
+    S.Sum = Sum.load(std::memory_order_relaxed);
+    return S;
+  }
+  const std::string &name() const { return Name; }
+
+  static size_t bucketIndex(uint64_t Value) {
+    size_t Width = 0;
+    while (Value) {
+      ++Width;
+      Value >>= 1;
+    }
+    return Width < HistogramBucketCount ? Width : HistogramBucketCount - 1;
+  }
+  /// The largest value bucket \p B can hold (the value percentile()
+  /// reports when the rank lands in it).
+  static uint64_t bucketUpperBound(size_t B) {
+    if (B == 0)
+      return 0;
+    if (B >= HistogramBucketCount - 1)
+      return UINT64_MAX;
+    return (uint64_t(1) << B) - 1;
+  }
+
+private:
+  friend class Registry;
+  explicit DurationHistogram(std::string Name) : Name(std::move(Name)) {}
+  DurationHistogram(const DurationHistogram &) = delete;
+
+  std::string Name;
+  std::array<std::atomic<uint64_t>, HistogramBucketCount> Buckets{};
+  std::atomic<uint64_t> Sum{0};
+};
+
 /// One recorded phase span, as returned by Registry::collectSpans().
 struct SpanRecord {
   std::string Name;
   uint32_t Tid = 0;     ///< Telemetry thread id (see threadNames()).
   uint64_t BeginNs = 0; ///< Monotonic ns since registry creation.
   uint64_t EndNs = 0;
+  uint64_t ReqId = 0;   ///< Daemon request id, 0 when outside a request.
 };
 
 /// The process-wide telemetry registry.
@@ -109,12 +201,21 @@ public:
   }
   Metric &gauge(const std::string &Name) { return metric(Name, Kind::Gauge); }
 
+  /// Finds or creates the duration histogram named \p Name.  Histograms
+  /// live in their own namespace next to counters/gauges; references
+  /// stay valid for the process lifetime like Metric references.
+  DurationHistogram &histogram(const std::string &Name);
+
   /// Every registered metric, sorted by name (deterministic output
   /// order).  Pointers stay valid forever.
   std::vector<const Metric *> metrics() const;
 
-  /// Zeroes every metric value and drops every recorded span.  Metric
-  /// and thread registrations (and outstanding references) survive.
+  /// Every registered histogram, sorted by name.
+  std::vector<const DurationHistogram *> histograms() const;
+
+  /// Zeroes every metric value and histogram bucket and drops every
+  /// recorded span.  Metric, histogram and thread registrations (and
+  /// outstanding references) survive.
   void resetValues();
 
   //--- Phase spans --------------------------------------------------------
@@ -130,8 +231,21 @@ public:
   /// Monotonic nanoseconds since the registry was created.
   uint64_t nowNs() const;
 
-  /// Appends one finished span to the calling thread's buffer.
+  /// Appends one finished span to the calling thread's buffer, tagged
+  /// with the thread's current request id.
   void recordSpan(const char *Name, uint64_t BeginNs, uint64_t EndNs);
+
+  /// Same, with an explicit request id (client-side spans stamp the id
+  /// the daemon echoed back instead of a thread-local one).
+  void recordSpan(const char *Name, uint64_t BeginNs, uint64_t EndNs,
+                  uint64_t ReqId);
+
+  //--- Request tracing ----------------------------------------------------
+
+  /// The daemon request id spans on this thread are tagged with (0 when
+  /// no request is being served).  Thread-local; see RequestIdScope.
+  static uint64_t currentRequestId();
+  static void setCurrentRequestId(uint64_t Id);
 
   /// The calling thread's telemetry id (assigned on first use).
   uint32_t currentThreadId();
@@ -148,11 +262,29 @@ public:
 
   //--- Serialization ------------------------------------------------------
 
+  /// Knobs for renderStatsJson.  Defaults reproduce the classic output.
+  struct StatsRenderOptions {
+    /// Keep only metrics/histograms whose name starts with this prefix
+    /// (empty keeps everything).
+    std::string MetricPrefix;
+    /// Extra top-level members emitted before "results".  The value is
+    /// raw JSON text (already quoted/escaped by the caller).
+    std::vector<std::pair<std::string, std::string>> ExtraFields;
+  };
+
   /// Flat stats JSON in the BenchJson shape (bench/BenchUtil.h): a
   /// top-level "bench" name, scalar fields, and one "results" array with
   /// a row per metric: {"metric": ..., "kind": "counter"|"gauge",
-  /// "value": N}.  Rows are sorted by metric name.
-  std::string renderStatsJson(const std::string &Name) const;
+  /// "value": N}.  Histogram rows follow the metric rows as
+  /// {"metric": ..., "kind": "histogram", "count": N, "sum": N,
+  /// "p50": N, "p95": N, "p99": N} (values in the recorded unit,
+  /// nanoseconds for every built-in latency histogram).  Each group is
+  /// sorted by metric name.
+  std::string renderStatsJson(const std::string &Name,
+                              const StatsRenderOptions &Opts) const;
+  std::string renderStatsJson(const std::string &Name) const {
+    return renderStatsJson(Name, StatsRenderOptions());
+  }
 
 private:
   struct ThreadBuffer {
@@ -168,6 +300,7 @@ private:
 
   mutable std::mutex Mutex;
   std::vector<std::unique_ptr<Metric>> Metrics;   ///< Guarded by Mutex.
+  std::vector<std::unique_ptr<DurationHistogram>> Histograms; ///< Guarded.
   std::vector<std::unique_ptr<ThreadBuffer>> Threads; ///< Guarded by Mutex.
   std::atomic<bool> SpansOn{false};
   uint64_t EpochNs = 0;
@@ -199,6 +332,39 @@ private:
   uint64_t BeginNs = 0;
 };
 
+/// RAII duration timer: records [construction, destruction) into a
+/// histogram.  Always on (unlike spans) — two monotonic clock reads per
+/// scope, cheap enough for request/merge granularity but deliberately
+/// not used on the mcount hot path.
+class ScopedDuration {
+public:
+  explicit ScopedDuration(DurationHistogram &H)
+      : H(H), BeginNs(Registry::instance().nowNs()) {}
+  ~ScopedDuration() { H.record(Registry::instance().nowNs() - BeginNs); }
+  ScopedDuration(const ScopedDuration &) = delete;
+  ScopedDuration &operator=(const ScopedDuration &) = delete;
+
+private:
+  DurationHistogram &H;
+  uint64_t BeginNs;
+};
+
+/// RAII request-id scope: spans recorded on this thread inside the scope
+/// are tagged with \p Id (restores the previous id on exit, so nested
+/// scopes compose).
+class RequestIdScope {
+public:
+  explicit RequestIdScope(uint64_t Id) : Prev(Registry::currentRequestId()) {
+    Registry::setCurrentRequestId(Id);
+  }
+  ~RequestIdScope() { Registry::setCurrentRequestId(Prev); }
+  RequestIdScope(const RequestIdScope &) = delete;
+  RequestIdScope &operator=(const RequestIdScope &) = delete;
+
+private:
+  uint64_t Prev;
+};
+
 /// Shorthands for the common "look the metric up once" pattern.
 inline Metric &counter(const std::string &Name) {
   return Registry::instance().counter(Name);
@@ -206,6 +372,25 @@ inline Metric &counter(const std::string &Name) {
 inline Metric &gauge(const std::string &Name) {
   return Registry::instance().gauge(Name);
 }
+inline DurationHistogram &histogram(const std::string &Name) {
+  return Registry::instance().histogram(Name);
+}
+
+/// Appends \p S to \p Out as a JSON string literal with the escapes the
+/// stats/trace writers use (shared with EventLog).
+void appendJsonString(std::string &Out, const std::string &S);
+
+/// Declares the shared `--stats[=FILE]` option on \p Opts: a bare
+/// `--stats` (or `=-`) dumps to stderr, `--stats=FILE` writes FILE.
+/// Every stats-capable CLI (gprof, gprof-store, tlrun) goes through this
+/// pair so the flag behaves identically everywhere.
+void addStatsOption(OptionParser &Opts);
+
+/// Honors the option declared by addStatsOption: renders the registry as
+/// flat stats JSON under \p BenchName and writes it to the requested
+/// destination.  No-op when --stats was not given.
+Error emitStatsIfRequested(const OptionParser &Opts,
+                           const std::string &BenchName);
 
 } // namespace telemetry
 } // namespace gprof

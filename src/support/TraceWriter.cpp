@@ -92,12 +92,26 @@ TraceWriter TraceWriter::fromTelemetry(const std::string &ProcessName) {
   TraceWriter W;
   W.setProcessName(ProcessName);
   Registry &R = Registry::instance();
+  std::vector<telemetry::SpanRecord> Spans = R.collectSpans();
   for (const auto &[Tid, Name] : R.threadNames())
     W.addThreadName(Tid, Name);
-  for (const telemetry::SpanRecord &S : R.collectSpans()) {
+  // Spans tagged with a daemon request id land on a synthetic per-request
+  // track instead of their OS thread's, so one request's client span,
+  // serve.request span and everything the handler did line up on a single
+  // named row regardless of which worker served it.
+  std::set<uint64_t> ReqIds;
+  for (const telemetry::SpanRecord &S : Spans)
+    if (S.ReqId != 0)
+      ReqIds.insert(S.ReqId);
+  for (uint64_t Id : ReqIds)
+    W.addThreadName(requestTrackTid(Id),
+                    format("request-%llu",
+                           static_cast<unsigned long long>(Id)));
+  for (const telemetry::SpanRecord &S : Spans) {
     size_t Dot = S.Name.find('.');
     std::string Cat = Dot == std::string::npos ? S.Name : S.Name.substr(0, Dot);
-    W.addCompleteEvent(S.Name, Cat, S.Tid, S.BeginNs,
+    uint32_t Tid = S.ReqId != 0 ? requestTrackTid(S.ReqId) : S.Tid;
+    W.addCompleteEvent(S.Name, Cat, Tid, S.BeginNs,
                        S.EndNs >= S.BeginNs ? S.EndNs - S.BeginNs : 0);
   }
   return W;

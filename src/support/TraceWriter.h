@@ -56,8 +56,16 @@ public:
   /// Builds a trace from everything the telemetry registry has collected:
   /// one thread_name metadata event per registered thread and one complete
   /// event per span.  Span names of the form "layer.rest" use "layer" as
-  /// the event category.
+  /// the event category.  Spans tagged with a daemon request id are moved
+  /// onto a synthetic "request-N" track (see requestTrackTid) so each
+  /// request reads as one row end to end.
   static TraceWriter fromTelemetry(const std::string &ProcessName);
+
+  /// The synthetic track id spans of request \p ReqId are drawn on —
+  /// far above real telemetry thread ids.
+  static uint32_t requestTrackTid(uint64_t ReqId) {
+    return 1000000u + static_cast<uint32_t>(ReqId % 1000000u);
+  }
 
 private:
   struct Event {

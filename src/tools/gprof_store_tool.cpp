@@ -31,10 +31,12 @@
 #include "serve/Server.h"
 #include "store/ProfileStore.h"
 #include "support/CommandLine.h"
+#include "support/EventLog.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
 #include "support/MappedFile.h"
 #include "support/Telemetry.h"
+#include "support/TraceWriter.h"
 #include "vm/Image.h"
 
 #include <atomic>
@@ -52,19 +54,14 @@ int fail(const std::string &Message) {
   return 1;
 }
 
-/// Declares the shared --stats flag on a subcommand parser.
-void addStatsFlag(OptionParser &Opts) {
-  Opts.addFlag("stats", 0,
-               "dump store telemetry (flat stats JSON) to stderr on exit");
-}
+/// Declares the shared --stats[=FILE] option (support/Telemetry.h) on a
+/// subcommand parser.
+void addStatsFlag(OptionParser &Opts) { telemetry::addStatsOption(Opts); }
 
-/// Honors --stats: dumps the telemetry registry to stderr.
+/// Honors --stats[=FILE]: bare dumps to stderr, =FILE writes the file.
 void maybeDumpStats(const OptionParser &Opts) {
-  if (Opts.hasFlag("stats"))
-    std::fprintf(stderr, "%s",
-                 telemetry::Registry::instance()
-                     .renderStatsJson("gprof_store_stats")
-                     .c_str());
+  if (Error E = telemetry::emitStatsIfRequested(Opts, "gprof_store_stats"))
+    std::fprintf(stderr, "gprof-store: %s\n", E.message().c_str());
 }
 
 /// Hashes the image file at \p Path into a store image identity.
@@ -334,6 +331,15 @@ int cmdServe(int Argc, const char *const *Argv) {
   Opts.addFlag("tolerant", 0,
                "salvage whole records from truncated uploads instead of "
                "rejecting them");
+  Opts.addOption("slow-ms", 0, "MS",
+                 "log requests slower than MS milliseconds to the event "
+                 "log (default 1000)");
+  Opts.addOption("log-file", 0, "FILE",
+                 "append structured JSONL events (connections, retries, "
+                 "slow requests, gc sweeps) to FILE");
+  Opts.addOption("trace-out", 0, "FILE",
+                 "write a Chrome trace of the daemon's spans to FILE at "
+                 "shutdown, one track per request; enables span recording");
   addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
@@ -348,7 +354,7 @@ int cmdServe(int Argc, const char *const *Argv) {
     return fail("serve requires --socket PATH");
 
   serve::ServeOptions SO;
-  unsigned IdleMs;
+  unsigned IdleMs, SlowMs;
   if (!parseUnsigned(Opts, "jobs", 8, 1024, SO.Workers) ||
       SO.Workers == 0)
     return fail("invalid --jobs value");
@@ -357,7 +363,19 @@ int cmdServe(int Argc, const char *const *Argv) {
   if (!parseUnsigned(Opts, "idle-timeout", 30000, 3600000, IdleMs))
     return fail("invalid --idle-timeout value");
   SO.IdleTimeoutMs = static_cast<int>(IdleMs);
+  if (!parseUnsigned(Opts, "slow-ms", 1000, 3600000, SlowMs))
+    return fail("invalid --slow-ms value");
+  SO.SlowRequestMs = static_cast<int>(SlowMs);
   SO.Store.TolerantReads = Opts.hasFlag("tolerant");
+
+  if (auto LogPath = Opts.getValue("log-file"))
+    if (Error E = EventLog::instance().setSinkFile(*LogPath))
+      return fail(E.message());
+  auto TracePath = Opts.getValue("trace-out");
+  if (TracePath) {
+    telemetry::Registry::instance().enableSpans(true);
+    telemetry::Registry::instance().setCurrentThreadName("main");
+  }
 
   auto Server = serve::ServeServer::create(Opts.positional().front(),
                                            *SocketPath, SO);
@@ -379,8 +397,70 @@ int cmdServe(int Argc, const char *const *Argv) {
   (*Server)->stop();
   std::fprintf(stderr, "gprof-store: %zu shard(s) in store\n",
                (*Server)->store().shards().size());
+  if (TracePath) {
+    TraceWriter W = TraceWriter::fromTelemetry("gprof-store-serve");
+    if (Error E = W.writeFile(*TracePath))
+      std::fprintf(stderr, "gprof-store: %s\n", E.message().c_str());
+    else
+      std::fprintf(stderr, "gprof-store: wrote %zu trace event(s) to %s\n",
+                   W.numEvents(), TracePath->c_str());
+  }
+  EventLog::instance().closeSink();
   maybeDumpStats(Opts);
   return 0;
+}
+
+int cmdStats(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store stats",
+                    "fetch live telemetry and the event tail from a serve "
+                    "daemon");
+  Opts.setPositionalHelp("SOCKET");
+  Opts.addOption("watch", 'w', "SECS",
+                 "poll every SECS seconds until interrupted; each round "
+                 "tails only events newer than the last");
+  Opts.addOption("filter", 'f', "PREFIX",
+                 "restrict metric and histogram rows to names starting "
+                 "with PREFIX");
+  Opts.addOption("retries", 0, "N",
+                 "extra attempts after a transient failure (default 2)");
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() != 1)
+    return fail("expected exactly one socket path");
+  serve::ClientOptions CO;
+  if (!parseUnsigned(Opts, "retries", 2, 1000, CO.Retries))
+    return fail("invalid --retries value");
+  unsigned WatchSecs;
+  if (!parseUnsigned(Opts, "watch", 0, 86400, WatchSecs))
+    return fail("invalid --watch value");
+
+  serve::ServeClient Client(Opts.positional().front(), CO);
+  serve::QueryStatsRequest Req;
+  if (auto Prefix = Opts.getValue("filter"))
+    Req.Filter = *Prefix;
+
+  std::signal(SIGINT, handleServeSignal);
+  std::signal(SIGTERM, handleServeSignal);
+  for (;;) {
+    auto Resp = Client.queryStats(Req);
+    if (!Resp)
+      return fail(Resp.message());
+    std::fputs(Resp->StatsJson.c_str(), stdout);
+    std::fflush(stdout);
+    if (WatchSecs == 0)
+      return 0;
+    // Tail incrementally: the next round only reports events the daemon
+    // logged after the ones this round already printed.
+    Req.SinceSeq = Resp->LastSeq;
+    for (unsigned I = 0; I < WatchSecs * 10 && !ServeInterrupted; ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (ServeInterrupted)
+      return 0;
+  }
 }
 
 int cmdPush(int Argc, const char *const *Argv) {
@@ -554,7 +634,8 @@ void printUsage() {
       "  gc STORE                      sweep caches and orphaned objects\n"
       "  serve STORE --socket PATH     run the ingestion daemon\n"
       "  push SOCKET gmon.out ...      upload shards to a daemon\n"
-      "  query SOCKET IMG [DIGEST ...] fetch listings from a daemon\n\n"
+      "  query SOCKET IMG [DIGEST ...] fetch listings from a daemon\n"
+      "  stats SOCKET [--watch SECS]   live daemon telemetry + event tail\n\n"
       "Run 'gprof-store <command> --help' for per-command options.\n");
 }
 
@@ -589,6 +670,8 @@ int main(int Argc, char **Argv) {
     return cmdPush(SubArgc, SubArgv);
   if (Command == "query")
     return cmdQuery(SubArgc, SubArgv);
+  if (Command == "stats")
+    return cmdStats(SubArgc, SubArgv);
   std::fprintf(stderr, "gprof-store: unknown command '%s'\n",
                Command.c_str());
   printUsage();

@@ -64,10 +64,7 @@ int main(int Argc, char **Argv) {
   Opts.addFlag("flat-only", 0, "print only the flat profile");
   Opts.addFlag("graph-only", 0, "print only the call graph profile");
   Opts.addFlag("no-index", 0, "omit the index-by-name table");
-  Opts.addOptionalValueOption(
-      "stats", "FILE",
-      "write pipeline telemetry (flat stats JSON) to FILE, or to stderr "
-      "when no FILE is given");
+  telemetry::addStatsOption(Opts);
   Opts.addOption("trace-out", 0, "FILE",
                  "write phase spans as Chrome trace-event JSON to FILE "
                  "(load in chrome://tracing or Perfetto)");
@@ -152,7 +149,6 @@ int main(int Argc, char **Argv) {
     AO.Threads = static_cast<unsigned>(N);
   }
 
-  std::optional<std::string> StatsDest = Opts.getValue("stats");
   std::optional<std::string> TracePath = Opts.getValue("trace-out");
   if (TracePath)
     telemetry::Registry::instance().enableSpans(true);
@@ -168,15 +164,9 @@ int main(int Argc, char **Argv) {
         return false;
       }
     }
-    if (StatsDest) {
-      std::string Json =
-          telemetry::Registry::instance().renderStatsJson("gprof_stats");
-      if (StatsDest->empty() || *StatsDest == "-") {
-        std::fprintf(stderr, "%s", Json.c_str());
-      } else if (Error E = writeFileText(*StatsDest, Json)) {
-        std::fprintf(stderr, "gprof: %s\n", E.message().c_str());
-        return false;
-      }
+    if (Error E = telemetry::emitStatsIfRequested(Opts, "gprof_stats")) {
+      std::fprintf(stderr, "gprof: %s\n", E.message().c_str());
+      return false;
     }
     return true;
   };

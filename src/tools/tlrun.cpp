@@ -29,6 +29,7 @@
 #include "support/MappedFile.h"
 #include "support/Sha256.h"
 #include "support/Telemetry.h"
+#include "support/TraceWriter.h"
 #include "vm/ParallelRun.h"
 #include "vm/VM.h"
 
@@ -63,6 +64,9 @@ int main(int Argc, char **Argv) {
   Opts.addOption("push", 'p', "SOCKET",
                  "also upload the profile to the gprof-store serve daemon "
                  "listening on SOCKET");
+  Opts.addOption("trace-out", 0, "FILE",
+                 "write run/push spans as Chrome trace-event JSON to FILE; "
+                 "push spans carry the daemon's request id");
   Opts.addFlag("quiet", 'q', "suppress printed program output");
 
   if (Error E = Opts.parse(Argc, Argv)) {
@@ -82,6 +86,12 @@ int main(int Argc, char **Argv) {
   if (!Img) {
     std::fprintf(stderr, "tlrun: %s\n", Img.message().c_str());
     return 1;
+  }
+
+  std::optional<std::string> TracePath = Opts.getValue("trace-out");
+  if (TracePath) {
+    telemetry::Registry::instance().enableSpans(true);
+    telemetry::Registry::instance().setCurrentThreadName("main");
   }
 
   auto ParseU64 = [&](const char *Name, uint64_t Default) -> uint64_t {
@@ -238,6 +248,16 @@ int main(int Argc, char **Argv) {
   // to stderr; any other value names a file to write instead.  The knob
   // is an env variable, not a flag, so profiled programs need no argv
   // changes to be inspected.
+  if (TracePath) {
+    TraceWriter W = TraceWriter::fromTelemetry("tlrun");
+    if (Error E = W.writeFile(*TracePath)) {
+      std::fprintf(stderr, "tlrun: %s\n", E.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "tlrun: wrote %zu trace event(s) to %s\n",
+                 W.numEvents(), TracePath->c_str());
+  }
+
   if (const char *Dest = std::getenv("GPROF_TELEMETRY")) {
     if (Mon)
       Mon->publishTelemetry();

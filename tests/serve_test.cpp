@@ -25,12 +25,14 @@
 #include "serve/Protocol.h"
 #include "serve/Server.h"
 #include "store/ProfileStore.h"
+#include "support/EventLog.h"
 #include "support/FaultInjection.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
 #include "support/Sha256.h"
 #include "support/Socket.h"
 #include "support/Telemetry.h"
+#include "support/TraceWriter.h"
 #include "vm/CodeGen.h"
 #include "vm/Image.h"
 #include "vm/VM.h"
@@ -191,33 +193,114 @@ std::vector<std::vector<uint8_t>> *ServeTest::Shards = nullptr;
 
 TEST(ServeProtocolTest, FrameHeaderRoundTripAndValidation) {
   std::vector<uint8_t> Header =
-      encodeFrameHeader(MsgType::PutShard, 12345);
+      encodeFrameHeader(MsgType::PutShard, 12345, 77);
   ASSERT_EQ(Header.size(), FrameHeaderSize);
   MsgType Type;
-  auto Length = decodeFrameHeader(Header.data(), Type);
+  uint64_t ReqId = 0;
+  auto Length = decodeFrameHeader(Header.data(), Type, ReqId);
   ASSERT_TRUE(static_cast<bool>(Length));
   EXPECT_EQ(*Length, 12345u);
   EXPECT_EQ(Type, MsgType::PutShard);
+  EXPECT_EQ(ReqId, 77u);
+
+  // The id defaults to 0 (requests carry no id).
+  Header = encodeFrameHeader(MsgType::Ping, 0);
+  ReqId = 99;
+  ASSERT_TRUE(
+      static_cast<bool>(decodeFrameHeader(Header.data(), Type, ReqId)));
+  EXPECT_EQ(ReqId, 0u);
 
   // Bad magic.
-  std::vector<uint8_t> Bad = Header;
+  std::vector<uint8_t> Bad = encodeFrameHeader(MsgType::PutShard, 12345);
   Bad[0] = 'X';
-  auto BadMagic = decodeFrameHeader(Bad.data(), Type);
+  auto BadMagic = decodeFrameHeader(Bad.data(), Type, ReqId);
   ASSERT_FALSE(static_cast<bool>(BadMagic));
   EXPECT_NE(BadMagic.message().find("magic"), std::string::npos);
 
   // Unknown type.
-  Bad = Header;
+  Bad = encodeFrameHeader(MsgType::PutShard, 12345);
   Bad[4] = 99;
-  auto BadType = decodeFrameHeader(Bad.data(), Type);
+  auto BadType = decodeFrameHeader(Bad.data(), Type, ReqId);
   ASSERT_FALSE(static_cast<bool>(BadType));
   EXPECT_NE(BadType.message().find("unknown frame type"), std::string::npos);
 
   // Oversized length field.
   Bad = encodeFrameHeader(MsgType::PutShard, MaxFramePayload + 1);
-  auto TooBig = decodeFrameHeader(Bad.data(), Type);
+  auto TooBig = decodeFrameHeader(Bad.data(), Type, ReqId);
   ASSERT_FALSE(static_cast<bool>(TooBig));
   EXPECT_NE(TooBig.message().find("exceeds"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, TypeRangesAndNames) {
+  // The request range must cover QUERY_STATS and stay disjoint from the
+  // response range; a regression here makes the daemon drop the frame.
+  for (uint8_t T : {1, 2, 3, 4, 5}) {
+    EXPECT_TRUE(isRequestType(T)) << unsigned(T);
+    EXPECT_FALSE(isResponseType(T)) << unsigned(T);
+  }
+  for (uint8_t T : {16, 17, 18}) {
+    EXPECT_FALSE(isRequestType(T)) << unsigned(T);
+    EXPECT_TRUE(isResponseType(T)) << unsigned(T);
+  }
+  for (uint8_t T : {0, 6, 15, 19, 99}) {
+    EXPECT_FALSE(isRequestType(T)) << unsigned(T);
+    EXPECT_FALSE(isResponseType(T)) << unsigned(T);
+  }
+
+  // msgTypeName is used in telemetry metric names; the strings are a
+  // stable contract, including the out-of-range form.
+  EXPECT_EQ(msgTypeName(MsgType::Ping), "ping");
+  EXPECT_EQ(msgTypeName(MsgType::PutShard), "put_shard");
+  EXPECT_EQ(msgTypeName(MsgType::List), "list");
+  EXPECT_EQ(msgTypeName(MsgType::QueryReport), "query_report");
+  EXPECT_EQ(msgTypeName(MsgType::QueryStats), "query_stats");
+  EXPECT_EQ(msgTypeName(MsgType::Ok), "ok");
+  EXPECT_EQ(msgTypeName(MsgType::Err), "error");
+  EXPECT_EQ(msgTypeName(MsgType::Retry), "retry");
+  EXPECT_EQ(msgTypeName(static_cast<MsgType>(99)), "unknown(99)");
+}
+
+TEST(ServeProtocolTest, QueryStatsCodecsRoundTrip) {
+  QueryStatsRequest Req;
+  Req.SinceSeq = 41;
+  Req.Filter = "serve.request.";
+  auto ReqBack = decodeQueryStats(encodeQueryStats(Req));
+  ASSERT_TRUE(static_cast<bool>(ReqBack));
+  EXPECT_EQ(ReqBack->SinceSeq, 41u);
+  EXPECT_EQ(ReqBack->Filter, "serve.request.");
+
+  StatsResponse Resp;
+  Resp.StatsJson = "{\"bench\": \"x\"}\n";
+  Resp.LastSeq = 123;
+  auto RespBack = decodeStatsResponse(encodeStatsResponse(Resp));
+  ASSERT_TRUE(static_cast<bool>(RespBack));
+  EXPECT_EQ(RespBack->StatsJson, Resp.StatsJson);
+  EXPECT_EQ(RespBack->LastSeq, 123u);
+
+  // Truncations and single-byte mutations: error or a different value,
+  // never a crash or over-read.
+  for (const auto &Valid :
+       {encodeQueryStats(Req), encodeStatsResponse(Resp)}) {
+    for (size_t Cut = 0; Cut != Valid.size(); ++Cut) {
+      std::vector<uint8_t> Trunc(Valid.begin(), Valid.begin() + Cut);
+      auto R = decodeQueryStats(Trunc);
+      if (!R)
+        (void)R.takeError();
+      auto S = decodeStatsResponse(Trunc);
+      if (!S)
+        (void)S.takeError();
+    }
+    for (size_t I = 0; I != Valid.size(); ++I) {
+      std::vector<uint8_t> Mutated = Valid;
+      Mutated[I] ^= 0xFF;
+      auto R = decodeQueryStats(Mutated);
+      if (!R)
+        (void)R.takeError();
+      auto S = decodeStatsResponse(Mutated);
+      if (!S)
+        (void)S.takeError();
+    }
+  }
 }
 
 TEST(ServeProtocolTest, PayloadCodecsRoundTrip) {
@@ -442,6 +525,118 @@ TEST_F(ServeTest, BackpressureAnswersRetryAtCapacity) {
   Retrying.RetryBackoffMs = 1;
   ServeClient Eventually(D.SocketPath, Retrying);
   cantFail(Eventually.ping());
+}
+
+//===----------------------------------------------------------------------===//
+// Live observability: QUERY_STATS, the event tail, request tracing
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, QueryStatsEndpointAndEventTail) {
+  ServeOptions SO;
+  SO.SlowRequestMs = 0; // Every request logs a request.slow event.
+  Daemon D("stats", SO);
+  ServeClient Client(D.SocketPath);
+  cantFail(Client.putShard(Shards->front(), *ImageId));
+
+  QueryStatsRequest Req;
+  auto Resp = Client.queryStats(Req);
+  ASSERT_TRUE(static_cast<bool>(Resp));
+  ASSERT_TRUE(static_cast<bool>(validateJson(Resp->StatsJson)))
+      << Resp->StatsJson;
+  // The live shape: bench name, daemon scalars, latency histogram rows,
+  // and the event tail.
+  EXPECT_NE(Resp->StatsJson.find("\"bench\": \"gprof_store_serve\""),
+            std::string::npos);
+  EXPECT_NE(Resp->StatsJson.find("\"uptime_ns\": "), std::string::npos);
+  EXPECT_NE(Resp->StatsJson.find("\"pid\": "), std::string::npos);
+  EXPECT_NE(Resp->StatsJson.find("\"build\": "), std::string::npos);
+  EXPECT_NE(Resp->StatsJson.find("\"events\": ["), std::string::npos);
+  EXPECT_NE(Resp->StatsJson.find("serve.request.latency.put_shard"),
+            std::string::npos);
+  EXPECT_NE(Resp->StatsJson.find("\"kind\": \"histogram\""),
+            std::string::npos);
+  EXPECT_NE(Resp->StatsJson.find("\"event\": \"connection.accepted\""),
+            std::string::npos);
+  EXPECT_NE(Resp->StatsJson.find("\"event\": \"request.slow\""),
+            std::string::npos);
+  EXPECT_GT(Resp->LastSeq, 0u);
+
+  // Incremental tail: resuming from LastSeq yields only newer events —
+  // the slow-request event of the first QUERY_STATS itself, but none of
+  // the events the first response already delivered.
+  QueryStatsRequest Tail;
+  Tail.SinceSeq = Resp->LastSeq;
+  auto Resp2 = Client.queryStats(Tail);
+  ASSERT_TRUE(static_cast<bool>(Resp2));
+  ASSERT_TRUE(static_cast<bool>(validateJson(Resp2->StatsJson)));
+  EXPECT_EQ(Resp2->StatsJson.find("\"event\": \"connection.accepted\""),
+            std::string::npos);
+  EXPECT_NE(Resp2->StatsJson.find("\"type\": \"query_stats\""),
+            std::string::npos);
+  EXPECT_GE(Resp2->LastSeq, Resp->LastSeq);
+
+  // Prefix filter: only matching metric/histogram rows survive; daemon
+  // scalars and events are unaffected.
+  QueryStatsRequest Filtered;
+  Filtered.Filter = "serve.request.latency.";
+  auto Resp3 = Client.queryStats(Filtered);
+  ASSERT_TRUE(static_cast<bool>(Resp3));
+  ASSERT_TRUE(static_cast<bool>(validateJson(Resp3->StatsJson)));
+  EXPECT_NE(Resp3->StatsJson.find("serve.request.latency.put_shard"),
+            std::string::npos);
+  EXPECT_EQ(Resp3->StatsJson.find("store.put.latency"), std::string::npos);
+  EXPECT_NE(Resp3->StatsJson.find("\"uptime_ns\": "), std::string::npos);
+}
+
+TEST_F(ServeTest, RequestTracingCorrelatesClientAndDaemonSpans) {
+  telemetry::Registry &R = telemetry::Registry::instance();
+  R.resetValues();
+  R.enableSpans(true);
+  struct SpansOff {
+    ~SpansOff() { telemetry::Registry::instance().enableSpans(false); }
+  } Off;
+  {
+    // In-process daemon: client and daemon spans land in the same
+    // registry, so the echoed request id is directly checkable.
+    Daemon D("tracing");
+    ServeClient Client(D.SocketPath);
+    cantFail(Client.putShard(Shards->front(), *ImageId));
+    QueryReportRequest Req;
+    Req.ImagePath = *ImgPath;
+    Req.Flags.FlatOnly = true;
+    cantFail(Client.queryReport(Req));
+  }
+
+  std::vector<telemetry::SpanRecord> Spans = R.collectSpans();
+  uint64_t PutReqId = 0, QueryReqId = 0;
+  for (const telemetry::SpanRecord &S : Spans) {
+    if (S.Name == "serve.client.put_shard")
+      PutReqId = S.ReqId;
+    if (S.Name == "serve.client.query_report")
+      QueryReqId = S.ReqId;
+  }
+  ASSERT_NE(PutReqId, 0u) << "client span must carry the daemon's id";
+  ASSERT_NE(QueryReqId, 0u);
+  EXPECT_NE(PutReqId, QueryReqId) << "each request gets a fresh id";
+  bool DaemonSpanSeen = false, MergeTagged = false;
+  for (const telemetry::SpanRecord &S : Spans) {
+    DaemonSpanSeen |= S.Name == "serve.request" && S.ReqId == PutReqId;
+    MergeTagged |= S.Name == "store.merge" && S.ReqId == QueryReqId;
+  }
+  EXPECT_TRUE(DaemonSpanSeen)
+      << "daemon-side serve.request span with the same id";
+  EXPECT_TRUE(MergeTagged)
+      << "the request id must flow into the store layer's spans";
+
+  // The Chrome trace moves request-tagged spans onto synthetic
+  // "request-N" tracks.
+  TraceWriter W = TraceWriter::fromTelemetry("serve-test");
+  auto Stats = validateTraceJson(W.render());
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  bool HasRequestTrack = false;
+  for (uint64_t Tid : Stats->Tids)
+    HasRequestTrack |= Tid >= 1000000u;
+  EXPECT_TRUE(HasRequestTrack) << "expected a synthetic request track";
 }
 
 //===----------------------------------------------------------------------===//
@@ -707,4 +902,114 @@ TEST_F(ServeTest, CliServePushQueryAndTlrunPush) {
 
   std::filesystem::remove_all(StoreRoot);
   std::remove(GmonPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Observability smoke: the ctest gprof_stats_smoke target filters on this
+// fixture, so it boots a real daemon, pushes shards, and checks `gprof-store
+// stats` end to end.
+//===----------------------------------------------------------------------===//
+
+namespace {
+class ServeStatsTest : public ServeTest {};
+} // namespace
+
+TEST_F(ServeStatsTest, CliStatsEndToEnd) {
+  std::string StoreRoot = tempPath("stats_store");
+  std::string SocketPath = tempPath("stats.sock");
+  std::string GmonPath = tempPath("stats_gmon.out");
+  std::string LogPath = tempPath("stats_events.jsonl");
+  std::filesystem::remove_all(StoreRoot);
+  std::remove(LogPath.c_str());
+
+  std::string Out;
+  int Rc = runCommand(format("%s serve %s --socket %s --log-file %s "
+                             ">/dev/null 2>&1 & echo $!",
+                             GPROF_STORE_PATH, StoreRoot.c_str(),
+                             SocketPath.c_str(), LogPath.c_str()),
+                      Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  pid_t DaemonPid = static_cast<pid_t>(std::stol(Out));
+  ASSERT_GT(DaemonPid, 0);
+  struct KillGuard {
+    pid_t Pid;
+    ~KillGuard() { ::kill(Pid, SIGKILL); }
+  } Guard{DaemonPid};
+  ASSERT_TRUE(waitForDaemon(SocketPath));
+
+  // Land two shards so the latency histograms have data.
+  cantFail(writeFileBytes(GmonPath, Shards->front()));
+  Rc = runCommand(format("%s push %s --image %s %s %s", GPROF_STORE_PATH,
+                         SocketPath.c_str(), ImgPath->c_str(),
+                         GmonPath.c_str(), GmonPath.c_str()),
+                  Out);
+  ASSERT_EQ(Rc, 0) << Out;
+
+  // `gprof-store stats` prints one validated JSON document with a
+  // nonzero put-shard latency count.
+  std::string StatsJson;
+  Rc = runCommandStdout(format("%s stats %s", GPROF_STORE_PATH,
+                               SocketPath.c_str()),
+                        StatsJson);
+  ASSERT_EQ(Rc, 0) << StatsJson;
+  ASSERT_TRUE(static_cast<bool>(validateJson(StatsJson))) << StatsJson;
+  const std::string Row = "\"metric\": \"serve.request.latency.put_shard\"";
+  size_t RowPos = StatsJson.find(Row);
+  ASSERT_NE(RowPos, std::string::npos) << StatsJson;
+  size_t CountPos = StatsJson.find("\"count\": ", RowPos);
+  ASSERT_NE(CountPos, std::string::npos);
+  unsigned long long Count =
+      std::stoull(StatsJson.substr(CountPos + 9));
+  EXPECT_GE(Count, 2u) << StatsJson;
+  EXPECT_NE(StatsJson.find("\"event\": \"connection.accepted\""),
+            std::string::npos);
+
+  // --filter narrows the rows; the daemon scalars stay.
+  Rc = runCommandStdout(format("%s stats %s --filter serve.request.latency.",
+                               GPROF_STORE_PATH, SocketPath.c_str()),
+                        StatsJson);
+  ASSERT_EQ(Rc, 0) << StatsJson;
+  ASSERT_TRUE(static_cast<bool>(validateJson(StatsJson))) << StatsJson;
+  EXPECT_NE(StatsJson.find(Row), std::string::npos);
+  EXPECT_EQ(StatsJson.find("\"metric\": \"serve.request.ping\""),
+            std::string::npos);
+  EXPECT_NE(StatsJson.find("\"uptime_ns\": "), std::string::npos);
+
+  // Clean SIGTERM shutdown; the --log-file sink holds one valid JSON
+  // object per line, including the accepted connections.  The socket
+  // disappears a beat before the final serve.stop event lands in the
+  // sink, so wait for the event itself rather than the unlink.
+  ASSERT_EQ(::kill(DaemonPid, SIGTERM), 0);
+  std::string LogText;
+  for (int I = 0; I != 100; ++I) {
+    auto Text = readFileText(LogPath);
+    if (Text) {
+      LogText = *Text;
+      if (LogText.find("\"event\": \"serve.stop\"") != std::string::npos)
+        break;
+    } else {
+      (void)Text.takeError();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_FALSE(fileExists(SocketPath)) << "daemon did not shut down";
+  ASSERT_FALSE(LogText.empty());
+  size_t Lines = 0;
+  for (size_t Pos = 0; Pos < LogText.size();) {
+    size_t End = LogText.find('\n', Pos);
+    if (End == std::string::npos)
+      End = LogText.size();
+    std::string Line = LogText.substr(Pos, End - Pos);
+    if (!Line.empty()) {
+      ++Lines;
+      EXPECT_TRUE(static_cast<bool>(validateJson(Line))) << Line;
+    }
+    Pos = End + 1;
+  }
+  EXPECT_GE(Lines, 2u) << LogText;
+  EXPECT_NE(LogText.find("\"event\": \"serve.stop\""), std::string::npos);
+
+  std::filesystem::remove_all(StoreRoot);
+  std::remove(GmonPath.c_str());
+  std::remove(LogPath.c_str());
 }

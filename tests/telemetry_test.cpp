@@ -18,6 +18,7 @@
 #include "gmon/GmonFile.h"
 #include "runtime/ArcTable.h"
 #include "runtime/Monitor.h"
+#include "support/EventLog.h"
 #include "support/FileUtils.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -30,6 +31,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace gprof;
 using telemetry::Kind;
@@ -163,6 +166,246 @@ TEST(TelemetryTest, StatsJsonIsValidAndCarriesKinds) {
                       "\"kind\": \"gauge\", \"value\": 7}"),
             std::string::npos)
       << Json;
+}
+
+//===----------------------------------------------------------------------===//
+// Duration histograms
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, BucketIndexAndBounds) {
+  using telemetry::DurationHistogram;
+  using telemetry::HistogramBucketCount;
+  EXPECT_EQ(DurationHistogram::bucketIndex(0), 0u);
+  EXPECT_EQ(DurationHistogram::bucketIndex(1), 1u);
+  EXPECT_EQ(DurationHistogram::bucketIndex(2), 2u);
+  EXPECT_EQ(DurationHistogram::bucketIndex(3), 2u);
+  EXPECT_EQ(DurationHistogram::bucketIndex(4), 3u);
+  EXPECT_EQ(DurationHistogram::bucketIndex(1023), 10u);
+  EXPECT_EQ(DurationHistogram::bucketIndex(1024), 11u);
+  EXPECT_EQ(DurationHistogram::bucketIndex(UINT64_MAX),
+            HistogramBucketCount - 1);
+
+  EXPECT_EQ(DurationHistogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(DurationHistogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(DurationHistogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(DurationHistogram::bucketUpperBound(10), 1023u);
+  EXPECT_EQ(DurationHistogram::bucketUpperBound(HistogramBucketCount - 1),
+            UINT64_MAX);
+  // Every value fits under its own bucket's upper bound, and above the
+  // previous bucket's.
+  for (uint64_t V : std::vector<uint64_t>{0, 1, 2, 7, 1000, 123456789,
+                                          uint64_t(1) << 62, UINT64_MAX}) {
+    size_t B = DurationHistogram::bucketIndex(V);
+    EXPECT_LE(V, DurationHistogram::bucketUpperBound(B)) << V;
+    if (B > 0 && B < HistogramBucketCount - 1) {
+      EXPECT_GT(V, DurationHistogram::bucketUpperBound(B - 1)) << V;
+    }
+  }
+}
+
+TEST(HistogramTest, ExactPercentilesOnKnownFill) {
+  freshRegistry();
+  telemetry::DurationHistogram &H =
+      telemetry::histogram("test.hist.percentiles");
+  for (uint64_t V : {0ull, 1ull, 1ull, 2ull, 1000ull})
+    H.record(V);
+
+  telemetry::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.count(), 5u);
+  EXPECT_EQ(S.Sum, 1004u);
+  // Ranks are exact: p50 -> rank 3 of {0,1,1,2,1000} lands in the
+  // width-1 bucket (upper bound 1); p95/p99 -> rank 5 lands in the
+  // bucket holding 1000 (upper bound 1023).
+  EXPECT_EQ(S.percentile(0.50), 1u);
+  EXPECT_EQ(S.percentile(0.95), 1023u);
+  EXPECT_EQ(S.percentile(0.99), 1023u);
+
+  telemetry::HistogramSnapshot Empty;
+  EXPECT_EQ(Empty.count(), 0u);
+  EXPECT_EQ(Empty.percentile(0.50), 0u);
+}
+
+TEST(HistogramTest, MergeIsOrderIndependent) {
+  telemetry::HistogramSnapshot A, B, C;
+  auto Fill = [](telemetry::HistogramSnapshot &S,
+                 std::vector<uint64_t> Values) {
+    for (uint64_t V : Values) {
+      S.Counts[telemetry::DurationHistogram::bucketIndex(V)] += 1;
+      S.Sum += V;
+    }
+  };
+  Fill(A, {0, 1, 5});
+  Fill(B, {1000, 1000000, 3});
+  Fill(C, {7, 7, 7, 1u << 20});
+
+  telemetry::HistogramSnapshot Fwd, Rev;
+  Fwd.merge(A);
+  Fwd.merge(B);
+  Fwd.merge(C);
+  Rev.merge(C);
+  Rev.merge(B);
+  Rev.merge(A);
+  EXPECT_EQ(Fwd.Counts, Rev.Counts);
+  EXPECT_EQ(Fwd.Sum, Rev.Sum);
+  EXPECT_EQ(Fwd.count(), 10u);
+  EXPECT_EQ(Fwd.percentile(0.50), Rev.percentile(0.50));
+  EXPECT_EQ(Fwd.percentile(0.99), Rev.percentile(0.99));
+}
+
+TEST(HistogramTest, RegistrySemanticsAndReset) {
+  freshRegistry();
+  telemetry::DurationHistogram &H = telemetry::histogram("test.hist.reg.b");
+  telemetry::histogram("test.hist.reg.a").record(1);
+  // Same name, same object.
+  EXPECT_EQ(&telemetry::histogram("test.hist.reg.b"), &H);
+  H.record(10);
+  EXPECT_EQ(H.snapshot().count(), 1u);
+
+  // Sorted by name, separate namespace from counters/gauges.
+  std::vector<const telemetry::DurationHistogram *> All =
+      Registry::instance().histograms();
+  for (size_t I = 1; I < All.size(); ++I)
+    EXPECT_LT(All[I - 1]->name(), All[I]->name());
+  telemetry::counter("test.hist.reg.b").add(5); // Does not clash.
+  EXPECT_EQ(telemetry::counter("test.hist.reg.b").value(), 5u);
+
+  // resetValues zeroes buckets and sum; registration and references
+  // survive.
+  Registry::instance().resetValues();
+  EXPECT_EQ(H.snapshot().count(), 0u);
+  EXPECT_EQ(H.snapshot().Sum, 0u);
+  H.record(3);
+  EXPECT_EQ(telemetry::histogram("test.hist.reg.b").snapshot().count(), 1u);
+}
+
+TEST(HistogramTest, ConcurrentRecordingIsLossless) {
+  // The TSan-relevant case: many threads hammer one histogram.  Relaxed
+  // atomics may interleave, but no increment may be lost.
+  freshRegistry();
+  telemetry::DurationHistogram &H =
+      telemetry::histogram("test.hist.concurrent");
+  constexpr unsigned Threads = 8, PerThread = 5000;
+  {
+    ThreadPool Pool(Threads);
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.async([&H] {
+        for (unsigned I = 0; I != PerThread; ++I)
+          H.record(I % 1024);
+      });
+    Pool.wait();
+  }
+  telemetry::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.count(), uint64_t(Threads) * PerThread);
+  uint64_t ExpectSum = 0;
+  for (unsigned I = 0; I != PerThread; ++I)
+    ExpectSum += I % 1024;
+  EXPECT_EQ(S.Sum, uint64_t(Threads) * ExpectSum);
+}
+
+TEST(HistogramTest, StatsJsonRowsAndRenderOptions) {
+  freshRegistry();
+  telemetry::counter("test.row.counter").add(1);
+  telemetry::DurationHistogram &H = telemetry::histogram("test.row.hist");
+  for (uint64_t V : {0ull, 1ull, 1ull, 2ull, 1000ull})
+    H.record(V);
+
+  std::string Json = Registry::instance().renderStatsJson("telemetry_test");
+  ASSERT_TRUE(validateJson(Json).hasValue()) << Json;
+  EXPECT_NE(Json.find("{\"metric\": \"test.row.hist\", "
+                      "\"kind\": \"histogram\", \"count\": 5, "
+                      "\"sum\": 1004, \"p50\": 1, \"p95\": 1023, "
+                      "\"p99\": 1023}"),
+            std::string::npos)
+      << Json;
+
+  // MetricPrefix filters both metric and histogram rows; ExtraFields
+  // land as top-level members ahead of "results".
+  Registry::StatsRenderOptions RO;
+  RO.MetricPrefix = "test.row.h";
+  RO.ExtraFields.emplace_back("uptime_ns", "12345");
+  std::string Filtered =
+      Registry::instance().renderStatsJson("telemetry_test", RO);
+  ASSERT_TRUE(validateJson(Filtered).hasValue()) << Filtered;
+  EXPECT_NE(Filtered.find("test.row.hist"), std::string::npos);
+  EXPECT_EQ(Filtered.find("test.row.counter"), std::string::npos);
+  EXPECT_NE(Filtered.find("\"uptime_ns\": 12345"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// EventLog
+//===----------------------------------------------------------------------===//
+
+TEST(EventLogTest, EmitSinceAndRingBound) {
+  EventLog &Log = EventLog::instance();
+  Log.clear();
+  const uint64_t Base = Log.lastSeq();
+  const size_t OldCapacity = Log.capacity();
+
+  Log.emit("test.event", jsonStringField("why", "because") + ", " +
+                             jsonIntField("n", 7));
+  Log.emit("test.event2");
+  EXPECT_EQ(Log.lastSeq(), Base + 2);
+
+  std::vector<LogEvent> All = Log.since(Base);
+  ASSERT_EQ(All.size(), 2u);
+  EXPECT_EQ(All[0].Type, "test.event");
+  EXPECT_EQ(All[0].Seq, Base + 1);
+  EXPECT_LE(All[0].TimeNs, All[1].TimeNs);
+  // Each event renders as one valid JSON object; the array form is valid
+  // too (it is embedded verbatim into the QUERY_STATS response).
+  for (const LogEvent &E : All)
+    EXPECT_TRUE(validateJson(E.toJson()).hasValue()) << E.toJson();
+  EXPECT_NE(All[0].toJson().find("\"why\": \"because\""), std::string::npos);
+  EXPECT_NE(All[0].toJson().find("\"n\": 7"), std::string::npos);
+  EXPECT_TRUE(validateJson(EventLog::renderArray(All)).hasValue());
+  // The incremental tail skips already-seen events.
+  std::vector<LogEvent> Tail = Log.since(Base + 1);
+  ASSERT_EQ(Tail.size(), 1u);
+  EXPECT_EQ(Tail[0].Type, "test.event2");
+  EXPECT_TRUE(Log.since(Base + 2).empty());
+
+  // The ring drops oldest events but sequence numbering keeps counting.
+  Log.setCapacity(4);
+  for (int I = 0; I != 10; ++I)
+    Log.emit("test.flood");
+  std::vector<LogEvent> Kept = Log.since(0);
+  ASSERT_EQ(Kept.size(), 4u);
+  EXPECT_EQ(Kept.back().Seq, Base + 12);
+  EXPECT_EQ(Kept.front().Seq, Base + 9);
+  EXPECT_EQ(Log.lastSeq(), Base + 12);
+
+  Log.setCapacity(OldCapacity);
+  Log.clear();
+}
+
+TEST(EventLogTest, FileSinkAppendsJsonLines) {
+  EventLog &Log = EventLog::instance();
+  Log.clear();
+  std::string Path =
+      testing::TempDir() + "/gprof_eventlog_" + std::to_string(getpid());
+  std::remove(Path.c_str());
+
+  ASSERT_FALSE(Log.setSinkFile(Path));
+  Log.emit("test.sink", jsonIntField("a", 1));
+  Log.emit("test.sink", jsonStringField("b", "two\nlines"));
+  Log.closeSink();
+  Log.emit("test.unsinked"); // After closeSink: must not reach the file.
+
+  std::string Text = cantFail(readFileText(Path));
+  size_t Lines = 0;
+  for (size_t Pos = 0; Pos < Text.size();) {
+    size_t End = Text.find('\n', Pos);
+    ASSERT_NE(End, std::string::npos) << "sink lines end in newline";
+    std::string Line = Text.substr(Pos, End - Pos);
+    EXPECT_TRUE(validateJson(Line).hasValue()) << Line;
+    ++Lines;
+    Pos = End + 1;
+  }
+  EXPECT_EQ(Lines, 2u);
+  EXPECT_NE(Text.find("\"event\": \"test.sink\""), std::string::npos);
+  EXPECT_EQ(Text.find("test.unsinked"), std::string::npos);
+  std::remove(Path.c_str());
+  Log.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -343,6 +586,16 @@ void expectCountersThreadInvariant(const SymbolTable &Syms,
     std::map<std::string, uint64_t> Snap = counterSnapshot();
     EXPECT_GT(Snap.at("analyzer.runs"), 0u);
     EXPECT_GT(Snap.at("analyzer.symbolize.raw_records"), 0u);
+    // The phase-latency histograms recorded during the same run live in
+    // their own namespace: populated, but invisible to the counter
+    // snapshot whose invariance this test pins.
+    uint64_t PhaseLatencies = 0;
+    for (const telemetry::DurationHistogram *H :
+         Registry::instance().histograms())
+      if (H->name().rfind("analyzer.phase.latency.", 0) == 0)
+        PhaseLatencies += H->snapshot().count();
+    EXPECT_GT(PhaseLatencies, 0u);
+    EXPECT_EQ(Snap.count("analyzer.phase.latency.propagate"), 0u);
     if (Threads == 1)
       Reference = std::move(Snap);
     else
