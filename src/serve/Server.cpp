@@ -49,7 +49,56 @@ Error ServeServer::start() {
                          jsonIntField("workers", Opts.Workers) + ", " +
                          jsonIntField("queue", Opts.MaxQueuedConnections));
   AcceptThread = std::thread([this] { acceptLoop(); });
+  // A store grown offline (or left half-compacted by a previous daemon)
+  // may have folds pending before the first push arrives.
+  maybeScheduleCompaction();
   return Error::success();
+}
+
+void ServeServer::maybeScheduleCompaction() {
+  if (!Opts.BackgroundCompaction || Stop.load(std::memory_order_relaxed))
+    return;
+  if (!Store.compactionPending())
+    return;
+  // One drain at a time: a second pass would only queue behind the first
+  // on the ingest lock.  exchange() makes the busy check race-free.
+  if (CompactionBusy.exchange(true, std::memory_order_acq_rel))
+    return;
+  telemetry::gauge("compaction.passes").add(1);
+  Pool.async([this] {
+    telemetry::Span PassSpan("serve.compaction");
+    CompactionStats Stats;
+    bool Failed = false;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      // Sequential folds: a pool worker must not fan subtasks back onto
+      // the pool it runs on (they could deadlock behind connection-
+      // lifetime jobs), and the run bytes are identical either way.
+      auto Worked = Store.compactStep(/*Pool=*/nullptr, &Stats);
+      if (!Worked) {
+        telemetry::gauge("compaction.errors").add(1);
+        EventLog::instance().emit(
+            "compaction.error", jsonStringField("error", Worked.message()));
+        Failed = true;
+        break;
+      }
+      if (!*Worked)
+        break;
+    }
+    if (Stats.Steps != 0) {
+      telemetry::gauge("compaction.steps").add(Stats.Steps);
+      EventLog::instance().emit(
+          "compaction.pass",
+          jsonIntField("steps", Stats.Steps) + ", " +
+              jsonIntField("runs_retired", Stats.RunsRetired) + ", " +
+              jsonIntField("shards_folded", Stats.ShardsFolded));
+    }
+    CompactionBusy.store(false, std::memory_order_release);
+    // Pushes that landed during the drain saw the busy flag and skipped
+    // scheduling; pick their work up now.  After an error, wait for the
+    // next push instead of hot-looping on a failing store.
+    if (!Failed)
+      maybeScheduleCompaction();
+  });
 }
 
 void ServeServer::stop() {
@@ -261,7 +310,11 @@ Error ServeServer::handlePut(Connection &Conn, const Frame &Request) {
     telemetry::gauge("serve.put.failures").add(1);
     return Conn.writeError(Digest.message());
   }
-  return Conn.writeFrame(MsgType::Ok, encodeDigest(*Digest));
+  // Answer the client before folding: compaction is background work and
+  // must not sit on the push latency path.
+  Error E = Conn.writeFrame(MsgType::Ok, encodeDigest(*Digest));
+  maybeScheduleCompaction();
+  return E;
 }
 
 Error ServeServer::handleList(Connection &Conn) {

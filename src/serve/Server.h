@@ -58,7 +58,12 @@ struct ServeOptions {
   /// Requests slower than this are reported to the event log
   /// ("request.slow"); negative disables the check.
   int SlowRequestMs = 1000;
-  /// Store behavior (tolerant reads, I/O retry budget).
+  /// Fold freshly pushed shards into tiered runs on the daemon's own pool
+  /// between requests (store/ProfileStore.h), keeping report queries
+  /// O(log N) as shards stream in.  Disable to pin the store's layout
+  /// (e.g. when an offline `gprof-store compact` owns compaction).
+  bool BackgroundCompaction = true;
+  /// Store behavior (tolerant reads, I/O retry budget, compaction fanout).
   StoreOptions Store;
 };
 
@@ -99,6 +104,14 @@ private:
   /// (protocol violation or unwritable peer).
   bool dispatch(Connection &Conn, const Frame &Request);
 
+  /// Enqueues one background compaction drain onto the pool when folds
+  /// are pending and none is already running — called after every
+  /// successful PUT_SHARD and once at start() to fold a store that grew
+  /// offline.  The drain runs compactStep (sequentially: a pool worker
+  /// must not fan subtasks back onto its own pool) until done, then
+  /// re-checks for pushes that arrived meanwhile.
+  void maybeScheduleCompaction();
+
   Error handlePut(Connection &Conn, const Frame &Request);
   Error handleList(Connection &Conn);
   Error handleQuery(Connection &Conn, const Frame &Request);
@@ -114,6 +127,10 @@ private:
   std::thread AcceptThread;
   std::atomic<bool> Stop{false};
   std::atomic<bool> Started{false};
+  /// True while a compaction drain occupies a pool worker; at most one
+  /// runs at a time so folds never contend on the ingest lock with each
+  /// other.
+  std::atomic<bool> CompactionBusy{false};
   /// Connections admitted (queued + in service).
   std::atomic<unsigned> Active{0};
   /// Monotonic request-id source; ids are per-process, never reused.

@@ -167,14 +167,24 @@ ProfileData kWayMerge(const std::vector<const ProfileData *> &Shards) {
 Expected<ProfileData>
 gprof::mergeProfiles(const std::vector<ProfileData> &Shards,
                      ThreadPool *Pool) {
-  if (Shards.empty())
+  std::vector<const ProfileData *> Ptrs;
+  Ptrs.reserve(Shards.size());
+  for (const ProfileData &S : Shards)
+    Ptrs.push_back(&S);
+  return mergeProfiles(Ptrs, Pool);
+}
+
+Expected<ProfileData>
+gprof::mergeProfiles(const std::vector<const ProfileData *> &Ptrs,
+                     ThreadPool *Pool) {
+  if (Ptrs.empty())
     return Error::failure("no profiles to merge");
   telemetry::Span Phase("store.merge");
   {
     uint64_t InputArcs = 0;
-    for (const ProfileData &S : Shards)
-      InputArcs += S.Arcs.size();
-    telemetry::counter("store.merge.shards").add(Shards.size());
+    for (const ProfileData *S : Ptrs)
+      InputArcs += S->Arcs.size();
+    telemetry::counter("store.merge.shards").add(Ptrs.size());
     telemetry::counter("store.merge.input_arcs").add(InputArcs);
   }
   // Validate geometry against the first shard that actually has a
@@ -182,21 +192,16 @@ gprof::mergeProfiles(const std::vector<ProfileData> &Shards,
   // blindly comparing to shard 0 would let two incompatible sampled
   // shards slip past an unsampled shard 0.
   size_t Ref = 0;
-  while (Ref != Shards.size() && Shards[Ref].Hist.empty())
+  while (Ref != Ptrs.size() && Ptrs[Ref]->Hist.empty())
     ++Ref;
-  if (Ref == Shards.size())
+  if (Ref == Ptrs.size())
     Ref = 0;
-  for (size_t I = 0; I != Shards.size(); ++I)
+  for (size_t I = 0; I != Ptrs.size(); ++I)
     if (I != Ref)
-      if (Error E = checkMergeCompatible(Shards[Ref], Shards[I],
+      if (Error E = checkMergeCompatible(*Ptrs[Ref], *Ptrs[I],
                                          format("shard %zu", Ref),
                                          format("shard %zu", I)))
         return E;
-
-  std::vector<const ProfileData *> Ptrs;
-  Ptrs.reserve(Shards.size());
-  for (const ProfileData &S : Shards)
-    Ptrs.push_back(&S);
 
   size_t Chunks = Pool ? std::min<size_t>(Pool->size(), Ptrs.size()) : 1;
   if (Chunks <= 1 || Ptrs.size() < 4)

@@ -61,6 +61,14 @@ Error checkMergeCompatible(const ProfileData &A, const ProfileData &B,
 Expected<ProfileData> mergeProfiles(const std::vector<ProfileData> &Shards,
                                     ThreadPool *Pool = nullptr);
 
+/// The core entry point: same contract over borrowed profiles, so callers
+/// holding shards in non-contiguous storage (the tiered store mixes
+/// compacted runs and loose shards) merge without gathering values into
+/// one vector.  No pointer may be null.
+Expected<ProfileData>
+mergeProfiles(const std::vector<const ProfileData *> &Shards,
+              ThreadPool *Pool = nullptr);
+
 } // namespace gprof
 
 #endif // GPROF_STORE_MERGEENGINE_H

@@ -25,7 +25,11 @@ using namespace gprof;
 namespace {
 
 constexpr char IndexMagic[4] = {'G', 'P', 'S', 'I'};
-constexpr uint32_t IndexVersion = 1;
+/// v1: flat shard records.  v2 appends a capture timestamp per shard and
+/// the compacted-run manifests (docs/FORMATS.md); v1 indexes still load,
+/// reading back zero capture times and no runs.
+constexpr uint32_t IndexVersion = 2;
+constexpr uint32_t IndexVersionV1 = 1;
 
 /// Cap on index record counts accepted from disk, guarding allocation
 /// against a corrupted length field.
@@ -37,6 +41,24 @@ bool isZeroDigest(const Sha256Digest &D) {
 
 bool digestLess(const ShardInfo &A, const ShardInfo &B) {
   return A.Digest < B.Digest;
+}
+
+bool runDigestLess(const RunInfo &A, const RunInfo &B) {
+  return A.Digest < B.Digest;
+}
+
+/// Wall-clock now in nanoseconds since the epoch — capture times order
+/// shards across processes and machines, so steady_clock is no use here.
+uint64_t wallClockNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void discardError(Error E) {
+  if (E)
+    (void)E.message();
 }
 
 } // namespace
@@ -54,7 +76,7 @@ Expected<ProfileStore> ProfileStore::open(const std::string &RootDir,
     Store.Root.pop_back();
   if (Store.Root.empty())
     return Error::failure("empty store path");
-  for (const char *Sub : {"", "/objects", "/cache"})
+  for (const char *Sub : {"", "/objects", "/cache", "/runs"})
     if (Error E = createDirectories(Store.Root + Sub))
       return E;
   if (Error E = Store.loadIndex())
@@ -67,6 +89,10 @@ std::string ProfileStore::objectPath(const Sha256Digest &Digest) const {
   return Root + "/objects/" + Hex.substr(0, 2) + "/" + Hex + ".gmon";
 }
 
+std::string ProfileStore::runPath(const Sha256Digest &Digest) const {
+  return Root + "/runs/" + digestToHex(Digest) + ".gmon";
+}
+
 std::string ProfileStore::cachePath(const Sha256Digest &AggDigest) const {
   return Root + "/cache/" + digestToHex(AggDigest) + ".gmon";
 }
@@ -75,6 +101,14 @@ const ShardInfo *ProfileStore::findShard(const Sha256Digest &Digest) const {
   auto It = std::lower_bound(Shards.begin(), Shards.end(),
                              ShardInfo{.Digest = Digest}, digestLess);
   if (It != Shards.end() && It->Digest == Digest)
+    return &*It;
+  return nullptr;
+}
+
+const RunInfo *ProfileStore::findRun(const Sha256Digest &Digest) const {
+  auto It = std::lower_bound(Runs.begin(), Runs.end(),
+                             RunInfo{.Digest = Digest}, runDigestLess);
+  if (It != Runs.end() && It->Digest == Digest)
     return &*It;
   return nullptr;
 }
@@ -98,7 +132,7 @@ Error ProfileStore::loadIndex() {
   auto Ver = R.readU32();
   if (!Ver)
     return Ver.takeError();
-  if (*Ver != IndexVersion)
+  if (*Ver != IndexVersion && *Ver != IndexVersionV1)
     return Error::failure(format("%s: unsupported index version %u "
                                  "(expected %u)",
                                  Path.c_str(), *Ver, IndexVersion));
@@ -108,18 +142,22 @@ Error ProfileStore::loadIndex() {
   if (*Count > MaxIndexRecords)
     return Error::failure(Path + ": index record count implausibly large");
 
+  auto ReadDigest = [&R](Sha256Digest &Out) -> Error {
+    auto Bytes = R.readBytes(32);
+    if (!Bytes)
+      return Bytes.takeError();
+    std::copy(Bytes->begin(), Bytes->end(), Out.begin());
+    return Error::success();
+  };
+
   Shards.clear();
   Shards.reserve(static_cast<size_t>(*Count));
   for (uint64_t I = 0; I != *Count; ++I) {
     ShardInfo Info;
-    auto Digest = R.readBytes(32);
-    if (!Digest)
-      return Digest.takeError();
-    std::copy(Digest->begin(), Digest->end(), Info.Digest.begin());
-    auto ImageId = R.readBytes(32);
-    if (!ImageId)
-      return ImageId.takeError();
-    std::copy(ImageId->begin(), ImageId->end(), Info.ImageId.begin());
+    if (Error E = ReadDigest(Info.Digest))
+      return E;
+    if (Error E = ReadDigest(Info.ImageId))
+      return E;
     auto ReadField = [&R](uint64_t &Out) -> Error {
       auto V = R.readU64();
       if (!V)
@@ -132,16 +170,74 @@ Error ProfileStore::loadIndex() {
                             &Info.TotalSamples})
       if (Error E = ReadField(*Field))
         return E;
-    auto Runs = R.readU32();
-    if (!Runs)
-      return Runs.takeError();
-    Info.Runs = *Runs;
+    auto Runs32 = R.readU32();
+    if (!Runs32)
+      return Runs32.takeError();
+    Info.Runs = *Runs32;
+    if (*Ver >= 2) {
+      if (Error E = ReadField(Info.CaptureTimeNs))
+        return E;
+    }
     Shards.push_back(Info);
+  }
+  std::sort(Shards.begin(), Shards.end(), digestLess);
+
+  Runs.clear();
+  if (*Ver >= 2) {
+    auto RunCount = R.readU64();
+    if (!RunCount)
+      return RunCount.takeError();
+    if (*RunCount > MaxIndexRecords)
+      return Error::failure(Path + ": run manifest count implausibly large");
+    Runs.reserve(static_cast<size_t>(*RunCount));
+    for (uint64_t I = 0; I != *RunCount; ++I) {
+      RunInfo Run;
+      if (Error E = ReadDigest(Run.Digest))
+        return E;
+      auto Level = R.readU32();
+      if (!Level)
+        return Level.takeError();
+      Run.Level = *Level;
+      auto ReadU64 = [&R](uint64_t &Out) -> Error {
+        auto V = R.readU64();
+        if (!V)
+          return V.takeError();
+        Out = *V;
+        return Error::success();
+      };
+      if (Error E = ReadU64(Run.MinTimeNs))
+        return E;
+      if (Error E = ReadU64(Run.MaxTimeNs))
+        return E;
+      auto Members = R.readU64();
+      if (!Members)
+        return Members.takeError();
+      if (*Members > MaxIndexRecords)
+        return Error::failure(Path + ": run member count implausibly large");
+      Run.Members.reserve(static_cast<size_t>(*Members));
+      for (uint64_t M = 0; M != *Members; ++M) {
+        Sha256Digest D;
+        if (Error E = ReadDigest(D))
+          return E;
+        Run.Members.push_back(D);
+      }
+      std::sort(Run.Members.begin(), Run.Members.end());
+      // The index is written as a whole, atomically, so a manifest naming
+      // a shard the same index dropped is corruption, not a torn write.
+      for (const Sha256Digest &D : Run.Members)
+        if (!findShard(D))
+          return Error::failure(
+              format("%s: run %s names shard %s not in the index",
+                     Path.c_str(),
+                     digestToHex(Run.Digest).substr(0, 12).c_str(),
+                     digestToHex(D).substr(0, 12).c_str()));
+      Runs.push_back(std::move(Run));
+    }
+    std::sort(Runs.begin(), Runs.end(), runDigestLess);
   }
   if (!R.atEnd())
     return Error::failure(format("%s: %zu trailing bytes after index data",
                                  Path.c_str(), R.remaining()));
-  std::sort(Shards.begin(), Shards.end(), digestLess);
   return Error::success();
 }
 
@@ -158,6 +254,17 @@ Error ProfileStore::saveIndex() const {
                            Info.NumBuckets, Info.NumArcs, Info.TotalSamples})
       W.writeU64(Field);
     W.writeU32(Info.Runs);
+    W.writeU64(Info.CaptureTimeNs);
+  }
+  W.writeU64(Runs.size());
+  for (const RunInfo &Run : Runs) {
+    W.writeBytes(Run.Digest.data(), Run.Digest.size());
+    W.writeU32(Run.Level);
+    W.writeU64(Run.MinTimeNs);
+    W.writeU64(Run.MaxTimeNs);
+    W.writeU64(Run.Members.size());
+    for (const Sha256Digest &D : Run.Members)
+      W.writeBytes(D.data(), D.size());
   }
   // Write-then-rename so a crash mid-save never leaves a torn index.
   return retryIo(
@@ -229,7 +336,8 @@ Error ProfileStore::checkCompatibleWithStore(const ProfileData &Data,
 
 Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
                                          const Sha256Digest &ImageId,
-                                         const std::string &Label) {
+                                         const std::string &Label,
+                                         uint64_t CaptureTimeNs) {
   static telemetry::DurationHistogram &Latency =
       telemetry::histogram("store.put.latency");
   telemetry::ScopedDuration Timer(Latency);
@@ -272,6 +380,7 @@ Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
   Info.NumArcs = Data.Arcs.size();
   Info.TotalSamples = Data.Hist.totalSamples();
   Info.Runs = Data.RunCount;
+  Info.CaptureTimeNs = CaptureTimeNs != 0 ? CaptureTimeNs : wallClockNs();
   Shards.insert(
       std::upper_bound(Shards.begin(), Shards.end(), Info, digestLess), Info);
   if (Error E = saveIndex())
@@ -280,18 +389,24 @@ Expected<Sha256Digest> ProfileStore::put(ProfileData Data,
 }
 
 Expected<Sha256Digest> ProfileStore::putFile(const std::string &GmonPath,
-                                             const Sha256Digest &ImageId) {
+                                             const Sha256Digest &ImageId,
+                                             uint64_t CaptureTimeNs) {
   GmonReadOptions ReadOpts;
   ReadOpts.Tolerant = Options.TolerantReads;
   auto Data = readGmonFile(GmonPath, ReadOpts);
   if (!Data)
     return Data.takeError();
-  return put(Data.takeValue(), ImageId, GmonPath);
+  return put(Data.takeValue(), ImageId, GmonPath, CaptureTimeNs);
 }
 
 std::vector<ShardInfo> ProfileStore::shardsSnapshot() const {
   std::lock_guard<std::mutex> Lock(*IngestMutex);
   return Shards;
+}
+
+std::vector<RunInfo> ProfileStore::runsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(*IngestMutex);
+  return Runs;
 }
 
 Expected<ShardInfo> ProfileStore::resolve(const std::string &HexPrefix) const {
@@ -331,16 +446,55 @@ ProfileStore::loadShard(const Sha256Digest &Digest) const {
   return Data;
 }
 
-Sha256Digest ProfileStore::aggregateDigest(std::vector<Sha256Digest> Members) {
-  std::sort(Members.begin(), Members.end());
-  Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
+Expected<ProfileData> ProfileStore::loadRun(const Sha256Digest &Digest) const {
+  // Runs are keyed by member set (like cache entries), not by content, so
+  // the gmon parse is the integrity check here; a damaged run fails it
+  // and merge() falls back to the member objects.
+  std::string Path = runPath(Digest);
+  auto Map = MappedFile::open(Path);
+  if (!Map)
+    return Map.takeError();
+  auto Data = readGmon(Map->data(), Map->size());
+  if (!Data)
+    return Error::failure(Path + ": " + Data.message());
+  return Data;
+}
+
+Sha256Digest
+ProfileStore::aggregateDigest(const std::vector<Sha256Digest> &Members) {
+  // Hot path of every cache probe: sort a local index over the caller's
+  // vector instead of copying 32 bytes per member.
+  std::vector<const Sha256Digest *> Order;
+  Order.reserve(Members.size());
+  for (const Sha256Digest &D : Members)
+    Order.push_back(&D);
+  std::sort(Order.begin(), Order.end(),
+            [](const Sha256Digest *A, const Sha256Digest *B) {
+              return *A < *B;
+            });
+  Order.erase(std::unique(Order.begin(), Order.end(),
+                          [](const Sha256Digest *A, const Sha256Digest *B) {
+                            return *A == *B;
+                          }),
+              Order.end());
   Sha256 H;
   // Domain-separate aggregate keys from shard content digests.
   const char Tag[4] = {'G', 'A', 'G', 'G'};
   H.update(reinterpret_cast<const uint8_t *>(Tag), sizeof(Tag));
-  for (const Sha256Digest &D : Members)
-    H.update(D.data(), D.size());
+  for (const Sha256Digest *D : Order)
+    H.update(D->data(), D->size());
   return H.finish();
+}
+
+std::vector<Sha256Digest>
+ProfileStore::membersInWindow(uint64_t SinceNs, uint64_t UntilNs) const {
+  std::lock_guard<std::mutex> Lock(*IngestMutex);
+  std::vector<Sha256Digest> Out;
+  for (const ShardInfo &S : Shards)
+    if (S.CaptureTimeNs >= SinceNs &&
+        (UntilNs == 0 || S.CaptureTimeNs <= UntilNs))
+      Out.push_back(S.Digest);
+  return Out;
 }
 
 Expected<ProfileStore::MergeResult>
@@ -350,6 +504,15 @@ ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
   telemetry::ScopedDuration Timer(Latency);
   if (Error E = fault::check("store.merge", Root))
     return E;
+
+  /// A run selected to substitute for its members; the member list rides
+  /// along so a damaged run file can fall back to the raw objects.
+  struct RunSel {
+    Sha256Digest Digest;
+    std::vector<Sha256Digest> Members;
+  };
+  std::vector<RunSel> SelectedRuns;
+  std::vector<Sha256Digest> Loose;
   {
     // Index reads race with concurrent put() in the daemon; the heavy
     // merge below runs outside the lock over immutable object files.
@@ -366,6 +529,47 @@ ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
         return Error::failure(format("no shard %s in store '%s'",
                                      digestToHex(D).substr(0, 12).c_str(),
                                      Root.c_str()));
+
+    // Tiered lookup: substitute every run whose member set the request
+    // covers, preferring high levels (one level-L run replaces Fanout^L
+    // members).  Live runs have disjoint member sets, but the Covered
+    // mask keeps the substitution sound even if that invariant were ever
+    // violated on disk.
+    std::vector<const RunInfo *> Candidates;
+    Candidates.reserve(Runs.size());
+    for (const RunInfo &R : Runs)
+      Candidates.push_back(&R);
+    std::sort(Candidates.begin(), Candidates.end(),
+              [](const RunInfo *A, const RunInfo *B) {
+                if (A->Level != B->Level)
+                  return A->Level > B->Level;
+                return A->Digest < B->Digest;
+              });
+    std::vector<uint8_t> Covered(Members.size(), 0);
+    for (const RunInfo *R : Candidates) {
+      if (R->Members.size() > Members.size())
+        continue;
+      bool Usable = true;
+      std::vector<size_t> Hits;
+      Hits.reserve(R->Members.size());
+      for (const Sha256Digest &D : R->Members) {
+        auto It = std::lower_bound(Members.begin(), Members.end(), D);
+        if (It == Members.end() || *It != D ||
+            Covered[static_cast<size_t>(It - Members.begin())]) {
+          Usable = false;
+          break;
+        }
+        Hits.push_back(static_cast<size_t>(It - Members.begin()));
+      }
+      if (!Usable)
+        continue;
+      for (size_t I : Hits)
+        Covered[I] = 1;
+      SelectedRuns.push_back({R->Digest, R->Members});
+    }
+    for (size_t I = 0; I != Members.size(); ++I)
+      if (!Covered[I])
+        Loose.push_back(Members[I]);
   }
 
   MergeResult Result;
@@ -388,19 +592,46 @@ ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
       Result.CacheHit = true;
       return Result;
     }
-    // A damaged cache entry is not an error — recompute below.
+    // A damaged cache entry is recomputed below — but evict it *now*: if
+    // the recompute errors out before its atomic rename replaces the
+    // file, a lingering torn entry would fail every subsequent query.
     (void)Data.takeError();
+    telemetry::counter("store.merge.cache_evictions").add(1);
+    if (Error E = removeFile(Cached))
+      return E;
   }
   CacheMisses.add(1);
 
+  // Load the selected runs first, then the loose members they left over.
+  // A run that fails to load costs speed, not correctness: its members
+  // rejoin the loose list and merge from the raw objects.
   std::vector<ProfileData> Inputs;
-  Inputs.reserve(Members.size());
-  for (const Sha256Digest &D : Members) {
+  Inputs.reserve(SelectedRuns.size() + Loose.size());
+  size_t RunsUsed = 0;
+  for (const RunSel &R : SelectedRuns) {
+    auto Data = loadRun(R.Digest);
+    if (!Data) {
+      (void)Data.takeError();
+      telemetry::gauge("store.merge.run_fallbacks").add(1);
+      Loose.insert(Loose.end(), R.Members.begin(), R.Members.end());
+      continue;
+    }
+    Inputs.push_back(Data.takeValue());
+    ++RunsUsed;
+  }
+  std::sort(Loose.begin(), Loose.end());
+  for (const Sha256Digest &D : Loose) {
     auto Data = loadShard(D);
     if (!Data)
       return Data.takeError();
     Inputs.push_back(Data.takeValue());
   }
+  Result.InputsMerged = Inputs.size();
+  Result.RunsUsed = RunsUsed;
+  // Gauges: how much of the request compaction had pre-folded depends on
+  // when the background pass last ran, not on the data alone.
+  telemetry::gauge("store.merge.runs_used").add(RunsUsed);
+  telemetry::gauge("store.merge.loose_shards").add(Loose.size());
   telemetry::counter("store.merge.shards_loaded").add(Inputs.size());
   auto Merged = mergeProfiles(Inputs, Pool);
   if (!Merged)
@@ -416,21 +647,271 @@ ProfileStore::merge(std::vector<Sha256Digest> Members, ThreadPool *Pool) {
   return Result;
 }
 
+bool ProfileStore::planCompaction(CompactionPlan &Plan) const {
+  const unsigned Fanout = std::max(2u, Options.CompactionFanout);
+
+  // Level 0: shards no live run covers yet.  Oldest first, so runs cover
+  // contiguous capture windows and retention can retire whole runs.
+  std::vector<Sha256Digest> CoveredDigests;
+  for (const RunInfo &R : Runs)
+    CoveredDigests.insert(CoveredDigests.end(), R.Members.begin(),
+                          R.Members.end());
+  std::sort(CoveredDigests.begin(), CoveredDigests.end());
+  std::vector<const ShardInfo *> Uncovered;
+  for (const ShardInfo &S : Shards)
+    if (!std::binary_search(CoveredDigests.begin(), CoveredDigests.end(),
+                            S.Digest))
+      Uncovered.push_back(&S);
+  if (Uncovered.size() >= Fanout) {
+    std::sort(Uncovered.begin(), Uncovered.end(),
+              [](const ShardInfo *A, const ShardInfo *B) {
+                if (A->CaptureTimeNs != B->CaptureTimeNs)
+                  return A->CaptureTimeNs < B->CaptureTimeNs;
+                return A->Digest < B->Digest;
+              });
+    Plan = CompactionPlan();
+    Plan.OutLevel = 1;
+    Plan.MinTimeNs = UINT64_MAX;
+    for (unsigned I = 0; I != Fanout; ++I) {
+      const ShardInfo *S = Uncovered[I];
+      Plan.SourceShards.push_back(S->Digest);
+      Plan.Members.push_back(S->Digest);
+      Plan.MinTimeNs = std::min(Plan.MinTimeNs, S->CaptureTimeNs);
+      Plan.MaxTimeNs = std::max(Plan.MaxTimeNs, S->CaptureTimeNs);
+    }
+    std::sort(Plan.Members.begin(), Plan.Members.end());
+    return true;
+  }
+
+  // Higher tiers: Fanout runs of one level fold into the level above,
+  // lowest level first so the tree fills bottom-up.
+  uint32_t MaxLevel = 0;
+  for (const RunInfo &R : Runs)
+    MaxLevel = std::max(MaxLevel, R.Level);
+  for (uint32_t L = 1; L <= MaxLevel; ++L) {
+    std::vector<const RunInfo *> AtLevel;
+    for (const RunInfo &R : Runs)
+      if (R.Level == L)
+        AtLevel.push_back(&R);
+    if (AtLevel.size() < Fanout)
+      continue;
+    std::sort(AtLevel.begin(), AtLevel.end(),
+              [](const RunInfo *A, const RunInfo *B) {
+                if (A->MinTimeNs != B->MinTimeNs)
+                  return A->MinTimeNs < B->MinTimeNs;
+                return A->Digest < B->Digest;
+              });
+    Plan = CompactionPlan();
+    Plan.OutLevel = L + 1;
+    Plan.MinTimeNs = UINT64_MAX;
+    for (unsigned I = 0; I != Fanout; ++I) {
+      const RunInfo *R = AtLevel[I];
+      Plan.SourceRuns.push_back(R->Digest);
+      Plan.Members.insert(Plan.Members.end(), R->Members.begin(),
+                          R->Members.end());
+      Plan.MinTimeNs = std::min(Plan.MinTimeNs, R->MinTimeNs);
+      Plan.MaxTimeNs = std::max(Plan.MaxTimeNs, R->MaxTimeNs);
+    }
+    std::sort(Plan.Members.begin(), Plan.Members.end());
+    return true;
+  }
+  return false;
+}
+
+bool ProfileStore::compactionPending() const {
+  std::lock_guard<std::mutex> Lock(*IngestMutex);
+  CompactionPlan Plan;
+  return planCompaction(Plan);
+}
+
+Expected<bool> ProfileStore::compactStep(ThreadPool *Pool,
+                                         CompactionStats *Stats) {
+  static telemetry::DurationHistogram &Latency =
+      telemetry::histogram("store.compact.latency");
+  telemetry::ScopedDuration Timer(Latency);
+  if (Error E = fault::check("store.compact", Root))
+    return E;
+
+  CompactionPlan Plan;
+  {
+    std::lock_guard<std::mutex> Lock(*IngestMutex);
+    if (!planCompaction(Plan))
+      return false;
+  }
+
+  // Heavy phase outside the lock: the sources are immutable files, and a
+  // concurrent put() must not stall behind a fold.
+  std::vector<ProfileData> Inputs;
+  Inputs.reserve(Plan.SourceRuns.size() + Plan.SourceShards.size());
+  for (const Sha256Digest &D : Plan.SourceRuns) {
+    auto Data = loadRun(D);
+    if (!Data)
+      return Data.takeError();
+    Inputs.push_back(Data.takeValue());
+  }
+  for (const Sha256Digest &D : Plan.SourceShards) {
+    auto Data = loadShard(D);
+    if (!Data)
+      return Data.takeError();
+    Inputs.push_back(Data.takeValue());
+  }
+  auto Merged = mergeProfiles(Inputs, Pool);
+  if (!Merged)
+    return Merged.takeError();
+  std::vector<uint8_t> Bytes = writeGmon(*Merged);
+
+  RunInfo NewRun;
+  NewRun.Digest = aggregateDigest(Plan.Members);
+  NewRun.Level = Plan.OutLevel;
+  NewRun.MinTimeNs = Plan.MinTimeNs;
+  NewRun.MaxTimeNs = Plan.MaxTimeNs;
+  NewRun.Members = Plan.Members;
+
+  std::lock_guard<std::mutex> Lock(*IngestMutex);
+  // Re-validate under the lock: gc expiry may have retired a source while
+  // the fold ran.  A stale plan is dropped — returning true sends the
+  // caller's loop back to planning against the new state.
+  auto Contains = [](const std::vector<Sha256Digest> &Haystack,
+                     const Sha256Digest &Needle) {
+    return std::find(Haystack.begin(), Haystack.end(), Needle) !=
+           Haystack.end();
+  };
+  for (const Sha256Digest &D : Plan.SourceRuns)
+    if (!findRun(D))
+      return true;
+  for (const Sha256Digest &D : Plan.SourceShards)
+    if (!findShard(D))
+      return true;
+  if (!Plan.SourceShards.empty())
+    for (const RunInfo &R : Runs)
+      for (const Sha256Digest &D : R.Members)
+        if (Contains(Plan.SourceShards, D))
+          return true;
+  if (findRun(NewRun.Digest))
+    return true; // Identical fold already committed.
+
+  // Commit order: run file first (atomic), then the index rewrite.  A
+  // failure between the two strands an orphan run file gc() sweeps —
+  // never an index naming a missing run.
+  if (Error E = retryIo([&] {
+        return writeFileBytesAtomic(runPath(NewRun.Digest), Bytes);
+      }))
+    return E;
+  std::vector<RunInfo> PriorRuns = Runs;
+  Runs.erase(std::remove_if(Runs.begin(), Runs.end(),
+                            [&](const RunInfo &R) {
+                              return Contains(Plan.SourceRuns, R.Digest);
+                            }),
+             Runs.end());
+  Runs.insert(
+      std::upper_bound(Runs.begin(), Runs.end(), NewRun, runDigestLess),
+      NewRun);
+  if (Error E = saveIndex()) {
+    // Disk kept the old index; restore the in-memory view to match.  The
+    // already-committed run file is unreferenced residue for gc().
+    Runs = std::move(PriorRuns);
+    return E;
+  }
+  // The retired sources are unreferenced now; best-effort removal, gc
+  // sweeps whatever a failure here leaves behind.
+  for (const Sha256Digest &D : Plan.SourceRuns)
+    discardError(removeFile(runPath(D)));
+
+  if (Stats) {
+    ++Stats->Steps;
+    Stats->RunsRetired += Plan.SourceRuns.size();
+    Stats->ShardsFolded += Plan.SourceShards.size();
+  }
+  // Gauges: how many folds run, and when, depends on scheduling (daemon
+  // idle time, CLI invocations), not on the profile data.
+  telemetry::gauge("store.compact.steps").add(1);
+  telemetry::gauge("store.compact.runs_retired").add(Plan.SourceRuns.size());
+  telemetry::gauge("store.compact.shards_folded")
+      .add(Plan.SourceShards.size());
+  EventLog::instance().emit(
+      "compaction.step",
+      jsonIntField("level", NewRun.Level) + ", " +
+          jsonIntField("inputs", Inputs.size()) + ", " +
+          jsonIntField("members", NewRun.Members.size()) + ", " +
+          jsonStringField("run",
+                          digestToHex(NewRun.Digest).substr(0, 12)));
+  return true;
+}
+
+Expected<CompactionStats> ProfileStore::compact(ThreadPool *Pool) {
+  CompactionStats Stats;
+  for (;;) {
+    auto Worked = compactStep(Pool, &Stats);
+    if (!Worked)
+      return Worked.takeError();
+    if (!*Worked)
+      return Stats;
+  }
+}
+
 namespace {
 
 bool hasTmpSuffix(const std::string &Name) {
   return Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".tmp") == 0;
 }
 
+/// Strips a trailing ".gmon" so slot names parse back to digests.
+std::string stripGmonSuffix(std::string Name) {
+  if (Name.size() > 5 && Name.compare(Name.size() - 5, 5, ".gmon") == 0)
+    Name.resize(Name.size() - 5);
+  return Name;
+}
+
 } // namespace
 
-Expected<GcStats> ProfileStore::gc() {
+Expected<GcStats> ProfileStore::gc() { return gc(GcOptions{}); }
+
+Expected<GcStats> ProfileStore::gc(const GcOptions &GcOpts) {
   if (Error E = fault::check("store.gc", Root))
     return E;
   // Sweeps consult the index (findShard) and delete files concurrent
   // put() may be about to name; hold the ingest lock for the whole sweep.
   std::lock_guard<std::mutex> Lock(*IngestMutex);
   GcStats Stats;
+
+  // Retention expiry first: shrink the index, commit it, then let the
+  // sweeps below collect the files it no longer names.  Index-then-files
+  // order means a crash mid-gc can only strand orphans, never leave the
+  // index naming deleted objects.
+  if (GcOpts.ExpireBeforeNs != 0) {
+    std::vector<Sha256Digest> Expired;
+    for (const ShardInfo &S : Shards)
+      if (S.CaptureTimeNs < GcOpts.ExpireBeforeNs)
+        Expired.push_back(S.Digest);
+    if (!Expired.empty()) {
+      std::sort(Expired.begin(), Expired.end());
+      size_t RunsBefore = Runs.size();
+      // A run overlapping any expired member is retired whole: its
+      // aggregate would keep counting samples the retention policy says
+      // are gone.
+      Runs.erase(std::remove_if(Runs.begin(), Runs.end(),
+                                [&](const RunInfo &R) {
+                                  for (const Sha256Digest &D : R.Members)
+                                    if (std::binary_search(Expired.begin(),
+                                                           Expired.end(), D))
+                                      return true;
+                                  return false;
+                                }),
+                 Runs.end());
+      Stats.RetiredRuns = static_cast<unsigned>(RunsBefore - Runs.size());
+      Shards.erase(std::remove_if(Shards.begin(), Shards.end(),
+                                  [&](const ShardInfo &S) {
+                                    return std::binary_search(Expired.begin(),
+                                                              Expired.end(),
+                                                              S.Digest);
+                                  }),
+                   Shards.end());
+      Stats.ExpiredShards = static_cast<unsigned>(Expired.size());
+      if (Error E = saveIndex())
+        return E;
+    }
+  }
+
   // Stale .tmp files are the residue of writes interrupted before their
   // rename; atomic writers leave them only on a crash or injected fault.
   if (fileExists(Root + "/index.bin.tmp")) {
@@ -438,10 +919,28 @@ Expected<GcStats> ProfileStore::gc() {
       return E;
     ++Stats.TempFiles;
   }
+
+  // The cache sweep keeps the entry for the current full member set —
+  // the key the very next default report asks for, still valid because
+  // the member set it memoizes is exactly what is live.  Subset keys are
+  // one-way hashes of unknown member lists, so they cannot be proven
+  // valid and are dropped.
+  std::string LiveAggName;
+  if (!Shards.empty()) {
+    std::vector<Sha256Digest> All;
+    All.reserve(Shards.size());
+    for (const ShardInfo &S : Shards)
+      All.push_back(S.Digest);
+    LiveAggName = digestToHex(aggregateDigest(All)) + ".gmon";
+  }
   auto CacheEntries = listDirectory(Root + "/cache");
   if (!CacheEntries)
     return CacheEntries.takeError();
   for (const std::string &Name : *CacheEntries) {
+    if (!hasTmpSuffix(Name) && Name == LiveAggName) {
+      ++Stats.RetainedAggregates;
+      continue;
+    }
     if (Error E = removeFile(Root + "/cache/" + Name))
       return E;
     if (hasTmpSuffix(Name))
@@ -459,10 +958,7 @@ Expected<GcStats> ProfileStore::gc() {
     if (!Objects)
       return Objects.takeError();
     for (const std::string &Name : *Objects) {
-      std::string Stem = Name;
-      if (Stem.size() > 5 && Stem.compare(Stem.size() - 5, 5, ".gmon") == 0)
-        Stem.resize(Stem.size() - 5);
-      auto Digest = digestFromHex(Stem);
+      auto Digest = digestFromHex(stripGmonSuffix(Name));
       if (Digest && findShard(*Digest))
         continue;
       if (Error E = removeFile(FanDir + "/" + Name))
@@ -473,12 +969,40 @@ Expected<GcStats> ProfileStore::gc() {
         ++Stats.OrphanObjects;
     }
   }
+
+  // Run files without a live manifest: compaction residue from a fold
+  // that committed its file but not its index, or sources a fold retired
+  // without managing to unlink.
+  auto RunEntries = listDirectory(Root + "/runs");
+  if (!RunEntries)
+    return RunEntries.takeError();
+  for (const std::string &Name : *RunEntries) {
+    auto Digest = digestFromHex(stripGmonSuffix(Name));
+    if (Digest && findRun(*Digest))
+      continue;
+    if (Error E = removeFile(Root + "/runs/" + Name))
+      return E;
+    if (hasTmpSuffix(Name))
+      ++Stats.TempFiles;
+    else
+      ++Stats.OrphanRuns;
+  }
+
   telemetry::counter("store.gc.cache_files").add(Stats.CachedAggregates);
+  telemetry::counter("store.gc.retained_aggregates")
+      .add(Stats.RetainedAggregates);
   telemetry::counter("store.gc.orphan_objects").add(Stats.OrphanObjects);
+  telemetry::counter("store.gc.orphan_runs").add(Stats.OrphanRuns);
   telemetry::counter("store.gc.temp_files").add(Stats.TempFiles);
+  telemetry::counter("store.gc.expired_shards").add(Stats.ExpiredShards);
+  telemetry::counter("store.gc.retired_runs").add(Stats.RetiredRuns);
   EventLog::instance().emit(
       "gc.sweep", jsonIntField("cached", Stats.CachedAggregates) + ", " +
-                      jsonIntField("orphans", Stats.OrphanObjects) + ", " +
-                      jsonIntField("temp", Stats.TempFiles));
+                      jsonIntField("retained", Stats.RetainedAggregates) +
+                      ", " + jsonIntField("orphans", Stats.OrphanObjects) +
+                      ", " + jsonIntField("orphan_runs", Stats.OrphanRuns) +
+                      ", " + jsonIntField("temp", Stats.TempFiles) + ", " +
+                      jsonIntField("expired", Stats.ExpiredShards) + ", " +
+                      jsonIntField("retired_runs", Stats.RetiredRuns));
   return Stats;
 }

@@ -11,8 +11,9 @@
 /// thousands of gmon files around and aggregating subsets of them on
 /// demand.  Layout under the store root:
 ///
-///   index.bin                    versioned binary index of every shard
+///   index.bin                    versioned binary index of shards and runs
 ///   objects/<hh>/<digest>.gmon   canonical shard bytes, content-addressed
+///   runs/<digest>.gmon           compacted partial merges (tiered runs)
 ///   cache/<digest>.gmon          merged aggregates, keyed by member set
 ///
 /// Shards are canonicalized (arc table sorted, duplicates coalesced) before
@@ -24,6 +25,19 @@
 /// tree (store/MergeEngine.h) and is deterministic, which is what makes
 /// the aggregate cache sound: the cache key depends only on the member
 /// digest set, never on thread count or ingest order.
+///
+/// Aggregation is *tiered* (log-structured merge): freshly ingested shards
+/// sit at level 0, and compaction folds the oldest Fanout of them into a
+/// level-1 *run* — a memoized partial merge over a fixed member set — then
+/// Fanout level-1 runs into a level-2 run, and so on.  merge() substitutes
+/// each run whose member set is covered by the request for its members, so
+/// a report over N shards reads O(log_Fanout N) runs plus the uncompacted
+/// tail instead of N objects.  Runs are an acceleration structure only:
+/// shards are never deleted by compaction, subset queries that slice
+/// through a run simply fall back to the member objects, and losing a run
+/// file loses speed, never data.  Because the merge engine is associative
+/// and deterministic, a tiered merge is byte-identical to the flat merge
+/// of the same members at every compaction state.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,13 +70,53 @@ struct ShardInfo {
   uint64_t NumArcs = 0;
   uint64_t TotalSamples = 0;
   uint32_t Runs = 0;
+  /// Wall-clock capture time, nanoseconds since the epoch — stamped at
+  /// ingest (index format v2).  Drives windowed reports (--since/--until)
+  /// and retention expiry; shards from a v1 index read back as 0.
+  uint64_t CaptureTimeNs = 0;
 };
 
-/// What gc() swept.
+/// One compacted run: a memoized partial merge over a fixed, disjoint set
+/// of shards.  Runs tier upward — a level-L run folds Fanout level-(L-1)
+/// runs (level 1 folds raw shards) — and every live run's member set is
+/// disjoint from every other's, so merge() can substitute runs for their
+/// members without double counting.
+struct RunInfo {
+  /// Aggregate digest of the member set (aggregateDigest), which names
+  /// runs/<digest>.gmon.  Keyed like cache entries: by *what was merged*,
+  /// sound because the merge engine is deterministic.
+  Sha256Digest Digest{};
+  uint32_t Level = 1; ///< Tier height; folding Fanout of these makes L+1.
+  /// Capture-time window covered: [min, max] over the member shards.
+  uint64_t MinTimeNs = 0;
+  uint64_t MaxTimeNs = 0;
+  std::vector<Sha256Digest> Members; ///< Shard digests folded in, sorted.
+};
+
+/// Retention knobs for gc().
+struct GcOptions {
+  /// Drop every shard captured strictly before this timestamp (ns since
+  /// epoch); runs overlapping an expired shard are retired with it.
+  /// 0 = no expiry, sweep only.
+  uint64_t ExpireBeforeNs = 0;
+};
+
+/// What gc() swept (and deliberately kept).
 struct GcStats {
-  unsigned CachedAggregates = 0; ///< Cache entries removed.
-  unsigned OrphanObjects = 0;    ///< Object files not named by the index.
-  unsigned TempFiles = 0;        ///< Stale .tmp files from interrupted writes.
+  unsigned CachedAggregates = 0;  ///< Cache entries removed.
+  unsigned RetainedAggregates = 0; ///< Still-valid cache entries kept.
+  unsigned OrphanObjects = 0;     ///< Object files not named by the index.
+  unsigned OrphanRuns = 0;        ///< Run files without a live manifest.
+  unsigned TempFiles = 0;         ///< Stale .tmp files from torn writes.
+  unsigned ExpiredShards = 0;     ///< Shards dropped by ExpireBeforeNs.
+  unsigned RetiredRuns = 0;       ///< Runs retired because a member expired.
+};
+
+/// What a compaction pass accomplished.
+struct CompactionStats {
+  unsigned Steps = 0;         ///< Folds committed (one new run each).
+  unsigned RunsRetired = 0;   ///< Lower-level runs folded away.
+  uint64_t ShardsFolded = 0;  ///< Level-0 shards newly covered by a run.
 };
 
 /// Behavioral knobs for an open store.
@@ -77,6 +131,12 @@ struct StoreOptions {
   unsigned IoRetries = 2;
   /// Sleep before the first retry, in milliseconds; doubles per attempt.
   unsigned RetryBackoffMs = 1;
+  /// Inputs folded per compaction step: Fanout uncovered shards become a
+  /// level-1 run, Fanout level-L runs become a level-(L+1) run.  A store
+  /// of N shards compacts to at most Fanout tiers per level plus a
+  /// sub-Fanout tail, so report() merges O(Fanout·log_Fanout N) inputs.
+  /// Clamped to >= 2.
+  unsigned CompactionFanout = 8;
 };
 
 /// An open profile repository rooted at one directory.
@@ -104,18 +164,30 @@ public:
   /// concurrent put() from other threads sharing this store.
   std::vector<ShardInfo> shardsSnapshot() const;
 
+  /// Every live compacted run, sorted by ascending digest.  Borrowing
+  /// view; concurrent readers must use runsSnapshot().
+  const std::vector<RunInfo> &runs() const { return Runs; }
+
+  /// A copy of the run manifests taken under the ingest lock.
+  std::vector<RunInfo> runsSnapshot() const;
+
   /// Ingests one profile: canonicalizes, validates compatibility against
   /// the shards already present, writes the object, and updates the index.
   /// Idempotent — re-ingesting identical data returns the same digest
   /// without rewriting anything.  \p Label names the source in errors.
+  /// \p CaptureTimeNs stamps the shard's capture time (ns since epoch);
+  /// 0 means "now".  Explicit stamps exist for backfill and for
+  /// deterministic tests of windowed selection.
   Expected<Sha256Digest> put(ProfileData Data,
                              const Sha256Digest &ImageId = Sha256Digest{},
-                             const std::string &Label = "profile");
+                             const std::string &Label = "profile",
+                             uint64_t CaptureTimeNs = 0);
 
   /// Reads the gmon file at \p GmonPath and ingests it.
   Expected<Sha256Digest>
   putFile(const std::string &GmonPath,
-          const Sha256Digest &ImageId = Sha256Digest{});
+          const Sha256Digest &ImageId = Sha256Digest{},
+          uint64_t CaptureTimeNs = 0);
 
   /// Resolves a (unique) hex digest prefix to a shard record.
   Expected<ShardInfo> resolve(const std::string &HexPrefix) const;
@@ -123,36 +195,97 @@ public:
   /// Loads one shard's profile data from its object slot.
   Expected<ProfileData> loadShard(const Sha256Digest &Digest) const;
 
+  /// Loads one compacted run's aggregate from its run slot.
+  Expected<ProfileData> loadRun(const Sha256Digest &Digest) const;
+
   /// The digest that keys an aggregate over \p Members (order-insensitive:
-  /// members are deduplicated and sorted before hashing).
-  static Sha256Digest aggregateDigest(std::vector<Sha256Digest> Members);
+  /// members are deduplicated and sorted before hashing; the argument is
+  /// never copied — this runs on every cache probe).
+  static Sha256Digest aggregateDigest(const std::vector<Sha256Digest> &Members);
 
   struct MergeResult {
     ProfileData Data;
     Sha256Digest Digest; ///< Aggregate digest (the cache key).
     bool CacheHit = false;
     size_t MemberCount = 0;
+    /// Profiles actually folded on a cache miss: substituted runs plus
+    /// loose shards.  After compaction this is O(log N), not N — the
+    /// whole point of the tiered store.  0 on a cache hit.
+    size_t InputsMerged = 0;
+    /// How many of InputsMerged were compacted runs.
+    size_t RunsUsed = 0;
   };
 
   /// Merges the shards named by \p Members (every shard when empty) and
   /// caches the aggregate; subsequent identical queries are served from
-  /// the cache without re-merging.  \p Pool may be null for a sequential
+  /// the cache without re-merging.  Compacted runs fully covered by the
+  /// member set substitute for their members, so a compacted store merges
+  /// a handful of runs instead of every shard; the bytes are identical to
+  /// a flat merge either way.  \p Pool may be null for a sequential
   /// merge — the bytes are identical either way.
   Expected<MergeResult> merge(std::vector<Sha256Digest> Members,
                               ThreadPool *Pool = nullptr);
 
-  /// Drops every cached aggregate and deletes object files the index does
-  /// not reference.
-  Expected<GcStats> gc();
+  /// Shards captured inside [SinceNs, UntilNs] (ns since epoch, inclusive;
+  /// UntilNs = 0 means unbounded above), sorted by digest.  Feed the
+  /// result to merge() for a windowed report — but mind that an empty
+  /// window yields an empty vector, which merge() reads as "all shards".
+  std::vector<Sha256Digest> membersInWindow(uint64_t SinceNs,
+                                            uint64_t UntilNs) const;
 
-  /// Filesystem slot of a shard object / cached aggregate.
+  /// Performs at most one compaction fold: the oldest Fanout uncovered
+  /// shards into a level-1 run, or the oldest Fanout level-L runs into a
+  /// level-(L+1) run.  Returns true if a fold was committed (or the store
+  /// changed underfoot and planning should rerun), false when the store
+  /// is fully compacted.  Crash-safe: the run file commits by atomic
+  /// write-then-rename before the index is rewritten, and a failure at
+  /// any point leaves every committed artifact intact — at worst an
+  /// orphan run file that gc() sweeps.  \p Stats, when given, accumulates
+  /// what the fold accomplished.
+  Expected<bool> compactStep(ThreadPool *Pool = nullptr,
+                             CompactionStats *Stats = nullptr);
+
+  /// Runs compactStep until no fold remains.
+  Expected<CompactionStats> compact(ThreadPool *Pool = nullptr);
+
+  /// True if compactStep would have work to do — a cheap planning pass
+  /// under the ingest lock, used by the daemon to decide whether to
+  /// schedule a background pass.
+  bool compactionPending() const;
+
+  /// Sweeps unreferenced files: cache entries other than the live
+  /// full-member-set aggregate (subset keys are one-way hashes, so only
+  /// the entry the next default report will ask for is identifiable as
+  /// still-valid), object files the index does not name, run files
+  /// without a live manifest, and stale .tmp residue.  With
+  /// GcOptions::ExpireBeforeNs, first drops shards older than the cutoff
+  /// and retires runs that overlap them.
+  Expected<GcStats> gc();
+  Expected<GcStats> gc(const GcOptions &GcOpts);
+
+  /// Filesystem slot of a shard object / compacted run / cached aggregate.
   std::string objectPath(const Sha256Digest &Digest) const;
+  std::string runPath(const Sha256Digest &Digest) const;
   std::string cachePath(const Sha256Digest &AggregateDigest) const;
 
 private:
+  /// One planned fold, selected under the ingest lock.
+  struct CompactionPlan {
+    uint32_t OutLevel = 1;
+    std::vector<Sha256Digest> SourceRuns;   ///< Runs folded (level >= 2).
+    std::vector<Sha256Digest> SourceShards; ///< Shards folded (level 1).
+    std::vector<Sha256Digest> Members;      ///< Union member set, sorted.
+    uint64_t MinTimeNs = 0;
+    uint64_t MaxTimeNs = 0;
+  };
+
   Error loadIndex();
   Error saveIndex() const;
   const ShardInfo *findShard(const Sha256Digest &Digest) const;
+  const RunInfo *findRun(const Sha256Digest &Digest) const;
+  /// Picks the next fold (lowest level first, oldest inputs first).
+  /// Caller holds the ingest lock.  False when fully compacted.
+  bool planCompaction(CompactionPlan &Plan) const;
   Error checkCompatibleWithStore(const ProfileData &Data,
                                  const Sha256Digest &ImageId,
                                  const std::string &Label) const;
@@ -163,11 +296,13 @@ private:
   std::string Root;
   StoreOptions Options;
   std::vector<ShardInfo> Shards; ///< Sorted by digest.
-  /// Single-writer lock over Shards and the index.bin write-then-rename:
-  /// simultaneous put() calls from daemon worker threads must not
-  /// interleave the rewrite and drop each other's entries.  Held by put,
-  /// gc, and every index read that can race with them.  shared_ptr keeps
-  /// the store movable (ProfileStore travels through Expected by value);
+  std::vector<RunInfo> Runs;     ///< Sorted by digest; disjoint members.
+  /// Single-writer lock over Shards, Runs, and the index.bin
+  /// write-then-rename: simultaneous put() calls from daemon worker
+  /// threads must not interleave the rewrite and drop each other's
+  /// entries.  Held by put, gc, compaction's plan/commit phases, and
+  /// every index read that can race with them.  shared_ptr keeps the
+  /// store movable (ProfileStore travels through Expected by value);
   /// cross-process writers still need external coordination — the serve
   /// daemon is the single writer for its root.
   std::shared_ptr<std::mutex> IngestMutex = std::make_shared<std::mutex>();

@@ -30,6 +30,7 @@
 ///   store.put    ProfileStore::put entry
 ///   store.merge  ProfileStore::merge entry
 ///   store.gc     ProfileStore::gc entry
+///   store.compact ProfileStore::compactStep entry (tiered run folding)
 ///   sock.connect Socket UnixSocket::connectTo
 ///   sock.accept  Socket UnixListener::accept
 ///   sock.read    Socket UnixSocket::recvSome (daemon + client frame reads)

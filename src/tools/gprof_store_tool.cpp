@@ -9,10 +9,14 @@
 /// shards into a content-addressed repository, `list` shows the index,
 /// `merge` aggregates any subset through the parallel k-way merge tree
 /// (caching the result by the member digest set), `report` feeds a merged
-/// aggregate straight into the gprof analyzer and printers, and `gc`
-/// sweeps cached aggregates and orphaned objects.  This is the fleet-scale
-/// version of "summing the data over several profiled runs": shards
-/// accumulate across runs and machines, and any subset can be turned into
+/// aggregate straight into the gprof analyzer and printers, `compact`
+/// folds shards into tiered runs so reports over thousands of shards
+/// merge a handful of partial aggregates (store/ProfileStore.h), and `gc`
+/// sweeps stale cache entries, orphaned objects and runs — optionally
+/// expiring shards by capture time (`--expire-before`).  This is the
+/// fleet-scale version of "summing the data over several profiled runs":
+/// shards accumulate across runs and machines, and any subset — including
+/// a capture-time window (`report --since/--until`) — can be turned into
 /// a profile listing on demand.
 ///
 /// The continuous-profiling commands move shards over a local socket
@@ -39,6 +43,7 @@
 #include "support/TraceWriter.h"
 #include "vm/Image.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -85,6 +90,23 @@ bool parseJobs(OptionParser &Opts, unsigned &Jobs) {
   return true;
 }
 
+/// Parses an optional u64 value (capture-time nanoseconds); false on
+/// malformed input.  \p Present reports whether the option was given.
+bool parseU64Option(const OptionParser &Opts, const char *Name, uint64_t &Out,
+                    bool &Present) {
+  Present = false;
+  Out = 0;
+  auto V = Opts.getValue(Name);
+  if (!V)
+    return true;
+  unsigned long long N;
+  if (!parseUInt64(*V, N))
+    return false;
+  Out = N;
+  Present = true;
+  return true;
+}
+
 /// Resolves positional digest-prefix arguments (after the leading \p Skip
 /// positionals) into full member digests; empty result means "all shards".
 Expected<std::vector<Sha256Digest>> resolveMembers(const ProfileStore &Store,
@@ -110,6 +132,10 @@ int cmdPut(int Argc, const char *const *Argv) {
   Opts.addFlag("tolerant", 0,
                "salvage whole records from truncated gmon files instead of "
                "rejecting them");
+  Opts.addOption("capture-time", 0, "NS",
+                 "stamp the shards with this capture time (nanoseconds "
+                 "since the epoch) instead of now — for backfilling "
+                 "historical profiles");
   addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
@@ -119,6 +145,11 @@ int cmdPut(int Argc, const char *const *Argv) {
   }
   if (Opts.positional().size() < 2)
     return fail("expected a store path and at least one gmon file");
+  uint64_t CaptureTimeNs;
+  bool HaveCaptureTime;
+  if (!parseU64Option(Opts, "capture-time", CaptureTimeNs, HaveCaptureTime))
+    return fail("invalid --capture-time value");
+  (void)HaveCaptureTime; // 0 (and absent) both mean "stamp with now".
 
   Sha256Digest ImageId{};
   if (auto ImagePath = Opts.getValue("image")) {
@@ -135,7 +166,7 @@ int cmdPut(int Argc, const char *const *Argv) {
     return fail(Store.message());
   for (size_t I = 1; I < Opts.positional().size(); ++I) {
     const std::string &Path = Opts.positional()[I];
-    auto Digest = Store->putFile(Path, ImageId);
+    auto Digest = Store->putFile(Path, ImageId, CaptureTimeNs);
     if (!Digest)
       return fail(Digest.message());
     std::printf("%s %s\n", digestToHex(*Digest).c_str(), Path.c_str());
@@ -233,6 +264,12 @@ int cmdReport(int Argc, const char *const *Argv) {
   Opts.addFlag("flat-only", 0, "print only the flat profile");
   Opts.addFlag("graph-only", 0, "print only the call graph profile");
   Opts.addFlag("no-index", 0, "omit the index-by-name table");
+  Opts.addOption("since", 0, "NS",
+                 "only shards captured at or after this time (nanoseconds "
+                 "since the epoch)");
+  Opts.addOption("until", 0, "NS",
+                 "only shards captured at or before this time (nanoseconds "
+                 "since the epoch)");
   addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
@@ -245,6 +282,12 @@ int cmdReport(int Argc, const char *const *Argv) {
   unsigned Jobs;
   if (!parseJobs(Opts, Jobs))
     return fail("invalid --jobs value");
+  uint64_t SinceNs, UntilNs;
+  bool HaveSince, HaveUntil;
+  if (!parseU64Option(Opts, "since", SinceNs, HaveSince))
+    return fail("invalid --since value");
+  if (!parseU64Option(Opts, "until", UntilNs, HaveUntil))
+    return fail("invalid --until value");
 
   auto Img = Image::loadFromFile(Opts.positional()[1]);
   if (!Img)
@@ -255,6 +298,26 @@ int cmdReport(int Argc, const char *const *Argv) {
   auto Members = resolveMembers(*Store, Opts, 2);
   if (!Members)
     return fail(Members.message());
+  if (HaveSince || HaveUntil) {
+    // Window the member set by capture time; explicit digests intersect
+    // with the window.  Guard the empty result — merge() reads an empty
+    // member list as "all shards".
+    std::vector<Sha256Digest> Window =
+        Store->membersInWindow(SinceNs, HaveUntil ? UntilNs : 0);
+    std::sort(Window.begin(), Window.end());
+    if (Members->empty()) {
+      *Members = std::move(Window);
+    } else {
+      Members->erase(std::remove_if(Members->begin(), Members->end(),
+                                    [&](const Sha256Digest &D) {
+                                      return !std::binary_search(
+                                          Window.begin(), Window.end(), D);
+                                    }),
+                     Members->end());
+    }
+    if (Members->empty())
+      return fail("no shards captured in the requested time window");
+  }
 
   ThreadPool Pool(Jobs);
   auto Result = Store->merge(Members.takeValue(), &Pool);
@@ -262,10 +325,18 @@ int cmdReport(int Argc, const char *const *Argv) {
     return fail(Result.message());
   // Cache feedback goes to stderr so the listings on stdout stay
   // byte-comparable against golden output.
-  std::fprintf(stderr, "gprof-store: aggregate %s over %zu shard(s) [%s]\n",
-               digestToHex(Result->Digest).substr(0, 12).c_str(),
-               Result->MemberCount,
-               Result->CacheHit ? "cache hit" : "cache miss, merged");
+  if (Result->CacheHit)
+    std::fprintf(stderr,
+                 "gprof-store: aggregate %s over %zu shard(s) [cache hit]\n",
+                 digestToHex(Result->Digest).substr(0, 12).c_str(),
+                 Result->MemberCount);
+  else
+    std::fprintf(stderr,
+                 "gprof-store: aggregate %s over %zu shard(s) [cache miss, "
+                 "merged %zu input(s): %zu run(s) + %zu shard(s)]\n",
+                 digestToHex(Result->Digest).substr(0, 12).c_str(),
+                 Result->MemberCount, Result->InputsMerged, Result->RunsUsed,
+                 Result->InputsMerged - Result->RunsUsed);
 
   AnalyzerOptions AO;
   AO.Threads = Jobs; // Byte-identical listings at any width (0 = cores).
@@ -331,6 +402,9 @@ int cmdServe(int Argc, const char *const *Argv) {
   Opts.addFlag("tolerant", 0,
                "salvage whole records from truncated uploads instead of "
                "rejecting them");
+  Opts.addFlag("no-compaction", 0,
+               "do not fold pushed shards into tiered runs in the "
+               "background (pin the store layout for offline compaction)");
   Opts.addOption("slow-ms", 0, "MS",
                  "log requests slower than MS milliseconds to the event "
                  "log (default 1000)");
@@ -367,6 +441,7 @@ int cmdServe(int Argc, const char *const *Argv) {
     return fail("invalid --slow-ms value");
   SO.SlowRequestMs = static_cast<int>(SlowMs);
   SO.Store.TolerantReads = Opts.hasFlag("tolerant");
+  SO.BackgroundCompaction = !Opts.hasFlag("no-compaction");
 
   if (auto LogPath = Opts.getValue("log-file"))
     if (Error E = EventLog::instance().setSinkFile(*LogPath))
@@ -597,8 +672,11 @@ int cmdQuery(int Argc, const char *const *Argv) {
 
 int cmdGc(int Argc, const char *const *Argv) {
   OptionParser Opts("gprof-store gc",
-                    "drop cached aggregates and orphaned objects");
+                    "drop stale cached aggregates and orphaned objects");
   Opts.setPositionalHelp("STORE");
+  Opts.addOption("expire-before", 0, "NS",
+                 "retire shards (and the runs covering them) captured "
+                 "before this time (nanoseconds since the epoch)");
   addStatsFlag(Opts);
   if (Error E = Opts.parse(Argc, Argv))
     return fail(E.message());
@@ -608,17 +686,70 @@ int cmdGc(int Argc, const char *const *Argv) {
   }
   if (Opts.positional().size() != 1)
     return fail("expected exactly one store path");
+  GcOptions GO;
+  bool HaveExpire;
+  if (!parseU64Option(Opts, "expire-before", GO.ExpireBeforeNs, HaveExpire))
+    return fail("invalid --expire-before value");
+  (void)HaveExpire; // 0 (and absent) both mean "no retention expiry".
 
   auto Store = ProfileStore::open(Opts.positional().front());
   if (!Store)
     return fail(Store.message());
-  auto Stats = Store->gc();
+  auto Stats = Store->gc(GO);
   if (!Stats)
     return fail(Stats.message());
-  std::printf("removed %u cached aggregate(s), %u orphan object(s), "
+  std::printf("removed %u stale cached aggregate(s) (%u retained), "
+              "%u orphan object(s), %u orphan run(s), "
               "%u stale temp file(s)\n",
-              Stats->CachedAggregates, Stats->OrphanObjects,
-              Stats->TempFiles);
+              Stats->CachedAggregates, Stats->RetainedAggregates,
+              Stats->OrphanObjects, Stats->OrphanRuns, Stats->TempFiles);
+  if (Stats->ExpiredShards != 0 || Stats->RetiredRuns != 0)
+    std::printf("expired %u shard(s), retired %u run(s)\n",
+                Stats->ExpiredShards, Stats->RetiredRuns);
+  maybeDumpStats(Opts);
+  return 0;
+}
+
+int cmdCompact(int Argc, const char *const *Argv) {
+  OptionParser Opts("gprof-store compact",
+                    "fold loose shards and low-level runs into tiered "
+                    "merge runs so reports touch O(log N) inputs");
+  Opts.setPositionalHelp("STORE");
+  Opts.addOption("jobs", 'j', "N",
+                 "merge worker threads (default: hardware concurrency)");
+  Opts.addOption("fanout", 0, "N",
+                 "inputs folded per compaction step (default 8, min 2)");
+  addStatsFlag(Opts);
+  if (Error E = Opts.parse(Argc, Argv))
+    return fail(E.message());
+  if (Opts.hasFlag("help")) {
+    std::printf("%s", Opts.helpText().c_str());
+    return 0;
+  }
+  if (Opts.positional().size() != 1)
+    return fail("expected exactly one store path");
+  unsigned Jobs;
+  if (!parseJobs(Opts, Jobs))
+    return fail("invalid --jobs value");
+  StoreOptions SO;
+  if (!parseUnsigned(Opts, "fanout", 8, 1u << 20, SO.CompactionFanout) ||
+      SO.CompactionFanout < 2)
+    return fail("invalid --fanout value (need at least 2)");
+
+  auto Store = ProfileStore::open(Opts.positional().front(), SO);
+  if (!Store)
+    return fail(Store.message());
+  ThreadPool Pool(Jobs);
+  auto Stats = Store->compact(&Pool);
+  if (!Stats)
+    return fail(Stats.message());
+  std::printf("compaction: %u step(s), folded %llu input(s), retired "
+              "%u run(s)\n",
+              Stats->Steps,
+              static_cast<unsigned long long>(Stats->ShardsFolded),
+              Stats->RunsRetired);
+  std::printf("store now holds %zu shard(s) in %zu run(s) + loose\n",
+              Store->shards().size(), Store->runs().size());
   maybeDumpStats(Opts);
   return 0;
 }
@@ -632,6 +763,7 @@ void printUsage() {
       "  merge STORE [DIGEST ...]      aggregate shards (all by default)\n"
       "  report STORE IMG [DIGEST ...] gprof listings for an aggregate\n"
       "  gc STORE                      sweep caches and orphaned objects\n"
+      "  compact STORE                 fold shards into tiered merge runs\n"
       "  serve STORE --socket PATH     run the ingestion daemon\n"
       "  push SOCKET gmon.out ...      upload shards to a daemon\n"
       "  query SOCKET IMG [DIGEST ...] fetch listings from a daemon\n"
@@ -664,6 +796,8 @@ int main(int Argc, char **Argv) {
     return cmdReport(SubArgc, SubArgv);
   if (Command == "gc")
     return cmdGc(SubArgc, SubArgv);
+  if (Command == "compact")
+    return cmdCompact(SubArgc, SubArgv);
   if (Command == "serve")
     return cmdServe(SubArgc, SubArgv);
   if (Command == "push")

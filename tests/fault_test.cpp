@@ -25,6 +25,7 @@
 #include <filesystem>
 #include <map>
 #include <thread>
+#include <unistd.h>
 
 using namespace gprof;
 
@@ -44,9 +45,12 @@ class FaultCorpusTest : public FaultFixture {};
 class StoreFaultTest : public FaultFixture {};
 
 /// A fresh directory under the test temp dir, removed on destruction.
+/// The pid keeps concurrent ctest entries that re-run the same case
+/// (the named smoke targets) from sweeping each other's trees.
 struct TempDir {
   explicit TempDir(const std::string &Name)
-      : Path(testing::TempDir() + "/gprof_fault_" + Name) {
+      : Path(testing::TempDir() + "/gprof_fault_" +
+             std::to_string(::getpid()) + "_" + Name) {
     std::filesystem::remove_all(Path);
     std::filesystem::create_directories(Path);
   }
@@ -670,4 +674,116 @@ TEST_F(StoreFaultTest, TolerantStoreIngestsTruncatedShard) {
   ASSERT_TRUE(static_cast<bool>(Loaded));
   EXPECT_EQ(Loaded->Arcs.size(), 2u);
   EXPECT_EQ(Loaded->Hist.totalSamples(), makeRefData().Hist.totalSamples());
+}
+
+TEST_F(StoreFaultTest, CompactionFaultSweepNeverTearsStore) {
+  // Crash-safety of the tiered fold: a fault at any I/O step of a
+  // compaction leaves the store byte-identical — or cleanly advanced by
+  // one committed run file that gc() sweeps — and reports stay exact.
+  TempDir Dir("compact_sweep");
+  std::string Root = Dir.Path + "/store";
+  StoreOptions NoRetry;
+  NoRetry.IoRetries = 0;
+  NoRetry.CompactionFanout = 2;
+  auto Store = ProfileStore::open(Root, NoRetry);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  for (uint64_t S = 1; S <= 4; ++S)
+    cantFail(Store->put(makeStoreShard(S), Sha256Digest{}, "profile", S)
+                 .takeError());
+  auto Reference = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Reference));
+  std::vector<uint8_t> RefBytes = writeGmon(Reference->Data);
+  auto Before = snapshotTree(Root);
+
+  // A fanout-2 fold checks store.compact once, reads one object per
+  // folded input, then writes and renames the run file followed by the
+  // index.  Write/rename faults past the run-file commit advance the
+  // store by one orphan run; everything earlier must change nothing.
+  struct SweepCase {
+    const char *Point;
+    uint64_t Nth;
+  };
+  const SweepCase Cases[] = {
+      {"store.compact", 1}, {"file.read", 1},   {"file.read", 2},
+      {"file.write", 1},    {"file.write", 2},  {"file.rename", 1},
+      {"file.rename", 2},
+  };
+  for (const SweepCase &C : Cases) {
+    fault::arm(C.Point, C.Nth, 0);
+    auto Worked = Store->compactStep();
+    EXPECT_FALSE(static_cast<bool>(Worked)) << C.Point << " nth " << C.Nth;
+    (void)Worked.takeError();
+    fault::disarmAll();
+
+    // No torn temporary, and every prior artifact byte-identical.
+    EXPECT_FALSE(anyTmpFile(Root)) << C.Point << " nth " << C.Nth;
+    for (const auto &[Path, Bytes] : Before)
+      EXPECT_EQ(cantFail(readFileBytes(Path)), Bytes)
+          << C.Point << " nth " << C.Nth << ": " << Path;
+
+    // A fresh handle sees the pre-fold index; gc sweeps any orphan run
+    // the interrupted commit stranded, restoring the reference tree.
+    auto Fresh = ProfileStore::open(Root, NoRetry);
+    ASSERT_TRUE(static_cast<bool>(Fresh)) << C.Point;
+    EXPECT_TRUE(Fresh->runs().empty()) << C.Point << " nth " << C.Nth;
+    cantFail(Fresh->gc().takeError());
+    EXPECT_EQ(snapshotTree(Root), Before) << C.Point << " nth " << C.Nth;
+
+    // Reports over the recovered store are still byte-exact.
+    cantFail(removeFile(Fresh->cachePath(Reference->Digest)));
+    auto Merged = Fresh->merge({});
+    ASSERT_TRUE(static_cast<bool>(Merged)) << C.Point << " nth " << C.Nth;
+    EXPECT_EQ(writeGmon(Merged->Data), RefBytes)
+        << C.Point << " nth " << C.Nth;
+    EXPECT_EQ(snapshotTree(Root), Before) << C.Point << " nth " << C.Nth;
+  }
+
+  // Unarmed, compaction converges and the compacted report matches the
+  // flat reference bytes.
+  cantFail(Store->compact().takeError());
+  EXPECT_FALSE(Store->compactionPending());
+  EXPECT_FALSE(Store->runs().empty());
+  cantFail(removeFile(Store->cachePath(Reference->Digest)));
+  auto Compacted = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Compacted));
+  EXPECT_GT(Compacted->RunsUsed, 0u);
+  EXPECT_EQ(writeGmon(Compacted->Data), RefBytes);
+}
+
+TEST_F(StoreFaultTest, CompactionFaultMidSequenceResumesCleanly) {
+  // A fold that dies between two committed folds must not disturb the
+  // earlier ones: rerunning compaction picks up where it left off and the
+  // final state is identical to an uninterrupted pass.
+  TempDir Dir("compact_resume");
+  std::string Root = Dir.Path + "/store";
+  StoreOptions NoRetry;
+  NoRetry.IoRetries = 0;
+  NoRetry.CompactionFanout = 2;
+  auto Store = ProfileStore::open(Root, NoRetry);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  for (uint64_t S = 1; S <= 4; ++S)
+    cantFail(Store->put(makeStoreShard(S), Sha256Digest{}, "profile", S)
+                 .takeError());
+  auto Reference = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Reference));
+
+  // First fold commits; the second dies writing its run file.
+  cantFail(Store->compactStep().takeError());
+  ASSERT_EQ(Store->runs().size(), 1u);
+  fault::arm("file.write", 1, 0);
+  auto Died = Store->compactStep();
+  EXPECT_FALSE(static_cast<bool>(Died));
+  (void)Died.takeError();
+  fault::disarmAll();
+  // The committed fold survives the failed one.
+  ASSERT_EQ(Store->runs().size(), 1u);
+  EXPECT_TRUE(fileExists(Store->runPath(Store->runs()[0].Digest)));
+
+  // Resume: compaction converges and reports stay byte-exact.
+  cantFail(Store->compact().takeError());
+  EXPECT_FALSE(Store->compactionPending());
+  cantFail(removeFile(Store->cachePath(Reference->Digest)));
+  auto Merged = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  EXPECT_EQ(writeGmon(Merged->Data), writeGmon(Reference->Data));
 }

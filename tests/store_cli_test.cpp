@@ -172,11 +172,17 @@ TEST_F(StoreCliTest, PutListMergeReportGc) {
             std::string::npos)
       << Out;
 
-  // gc: drops the cached aggregate.
+  // gc: the cached aggregate covers the live full member set, so it is
+  // retained — the next default report stays a cache hit.
   Rc = runCommand(format("%s gc %s", GPROF_STORE_PATH, StoreDir->c_str()),
                   Out);
   EXPECT_EQ(Rc, 0) << Out;
-  EXPECT_NE(Out.find("1 cached aggregate(s)"), std::string::npos);
+  EXPECT_NE(Out.find("0 stale cached aggregate(s) (1 retained)"),
+            std::string::npos);
+  Rc = runCommand(format("%s merge %s", GPROF_STORE_PATH, StoreDir->c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("[cached]"), std::string::npos);
 }
 
 TEST_F(StoreCliTest, ReportMatchesGoldenListings) {
@@ -215,6 +221,57 @@ TEST_F(StoreCliTest, ReportMatchesGoldenListings) {
   std::filesystem::remove_all(StorePath);
 }
 
+TEST_F(StoreCliTest, CompactAndWindowedReport) {
+  std::string StorePath = tempPath("compact_store");
+  std::filesystem::remove_all(StorePath);
+  std::string Out;
+
+  // Backfill a shard with an explicit capture stamp.
+  int Rc = runCommand(format("%s put --capture-time 500 %s %s",
+                             GPROF_STORE_PATH, StorePath.c_str(),
+                             Gmon->c_str()),
+                      Out);
+  ASSERT_EQ(Rc, 0) << Out;
+
+  // A window covering the stamp selects the shard; the listing matches
+  // the unwindowed golden output.
+  Rc = runCommandStdout(format("%s report --flat-only --since 400 "
+                               "--until 600 %s %s",
+                               GPROF_STORE_PATH, StorePath.c_str(),
+                               Img->c_str()),
+                        Out);
+  ASSERT_EQ(Rc, 0) << Out;
+  EXPECT_EQ(Out, golden("primes_flat.txt"));
+
+  // A window past the stamp selects nothing — and says so, instead of
+  // silently reporting over everything.
+  Rc = runCommand(format("%s report --since 600 %s %s", GPROF_STORE_PATH,
+                         StorePath.c_str(), Img->c_str()),
+                  Out);
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("no shards captured"), std::string::npos) << Out;
+
+  // compact on a store below the fanout has nothing to fold but reports
+  // the layout either way.
+  Rc = runCommand(format("%s compact %s", GPROF_STORE_PATH,
+                         StorePath.c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("0 step(s)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("1 shard(s) in 0 run(s)"), std::string::npos) << Out;
+
+  // Retention expiry below the stamp keeps the shard.
+  Rc = runCommand(format("%s gc --expire-before 400 %s", GPROF_STORE_PATH,
+                         StorePath.c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  Rc = runCommand(format("%s list %s", GPROF_STORE_PATH, StorePath.c_str()),
+                  Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find("1 shard(s)"), std::string::npos) << Out;
+  std::filesystem::remove_all(StorePath);
+}
+
 TEST_F(StoreCliTest, RejectsUnknownCommandAndMissingShard) {
   std::string Out;
   int Rc = runCommand(format("%s frobnicate", GPROF_STORE_PATH), Out);
@@ -240,7 +297,8 @@ TEST_F(StoreCliTest, HelpTextsWork) {
   int Rc = runCommand(format("%s --help", GPROF_STORE_PATH), Out);
   EXPECT_EQ(Rc, 0);
   EXPECT_NE(Out.find("USAGE"), std::string::npos);
-  for (const char *Cmd : {"put", "list", "merge", "report", "gc"}) {
+  for (const char *Cmd : {"put", "list", "merge", "report", "gc",
+                          "compact"}) {
     Rc = runCommand(format("%s %s --help", GPROF_STORE_PATH, Cmd), Out);
     EXPECT_EQ(Rc, 0) << Cmd;
     EXPECT_NE(Out.find("USAGE"), std::string::npos) << Cmd;

@@ -18,6 +18,7 @@
 #include "support/FileUtils.h"
 #include "support/Random.h"
 #include "support/Sha256.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -30,15 +31,19 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <unistd.h>
 
 using namespace gprof;
 
 namespace {
 
 /// A fresh store root under the test temp dir, removed on destruction.
+/// The pid keeps concurrent ctest entries that re-run the same case
+/// (the named smoke targets) from sweeping each other's trees.
 struct TempStoreDir {
   explicit TempStoreDir(const std::string &Name)
-      : Path(testing::TempDir() + "/gprof_store_" + Name) {
+      : Path(testing::TempDir() + "/gprof_store_" +
+             std::to_string(::getpid()) + "_" + Name) {
     std::filesystem::remove_all(Path);
   }
   ~TempStoreDir() { std::filesystem::remove_all(Path); }
@@ -234,7 +239,7 @@ TEST(MergeEngineTest, RejectsIncompatibleShards) {
 }
 
 TEST(MergeEngineTest, EmptyInputFails) {
-  auto Merged = mergeProfiles({});
+  auto Merged = mergeProfiles(std::vector<ProfileData>());
   EXPECT_FALSE(static_cast<bool>(Merged));
   (void)Merged.takeError();
 }
@@ -464,38 +469,57 @@ TEST(ProfileStoreTest, MergeIsThreadCountInvariant) {
       EXPECT_EQ(Bytes, Reference) << Threads << " threads";
       EXPECT_EQ(Merged->Digest, AggDigest);
     }
-    // Flush the cache so every thread count actually re-merges.
-    cantFail(Store->gc().takeError());
+    // Flush the cache so every thread count actually re-merges (gc now
+    // retains the live full-member-set aggregate, so delete it directly).
+    cantFail(removeFile(Store->cachePath(Merged->Digest)));
   }
 }
 
-TEST(ProfileStoreTest, CacheHitsUntilGc) {
+TEST(ProfileStoreTest, GcRetainsLiveAggregateDropsStale) {
+  // Regression: gc() used to delete every cached aggregate, including the
+  // one a repeat of the most recent full-store report would need — a
+  // put→report→gc→report sequence re-merged everything.  Now only stale
+  // entries (subset keys, superseded full-set keys) are swept.
   TempStoreDir Dir("cache");
   auto Store = ProfileStore::open(Dir.Path);
   ASSERT_TRUE(static_cast<bool>(Store));
+  std::vector<Sha256Digest> Digests;
   for (uint64_t S = 0; S != 8; ++S)
-    cantFail(Store->put(makeShard(40 + S)));
+    Digests.push_back(cantFail(Store->put(makeShard(40 + S))));
 
   auto First = Store->merge({});
   ASSERT_TRUE(static_cast<bool>(First));
   EXPECT_FALSE(First->CacheHit);
   EXPECT_TRUE(fileExists(Store->cachePath(First->Digest)));
-
-  auto Second = Store->merge({});
-  ASSERT_TRUE(static_cast<bool>(Second));
-  EXPECT_TRUE(Second->CacheHit);
-  EXPECT_EQ(writeGmon(Second->Data), writeGmon(First->Data));
+  // A subset aggregate is cached under its own (stale-able) key.
+  auto Subset = Store->merge({Digests[0], Digests[1]});
+  ASSERT_TRUE(static_cast<bool>(Subset));
+  EXPECT_TRUE(fileExists(Store->cachePath(Subset->Digest)));
 
   auto Stats = Store->gc();
   ASSERT_TRUE(static_cast<bool>(Stats));
-  EXPECT_GE(Stats->CachedAggregates, 1u);
+  EXPECT_EQ(Stats->CachedAggregates, 1u); // the subset entry
+  EXPECT_EQ(Stats->RetainedAggregates, 1u); // the live full-set entry
+  EXPECT_TRUE(fileExists(Store->cachePath(First->Digest)));
+  EXPECT_FALSE(fileExists(Store->cachePath(Subset->Digest)));
+
+  // put→report→gc→report: the second report is served from cache.
+  auto Second = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Second));
+  EXPECT_TRUE(Second->CacheHit);
+  EXPECT_EQ(Second->Digest, First->Digest);
+  EXPECT_EQ(writeGmon(Second->Data), writeGmon(First->Data));
+
+  // Once new shards land, the old full-set entry is stale and sweepable.
+  cantFail(Store->put(makeShard(99)));
+  auto Stats2 = Store->gc();
+  ASSERT_TRUE(static_cast<bool>(Stats2));
+  EXPECT_EQ(Stats2->CachedAggregates, 1u);
   EXPECT_FALSE(fileExists(Store->cachePath(First->Digest)));
 
   auto Third = Store->merge({});
   ASSERT_TRUE(static_cast<bool>(Third));
-  EXPECT_FALSE(Third->CacheHit); // gc invalidated the cache ...
-  EXPECT_EQ(Third->Digest, First->Digest); // ... but the key is stable.
-  EXPECT_EQ(writeGmon(Third->Data), writeGmon(First->Data));
+  EXPECT_FALSE(Third->CacheHit);
 }
 
 TEST(ProfileStoreTest, SubsetMergeAndRunsSum) {
@@ -621,4 +645,278 @@ TEST(ProfileStoreTest, ConcurrentIdenticalPutsDeduplicate) {
   auto Reopened = ProfileStore::open(Dir.Path);
   ASSERT_TRUE(static_cast<bool>(Reopened));
   EXPECT_EQ(Reopened->shards().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tiered compaction
+//===----------------------------------------------------------------------===//
+
+TEST(CompactionTest, ReportBytesInvariantAtEveryState) {
+  // The core soundness property of the tiered store: at every intermediate
+  // compaction state, a full report is byte-identical to the flat merge of
+  // the uncompacted store.
+  TempStoreDir Dir("compact_bytes");
+  StoreOptions SO;
+  SO.CompactionFanout = 4;
+  auto Store = ProfileStore::open(Dir.Path, SO);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  for (uint64_t S = 0; S != 20; ++S)
+    cantFail(Store->put(makeShard(900 + S), Sha256Digest{}, "profile",
+                        /*CaptureTimeNs=*/1000 + S));
+
+  auto Reference = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Reference));
+  std::vector<uint8_t> RefBytes = writeGmon(Reference->Data);
+
+  unsigned Steps = 0;
+  for (;;) {
+    auto Worked = Store->compactStep();
+    ASSERT_TRUE(static_cast<bool>(Worked)) << "step " << Steps;
+    if (!*Worked)
+      break;
+    ++Steps;
+    ASSERT_LT(Steps, 64u) << "compaction failed to converge";
+    // Force a real merge: drop the cached aggregate, then compare bytes.
+    cantFail(removeFile(Store->cachePath(Reference->Digest)));
+    auto Merged = Store->merge({});
+    ASSERT_TRUE(static_cast<bool>(Merged)) << "step " << Steps;
+    EXPECT_FALSE(Merged->CacheHit);
+    EXPECT_EQ(Merged->Digest, Reference->Digest) << "step " << Steps;
+    EXPECT_EQ(writeGmon(Merged->Data), RefBytes) << "step " << Steps;
+  }
+  // 20 shards at fanout 4: five L1 folds, one L2 fold of 4 of them.
+  EXPECT_EQ(Steps, 6u);
+  EXPECT_FALSE(Store->compactionPending());
+
+  // Fully compacted: 1 L2 run (16 shards) + 1 L1 run (4 shards), nothing
+  // loose — the final merge touched 2 inputs, not 20.
+  ASSERT_EQ(Store->runs().size(), 2u);
+  cantFail(removeFile(Store->cachePath(Reference->Digest)));
+  auto Final = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Final));
+  EXPECT_EQ(Final->InputsMerged, 2u);
+  EXPECT_EQ(Final->RunsUsed, 2u);
+  EXPECT_EQ(writeGmon(Final->Data), RefBytes);
+}
+
+TEST(CompactionTest, SubsetQuerySlicingThroughRunFallsBack) {
+  // A query whose member set cuts through a run cannot use it; the store
+  // must fall back to the raw member objects and still be exact.
+  TempStoreDir Dir("compact_subset");
+  StoreOptions SO;
+  SO.CompactionFanout = 4;
+  auto Store = ProfileStore::open(Dir.Path, SO);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  std::vector<Sha256Digest> Digests;
+  for (uint64_t S = 0; S != 8; ++S)
+    Digests.push_back(cantFail(
+        Store->put(makeShard(300 + S), Sha256Digest{}, "profile", 1 + S)));
+  cantFail(Store->compact().takeError());
+  ASSERT_EQ(Store->runs().size(), 2u);
+
+  // Pick one member out of each run: no run is fully covered.
+  const auto &R0 = Store->runs()[0].Members;
+  const auto &R1 = Store->runs()[1].Members;
+  auto Sliced = Store->merge({R0.front(), R1.front()});
+  ASSERT_TRUE(static_cast<bool>(Sliced));
+  EXPECT_EQ(Sliced->MemberCount, 2u);
+  EXPECT_EQ(Sliced->InputsMerged, 2u);
+  EXPECT_EQ(Sliced->RunsUsed, 0u);
+
+  // Same query against a fresh uncompacted store gives the same bytes.
+  TempStoreDir FlatDir("compact_subset_flat");
+  auto Flat = ProfileStore::open(FlatDir.Path);
+  ASSERT_TRUE(static_cast<bool>(Flat));
+  for (uint64_t S = 0; S != 8; ++S)
+    cantFail(Flat->put(makeShard(300 + S)));
+  auto FlatMerge = Flat->merge({R0.front(), R1.front()});
+  ASSERT_TRUE(static_cast<bool>(FlatMerge));
+  EXPECT_EQ(writeGmon(Sliced->Data), writeGmon(FlatMerge->Data));
+}
+
+TEST(CompactionTest, DamagedRunFallsBackToMembers) {
+  // Runs are an acceleration structure: corrupting one must cost speed,
+  // never correctness.
+  TempStoreDir Dir("compact_damaged");
+  StoreOptions SO;
+  SO.CompactionFanout = 4;
+  auto Store = ProfileStore::open(Dir.Path, SO);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  for (uint64_t S = 0; S != 4; ++S)
+    cantFail(Store->put(makeShard(600 + S)));
+  auto Reference = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Reference));
+  cantFail(Store->compact().takeError());
+  ASSERT_EQ(Store->runs().size(), 1u);
+
+  cantFail(writeFileText(Store->runPath(Store->runs()[0].Digest), "garbage"));
+  cantFail(removeFile(Store->cachePath(Reference->Digest)));
+  auto Merged = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  EXPECT_EQ(Merged->RunsUsed, 0u); // fell back to the 4 member objects
+  EXPECT_EQ(Merged->InputsMerged, 4u);
+  EXPECT_EQ(writeGmon(Merged->Data), writeGmon(Reference->Data));
+}
+
+TEST(CompactionTest, RunsPersistAcrossReopen) {
+  // Index format v2 round-trip: run manifests (level, window, members)
+  // survive close/reopen.
+  TempStoreDir Dir("compact_reopen");
+  StoreOptions SO;
+  SO.CompactionFanout = 4;
+  std::vector<RunInfo> Before;
+  {
+    auto Store = ProfileStore::open(Dir.Path, SO);
+    ASSERT_TRUE(static_cast<bool>(Store));
+    for (uint64_t S = 0; S != 8; ++S)
+      cantFail(Store->put(makeShard(150 + S), Sha256Digest{}, "profile",
+                          100 + S));
+    cantFail(Store->compact().takeError());
+    Before = Store->runs();
+    ASSERT_EQ(Before.size(), 2u);
+  }
+  auto Store = ProfileStore::open(Dir.Path, SO);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  ASSERT_EQ(Store->runs().size(), Before.size());
+  for (size_t I = 0; I != Before.size(); ++I) {
+    EXPECT_EQ(Store->runs()[I].Digest, Before[I].Digest);
+    EXPECT_EQ(Store->runs()[I].Level, Before[I].Level);
+    EXPECT_EQ(Store->runs()[I].MinTimeNs, Before[I].MinTimeNs);
+    EXPECT_EQ(Store->runs()[I].MaxTimeNs, Before[I].MaxTimeNs);
+    EXPECT_EQ(Store->runs()[I].Members, Before[I].Members);
+  }
+  // Windows cover the members' capture times (oldest-first folding: the
+  // first-planned run spans the 4 oldest stamps).
+  uint64_t MinSeen = UINT64_MAX, MaxSeen = 0;
+  for (const RunInfo &R : Store->runs()) {
+    MinSeen = std::min(MinSeen, R.MinTimeNs);
+    MaxSeen = std::max(MaxSeen, R.MaxTimeNs);
+  }
+  EXPECT_EQ(MinSeen, 100u);
+  EXPECT_EQ(MaxSeen, 107u);
+}
+
+TEST(CompactionTest, WindowedSelection) {
+  TempStoreDir Dir("window");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  std::vector<Sha256Digest> Digests;
+  for (uint64_t S = 0; S != 6; ++S)
+    Digests.push_back(cantFail(
+        Store->put(makeShard(50 + S), Sha256Digest{}, "profile", 10 * (S + 1))));
+
+  // [20, 40] picks capture times 20, 30, 40.
+  auto Window = Store->membersInWindow(20, 40);
+  ASSERT_EQ(Window.size(), 3u);
+  std::vector<Sha256Digest> Expect = {Digests[1], Digests[2], Digests[3]};
+  std::sort(Expect.begin(), Expect.end());
+  EXPECT_EQ(Window, Expect);
+
+  // UntilNs = 0 is unbounded above.
+  EXPECT_EQ(Store->membersInWindow(40, 0).size(), 3u);
+  EXPECT_EQ(Store->membersInWindow(0, 0).size(), 6u);
+  EXPECT_TRUE(Store->membersInWindow(1000, 0).empty());
+
+  // The windowed merge equals the explicit-subset merge.
+  auto A = Store->merge(Window);
+  auto B = Store->merge({Digests[1], Digests[2], Digests[3]});
+  ASSERT_TRUE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(A->Digest, B->Digest);
+  EXPECT_EQ(writeGmon(A->Data), writeGmon(B->Data));
+}
+
+TEST(CompactionTest, GcExpiryRetiresShardsAndRuns) {
+  TempStoreDir Dir("expire");
+  StoreOptions SO;
+  SO.CompactionFanout = 4;
+  auto Store = ProfileStore::open(Dir.Path, SO);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  for (uint64_t S = 0; S != 8; ++S)
+    cantFail(Store->put(makeShard(800 + S), Sha256Digest{}, "profile",
+                        100 + S));
+  cantFail(Store->compact().takeError());
+  ASSERT_EQ(Store->runs().size(), 2u);
+
+  // Expire the 4 oldest shards: their covering run retires with them.
+  GcOptions GO;
+  GO.ExpireBeforeNs = 104;
+  auto Stats = Store->gc(GO);
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_EQ(Stats->ExpiredShards, 4u);
+  EXPECT_EQ(Stats->RetiredRuns, 1u);
+  EXPECT_EQ(Store->shards().size(), 4u);
+  ASSERT_EQ(Store->runs().size(), 1u);
+  for (const ShardInfo &S : Store->shards())
+    EXPECT_GE(S.CaptureTimeNs, 104u);
+
+  // The survivors still merge, via the surviving run.
+  auto Merged = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Merged));
+  EXPECT_EQ(Merged->MemberCount, 4u);
+  EXPECT_EQ(Merged->RunsUsed, 1u);
+
+  // A reopened store agrees (the expiry committed to the index).
+  auto Reopened = ProfileStore::open(Dir.Path, SO);
+  ASSERT_TRUE(static_cast<bool>(Reopened));
+  EXPECT_EQ(Reopened->shards().size(), 4u);
+  EXPECT_EQ(Reopened->runs().size(), 1u);
+}
+
+TEST(CompactionTest, DamagedCacheEntryEvictedOnDetection) {
+  // Regression: a torn cache entry used to survive if the recompute path
+  // errored before rewriting it; now it is deleted the moment the parse
+  // fails, under the store.merge.cache_evictions counter.
+  TempStoreDir Dir("cache_evict");
+  auto Store = ProfileStore::open(Dir.Path);
+  ASSERT_TRUE(static_cast<bool>(Store));
+  cantFail(Store->put(makeShard(1)));
+  auto First = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(First));
+  std::string Cached = Store->cachePath(First->Digest);
+  ASSERT_TRUE(fileExists(Cached));
+  cantFail(writeFileText(Cached, "torn"));
+
+  uint64_t EvictionsBefore =
+      telemetry::counter("store.merge.cache_evictions").value();
+  auto Again = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Again));
+  EXPECT_FALSE(Again->CacheHit);
+  EXPECT_EQ(writeGmon(Again->Data), writeGmon(First->Data));
+  EXPECT_EQ(telemetry::counter("store.merge.cache_evictions").value(),
+            EvictionsBefore + 1);
+  // The recompute rewrote a good entry in the damaged one's place.
+  ASSERT_TRUE(fileExists(Cached));
+  auto Third = Store->merge({});
+  ASSERT_TRUE(static_cast<bool>(Third));
+  EXPECT_TRUE(Third->CacheHit);
+}
+
+TEST(CompactionTest, ThreadCountInvariantOnCompactedStore) {
+  // The determinism guarantee extends through the tiered path: folds and
+  // reports produce identical bytes for any pool width.
+  TempStoreDir DirA("compact_threads_a"), DirB("compact_threads_b");
+  StoreOptions SO;
+  SO.CompactionFanout = 4;
+  auto StoreA = ProfileStore::open(DirA.Path, SO);
+  auto StoreB = ProfileStore::open(DirB.Path, SO);
+  ASSERT_TRUE(static_cast<bool>(StoreA));
+  ASSERT_TRUE(static_cast<bool>(StoreB));
+  for (uint64_t S = 0; S != 12; ++S) {
+    cantFail(StoreA->put(makeShard(2000 + S), Sha256Digest{}, "profile", S));
+    cantFail(StoreB->put(makeShard(2000 + S), Sha256Digest{}, "profile", S));
+  }
+  ThreadPool PoolA(1), PoolB(8);
+  cantFail(StoreA->compact(&PoolA).takeError());
+  cantFail(StoreB->compact(&PoolB).takeError());
+  ASSERT_EQ(StoreA->runs().size(), StoreB->runs().size());
+  for (size_t I = 0; I != StoreA->runs().size(); ++I)
+    EXPECT_EQ(StoreA->runs()[I].Digest, StoreB->runs()[I].Digest);
+
+  auto A = StoreA->merge({}, &PoolA);
+  auto B = StoreB->merge({}, &PoolB);
+  ASSERT_TRUE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(A->Digest, B->Digest);
+  EXPECT_EQ(writeGmon(A->Data), writeGmon(B->Data));
 }
