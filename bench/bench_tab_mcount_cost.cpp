@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -167,13 +168,123 @@ double directTableCost(size_t Reps) {
   });
 }
 
+//===----------------------------------------------------------------------===//
+// CCT on/off: what the shadow stack adds to the prologue path
+//===----------------------------------------------------------------------===//
+
+/// A balanced call/return/tick stream over a small routine alphabet —
+/// the event shape the CCT recorder actually sees (the arc stream above
+/// has no returns).  Ends with every frame closed.
+struct CctEvent {
+  enum Kind { Call, Ret, Tick } K;
+  Address FromPc = 0, SelfPc = 0;
+};
+
+const std::vector<CctEvent> &cctStream() {
+  static auto S = [] {
+    SplitMix64 Rng(271828);
+    std::vector<CctEvent> Out;
+    std::vector<Address> Depth;
+    while (Out.size() < (1u << 16)) {
+      uint64_t R = Rng.nextBelow(100);
+      if (R < 44 && Depth.size() < 16) {
+        Address Self = LowPc + Rng.nextBelow(64) * 0x100;
+        Address From = LowPc + Rng.nextBelow(48) * 0x40;
+        Out.push_back({CctEvent::Call, From, Self});
+        Depth.push_back(Self);
+      } else if (R < 88 && !Depth.empty()) {
+        Out.push_back({CctEvent::Ret, 0, Depth.back()});
+        Depth.pop_back();
+      } else {
+        Out.push_back({CctEvent::Tick, 0, 0});
+      }
+    }
+    while (!Depth.empty()) {
+      Out.push_back({CctEvent::Ret, 0, Depth.back()});
+      Depth.pop_back();
+    }
+    return Out;
+  }();
+  return S;
+}
+
+/// Best-of-3 ns/event for replaying the balanced stream \p Reps times on
+/// \p Threads threads (each thread replays the whole stream into its own
+/// per-thread recorder) with context recording on or off.
+double cctMonitorCost(bool Contexts, unsigned Threads, size_t Reps) {
+  const auto &Events = cctStream();
+  MonitorOptions MO;
+  MO.SampleHistogram = false;
+  MO.RecordContexts = Contexts;
+  return nsPerRecord(Events.size() * Reps * Threads, [&] {
+    Monitor Mon(LowPc, HighPc, MO);
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T != Threads; ++T)
+      Workers.emplace_back([&] {
+        for (size_t R = 0; R != Reps; ++R)
+          for (const CctEvent &E : Events) {
+            switch (E.K) {
+            case CctEvent::Call:
+              Mon.onCall(E.FromPc, E.SelfPc);
+              break;
+            case CctEvent::Ret:
+              Mon.onReturn(E.SelfPc);
+              break;
+            case CctEvent::Tick:
+              Mon.onTick(E.SelfPc ? E.SelfPc : LowPc);
+              break;
+            }
+          }
+      });
+    for (std::thread &W : Workers)
+      W.join();
+    benchmark::DoNotOptimize(Mon.extract().Contexts.size());
+  });
+}
+
+/// The CCT on/off section: per-event cost of the full prologue path with
+/// context recording off (the arc-only default every existing user is
+/// on) and on, at 1/2/8 threads.  The off rows are the no-regression
+/// guard: gating the CCT behind MonitorOptions must leave the arc-only
+/// path as cheap as it was before the recorder existed.
+void runCctSection(bench::BenchJson &Json, double Direct, size_t Reps) {
+  bench::banner("E5-cct", "prologue cost with the calling-context tree "
+                          "on and off (tlrun --contexts)");
+  double OffOneThread = 0, OnOneThread = 0;
+  bench::row({"cct", "threads", "ns/event"});
+  for (bool Contexts : {false, true}) {
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      double Ns = cctMonitorCost(Contexts, Threads, Reps);
+      if (Threads == 1)
+        (Contexts ? OnOneThread : OffOneThread) = Ns;
+      Json.beginRow();
+      Json.setRow("table", std::string(Contexts ? "cct_on" : "cct_off"));
+      Json.setRow("threads", static_cast<uint64_t>(Threads));
+      Json.setRow("ns_per_record", Ns);
+      bench::row({Contexts ? "on" : "off", format("%u", Threads),
+                  format("%.2f", Ns)});
+    }
+  }
+  // The off path folds the balanced stream's returns and ticks (both
+  // near-free when contexts are off) into the average, so the bare-table
+  // bound used for the arc rows holds with the same headroom.
+  bench::check(OffOneThread <= Direct * 2.5 + 5.0,
+               "contexts-off prologue path shows no regression from the "
+               "CCT feature gate (arc-only users pay nothing)");
+  bench::check(OnOneThread <= OffOneThread * 20.0 + 100.0,
+               "contexts-on stays within a small constant of the arc-only "
+               "path (one shadow-stack push/pop plus a chain probe)");
+  Json.set("cct_off_1t_ns_per_event", OffOneThread);
+  Json.set("cct_on_1t_ns_per_event", OnOneThread);
+}
+
 /// The thread-count section: per-record cost of the shared-Monitor path
 /// at 1/2/8 threads for every table kind, against the bare-table
 /// baseline.  Emits BENCH_mcount_cost.json for the perf tooling and
 /// checks the acceptance claim that routing record() through the
 /// per-thread registry does not regress the 1-thread cost.
-void runThreadSection() {
-  constexpr size_t Reps = 8;
+void runThreadSection(bool Smoke) {
+  const size_t Reps = Smoke ? 1 : 8;
   bench::banner("E5-mt", "mcount cost with per-thread recorders "
                          "(docs/RUNTIME_MT.md)");
   bench::BenchJson Json("mcount_cost");
@@ -217,12 +328,17 @@ void runThreadSection() {
                "table (lock-free per-thread hot path)");
   Json.set("direct_ns_per_record", Direct);
   Json.set("monitor_1t_ns_per_record", MonitorOneThreadBsd);
+  runCctSection(Json, Direct, Reps);
   Json.write();
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
+  // --smoke: one small rep per row, no google-benchmark loops — for the
+  // bench_cct_smoke ctest hook, so the CCT on/off section and the
+  // BENCH_mcount_cost.json emission cannot rot.
+  bool Smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   std::printf("E5: arc-table fast path (one access per routine call, "
               "section 3.1)\n");
 
@@ -249,9 +365,11 @@ int main(int argc, char **argv) {
                 Open.memoryBytes() / 1024);
   }
 
-  runThreadSection();
+  runThreadSection(Smoke);
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!Smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

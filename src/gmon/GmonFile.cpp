@@ -21,10 +21,26 @@ namespace {
 
 constexpr char Magic[4] = {'G', 'M', 'O', 'N'};
 constexpr uint32_t Version = 1;
+/// Version 2 appends tagged extension sections after the arc table; it is
+/// written only when there is a context tree to carry, so profiles without
+/// one stay byte-identical to version 1 (content addresses and goldens
+/// unchanged).
+constexpr uint32_t VersionContexts = 2;
+
+/// Extension-section tag of the calling-context tree ("CCTR" as a
+/// little-endian u32).  Readers skip sections with tags they do not know.
+constexpr uint32_t SectionTagContexts = 0x52544343;
+
+/// Serialized size of one context-tree node:
+/// parent u32 + frompc u64 + selfpc u64 + calls u64 + ticks u64.
+constexpr uint64_t CctNodeBytes = 36;
 
 /// Cap on nbuckets/narcs accepted from a file, guarding allocation against
 /// corrupted length fields (a 1 GiB histogram is already implausible).
 constexpr uint64_t MaxRecords = (1ULL << 30) / 8;
+
+/// Cap on extension sections per file (one is defined today).
+constexpr uint32_t MaxSections = 64;
 
 /// Assembles a little-endian u64 from \p P.  Byte-by-byte assembly is
 /// endian-safe and alignment-safe; on little-endian hosts compilers fold
@@ -79,12 +95,16 @@ struct ByteCursor {
 } // namespace
 
 std::vector<uint8_t> gprof::writeGmon(const ProfileData &Data) {
+  const bool HasContexts = !Data.Contexts.empty();
   BinaryWriter W;
   W.writeBytes(reinterpret_cast<const uint8_t *>(Magic), sizeof(Magic));
-  W.writeU32(Version);
+  W.writeU32(HasContexts ? VersionContexts : Version);
   W.writeU64(Data.TicksPerSecond);
   W.writeU32(Data.RunCount);
-  W.writeU8(Data.ArcTableOverflowed ? 1 : 0);
+  uint8_t Flags = Data.ArcTableOverflowed ? 1 : 0;
+  if (HasContexts && Data.ContextTreeOverflowed)
+    Flags |= 2;
+  W.writeU8(Flags);
 
   const Histogram &H = Data.Hist;
   W.writeU64(H.lowPc());
@@ -99,6 +119,20 @@ std::vector<uint8_t> gprof::writeGmon(const ProfileData &Data) {
     W.writeU64(R.FromPc);
     W.writeU64(R.SelfPc);
     W.writeU64(R.Count);
+  }
+
+  if (HasContexts) {
+    W.writeU32(1); // extension section count
+    W.writeU32(SectionTagContexts);
+    W.writeU64(8 + Data.Contexts.size() * CctNodeBytes);
+    W.writeU64(Data.Contexts.size());
+    for (const CctNode &N : Data.Contexts) {
+      W.writeU32(N.Parent);
+      W.writeU64(N.FromPc);
+      W.writeU64(N.SelfPc);
+      W.writeU64(N.Calls);
+      W.writeU64(N.Ticks);
+    }
   }
   return W.takeBytes();
 }
@@ -134,6 +168,7 @@ Expected<ProfileData> gprof::readGmon(const uint8_t *Bytes, size_t Size,
       telemetry::counter("gmon.read.salvaged_arcs").add(S.SalvagedArcs);
       telemetry::counter("gmon.read.dropped_arcs").add(S.DroppedArcs);
       telemetry::counter("gmon.read.dropped_buckets").add(S.DroppedBuckets);
+      telemetry::counter("gmon.read.dropped_contexts").add(S.DroppedContexts);
     }
     return Data;
   };
@@ -147,7 +182,7 @@ Expected<ProfileData> gprof::readGmon(const uint8_t *Bytes, size_t Size,
   if (Error E = R.need(4))
     return E;
   uint32_t Ver = R.u32();
-  if (Ver != Version)
+  if (Ver != Version && Ver != VersionContexts)
     return Error::failure(
         format("unsupported gmon version %u (expected %u)", Ver, Version));
 
@@ -168,7 +203,10 @@ Expected<ProfileData> gprof::readGmon(const uint8_t *Bytes, size_t Size,
 
   if (Error E = R.need(1))
     return E;
-  Data.ArcTableOverflowed = (R.u8() & 1) != 0;
+  uint8_t Flags = R.u8();
+  Data.ArcTableOverflowed = (Flags & 1) != 0;
+  if (Ver >= VersionContexts)
+    Data.ContextTreeOverflowed = (Flags & 2) != 0;
 
   // The histogram geometry words are checked one at a time so a cut
   // inside the header reports the same offset the reference reader does.
@@ -271,6 +309,104 @@ Expected<ProfileData> gprof::readGmon(const uint8_t *Bytes, size_t Size,
   if (S.DroppedArcs != 0)
     return FinishSalvaged(std::move(Data));
 
+  if (Ver >= VersionContexts) {
+    if (Opts.Tolerant && R.remaining() < 4) {
+      NoteDamage("extension section count truncated");
+      return FinishSalvaged(std::move(Data));
+    }
+    if (Error E = R.need(4))
+      return E;
+    uint32_t NumSections = R.u32();
+    if (NumSections > MaxSections)
+      return Error::failure(
+          format("gmon extension section count implausibly large (%u)",
+                 NumSections));
+    bool SeenContexts = false;
+    for (uint32_t SI = 0; SI != NumSections; ++SI) {
+      if (Opts.Tolerant && R.remaining() < 4) {
+        NoteDamage(format("extension section header truncated "
+                          "(section %u of %u)",
+                          SI, NumSections));
+        return FinishSalvaged(std::move(Data));
+      }
+      if (Error E = R.need(4))
+        return E;
+      uint32_t Tag = R.u32();
+      if (Opts.Tolerant && R.remaining() < 8) {
+        NoteDamage(format("extension section header truncated "
+                          "(section %u of %u)",
+                          SI, NumSections));
+        return FinishSalvaged(std::move(Data));
+      }
+      if (Error E = R.need(8))
+        return E;
+      uint64_t Len = R.u64();
+      const bool Truncated = Len > R.remaining();
+      if (Truncated && !Opts.Tolerant)
+        return Error::failure("gmon extension section longer than the file");
+      if (Tag != SectionTagContexts) {
+        // Forward compatibility: a section this reader does not know is
+        // skipped whole, so older binaries read newer files cleanly.
+        if (Truncated) {
+          NoteDamage(format("unknown extension section 0x%08x truncated",
+                            Tag));
+          return FinishSalvaged(std::move(Data));
+        }
+        telemetry::counter("gmon.read.skipped_sections").add(1);
+        R.Pos += static_cast<size_t>(Len);
+        continue;
+      }
+      if (SeenContexts)
+        return Error::failure("duplicate gmon context tree section");
+      SeenContexts = true;
+      uint64_t Avail = Truncated ? R.remaining() : Len;
+      if (Avail < 8) {
+        if (!Opts.Tolerant || !Truncated)
+          return Error::failure("gmon context tree section too small");
+        NoteDamage("context tree node count truncated");
+        return FinishSalvaged(std::move(Data));
+      }
+      uint64_t NumNodes = R.u64();
+      if (NumNodes > MaxRecords)
+        return Error::failure(
+            format("gmon context tree implausibly large (%llu nodes)",
+                   static_cast<unsigned long long>(NumNodes)));
+      // The section length and the in-payload node count must agree; a
+      // mismatch is a lying header, rejected in both modes.
+      if (Len != 8 + NumNodes * CctNodeBytes)
+        return Error::failure("gmon context tree section length mismatch");
+      uint64_t WholeNodes = NumNodes;
+      if (Truncated) {
+        WholeNodes = (Avail - 8) / CctNodeBytes;
+        NoteDamage(format("context tree truncated after %llu of %llu nodes",
+                          static_cast<unsigned long long>(WholeNodes),
+                          static_cast<unsigned long long>(NumNodes)));
+      }
+      Data.Contexts.resize(static_cast<size_t>(WholeNodes));
+      const uint8_t *CP = R.Data + R.Pos;
+      for (uint64_t I = 0; I != WholeNodes; ++I, CP += CctNodeBytes) {
+        CctNode &N = Data.Contexts[static_cast<size_t>(I)];
+        N.Parent = loadU32LE(CP);
+        N.FromPc = loadU64LE(CP + 4);
+        N.SelfPc = loadU64LE(CP + 12);
+        N.Calls = loadU64LE(CP + 20);
+        N.Ticks = loadU64LE(CP + 28);
+        // Structural invariant: parents precede children.  A violation is
+        // corruption (it would let downstream accumulation loop), not
+        // truncation, so both modes reject.
+        if (N.Parent != CctRootParent && N.Parent >= I)
+          return Error::failure(
+              format("gmon context tree node %llu has invalid parent %u",
+                     static_cast<unsigned long long>(I), N.Parent));
+      }
+      R.Pos += static_cast<size_t>(WholeNodes) * CctNodeBytes;
+      S.SalvagedContexts = WholeNodes;
+      S.DroppedContexts = NumNodes - WholeNodes;
+      if (S.DroppedContexts != 0)
+        return FinishSalvaged(std::move(Data));
+    }
+  }
+
   if (!R.atEnd()) {
     if (!Opts.Tolerant)
       return Error::failure(
@@ -301,6 +437,7 @@ gprof::readGmonReference(const std::vector<uint8_t> &Bytes,
       telemetry::counter("gmon.read.salvaged_arcs").add(S.SalvagedArcs);
       telemetry::counter("gmon.read.dropped_arcs").add(S.DroppedArcs);
       telemetry::counter("gmon.read.dropped_buckets").add(S.DroppedBuckets);
+      telemetry::counter("gmon.read.dropped_contexts").add(S.DroppedContexts);
     }
     return Data;
   };
@@ -314,7 +451,7 @@ gprof::readGmonReference(const std::vector<uint8_t> &Bytes,
   auto Ver = R.readU32();
   if (!Ver)
     return Ver.takeError();
-  if (*Ver != Version)
+  if (*Ver != Version && *Ver != VersionContexts)
     return Error::failure(
         format("unsupported gmon version %u (expected %u)", *Ver, Version));
 
@@ -337,6 +474,8 @@ gprof::readGmonReference(const std::vector<uint8_t> &Bytes,
   if (!Flags)
     return Flags.takeError();
   Data.ArcTableOverflowed = (*Flags & 1) != 0;
+  if (*Ver >= VersionContexts)
+    Data.ContextTreeOverflowed = (*Flags & 2) != 0;
 
   auto LowPc = R.readU64();
   if (!LowPc)
@@ -424,6 +563,109 @@ gprof::readGmonReference(const std::vector<uint8_t> &Bytes,
   S.DroppedArcs = *NumArcs - WholeArcs;
   if (S.DroppedArcs != 0)
     return FinishSalvaged(std::move(Data));
+
+  if (*Ver >= VersionContexts) {
+    if (Opts.Tolerant && R.remaining() < 4) {
+      NoteDamage("extension section count truncated");
+      return FinishSalvaged(std::move(Data));
+    }
+    auto NumSections = R.readU32();
+    if (!NumSections)
+      return NumSections.takeError();
+    if (*NumSections > MaxSections)
+      return Error::failure(
+          format("gmon extension section count implausibly large (%u)",
+                 *NumSections));
+    bool SeenContexts = false;
+    for (uint32_t SI = 0; SI != *NumSections; ++SI) {
+      if (Opts.Tolerant && R.remaining() < 4) {
+        NoteDamage(format("extension section header truncated "
+                          "(section %u of %u)",
+                          SI, *NumSections));
+        return FinishSalvaged(std::move(Data));
+      }
+      auto Tag = R.readU32();
+      if (!Tag)
+        return Tag.takeError();
+      if (Opts.Tolerant && R.remaining() < 8) {
+        NoteDamage(format("extension section header truncated "
+                          "(section %u of %u)",
+                          SI, *NumSections));
+        return FinishSalvaged(std::move(Data));
+      }
+      auto Len = R.readU64();
+      if (!Len)
+        return Len.takeError();
+      const bool Truncated = *Len > R.remaining();
+      if (Truncated && !Opts.Tolerant)
+        return Error::failure("gmon extension section longer than the file");
+      if (*Tag != SectionTagContexts) {
+        if (Truncated) {
+          NoteDamage(format("unknown extension section 0x%08x truncated",
+                            *Tag));
+          return FinishSalvaged(std::move(Data));
+        }
+        telemetry::counter("gmon.read.skipped_sections").add(1);
+        auto Skipped = R.readBytes(static_cast<size_t>(*Len));
+        if (!Skipped)
+          return Skipped.takeError();
+        continue;
+      }
+      if (SeenContexts)
+        return Error::failure("duplicate gmon context tree section");
+      SeenContexts = true;
+      uint64_t Avail = Truncated ? R.remaining() : *Len;
+      if (Avail < 8) {
+        if (!Opts.Tolerant || !Truncated)
+          return Error::failure("gmon context tree section too small");
+        NoteDamage("context tree node count truncated");
+        return FinishSalvaged(std::move(Data));
+      }
+      auto NumNodes = R.readU64();
+      if (!NumNodes)
+        return NumNodes.takeError();
+      if (*NumNodes > MaxRecords)
+        return Error::failure(
+            format("gmon context tree implausibly large (%llu nodes)",
+                   static_cast<unsigned long long>(*NumNodes)));
+      if (*Len != 8 + *NumNodes * CctNodeBytes)
+        return Error::failure("gmon context tree section length mismatch");
+      uint64_t WholeNodes = *NumNodes;
+      if (Truncated) {
+        WholeNodes = (Avail - 8) / CctNodeBytes;
+        NoteDamage(format("context tree truncated after %llu of %llu nodes",
+                          static_cast<unsigned long long>(WholeNodes),
+                          static_cast<unsigned long long>(*NumNodes)));
+      }
+      Data.Contexts.reserve(static_cast<size_t>(WholeNodes));
+      for (uint64_t I = 0; I != WholeNodes; ++I) {
+        auto Parent = R.readU32();
+        if (!Parent)
+          return Parent.takeError();
+        auto FromPc = R.readU64();
+        if (!FromPc)
+          return FromPc.takeError();
+        auto SelfPc = R.readU64();
+        if (!SelfPc)
+          return SelfPc.takeError();
+        auto Calls = R.readU64();
+        if (!Calls)
+          return Calls.takeError();
+        auto Ticks = R.readU64();
+        if (!Ticks)
+          return Ticks.takeError();
+        if (*Parent != CctRootParent && *Parent >= I)
+          return Error::failure(
+              format("gmon context tree node %llu has invalid parent %u",
+                     static_cast<unsigned long long>(I), *Parent));
+        Data.Contexts.push_back({*Parent, *FromPc, *SelfPc, *Calls, *Ticks});
+      }
+      S.SalvagedContexts = WholeNodes;
+      S.DroppedContexts = *NumNodes - WholeNodes;
+      if (S.DroppedContexts != 0)
+        return FinishSalvaged(std::move(Data));
+    }
+  }
 
   if (!R.atEnd()) {
     if (!Opts.Tolerant)

@@ -9,13 +9,24 @@
 /// condensed profiling data.  Layout (all little-endian):
 ///
 ///   magic   "GMON"            4 bytes
-///   version u32               currently 1
+///   version u32               1, or 2 when extension sections follow
 ///   hz      u64               ticks per second
 ///   runs    u32               runs summed into this file
 ///   flags   u8                bit 0: arc table overflowed
+///                             bit 1 (v2): context-tree recorder overflowed
 ///   hist:   lowpc u64, highpc u64, bucketsize u64, nbuckets u64,
 ///           counts u64[nbuckets]   (nbuckets == 0 encodes "no histogram")
 ///   arcs:   narcs u64, then {frompc u64, selfpc u64, count u64}[narcs]
+///
+/// Version 2 appends tagged extension sections after the arc table —
+/// nsections u32, then per section {tag u32, bytelen u64, payload} — so a
+/// reader skips tags it does not know and future records ride along
+/// without another version bump.  The one section defined today is the
+/// calling-context tree (tag "CCTR"): nnodes u64 followed by 36-byte
+/// nodes {parent u32, frompc u64, selfpc u64, calls u64, ticks u64} in
+/// canonical preorder (parent index < node index, CctRootParent at depth
+/// 1).  A profile without contexts still writes version 1, byte-identical
+/// to every earlier release — store digests and goldens are unchanged.
 ///
 /// The reader validates the magic, version, and every length field, and
 /// rejects trailing garbage, so damaged files are reported rather than
@@ -62,6 +73,8 @@ struct GmonSalvage {
   uint64_t DroppedBuckets = 0;  ///< Buckets lost to the cut (read as 0).
   uint64_t SalvagedArcs = 0;    ///< Arc records recovered intact.
   uint64_t DroppedArcs = 0;     ///< Arc records lost to the cut.
+  uint64_t SalvagedContexts = 0; ///< Context-tree nodes recovered intact.
+  uint64_t DroppedContexts = 0;  ///< Context-tree nodes lost to the cut.
   uint64_t TrailingBytes = 0;   ///< Junk bytes ignored after the data.
   /// Human-readable description of the damage, empty when intact.
   std::string Note;

@@ -10,6 +10,8 @@
 #include "support/Telemetry.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 using namespace gprof;
 
@@ -32,6 +34,75 @@ inline size_t tableCapacityFor(size_t N) {
     Cap <<= 1;
   return Cap;
 }
+
+/// Mutable tree form used to coalesce and re-order context nodes.  Child
+/// maps are keyed (FromPc, SelfPc), so map iteration order *is* the
+/// canonical sibling order and emit() needs no separate sort.
+struct CctBuilder {
+  struct Node {
+    uint64_t Calls = 0;
+    uint64_t Ticks = 0;
+    std::map<std::pair<Address, Address>, uint32_t> Kids;
+  };
+  /// Nodes[0] is the virtual root above every depth-1 context.
+  std::vector<Node> Nodes = std::vector<Node>(1);
+
+  uint32_t childOf(uint32_t Parent, Address FromPc, Address SelfPc) {
+    auto [It, Inserted] =
+        Nodes[Parent].Kids.try_emplace({FromPc, SelfPc}, 0);
+    if (Inserted) {
+      It->second = static_cast<uint32_t>(Nodes.size());
+      Nodes.emplace_back();
+    }
+    return It->second;
+  }
+
+  /// Folds a canonical-invariant (Parent < index) node vector in,
+  /// summing counters of coinciding paths with saturation.
+  void addTree(const std::vector<CctNode> &In) {
+    std::vector<uint32_t> Mapped(In.size(), 0);
+    for (size_t I = 0; I != In.size(); ++I) {
+      const CctNode &N = In[I];
+      uint32_t Parent =
+          N.Parent == CctRootParent ? 0 : Mapped[N.Parent];
+      uint32_t Here = childOf(Parent, N.FromPc, N.SelfPc);
+      Mapped[I] = Here;
+      Nodes[Here].Calls = saturatingAdd(Nodes[Here].Calls, N.Calls);
+      Nodes[Here].Ticks = saturatingAdd(Nodes[Here].Ticks, N.Ticks);
+    }
+  }
+
+  /// Emits the canonical preorder vector (the virtual root is dropped;
+  /// its children come back with Parent == CctRootParent).
+  std::vector<CctNode> emit() const {
+    std::vector<CctNode> Out;
+    Out.reserve(Nodes.size() - 1);
+    // Explicit preorder stack of (builder node, emitted parent index).
+    struct Visit {
+      uint32_t Node;
+      uint32_t Parent;
+      Address FromPc;
+      Address SelfPc;
+    };
+    std::vector<Visit> Stack;
+    auto PushKids = [&](uint32_t Node, uint32_t EmittedParent) {
+      const auto &Kids = Nodes[Node].Kids;
+      for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+        Stack.push_back({It->second, EmittedParent, It->first.first,
+                         It->first.second});
+    };
+    PushKids(0, CctRootParent);
+    while (!Stack.empty()) {
+      Visit V = Stack.back();
+      Stack.pop_back();
+      uint32_t Here = static_cast<uint32_t>(Out.size());
+      Out.push_back({V.Parent, V.FromPc, V.SelfPc, Nodes[V.Node].Calls,
+                     Nodes[V.Node].Ticks});
+      PushKids(V.Node, Here);
+    }
+    return Out;
+  }
+};
 
 } // namespace
 
@@ -161,7 +232,25 @@ Error ProfileData::merge(const ProfileData &Other) {
     addArc(R.FromPc, R.SelfPc, R.Count);
   RunCount += Other.RunCount;
   ArcTableOverflowed = ArcTableOverflowed || Other.ArcTableOverflowed;
+  if (!Other.Contexts.empty())
+    addContextTree(Other.Contexts);
+  ContextTreeOverflowed = ContextTreeOverflowed || Other.ContextTreeOverflowed;
   return Error::success();
+}
+
+void ProfileData::addContextTree(const std::vector<CctNode> &Nodes) {
+  CctBuilder B;
+  B.addTree(Contexts);
+  B.addTree(Nodes);
+  Contexts = B.emit();
+}
+
+void ProfileData::canonicalizeContexts() {
+  if (Contexts.empty())
+    return;
+  CctBuilder B;
+  B.addTree(Contexts);
+  Contexts = B.emit();
 }
 
 void ProfileData::canonicalizeArcs() {

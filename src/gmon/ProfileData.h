@@ -34,6 +34,29 @@ struct ArcRecord {
   uint64_t Count = 0; ///< Traversals observed.
 };
 
+/// Parent index of a depth-1 context-tree node (a routine entered from
+/// outside any recorded context — typically the program entry).
+inline constexpr uint32_t CctRootParent = 0xffffffffu;
+
+/// One node of the calling-context tree: the routine entered at SelfPc,
+/// called from the site FromPc, within the calling context identified by
+/// the Parent node.  Where an arc record aggregates all traversals of a
+/// (site, callee) pair, a context node keeps one counter per *path* from
+/// the root — the ground truth that the paper's §6 propagation
+/// approximates ("all calls to a routine cost the same").
+///
+/// In canonical form (canonicalizeContexts) the vector is a preorder
+/// serialization: every node's Parent index is strictly less than its own
+/// index (or CctRootParent), siblings are merged per (FromPc, SelfPc) key
+/// and ordered by that key.
+struct CctNode {
+  uint32_t Parent = CctRootParent; ///< Index of the calling context.
+  Address FromPc = 0;  ///< Call site inside the parent routine.
+  Address SelfPc = 0;  ///< Entry address of the routine this context runs.
+  uint64_t Calls = 0;  ///< Times this exact context was entered.
+  uint64_t Ticks = 0;  ///< Samples landing while this context was innermost.
+};
+
 /// The complete condensed output of one or more profiled executions.
 struct ProfileData {
   /// PC-sample histogram over the profiled text range.
@@ -48,6 +71,16 @@ struct ProfileData {
   /// True if the runtime arc table overflowed during any contributing run
   /// (mcount's "tos overflow"): arc counts are then lower bounds.
   bool ArcTableOverflowed = false;
+  /// Calling-context tree in canonical preorder (empty when contexts were
+  /// not recorded).  Collapsing it per (FromPc, SelfPc) reproduces Arcs
+  /// exactly; summing Ticks per routine reproduces the histogram's
+  /// per-routine sample totals (the CCT metamorphic invariant,
+  /// tests/metamorphic_test.cpp).
+  std::vector<CctNode> Contexts;
+  /// True if the runtime context-tree recorder hit its node cap in any
+  /// contributing run: context counts are then lower bounds (dropped
+  /// paths attribute to their nearest recorded ancestor).
+  bool ContextTreeOverflowed = false;
 
   /// Seconds of profiled execution represented by the histogram.
   double sampledSeconds() const {
@@ -83,6 +116,21 @@ struct ProfileData {
   /// make a merged multi-thread snapshot byte-identical to a
   /// single-thread run of the same call sequence (docs/RUNTIME_MT.md).
   void canonicalizeArcs();
+
+  /// Folds another context tree into Contexts: paths present in both
+  /// trees coalesce into one node with summed (saturating) counters, and
+  /// the result is re-emitted in canonical preorder.  \p Nodes must
+  /// satisfy the structural invariant Parent < index (the form every
+  /// recorder snapshot and every successful gmon read provides).
+  void addContextTree(const std::vector<CctNode> &Nodes);
+
+  /// Puts Contexts into canonical form: duplicate sibling (FromPc,
+  /// SelfPc) nodes are coalesced (saturating) and the tree is re-emitted
+  /// in preorder with siblings ordered by (FromPc, SelfPc) — the
+  /// context-tree analogue of canonicalizeArcs, and the property that
+  /// makes a merged multi-thread CCT snapshot byte-identical to a
+  /// single-thread run of the same logical call sequence.
+  void canonicalizeContexts();
 
   /// Drops the lazy arc indexes.  The indexes revalidate themselves when
   /// Arcs changes size or an entry moves, so most direct mutation of

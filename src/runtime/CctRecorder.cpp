@@ -1,0 +1,177 @@
+//===- runtime/CctRecorder.cpp --------------------------------------------===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CctRecorder.h"
+
+#include <algorithm>
+
+using namespace gprof;
+
+CctRecorder::CctRecorder(uint32_t NodeLimit) : NodeLimit(NodeLimit) {
+  Nodes.push_back({0, 0, 0, 0, 0, 0, 0}); // the virtual root
+}
+
+uint32_t CctRecorder::findChild(uint32_t Parent, Address FromPc,
+                                Address SelfPc) {
+  const uint32_t Head = Nodes[Parent].FirstChild;
+  uint32_t Prev = 0;
+  for (uint32_t I = Head; I != 0; I = Nodes[I].NextSibling) {
+    ++Counters.ChainProbes;
+    if (Nodes[I].FromPc == FromPc && Nodes[I].SelfPc == SelfPc) {
+      if (Prev != 0) {
+        // BSD mcount's move-to-front: the context just entered is the one
+        // most likely entered next from this parent.
+        Nodes[Prev].NextSibling = Nodes[I].NextSibling;
+        Nodes[I].NextSibling = Head;
+        Nodes[Parent].FirstChild = I;
+        ++Counters.MoveToFront;
+      }
+      return I;
+    }
+    Prev = I;
+  }
+  if (Nodes.size() - 1 >= NodeLimit) {
+    Overflow = true;
+    ++Counters.Dropped;
+    return 0;
+  }
+  uint32_t I = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back({FromPc, SelfPc, 0, 0, Parent, 0, Head});
+  Nodes[Parent].FirstChild = I;
+  ++Counters.NewNodes;
+  return I;
+}
+
+void CctRecorder::enter(Address FromPc, Address SelfPc, bool Record) {
+  ++Counters.Enters;
+  const uint32_t Cur = current();
+  if (!Record) {
+    // moncontrol(0): keep the shadow stack balanced but record nothing;
+    // events below a suppressed frame attribute to the nearest recorded
+    // ancestor, matching what the arc tables and histogram see (nothing).
+    Stack.push_back({FromPc, SelfPc, Cur, false});
+  } else if (uint32_t N = findChild(Cur, FromPc, SelfPc)) {
+    Nodes[N].Calls = saturatingAdd(Nodes[N].Calls, 1);
+    Stack.push_back({FromPc, SelfPc, N, true});
+  } else {
+    // Node cap reached: this path is dropped (overflowed() reports it)
+    // and its events roll up to the nearest recorded ancestor.
+    Stack.push_back({FromPc, SelfPc, Cur, false});
+  }
+  if (Stack.size() > Counters.MaxDepth)
+    Counters.MaxDepth = Stack.size();
+}
+
+void CctRecorder::leave(Address SelfPc) {
+  if (Stack.empty() || Stack.back().SelfPc != SelfPc) {
+    // A return with no matching frame: the recorder was attached (or
+    // reset) mid-run.  Ignore rather than corrupt the stack.
+    ++Counters.UnmatchedReturns;
+    return;
+  }
+  Stack.pop_back();
+  ++Counters.Returns;
+}
+
+void CctRecorder::tick() {
+  ++Counters.Ticks;
+  const uint32_t Cur = current();
+  if (Cur == 0) {
+    // No profiled frame is active (e.g. before the entry prologue runs):
+    // the sample has no context and is dropped from the tree, tallied
+    // here so the loss is visible.
+    ++Counters.RootTicks;
+    return;
+  }
+  Nodes[Cur].Ticks = saturatingAdd(Nodes[Cur].Ticks, 1);
+}
+
+std::vector<CctNode> CctRecorder::snapshot() const {
+  std::vector<CctNode> Out;
+  if (Nodes.size() == 1)
+    return Out;
+  Out.reserve(Nodes.size() - 1);
+  // Canonical preorder: children of each node sorted by (FromPc, SelfPc),
+  // independent of sibling-chain order (which move-to-front scrambles).
+  struct Visit {
+    uint32_t Node;
+    uint32_t Parent; ///< Emitted index of the parent.
+  };
+  std::vector<Visit> Stk;
+  std::vector<uint32_t> Kids;
+  auto PushKids = [&](uint32_t N, uint32_t EmittedParent) {
+    Kids.clear();
+    for (uint32_t I = Nodes[N].FirstChild; I != 0; I = Nodes[I].NextSibling)
+      Kids.push_back(I);
+    std::sort(Kids.begin(), Kids.end(), [&](uint32_t A, uint32_t B) {
+      return Nodes[A].FromPc != Nodes[B].FromPc
+                 ? Nodes[A].FromPc < Nodes[B].FromPc
+                 : Nodes[A].SelfPc < Nodes[B].SelfPc;
+    });
+    for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+      Stk.push_back({*It, EmittedParent});
+  };
+  PushKids(0, CctRootParent);
+  while (!Stk.empty()) {
+    Visit V = Stk.back();
+    Stk.pop_back();
+    const Node &N = Nodes[V.Node];
+    uint32_t Here = static_cast<uint32_t>(Out.size());
+    Out.push_back({V.Parent, N.FromPc, N.SelfPc, N.Calls, N.Ticks});
+    PushKids(V.Node, Here);
+  }
+  // Prune subtrees that recorded nothing — possible only for spine nodes
+  // rebuilt by reset() that saw no event afterwards — so a reset recorder
+  // that stays idle snapshots identically to a fresh one.
+  std::vector<char> Keep(Out.size(), 0);
+  for (size_t I = Out.size(); I-- != 0;) {
+    if (Out[I].Calls != 0 || Out[I].Ticks != 0)
+      Keep[I] = 1;
+    if (Keep[I] && Out[I].Parent != CctRootParent)
+      Keep[Out[I].Parent] = 1;
+  }
+  std::vector<uint32_t> Remap(Out.size(), CctRootParent);
+  size_t W = 0;
+  for (size_t I = 0; I != Out.size(); ++I) {
+    if (!Keep[I])
+      continue;
+    Remap[I] = static_cast<uint32_t>(W);
+    Out[W] = Out[I];
+    if (Out[W].Parent != CctRootParent)
+      Out[W].Parent = Remap[Out[W].Parent];
+    ++W;
+  }
+  Out.resize(W);
+  return Out;
+}
+
+void CctRecorder::reset() {
+  Nodes.assign(1, Node{0, 0, 0, 0, 0, 0, 0});
+  Overflow = false;
+  Counters = CctStats{};
+  // Rebuild the spine of still-active frames with zero counts: the calls
+  // happened before the cut, but ticks after it must keep attributing to
+  // the live context each frame actually runs in.
+  uint32_t Cur = 0;
+  for (FrameEntry &F : Stack) {
+    uint32_t N = findChild(Cur, F.FromPc, F.SelfPc);
+    if (N == 0) { // NodeLimit smaller than the live depth
+      F.Node = Cur;
+      F.Counted = false;
+      continue;
+    }
+    F.Node = N;
+    F.Counted = true;
+    Cur = N;
+  }
+  Counters.MaxDepth = Stack.size();
+}
+
+CctStats CctRecorder::stats() const {
+  CctStats S = Counters;
+  S.Nodes = Nodes.size() - 1;
+  return S;
+}

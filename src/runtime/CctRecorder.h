@@ -1,0 +1,139 @@
+//===- runtime/CctRecorder.h - Per-thread calling-context-tree recorder --===//
+//
+// Part of the gprof-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fourth recorder: where the arc tables aggregate every traversal of
+/// a (call site, callee) pair, the CctRecorder keeps one node per *path*
+/// from the program entry — the Plan 9 prof shape, a first-child /
+/// next-sibling pc tree with a call count and a sampled-tick count per
+/// node.  That tree is exact ground truth for the quantity the paper's §6
+/// propagation only approximates ("all calls to a routine cost the same"):
+/// collapsing it per (site, callee) reproduces the arc table, and its
+/// per-context tick sums expose how wrong the equal-cost assumption is
+/// for any routine whose cost depends on its caller.
+///
+/// Threading follows the arc tables exactly (docs/RUNTIME_MT.md): one
+/// recorder per thread, owned exclusively by that thread, plain
+/// non-atomic counters, no locks anywhere on the enter/leave/tick hot
+/// path.  Monitor folds per-thread snapshots into one canonical tree at
+/// extract() time.
+///
+/// Child lookup walks the sibling chain with BSD mcount's move-to-front
+/// promotion, so a site that keeps entering the same context resolves in
+/// one compare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPROF_RUNTIME_CCTRECORDER_H
+#define GPROF_RUNTIME_CCTRECORDER_H
+
+#include "gmon/ProfileData.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gprof {
+
+/// Access-pattern statistics of a context-tree recorder.  Plain integers
+/// on the hot path, safe for the same reason ArcTableStats is: each
+/// recorder belongs to exactly one thread, and Monitor sums the blocks
+/// field-wise at snapshot time (a commutative, deterministic fold).
+struct CctStats {
+  uint64_t Enters = 0;           ///< enter() invocations.
+  uint64_t Returns = 0;          ///< leave() invocations that popped.
+  uint64_t UnmatchedReturns = 0; ///< leave() with no matching frame.
+  uint64_t Ticks = 0;            ///< tick() invocations.
+  uint64_t RootTicks = 0;        ///< Ticks with no context on the stack.
+  uint64_t ChainProbes = 0;      ///< Sibling-chain key comparisons.
+  uint64_t MoveToFront = 0;      ///< Chain promotions (hit behind head).
+  uint64_t NewNodes = 0;         ///< Distinct contexts created.
+  uint64_t Dropped = 0;          ///< Contexts not created after overflow.
+  // Occupancy, filled by stats() at snapshot time:
+  uint64_t Nodes = 0;            ///< Live context nodes.
+  uint64_t MaxDepth = 0;         ///< Deepest shadow stack seen.
+};
+
+/// One thread's calling-context tree plus the shadow call stack locating
+/// the current context.  enter/leave/tick mirror the VM's
+/// onCall/onReturn/onTick events.
+class CctRecorder {
+public:
+  /// \p NodeLimit bounds the tree (the per-thread budget, like the arc
+  /// tables' TosLimit).  Once exceeded, new paths stop creating nodes and
+  /// their events attribute to the nearest recorded ancestor context;
+  /// overflowed() reports the loss.
+  explicit CctRecorder(uint32_t NodeLimit = 1u << 20);
+
+  /// A profiled function was entered at \p SelfPc from call site
+  /// \p FromPc.  \p Record is the moncontrol gate: when false (profiling
+  /// suspended) the frame is still tracked so the shadow stack stays
+  /// balanced, but no node is created and no call is counted.
+  void enter(Address FromPc, Address SelfPc, bool Record);
+
+  /// The profiled function entered at \p SelfPc returned.  Pops the
+  /// matching frame; tolerates imbalance (e.g. a recorder attached
+  /// mid-run) by ignoring returns that match no tracked frame.
+  void leave(Address SelfPc);
+
+  /// One clock tick elapsed in the current context.
+  void tick();
+
+  /// The tree in canonical preorder (ProfileData::Contexts form):
+  /// Parent < index, siblings merged and ordered by (FromPc, SelfPc).
+  /// Nodes never entered with Record (zero calls, zero ticks) are
+  /// impossible by construction, but suppressed or overflowed paths may
+  /// have attributed ticks to an ancestor that is present.
+  std::vector<CctNode> snapshot() const;
+
+  /// Zeroes all counts and discards all recorded contexts, then rebuilds
+  /// the spine of currently active frames (with zero counts) so a
+  /// recorder reset mid-run keeps attributing correctly.
+  void reset();
+
+  /// True once the node cap dropped at least one new context.
+  bool overflowed() const { return Overflow; }
+
+  CctStats stats() const;
+
+private:
+  struct Node {
+    Address FromPc;
+    Address SelfPc;
+    uint64_t Calls;
+    uint64_t Ticks;
+    uint32_t Parent;      ///< Index of the parent (0 is the virtual root).
+    uint32_t FirstChild;  ///< Head of the child list (0 = none).
+    uint32_t NextSibling; ///< Next child of Parent (0 = end).
+  };
+  /// One tracked frame: the event key plus the node events in this frame
+  /// attribute to (the frame's own node, or — for suppressed/overflowed
+  /// frames — the nearest recorded ancestor's).
+  struct FrameEntry {
+    Address FromPc;
+    Address SelfPc;
+    uint32_t Node;
+    bool Counted; ///< True if this frame created/bumped its own node.
+  };
+
+  /// Finds or creates the child of \p Parent keyed (FromPc, SelfPc);
+  /// returns 0 when the cap blocks creation.
+  uint32_t findChild(uint32_t Parent, Address FromPc, Address SelfPc);
+
+  /// Index of the node current events attribute to.
+  uint32_t current() const {
+    return Stack.empty() ? 0 : Stack.back().Node;
+  }
+
+  std::vector<Node> Nodes; ///< Nodes[0] is the virtual root.
+  std::vector<FrameEntry> Stack;
+  uint32_t NodeLimit;
+  bool Overflow = false;
+  mutable CctStats Counters;
+};
+
+} // namespace gprof
+
+#endif // GPROF_RUNTIME_CCTRECORDER_H

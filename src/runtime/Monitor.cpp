@@ -60,6 +60,8 @@ Monitor::ThreadState &Monitor::registerThisThread() {
     auto State = std::make_unique<ThreadState>();
     State->Arcs = makeTable();
     State->Hist = Histogram(LowPc, HighPc, Opts.HistBucketSize);
+    if (Opts.RecordContexts)
+      State->Cct = std::make_unique<CctRecorder>(Opts.CctNodeLimit);
     Slot = State.get();
     Threads.push_back(std::move(State));
   }
@@ -69,17 +71,41 @@ Monitor::ThreadState &Monitor::registerThisThread() {
 }
 
 void Monitor::onCall(Address FromPc, Address SelfPc) {
-  if (!Running.load(std::memory_order_relaxed) || !Opts.RecordArcs)
+  const bool Run = Running.load(std::memory_order_relaxed);
+  if (Opts.RecordContexts) {
+    // The CCT sees every call even while profiling is suspended — a
+    // suppressed frame records nothing but keeps the shadow stack
+    // balanced for the returns that will follow.
+    ThreadState &S = self();
+    S.Cct->enter(FromPc, SelfPc, Run);
+    if (Run && Opts.RecordArcs)
+      S.Arcs->record(FromPc, SelfPc);
+    return;
+  }
+  if (!Run || !Opts.RecordArcs)
     return;
   self().Arcs->record(FromPc, SelfPc);
 }
 
-void Monitor::onTick(Address Pc) {
-  if (!Running.load(std::memory_order_relaxed) || !Opts.SampleHistogram)
+void Monitor::onReturn(Address SelfPc) {
+  if (!Opts.RecordContexts)
     return;
-  ThreadState &S = self();
-  ++S.HistTicks;
-  S.Hist.recordPc(Pc);
+  self().Cct->leave(SelfPc);
+}
+
+void Monitor::onTick(Address Pc) {
+  if (!Running.load(std::memory_order_relaxed))
+    return;
+  if (Opts.SampleHistogram) {
+    ThreadState &S = self();
+    ++S.HistTicks;
+    S.Hist.recordPc(Pc);
+    if (Opts.RecordContexts)
+      S.Cct->tick();
+    return;
+  }
+  if (Opts.RecordContexts)
+    self().Cct->tick();
 }
 
 void Monitor::reset() {
@@ -88,6 +114,8 @@ void Monitor::reset() {
     T->Arcs->reset();
     T->Hist = Histogram(LowPc, HighPc, Opts.HistBucketSize);
     T->HistTicks = 0;
+    if (T->Cct)
+      T->Cct->reset();
   }
 }
 
@@ -97,6 +125,37 @@ bool Monitor::arcTableOverflowed() const {
     if (T->Arcs->overflowed())
       return true;
   return false;
+}
+
+bool Monitor::contextTreeOverflowed() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &T : Threads)
+    if (T->Cct && T->Cct->overflowed())
+      return true;
+  return false;
+}
+
+CctStats Monitor::cctStats() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  CctStats Sum;
+  for (const auto &T : Threads) {
+    if (!T->Cct)
+      continue;
+    CctStats S = T->Cct->stats();
+    Sum.Enters += S.Enters;
+    Sum.Returns += S.Returns;
+    Sum.UnmatchedReturns += S.UnmatchedReturns;
+    Sum.Ticks += S.Ticks;
+    Sum.RootTicks += S.RootTicks;
+    Sum.ChainProbes += S.ChainProbes;
+    Sum.MoveToFront += S.MoveToFront;
+    Sum.NewNodes += S.NewNodes;
+    Sum.Dropped += S.Dropped;
+    Sum.Nodes += S.Nodes;
+    if (S.MaxDepth > Sum.MaxDepth)
+      Sum.MaxDepth = S.MaxDepth;
+  }
+  return Sum;
 }
 
 ArcTableStats Monitor::arcTableStats() const {
@@ -161,6 +220,21 @@ void Monitor::publishTelemetry() const {
   counter("runtime.hist.buckets")
       .set(Histogram(LowPc, HighPc, Opts.HistBucketSize).numBuckets());
   counter("runtime.threads.registered").set(NumThreads);
+  if (Opts.RecordContexts) {
+    CctStats C = cctStats();
+    counter("runtime.cct.enters").set(C.Enters);
+    counter("runtime.cct.returns").set(C.Returns);
+    counter("runtime.cct.unmatched_returns").set(C.UnmatchedReturns);
+    counter("runtime.cct.ticks").set(C.Ticks);
+    counter("runtime.cct.root_ticks").set(C.RootTicks);
+    counter("runtime.cct.chain_probes").set(C.ChainProbes);
+    counter("runtime.cct.mtf_hits").set(C.MoveToFront);
+    counter("runtime.cct.new_nodes").set(C.NewNodes);
+    counter("runtime.cct.dropped").set(C.Dropped);
+    counter("runtime.cct.nodes").set(C.Nodes);
+    counter("runtime.cct.max_depth").set(C.MaxDepth);
+    counter("runtime.cct.overflowed").set(contextTreeOverflowed() ? 1 : 0);
+  }
 }
 
 ProfileData Monitor::extract() const {
@@ -169,6 +243,7 @@ ProfileData Monitor::extract() const {
   Data.TicksPerSecond = Opts.TicksPerSecond;
   Data.RunCount = 1;
   bool Overflow = false;
+  bool CctOverflow = false;
   {
     std::lock_guard<std::mutex> Lock(RegistryMutex);
     for (const auto &T : Threads) {
@@ -178,13 +253,19 @@ ProfileData Monitor::extract() const {
       // fail.
       cantFail(Data.Hist.merge(T->Hist));
       Overflow = Overflow || T->Arcs->overflowed();
+      if (T->Cct) {
+        Data.addContextTree(T->Cct->snapshot());
+        CctOverflow = CctOverflow || T->Cct->overflowed();
+      }
     }
   }
   Data.ArcTableOverflowed = Overflow;
+  Data.ContextTreeOverflowed = CctOverflow;
   // Canonical arc order: the serialized snapshot depends only on the
   // logical arc multiset, not on which thread discovered which arc first
   // or on any recorder's internal layout (the determinism contract,
-  // docs/RUNTIME_MT.md).
+  // docs/RUNTIME_MT.md).  addContextTree re-canonicalizes the tree on
+  // every fold, so Contexts is already canonical here.
   Data.canonicalizeArcs();
   return Data;
 }

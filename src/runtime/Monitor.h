@@ -37,6 +37,7 @@
 
 #include "gmon/ProfileData.h"
 #include "runtime/ArcTable.h"
+#include "runtime/CctRecorder.h"
 #include "vm/VM.h"
 
 #include <atomic>
@@ -70,6 +71,14 @@ struct MonitorOptions {
   /// histogram-only vs full profiling overhead).
   bool RecordArcs = true;
   bool SampleHistogram = true;
+  /// Opt-in calling-context-tree recording (tlrun --contexts): each
+  /// thread additionally grows a CctRecorder fed by onCall/onReturn/
+  /// onTick, and extract() carries the merged tree in
+  /// ProfileData::Contexts.  Off by default — the CCT costs a shadow
+  /// stack push/pop per call, which bench_tab_mcount_cost prices.
+  bool RecordContexts = false;
+  /// Per-thread context-node budget, like TosLimit for the arc tables.
+  uint32_t CctNodeLimit = 1u << 20;
 };
 
 /// The profiling monitor.  Attach to a VM with VM::setHooks(&Monitor);
@@ -87,6 +96,7 @@ public:
   // call concurrently from any number of threads.
   void onCall(Address FromPc, Address SelfPc) override;
   void onTick(Address Pc) override;
+  void onReturn(Address SelfPc) override;
 
   /// moncontrol: starts or stops data gathering on every registered (and
   /// future) thread.  While stopped, profiled routines still execute
@@ -125,6 +135,14 @@ public:
   /// True if any thread's arc table overflowed and dropped arcs.
   bool arcTableOverflowed() const;
 
+  /// True if any thread's context tree hit its node cap and dropped
+  /// contexts (always false when RecordContexts is off).
+  bool contextTreeOverflowed() const;
+
+  /// Field-wise sum of every registered thread's context-tree statistics
+  /// (all zero when RecordContexts is off).
+  CctStats cctStats() const;
+
   /// Field-wise sum of every registered thread's arc-table statistics.
   /// Summing uint64 counters is commutative, so the result is
   /// deterministic whatever order threads registered in.
@@ -154,6 +172,8 @@ private:
     std::unique_ptr<ArcRecorder> Arcs;
     Histogram Hist;
     uint64_t HistTicks = 0; ///< onTick deliveries recorded (exact).
+    /// Calling-context tree, present only when Opts.RecordContexts.
+    std::unique_ptr<CctRecorder> Cct;
   };
 
   std::unique_ptr<ArcRecorder> makeTable() const;

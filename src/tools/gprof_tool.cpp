@@ -16,6 +16,7 @@
 
 #include "core/Analyzer.h"
 #include "core/Annotate.h"
+#include "core/ContextTree.h"
 #include "core/DotExporter.h"
 #include "core/FlatPrinter.h"
 #include "core/GraphPrinter.h"
@@ -64,6 +65,17 @@ int main(int Argc, char **Argv) {
   Opts.addFlag("flat-only", 0, "print only the flat profile");
   Opts.addFlag("graph-only", 0, "print only the call graph profile");
   Opts.addFlag("no-index", 0, "omit the index-by-name table");
+  Opts.addFlag("contexts", 0,
+               "print the calling-context profile (the gmon file must come "
+               "from a tlrun --contexts run)");
+  Opts.addOption("context-filter", 0, "NAME",
+                 "list only NAME's contexts (repeatable; implies --contexts)");
+  Opts.addOption("context-top", 0, "N",
+                 "contexts listed per routine in --contexts (default 5)");
+  Opts.addOptionalValueOption(
+      "prop-error", "FILE",
+      "report per-routine propagation error (propagated vs exact inclusive "
+      "time from the context tree); with FILE, also write it as JSON");
   telemetry::addStatsOption(Opts);
   Opts.addOption("trace-out", 0, "FILE",
                  "write phase spans as Chrome trace-event JSON to FILE "
@@ -207,12 +219,60 @@ int main(int Argc, char **Argv) {
     return EmitTelemetry() ? 0 : 1;
   }
 
-  if (!Opts.hasFlag("graph-only")) {
-    std::printf("%s", printFlatProfile(*Report, FP).c_str());
-    std::printf("\n");
+  // The context-tree surfaces.  --contexts replaces the flat/graph
+  // listings (like --flat-only, it selects what to print); --prop-error
+  // appends its report to whatever else was printed.
+  ContextPrintOptions CPO;
+  CPO.FilterRoutines = Opts.getValues("context-filter");
+  const bool WantContexts =
+      Opts.hasFlag("contexts") || !CPO.FilterRoutines.empty();
+  std::optional<std::string> PropErrorDest = Opts.getValue("prop-error");
+  SymbolTable CtxSyms;
+  std::optional<ContextTree> Tree;
+  if (WantContexts || PropErrorDest) {
+    if (auto Top = Opts.getValue("context-top")) {
+      unsigned long long N;
+      if (!parseUInt64(*Top, N) || N == 0) {
+        std::fprintf(stderr, "gprof: invalid --context-top value '%s'\n",
+                     Top->c_str());
+        return 1;
+      }
+      CPO.TopContexts = static_cast<unsigned>(N);
+    }
+    CtxSyms = SymbolTable::fromImage(*Img);
+    auto Built = ContextTree::build(*Data, CtxSyms);
+    if (!Built) {
+      std::fprintf(stderr, "gprof: %s\n", Built.message().c_str());
+      return 1;
+    }
+    Tree.emplace(std::move(*Built));
   }
-  if (!Opts.hasFlag("flat-only"))
-    std::printf("%s", printCallGraph(*Report, GP).c_str());
+
+  if (WantContexts) {
+    std::printf("%s", printContexts(*Tree, CPO).c_str());
+  } else {
+    if (!Opts.hasFlag("graph-only")) {
+      std::printf("%s", printFlatProfile(*Report, FP).c_str());
+      std::printf("\n");
+    }
+    if (!Opts.hasFlag("flat-only"))
+      std::printf("%s", printCallGraph(*Report, GP).c_str());
+  }
+
+  if (PropErrorDest) {
+    PropagationErrorReport PE = propagationError(*Report, *Tree);
+    if (WantContexts)
+      std::printf("\n");
+    std::printf("%s", printPropagationError(PE).c_str());
+    if (!PropErrorDest->empty() && *PropErrorDest != "-") {
+      std::string Program = Opts.positional().front();
+      if (Error E = writeFileText(
+              *PropErrorDest, propagationErrorJson(PE, Program))) {
+        std::fprintf(stderr, "gprof: %s\n", E.message().c_str());
+        return 1;
+      }
+    }
+  }
 
   if (!Report->RemovedArcs.empty()) {
     std::printf("\narcs deleted from the analysis:\n");

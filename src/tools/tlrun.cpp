@@ -56,6 +56,11 @@ int main(int Argc, char **Argv) {
                  "monitor (default 1)");
   Opts.addFlag("no-sample", 0, "disable the PC sample histogram");
   Opts.addFlag("no-arcs", 0, "disable call graph arc recording");
+  Opts.addFlag("contexts", 'c',
+               "also record the calling-context tree (exact per-context "
+               "times; read back with gprof --contexts / --prop-error)");
+  Opts.addOption("cct-node-limit", 0, "N",
+                 "per-thread context-tree node budget (default 1048576)");
   Opts.addFlag("force-monitor", 0,
                "attach the monitor even if nothing was compiled with --pg");
   Opts.addFlag("stack", 's',
@@ -120,6 +125,9 @@ int main(int Argc, char **Argv) {
   MO.TicksPerSecond = ParseU64("hz", 60);
   MO.SampleHistogram = !Opts.hasFlag("no-sample");
   MO.RecordArcs = !Opts.hasFlag("no-arcs");
+  MO.RecordContexts = Opts.hasFlag("contexts");
+  MO.CctNodeLimit =
+      static_cast<uint32_t>(ParseU64("cct-node-limit", 1u << 20));
   if (auto Table = Opts.getValue("table")) {
     if (*Table == "bsd") {
       MO.TableKind = ArcTableKind::Bsd;

@@ -15,6 +15,8 @@ ProfileHooks::~ProfileHooks() = default;
 
 void ProfileHooks::onTickStack(const std::vector<Address> &, Address) {}
 
+void ProfileHooks::onReturn(Address) {}
+
 VM::VM(const Image &Img, VMOptions Opts) : Img(Img), Opts(Opts) {
   resetGlobals();
   resetMemory();
@@ -87,6 +89,9 @@ Expected<RunResult> VM::execute(const FuncInfo &Entry,
                                 const std::vector<int64_t> &Args) {
   RunResult Result;
   uint64_t StartCycles = Cycles;
+  // Set by Ret for a profiled function; fired after that instruction's
+  // ticks are delivered (see the Ret case).
+  const FuncInfo *PendingReturn = nullptr;
   uint64_t StartTicks = Ticks;
 
   Stack.clear();
@@ -346,6 +351,11 @@ Expected<RunResult> VM::execute(const FuncInfo &Entry,
       Frames.pop_back();
       Locals.resize(F.LocalBase);
       Stack.resize(F.StackBase);
+      // Defer the return notification until the ticks elapsed on this ret
+      // instruction are delivered (after the switch): a sample landing
+      // here belongs to the returning routine, not its caller.
+      if (Hooks && F.Func->Profiled)
+        PendingReturn = F.Func;
       if (Frames.empty()) {
         // The entry function returned: account this instruction's cycles
         // and finish.
@@ -355,6 +365,8 @@ Expected<RunResult> VM::execute(const FuncInfo &Entry,
           NextTickAt += Opts.CyclesPerTick;
           ++Ticks;
         }
+        if (PendingReturn)
+          Hooks->onReturn(PendingReturn->Addr);
         Result.ExitValue = Value;
         Result.Cycles = Cycles - StartCycles;
         Result.Ticks = Ticks - StartTicks;
@@ -422,6 +434,10 @@ Expected<RunResult> VM::execute(const FuncInfo &Entry,
       deliverTick(InsnPc);
       NextTickAt += Opts.CyclesPerTick;
       ++Ticks;
+    }
+    if (PendingReturn) {
+      Hooks->onReturn(PendingReturn->Addr);
+      PendingReturn = nullptr;
     }
     if (Cycles - StartCycles > Opts.MaxCycles)
       return trap(InsnPc, "cycle limit exceeded");

@@ -51,6 +51,14 @@ public:
   /// executing.
   virtual void onTick(Address Pc) = 0;
 
+  /// A profiled function (one whose prologue ran Mcount) returned; \p
+  /// SelfPc is its entry address.  Fired *after* any ticks elapsed on the
+  /// ret instruction are delivered, so a sample landing on the ret is
+  /// attributed to the returning routine by both the histogram and a
+  /// context recorder — the ordering the CCT/flat-profile equivalence
+  /// invariant depends on (docs/RUNTIME_MT.md).  Default: ignored.
+  virtual void onReturn(Address SelfPc);
+
   /// Opt-in to call-stack snapshots: when this returns true the VM also
   /// calls onTickStack for every tick.  This is the retrospective's
   /// "modern profilers ... periodically gathering not just isolated

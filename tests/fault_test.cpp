@@ -483,6 +483,189 @@ TEST_F(FaultCorpusTest, TolerantSummingReportsDamagedInputs) {
 }
 
 //===----------------------------------------------------------------------===//
+// Truncation and mutation corpus: the v2 context-tree record
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// makeRefData() plus a four-node context tree, so the file serializes
+/// as version 2 with one extension section.  The tree is already in
+/// canonical form (children sorted by (FromPc, SelfPc)), so the layout
+/// below is exact.
+ProfileData makeRefDataWithContexts() {
+  ProfileData D = makeRefData();
+  std::vector<CctNode> T;
+  T.push_back({CctRootParent, 0x10, 0x100, 1, 2}); // main
+  T.push_back({0, 0x110, 0x200, 3, 4});            // main > a (site 1)
+  T.push_back({1, 0x210, 0x300, 5, 6});            // main > a > b
+  T.push_back({0, 0x120, 0x200, 7, 8});            // main > a (site 2)
+  D.addContextTree(T);
+  return D;
+}
+
+// Serialized layout of makeRefDataWithContexts() (docs/FORMATS.md): the
+// whole v1 image above, then nsections u32, then the section header
+// (tag u32 + bytelen u64), then the payload (nnodes u64 + 36-byte
+// nodes).  The v1 region is byte-identical except the version field.
+constexpr size_t NumCtxNodes = 4;
+constexpr size_t SectCountStart = TotalSize;
+constexpr size_t SectHdrStart = SectCountStart + 4;
+constexpr size_t CtxPayloadStart = SectHdrStart + 12;
+constexpr size_t CtxNodesStart = CtxPayloadStart + 8;
+constexpr size_t CtxTotalSize = CtxNodesStart + 36 * NumCtxNodes;
+
+} // namespace
+
+TEST_F(FaultCorpusTest, ContextFileRoundTripsAndProjectsToV1) {
+  ProfileData Ref = makeRefDataWithContexts();
+  std::vector<uint8_t> Bytes = writeGmon(Ref);
+  ASSERT_EQ(Bytes.size(), CtxTotalSize);
+  EXPECT_EQ(Bytes[4], 2) << "context-carrying files are version 2";
+
+  // Byte-exact round trip through the strict reader.
+  ProfileData Back = cantFail(readGmon(Bytes));
+  EXPECT_EQ(writeGmon(Back), Bytes);
+  ASSERT_EQ(Back.Contexts.size(), NumCtxNodes);
+  EXPECT_EQ(Back.Contexts[2].SelfPc, 0x300u);
+  EXPECT_EQ(Back.Contexts[2].Ticks, 6u);
+
+  // Arcs-only profiles stay version 1: the v1 image of the same data is
+  // the context file minus the extension region and the version byte.
+  std::vector<uint8_t> V1 = writeGmon(makeRefData());
+  ASSERT_EQ(V1.size(), TotalSize);
+  EXPECT_EQ(V1[4], 1);
+  for (size_t I = 0; I != TotalSize; ++I)
+    if (I != 4)
+      ASSERT_EQ(V1[I], Bytes[I]) << "v1/v2 diverge at byte " << I;
+}
+
+TEST_F(FaultCorpusTest, ContextTruncationEveryCutPoint) {
+  ProfileData Ref = makeRefDataWithContexts();
+  std::vector<uint8_t> Bytes = writeGmon(Ref);
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+
+  for (size_t Cut = 0; Cut != Bytes.size(); ++Cut) {
+    std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + Cut);
+
+    auto Strict = readGmon(Short);
+    EXPECT_FALSE(static_cast<bool>(Strict)) << "strict cut at " << Cut;
+    (void)Strict.takeError();
+
+    GmonSalvage S;
+    auto Back = readGmon(Short, Tol, &S);
+    if (Cut < HeaderSize) {
+      // The salvage floor is unchanged from v1.
+      EXPECT_FALSE(static_cast<bool>(Back)) << "tolerant cut at " << Cut;
+      (void)Back.takeError();
+      continue;
+    }
+    ASSERT_TRUE(static_cast<bool>(Back)) << "tolerant cut at " << Cut;
+    EXPECT_TRUE(S.Damaged) << Cut;
+
+    if (Cut < TotalSize) {
+      // Cut inside the v1 region: same salvage as v1, no contexts.
+      EXPECT_TRUE(Back->Contexts.empty()) << Cut;
+      EXPECT_EQ(S.SalvagedContexts, 0u) << Cut;
+    } else if (Cut < CtxNodesStart) {
+      // Cut inside the section plumbing (count, tag, length, node
+      // count): the full v1 content survives, the tree is lost whole.
+      EXPECT_EQ(S.SalvagedArcs, NumArcs) << Cut;
+      EXPECT_TRUE(Back->Contexts.empty()) << Cut;
+      EXPECT_EQ(S.SalvagedContexts, 0u) << Cut;
+      EXPECT_FALSE(S.Note.empty()) << Cut;
+    } else {
+      // Cut inside the node records: the exact prefix of whole nodes.
+      size_t Whole = (Cut - CtxNodesStart) / 36;
+      EXPECT_EQ(S.SalvagedContexts, Whole) << Cut;
+      EXPECT_EQ(S.DroppedContexts, NumCtxNodes - Whole) << Cut;
+      ASSERT_EQ(Back->Contexts.size(), Whole) << Cut;
+      for (size_t N = 0; N != Whole; ++N) {
+        EXPECT_EQ(Back->Contexts[N].SelfPc, Ref.Contexts[N].SelfPc) << Cut;
+        EXPECT_EQ(Back->Contexts[N].Calls, Ref.Contexts[N].Calls) << Cut;
+        EXPECT_EQ(Back->Contexts[N].Ticks, Ref.Contexts[N].Ticks) << Cut;
+      }
+    }
+  }
+}
+
+TEST_F(FaultCorpusTest, ContextByteMutationNeverCrashesEitherMode) {
+  auto Bytes = writeGmon(makeRefDataWithContexts());
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    for (uint8_t Flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xFF}}) {
+      auto Mutated = Bytes;
+      Mutated[I] ^= Flip;
+      auto Strict = readGmon(Mutated);
+      if (!Strict)
+        (void)Strict.takeError();
+      GmonSalvage S;
+      auto Tolerant = readGmon(Mutated, Tol, &S);
+      if (!Tolerant)
+        (void)Tolerant.takeError();
+    }
+  }
+}
+
+TEST_F(FaultCorpusTest, ContextTolerantStillRejectsLyingSections) {
+  auto Valid = writeGmon(makeRefDataWithContexts());
+  GmonReadOptions Tol;
+  Tol.Tolerant = true;
+
+  auto ExpectReject = [&](std::vector<uint8_t> Bytes, const char *What) {
+    auto Strict = readGmon(Bytes);
+    EXPECT_FALSE(static_cast<bool>(Strict)) << What << " (strict)";
+    (void)Strict.takeError();
+    auto Lax = readGmon(Bytes, Tol);
+    EXPECT_FALSE(static_cast<bool>(Lax)) << What << " (tolerant)";
+    (void)Lax.takeError();
+  };
+
+  // Tolerance is for truncation, not for headers that lie about intact
+  // bytes.  Section length disagreeing with the node count:
+  auto BadLen = Valid;
+  BadLen[SectHdrStart + 4] ^= 0x04;
+  ExpectReject(BadLen, "length mismatch");
+
+  // A node naming a later node (or itself) as parent would let the
+  // analyzer's accumulation loop run away:
+  auto BadParent = Valid;
+  BadParent[CtxNodesStart + 36] = 9; // node 1's parent -> 9
+  ExpectReject(BadParent, "invalid parent");
+
+  // An implausible section count:
+  auto BadCount = Valid;
+  BadCount[SectCountStart] = 0xFF;
+  ExpectReject(BadCount, "section count");
+}
+
+TEST_F(FaultCorpusTest, UnknownExtensionSectionIsSkippedCleanly) {
+  // Forward compatibility: append a second section with an unknown tag;
+  // both modes must skip it whole and still deliver the context tree.
+  ProfileData Ref = makeRefDataWithContexts();
+  auto Bytes = writeGmon(Ref);
+  Bytes[SectCountStart] = 2; // nsections: 1 -> 2
+  const uint8_t Unknown[] = {0x58, 0x58, 0x58, 0x58, // tag "XXXX"
+                             5,    0,    0,    0,    0, 0, 0, 0, // len 5
+                             1,    2,    3,    4,    5};         // payload
+  Bytes.insert(Bytes.end(), std::begin(Unknown), std::end(Unknown));
+
+  for (bool Tolerant : {false, true}) {
+    GmonReadOptions Opts;
+    Opts.Tolerant = Tolerant;
+    GmonSalvage S;
+    auto Back = readGmon(Bytes, Opts, &S);
+    ASSERT_TRUE(static_cast<bool>(Back)) << "tolerant=" << Tolerant;
+    EXPECT_EQ(Back->Contexts.size(), NumCtxNodes) << "tolerant=" << Tolerant;
+    EXPECT_FALSE(S.Damaged) << "tolerant=" << Tolerant;
+    // Re-serializing drops the unknown section (we cannot regenerate
+    // what we did not understand) but keeps the tree.
+    EXPECT_EQ(writeGmon(*Back), writeGmon(Ref)) << "tolerant=" << Tolerant;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Store fault sweep: a failed operation never leaves a torn artifact
 //===----------------------------------------------------------------------===//
 

@@ -16,6 +16,7 @@
 
 #include "core/Analyzer.h"
 #include "core/Annotate.h"
+#include "core/ContextTree.h"
 #include "core/FlatPrinter.h"
 #include "core/GraphPrinter.h"
 #include "gmon/GmonFile.h"
@@ -104,4 +105,71 @@ TEST(GoldenTest, CalculatorCallGraphWithCycle) {
   // entry format.
   Pipeline P = runCorpusProgram("calculator.tl");
   checkGolden("calculator_graph.txt", printCallGraph(P.Report));
+}
+
+namespace {
+
+/// Like runCorpusProgram, but with context-tree recording on and the
+/// analysis run at \p AnalyzerThreads workers.
+Pipeline runCorpusProgramWithContexts(const std::string &Name,
+                                      unsigned AnalyzerThreads) {
+  std::string Path = std::string(TL_CORPUS_DIR) + "/" + Name;
+  std::string Source = cantFail(readFileText(Path));
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Pipeline P{compileTLOrDie(Source, CG), Source, {}, {}};
+  MonitorOptions MO;
+  MO.RecordContexts = true;
+  Monitor Mon(P.Img.lowPc(), P.Img.highPc(), MO);
+  VMOptions VO;
+  VO.CyclesPerTick = 997;
+  VM Machine(P.Img, VO);
+  Machine.setHooks(&Mon);
+  cantFail(Machine.run());
+  P.Data = cantFail(readGmon(writeGmon(Mon.finish())));
+  AnalyzerOptions AO;
+  AO.Threads = AnalyzerThreads;
+  P.Report = cantFail(analyzeImageProfile(P.Img, P.Data, AO));
+  return P;
+}
+
+} // namespace
+
+TEST(GoldenTest, ContextsListing) {
+  // The gprof --contexts listing for the context-dependent-cost corpus
+  // program, pinned byte-exact at every analyzer --threads count (the
+  // "output is identical for every N" contract extends to the new
+  // listing).
+  std::string Reference;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    Pipeline P = runCorpusProgramWithContexts("contexts.tl", Threads);
+    SymbolTable Syms = SymbolTable::fromImage(P.Img);
+    ContextTree Tree = cantFail(ContextTree::build(P.Data, Syms));
+    std::string Listing = printContexts(Tree);
+    if (Threads == 1) {
+      Reference = Listing;
+      checkGolden("contexts_listing.txt", Listing);
+    } else {
+      EXPECT_EQ(Listing, Reference) << "--threads " << Threads;
+    }
+  }
+}
+
+TEST(GoldenTest, ContextsPropagationError) {
+  // The --prop-error table over the same run: cheap_user/costly_user
+  // carry the paper-§6 misattribution this program is built to force;
+  // a golden diff here means the propagation or the exact side moved.
+  std::string Reference;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    Pipeline P = runCorpusProgramWithContexts("contexts.tl", Threads);
+    SymbolTable Syms = SymbolTable::fromImage(P.Img);
+    ContextTree Tree = cantFail(ContextTree::build(P.Data, Syms));
+    std::string Table = printPropagationError(propagationError(P.Report, Tree));
+    if (Threads == 1) {
+      Reference = Table;
+      checkGolden("contexts_properr.txt", Table);
+    } else {
+      EXPECT_EQ(Table, Reference) << "--threads " << Threads;
+    }
+  }
 }

@@ -20,12 +20,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Analyzer.h"
+#include "core/ContextTree.h"
 #include "core/SyntheticProfile.h"
 #include "gmon/GmonFile.h"
 #include "graph/Generators.h"
 #include "runtime/Monitor.h"
+#include "support/FileUtils.h"
 #include "support/Random.h"
 #include "support/Sha256.h"
+#include "vm/CodeGen.h"
+#include "vm/ParallelRun.h"
 
 #include <gtest/gtest.h>
 
@@ -210,3 +214,171 @@ TEST_P(ThreadSplitMetamorphicTest, SplittingAcrossThreadsPreservesDigest) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadSplitMetamorphicTest,
                          testing::Range<uint64_t>(0, 4));
+
+//===----------------------------------------------------------------------===//
+// Context-tree invariants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs one corpus program on \p ThreadCount interpreter threads under a
+/// context-recording monitor and returns the condensed profile.
+ProfileData runCorpusWithContexts(const std::string &Name,
+                                  unsigned ThreadCount, bool Contexts) {
+  std::string Source =
+      cantFail(readFileText(std::string(TL_CORPUS_DIR) + "/" + Name));
+  CodeGenOptions CG;
+  CG.EnableProfiling = true;
+  Image Img = compileTLOrDie(Source, CG);
+  MonitorOptions MO;
+  MO.RecordContexts = Contexts;
+  Monitor Mon(Img.lowPc(), Img.highPc(), MO);
+  VMOptions VO;
+  VO.CyclesPerTick = 997;
+  cantFail(runOnThreads(Img, VO, &Mon, ThreadCount));
+  return Mon.finish();
+}
+
+/// One balanced top-level unit of call/return/tick events: the smallest
+/// chunk that can move between threads without tearing a context open.
+struct CctEv {
+  enum Kind { Call, Ret, Tick } K;
+  Address FromPc = 0, SelfPc = 0;
+};
+
+void appendUnit(SplitMix64 &Rng, unsigned Depth, std::vector<CctEv> &Out) {
+  Address Self = 0x1000 + Rng.nextBelow(9) * 0x80;
+  Address From = 0x2000 + Rng.nextBelow(6) * 0x20;
+  Out.push_back({CctEv::Call, From, Self});
+  unsigned Inner = static_cast<unsigned>(Rng.nextBelow(4));
+  for (unsigned I = 0; I != Inner; ++I) {
+    if (Depth < 6 && Rng.nextBool(0.5))
+      appendUnit(Rng, Depth + 1, Out);
+    else
+      Out.push_back({CctEv::Tick, 0, 0});
+  }
+  Out.push_back({CctEv::Ret, 0, Self});
+}
+
+void replayInto(Monitor &Mon, const std::vector<CctEv> &Events) {
+  for (const CctEv &E : Events) {
+    switch (E.K) {
+    case CctEv::Call:
+      Mon.onCall(E.FromPc, E.SelfPc);
+      break;
+    case CctEv::Ret:
+      Mon.onReturn(E.SelfPc);
+      break;
+    case CctEv::Tick:
+      Mon.onTick(E.SelfPc ? E.SelfPc : 0x1000);
+      break;
+    }
+  }
+}
+
+} // namespace
+
+class CctMetamorphicTest : public testing::TestWithParam<unsigned> {};
+
+TEST_P(CctMetamorphicTest, CollapseReproducesArcTableByteIdentically) {
+  // The standing invariant: the context tree carries strictly more
+  // information than the arc table, so (a) switching CCT recording on
+  // must not perturb the arcs or the histogram by a single byte, and
+  // (b) collapsing the tree per (site, callee) must reproduce the arc
+  // table exactly — same records, same canonical order.
+  const unsigned K = GetParam();
+  for (const char *Name : {"primes.tl", "dispatch.tl", "contexts.tl"}) {
+    ProfileData Off = runCorpusWithContexts(Name, K, false);
+    ProfileData On = runCorpusWithContexts(Name, K, true);
+    ASSERT_FALSE(On.Contexts.empty()) << Name;
+
+    ProfileData Projected = On;
+    Projected.Contexts.clear();
+    Projected.ContextTreeOverflowed = false;
+    EXPECT_EQ(writeGmon(Projected), writeGmon(Off))
+        << Name << " k=" << K << ": recording contexts changed the "
+        << "arc/histogram halves";
+
+    ProfileData Collapsed = Projected;
+    Collapsed.Arcs = collapseContextsToArcs(On.Contexts);
+    EXPECT_EQ(writeGmon(Collapsed), writeGmon(Projected))
+        << Name << " k=" << K << ": CCT collapse disagrees with the arc "
+        << "table";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CctMetamorphicTest,
+                         testing::Values(1u, 2u, 8u));
+
+TEST(CctThreadSplitTest, SplittingUnitsAcrossThreadsPreservesDigest) {
+  // Like SplittingAcrossThreadsPreservesDigest, but the moved quantum is
+  // a whole balanced top-level unit: a context is meaningless torn
+  // across threads (each thread has its own shadow stack), while whole
+  // units commute freely — the merged canonical tree, and hence the
+  // serialized profile, must not depend on the split.
+  for (uint64_t Seed : {1u, 2u, 3u}) {
+    SplitMix64 Rng(Seed * 7717 + 11);
+    std::vector<std::vector<CctEv>> Units;
+    for (int U = 0; U != 600; ++U) {
+      Units.emplace_back();
+      appendUnit(Rng, 0, Units.back());
+    }
+
+    MonitorOptions MO;
+    MO.RecordContexts = true;
+    std::string Reference;
+    for (unsigned K : {1u, 2u, 4u, 8u}) {
+      Monitor Mon(0x1000, 0x3000, MO);
+      std::vector<std::thread> Workers;
+      for (unsigned T = 0; T != K; ++T)
+        Workers.emplace_back([&, T] {
+          for (size_t U = T; U < Units.size(); U += K)
+            replayInto(Mon, Units[U]);
+        });
+      for (std::thread &W : Workers)
+        W.join();
+      std::string Digest = digestToHex(Sha256::hash(writeGmon(Mon.extract())));
+      if (K == 1)
+        Reference = Digest;
+      else
+        EXPECT_EQ(Digest, Reference) << "seed " << Seed << ", k=" << K;
+    }
+  }
+}
+
+TEST(CctShardMergeTest, MergeGroupingAndOrderLeaveDigestInvariant) {
+  // Shard-merge invariance: however a set of context-carrying shards is
+  // grouped and ordered into a sum (sequential, pairwise, reversed), the
+  // canonical tree — and the serialized profile — is the same.
+  std::vector<ProfileData> Shards;
+  for (uint64_t S = 0; S != 4; ++S) {
+    SplitMix64 Rng(S * 131 + 7);
+    Monitor Mon(0x1000, 0x3000, [] {
+      MonitorOptions MO;
+      MO.RecordContexts = true;
+      return MO;
+    }());
+    for (int U = 0; U != 200; ++U) {
+      std::vector<CctEv> Unit;
+      appendUnit(Rng, 0, Unit);
+      replayInto(Mon, Unit);
+    }
+    Shards.push_back(Mon.finish());
+  }
+
+  auto MergeAll = [&](std::vector<size_t> Order) {
+    ProfileData Sum = Shards[Order[0]];
+    for (size_t I = 1; I != Order.size(); ++I)
+      cantFail(Sum.merge(Shards[Order[I]]));
+    return writeGmon(Sum);
+  };
+  std::vector<uint8_t> Sequential = MergeAll({0, 1, 2, 3});
+  EXPECT_EQ(MergeAll({3, 2, 1, 0}), Sequential);
+  EXPECT_EQ(MergeAll({2, 0, 3, 1}), Sequential);
+
+  ProfileData Left = Shards[0], Right = Shards[2];
+  cantFail(Left.merge(Shards[1]));
+  cantFail(Right.merge(Shards[3]));
+  cantFail(Left.merge(Right));
+  EXPECT_EQ(writeGmon(Left), Sequential);
+}

@@ -112,8 +112,24 @@ void expectReadersAgree(const std::vector<uint8_t> &Bytes, bool Tolerant,
   EXPECT_EQ(SRef.DroppedBuckets, SNew.DroppedBuckets) << What;
   EXPECT_EQ(SRef.SalvagedArcs, SNew.SalvagedArcs) << What;
   EXPECT_EQ(SRef.DroppedArcs, SNew.DroppedArcs) << What;
+  EXPECT_EQ(SRef.SalvagedContexts, SNew.SalvagedContexts) << What;
+  EXPECT_EQ(SRef.DroppedContexts, SNew.DroppedContexts) << What;
   EXPECT_EQ(SRef.TrailingBytes, SNew.TrailingBytes) << What;
   EXPECT_EQ(SRef.Note, SNew.Note) << What;
+}
+
+/// makeRefData() plus a context tree: serializes as version 2 with one
+/// extension section, covering the section plumbing and the node records
+/// in both readers (same shape as tests/fault_test.cpp).
+ProfileData makeRefDataWithContexts() {
+  ProfileData D = makeRefData();
+  std::vector<CctNode> T;
+  T.push_back({CctRootParent, 0x10, 0x100, 1, 2});
+  T.push_back({0, 0x110, 0x200, 3, 4});
+  T.push_back({1, 0x210, 0x300, 5, 6});
+  T.push_back({0, 0x120, 0x200, 7, 8});
+  D.addContextTree(T);
+  return D;
 }
 
 } // namespace
@@ -235,6 +251,55 @@ TEST_F(ReadPathCorpusTest, TrailingJunkMatchesReference) {
   Bytes.insert(Bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF});
   expectReadersAgree(Bytes, false, "strict trailing");
   expectReadersAgree(Bytes, true, "tolerant trailing");
+}
+
+TEST_F(ReadPathCorpusTest, ContextFileIntactBitIdenticalInBothModes) {
+  std::vector<uint8_t> Bytes = writeGmon(makeRefDataWithContexts());
+  expectReadersAgree(Bytes, /*Tolerant=*/false, "v2 intact strict");
+  expectReadersAgree(Bytes, /*Tolerant=*/true, "v2 intact tolerant");
+}
+
+TEST_F(ReadPathCorpusTest, ContextTruncationEveryCutPointMatchesReference) {
+  const std::vector<uint8_t> Full = writeGmon(makeRefDataWithContexts());
+  for (size_t Cut = 0; Cut != Full.size(); ++Cut) {
+    std::vector<uint8_t> Bytes(Full.begin(), Full.begin() + Cut);
+    expectReadersAgree(Bytes, false,
+                       "v2 strict cut at " + std::to_string(Cut));
+    expectReadersAgree(Bytes, true,
+                       "v2 tolerant cut at " + std::to_string(Cut));
+  }
+}
+
+TEST_F(ReadPathCorpusTest, ContextEveryByteMutationMatchesReference) {
+  const std::vector<uint8_t> Full = writeGmon(makeRefDataWithContexts());
+  for (size_t I = 0; I != Full.size(); ++I) {
+    std::vector<uint8_t> Bytes = Full;
+    Bytes[I] ^= 0xFF;
+    expectReadersAgree(Bytes, false,
+                       "v2 strict flip at " + std::to_string(I));
+    expectReadersAgree(Bytes, true,
+                       "v2 tolerant flip at " + std::to_string(I));
+  }
+}
+
+TEST_F(ReadPathCorpusTest, ContextUnknownSectionSkipMatchesReference) {
+  // Forward compatibility through both readers: an extra section with an
+  // unknown tag is skipped whole; truncating inside it salvages the rest.
+  std::vector<uint8_t> Bytes = writeGmon(makeRefDataWithContexts());
+  Bytes[53 + 8 * 8 + 8 + 24 * 5] = 2; // nsections: 1 -> 2
+  const uint8_t Unknown[] = {0x58, 0x58, 0x58, 0x58,
+                             6,    0,    0,    0,    0, 0, 0, 0,
+                             9,    8,    7,    6,    5, 4};
+  Bytes.insert(Bytes.end(), std::begin(Unknown), std::end(Unknown));
+  for (size_t Cut = Bytes.size() - sizeof(Unknown); Cut <= Bytes.size();
+       ++Cut) {
+    std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + Cut);
+    expectReadersAgree(Short, false,
+                       "unknown-section strict cut at " + std::to_string(Cut));
+    expectReadersAgree(Short, true,
+                       "unknown-section tolerant cut at " +
+                           std::to_string(Cut));
+  }
 }
 
 TEST_F(ReadPathCorpusTest, MmapFileReadMatchesReferenceAtEveryCut) {
